@@ -1,0 +1,36 @@
+// Shared helpers for the figure/table reproduction harnesses. Every bench
+// binary prints the same rows/series the paper reports (see DESIGN.md §3)
+// and accepts --duration=<sim seconds> and --seed=<n> overrides.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "hw/topology.h"
+#include "sim/cost_params.h"
+#include "simengine/centralized.h"
+#include "simengine/dora.h"
+#include "simengine/shared_nothing.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+
+namespace atrapos::bench {
+
+/// Topology for an n-socket sweep point: 10 cores per socket as on the
+/// paper's machine; the 8-socket point uses the twisted cube.
+inline hw::Topology TopoFor(int sockets) {
+  switch (sockets) {
+    case 1: return hw::Topology::SingleSocket(10);
+    case 2: return hw::Topology::Cube(1, 10);
+    case 4: return hw::Topology::Cube(2, 10);
+    default: return hw::Topology::TwistedCube8x10();
+  }
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", paper.c_str());
+  std::printf("(deterministic simulation; compare shapes, not absolutes)\n\n");
+}
+
+}  // namespace atrapos::bench

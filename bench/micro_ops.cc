@@ -1,0 +1,150 @@
+// google-benchmark microbenchmarks of the building blocks: centralized vs
+// partitioned transaction lists and rwlocks (real threads, paper §IV), the
+// multi-rooted B-tree, the cost model, and the partitioning search.
+#include <benchmark/benchmark.h>
+
+#include "core/cost_model.h"
+#include "core/monitor.h"
+#include "core/search.h"
+#include "storage/btree.h"
+#include "storage/mrbtree.h"
+#include "sync/partitioned_rwlock.h"
+#include "txn/txn_list.h"
+#include "util/rng.h"
+#include "workload/micro.h"
+#include "workload/tatp.h"
+
+namespace atrapos {
+namespace {
+
+void BM_CentralizedTxnList_AddRemove(benchmark::State& state) {
+  txn::CentralizedTxnList list;
+  txn::TxnId id = 1;
+  for (auto _ : state) {
+    txn::TxnNode* n = list.Add(id++, 0);
+    list.Remove(n, 0);
+  }
+}
+BENCHMARK(BM_CentralizedTxnList_AddRemove)->Threads(1)->Threads(4);
+
+void BM_PartitionedTxnList_AddRemove(benchmark::State& state) {
+  static txn::PartitionedTxnList list(8);
+  txn::TxnId id = 1;
+  auto socket = static_cast<hw::SocketId>(state.thread_index() % 8);
+  for (auto _ : state) {
+    txn::TxnNode* n = list.Add(id++, socket);
+    list.Remove(n, socket);
+  }
+}
+BENCHMARK(BM_PartitionedTxnList_AddRemove)->Threads(1)->Threads(4);
+
+void BM_PartitionedRWLock_SharedAcquire(benchmark::State& state) {
+  static sync::PartitionedRWLock lock(8);
+  auto socket = static_cast<hw::SocketId>(state.thread_index() % 8);
+  for (auto _ : state) {
+    lock.LockShared(socket);
+    lock.UnlockShared(socket);
+  }
+}
+BENCHMARK(BM_PartitionedRWLock_SharedAcquire)->Threads(1)->Threads(4);
+
+void BM_SharedMutex_SharedAcquire(benchmark::State& state) {
+  static std::shared_mutex mu;
+  for (auto _ : state) {
+    mu.lock_shared();
+    mu.unlock_shared();
+  }
+}
+BENCHMARK(BM_SharedMutex_SharedAcquire)->Threads(1)->Threads(4);
+
+void BM_BTree_Insert(benchmark::State& state) {
+  storage::BPlusTree bt;
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bt.Insert(k++, k));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(k));
+}
+BENCHMARK(BM_BTree_Insert);
+
+void BM_BTree_Get(benchmark::State& state) {
+  storage::BPlusTree bt;
+  constexpr uint64_t kN = 100000;
+  for (uint64_t k = 0; k < kN; ++k) (void)bt.Insert(k, k);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bt.Get(rng.Uniform(kN)));
+  }
+}
+BENCHMARK(BM_BTree_Get);
+
+void BM_MRBTree_RouteAndGet(benchmark::State& state) {
+  auto parts = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> bounds;
+  constexpr uint64_t kN = 100000;
+  for (size_t p = 0; p < parts; ++p) bounds.push_back(kN * p / parts);
+  storage::MultiRootedBTree t(bounds);
+  for (uint64_t k = 0; k < kN; ++k) (void)t.Insert(k, k);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Get(rng.Uniform(kN)));
+  }
+}
+BENCHMARK(BM_MRBTree_RouteAndGet)->Arg(1)->Arg(8)->Arg(80);
+
+void BM_Monitor_RecordAction(benchmark::State& state) {
+  core::PartitionMonitor pm(0, 1000000);
+  Rng rng(3);
+  for (auto _ : state) {
+    pm.RecordAction(rng.Uniform(1000000), 1.0);
+  }
+}
+BENCHMARK(BM_Monitor_RecordAction);
+
+void BM_CostModel_Evaluate(benchmark::State& state) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::TatpSpec(800000);
+  core::CostModel model(&topo, &spec);
+  core::WorkloadStats stats;
+  stats.tables.resize(spec.tables.size());
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    for (size_t b = 0; b < 160; ++b) {
+      stats.tables[t].sub_starts.push_back(spec.tables[t].num_rows * b / 160);
+      stats.tables[t].sub_cost.push_back(1.0);
+    }
+  }
+  for (const auto& c : spec.classes) stats.class_counts.push_back(c.weight);
+  std::vector<uint64_t> rows;
+  for (const auto& t : spec.tables) rows.push_back(t.num_rows);
+  core::Scheme s = core::NaiveScheme(topo, rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.ResourceImbalance(s, stats));
+    benchmark::DoNotOptimize(model.SyncCost(s, stats));
+  }
+}
+BENCHMARK(BM_CostModel_Evaluate);
+
+void BM_PartitionSearch_Tatp(benchmark::State& state) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::TatpSpec(800000);
+  core::CostModel model(&topo, &spec);
+  core::WorkloadStats stats;
+  stats.tables.resize(spec.tables.size());
+  Rng rng(11);
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    for (size_t b = 0; b < 80; ++b) {
+      stats.tables[t].sub_starts.push_back(spec.tables[t].num_rows * b / 80);
+      stats.tables[t].sub_cost.push_back(1.0 + rng.NextDouble());
+    }
+  }
+  for (const auto& c : spec.classes) stats.class_counts.push_back(c.weight);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ChoosePartitioning(model, stats));
+  }
+}
+BENCHMARK(BM_PartitionSearch_Tatp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace atrapos
+
+BENCHMARK_MAIN();

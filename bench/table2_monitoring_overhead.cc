@@ -1,0 +1,48 @@
+// Table II: throughput of ATraPos with monitoring disabled vs enabled for
+// TATP transactions; the paper reports at most 3.32% overhead (GetSubData,
+// the shortest transaction, is the worst case).
+#include "bench/bench_common.h"
+#include "workload/tatp.h"
+
+using namespace atrapos;
+using namespace atrapos::bench;
+using namespace atrapos::simengine;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double duration = flags.GetDouble("duration", 0.006);
+  PrintHeader("table2_monitoring_overhead",
+              "Table II — ATraPos monitoring overhead (TATP)");
+
+  hw::Topology topo = TopoFor(8);
+  TablePrinter tp({"Workload", "No monitoring (TPS)", "Monitoring (TPS)",
+                   "Overhead (%)"});
+
+  struct Entry {
+    std::string name;
+    core::WorkloadSpec spec;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"GetSubData",
+                     workload::TatpSingleTxnSpec(workload::kGetSubData)});
+  entries.push_back({"GetNewDest",
+                     workload::TatpSingleTxnSpec(workload::kGetNewDest)});
+  entries.push_back({"UpdSubData",
+                     workload::TatpSingleTxnSpec(workload::kUpdSubData)});
+  entries.push_back({"TATP-Mix", workload::TatpSpec()});
+
+  for (auto& e : entries) {
+    DoraOptions off;
+    off.run.duration_s = duration;
+    RunMetrics roff = RunAtrapos(topo, sim::CostParams{}, e.spec, off);
+    DoraOptions on = off;
+    on.monitoring = true;
+    RunMetrics ron = RunAtrapos(topo, sim::CostParams{}, e.spec, on);
+    double overhead = roff.tps > 0 ? (1.0 - ron.tps / roff.tps) * 100.0 : 0;
+    tp.AddRow({e.name, TablePrinter::Num(roff.tps, 1),
+               TablePrinter::Num(ron.tps, 1),
+               TablePrinter::Num(overhead, 2)});
+  }
+  tp.Print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared machinery for the adaptivity timeline figures (Figs. 10-13).
+//
+// The paper's experiments run 50-180 wall-clock seconds. The simulator
+// compresses time: 1 "paper second" is simulated as `scale` seconds, and
+// every time constant of the adaptive machinery (monitoring intervals,
+// repartitioning pauses, decision time) is scaled identically, so the
+// *dynamics* — detection delay in intervals, pause lengths relative to the
+// sampling period — are preserved while the simulation stays fast.
+#pragma once
+
+#include "bench/bench_common.h"
+
+namespace atrapos::bench {
+
+struct TimelineSetup {
+  double scale = 0.01;          ///< sim seconds per paper second
+  double duration_paper_s = 90;  ///< figure x-axis length
+};
+
+/// Fills the time-scaled knobs of a DoraOptions.
+inline void ApplyTimelineScaling(const TimelineSetup& tl,
+                                 simengine::DoraOptions* opt) {
+  opt->run.duration_s = tl.duration_paper_s * tl.scale;
+  opt->run.sample_interval_s = 1.0 * tl.scale;  // one sample per paper second
+  opt->controller.initial_interval_s = 1.0 * tl.scale;
+  opt->controller.max_interval_s = 8.0 * tl.scale;
+  opt->split_ms = 1.6 * tl.scale;
+  opt->merge_ms = 1.2 * tl.scale;
+  opt->move_ms = 0.05 * tl.scale;
+  opt->decide_ms = 2.0 * tl.scale;
+}
+
+/// Prints a two-series timeline (static vs ATraPos) in paper seconds.
+inline void PrintTimeline(const TimelineSetup& tl,
+                          const simengine::RunMetrics& stat,
+                          const simengine::RunMetrics& atra,
+                          const char* unit, double div) {
+  TablePrinter tp({"t (s)", std::string("Static (") + unit + ")",
+                   std::string("ATraPos (") + unit + ")"});
+  size_t n = std::min(stat.timeline_tps.size(), atra.timeline_tps.size());
+  for (size_t i = 0; i < n; ++i) {
+    tp.AddRow({TablePrinter::Int(static_cast<long long>(
+                   stat.timeline_t[i] / tl.scale + 0.5)),
+               TablePrinter::Num(stat.timeline_tps[i] / div, 1),
+               TablePrinter::Num(atra.timeline_tps[i] / div, 1)});
+  }
+  tp.Print();
+  std::printf("\nATraPos repartitioned %llu time(s)\n",
+              static_cast<unsigned long long>(atra.repartitions));
+}
+
+}  // namespace atrapos::bench

@@ -1,0 +1,75 @@
+// Islands explorer: inspect hardware topologies, the ATraPos cost model,
+// and the partitioning/placement search — no engine required. Useful for
+// understanding what the cost model "sees" before deploying a scheme.
+//
+// Run: ./build/examples/islands_explorer
+#include <cstdio>
+
+#include "core/cost_model.h"
+#include "core/repartitioner.h"
+#include "core/search.h"
+#include "util/table_printer.h"
+#include "workload/tatp.h"
+
+using namespace atrapos;
+
+int main() {
+  // 1) Topologies: the paper's machine and an on-chip mesh.
+  auto cube = hw::Topology::TwistedCube8x10();
+  auto mesh = hw::Topology::Mesh(6, 6);
+  std::printf("paper machine : %s\n", cube.ToString().c_str());
+  std::printf("tilera mesh   : %s\n\n", mesh.ToString().c_str());
+
+  TablePrinter dist({"from\\to", "0", "1", "2", "3", "4", "5", "6", "7"});
+  for (int a = 0; a < 8; ++a) {
+    std::vector<std::string> row{std::to_string(a)};
+    for (int b = 0; b < 8; ++b)
+      row.push_back(std::to_string(cube.Distance(a, b)));
+    dist.AddRow(row);
+  }
+  std::printf("twisted-cube hop distances:\n");
+  dist.Print();
+
+  // 2) The cost model on TATP with a skewed load.
+  auto spec = workload::TatpSpec(800000);
+  core::CostModel model(&cube, &spec);
+  core::WorkloadStats stats;
+  stats.tables.resize(spec.tables.size());
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    uint64_t rows = spec.tables[t].num_rows;
+    for (size_t b = 0; b < 80; ++b) {
+      stats.tables[t].sub_starts.push_back(rows * b / 80);
+      // Hot head: the first quarter of every table carries 4x load.
+      stats.tables[t].sub_cost.push_back(b < 20 ? 4.0 : 1.0);
+    }
+  }
+  for (const auto& c : spec.classes) stats.class_counts.push_back(c.weight);
+
+  std::vector<uint64_t> rows;
+  for (const auto& t : spec.tables) rows.push_back(t.num_rows);
+  core::Scheme naive = core::NaiveScheme(cube, rows);
+  std::printf("\nnaive scheme    : RU imbalance %.1f, sync cost %.1f\n",
+              model.ResourceImbalance(naive, stats),
+              model.SyncCost(naive, stats));
+
+  core::Scheme chosen = core::ChooseScheme(model, stats);
+  std::printf("ATraPos scheme  : RU imbalance %.1f, sync cost %.1f\n",
+              model.ResourceImbalance(chosen, stats),
+              model.SyncCost(chosen, stats));
+
+  auto plan = core::PlanRepartition(naive, chosen);
+  auto sum = core::Summarize(plan);
+  std::printf("repartition plan: %zu splits, %zu merges, %zu moves\n",
+              sum.splits, sum.merges, sum.moves);
+
+  // 3) What a socket failure does to the search (Fig. 12's mechanism).
+  auto degraded = cube;
+  degraded.FailSocket(3);
+  core::CostModel dmodel(&degraded, &spec);
+  core::Scheme after = core::ChooseScheme(dmodel, stats);
+  std::printf("\nafter socket-3 failure the search uses %d cores; subscriber "
+              "partitions: %zu\n",
+              degraded.num_available_cores(),
+              after.tables[0].num_partitions());
+  return 0;
+}

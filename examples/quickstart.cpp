@@ -1,0 +1,68 @@
+// Quickstart: create a database, run ACID transactions, inspect the WAL.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "engine/database.h"
+#include "storage/table.h"
+
+using namespace atrapos;
+
+int main() {
+  // A database with ATraPos-style NUMA-aware system state (per-socket
+  // transaction lists + partitioned volume lock) for a 2-socket machine.
+  engine::Database db({.numa_aware_state = true, .num_sockets = 2});
+
+  // Define a table: accounts(id, owner, balance), range-partitioned at 500.
+  storage::Schema schema({storage::Column::Int64("id"),
+                          storage::Column::FixedString("owner", 16),
+                          storage::Column::Int64("balance")});
+  int accounts = db.AddTable(
+      std::make_unique<storage::Table>(0, "accounts", schema,
+                                       std::vector<uint64_t>{0, 500}));
+
+  // Load 1000 accounts with balance 100.
+  for (uint64_t id = 0; id < 1000; ++id) {
+    auto txn = db.Begin();
+    storage::Tuple row(&db.table(accounts)->schema());
+    row.SetInt(0, static_cast<int64_t>(id));
+    row.SetString(1, "acct-" + std::to_string(id));
+    row.SetInt(2, 100);
+    if (!db.Insert(&txn, accounts, id, row).ok()) return 1;
+    if (!db.Commit(&txn).ok()) return 1;
+  }
+  std::printf("loaded %llu accounts\n",
+              static_cast<unsigned long long>(db.table(accounts)->num_rows()));
+
+  // Transfer 25 from account 1 to account 900 — atomically, with automatic
+  // wait-die retry.
+  Status s = db.RunTransaction([&](engine::Database::Txn* txn) {
+    storage::Tuple from, to;
+    ATRAPOS_RETURN_NOT_OK(db.ReadForUpdate(txn, accounts, 1, &from));
+    ATRAPOS_RETURN_NOT_OK(db.ReadForUpdate(txn, accounts, 900, &to));
+    from.SetInt(2, from.GetInt(2) - 25);
+    to.SetInt(2, to.GetInt(2) + 25);
+    ATRAPOS_RETURN_NOT_OK(db.Update(txn, accounts, 1, from));
+    return db.Update(txn, accounts, 900, to);
+  });
+  std::printf("transfer: %s\n", s.ToString().c_str());
+
+  // Read both balances back.
+  auto txn = db.Begin();
+  storage::Tuple a, b;
+  (void)db.Read(&txn, accounts, 1, &a);
+  (void)db.Read(&txn, accounts, 900, &b);
+  (void)db.Commit(&txn);
+  std::printf("balance(1) = %lld, balance(900) = %lld\n",
+              static_cast<long long>(a.GetInt(2)),
+              static_cast<long long>(b.GetInt(2)));
+
+  std::printf("WAL records written: %llu (durable LSN %llu)\n",
+              static_cast<unsigned long long>(db.wal().num_records()),
+              static_cast<unsigned long long>(db.wal().durable_lsn()));
+  std::printf("active transactions at checkpoint: %llu\n",
+              static_cast<unsigned long long>(db.Checkpoint()));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// TPC-C on hardware islands: compares the four system designs of the paper
+// on the simulated 8-socket machine for the TPC-C mix, then prints the
+// NewOrder flow graph that drives ATraPos' partitioning decisions.
+//
+// Run: ./build/examples/tpcc_islands
+#include <cstdio>
+
+#include "core/search.h"
+#include "simengine/centralized.h"
+#include "simengine/dora.h"
+#include "util/table_printer.h"
+#include "workload/tpcc.h"
+
+using namespace atrapos;
+using namespace atrapos::simengine;
+
+int main() {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::TpccSpec(80);
+  sim::CostParams params;
+  double duration = 0.004;
+
+  TablePrinter tp({"design", "throughput (KTPS)"});
+
+  CentralizedOptions ce;
+  ce.run.duration_s = duration;
+  RunMetrics rce = RunCentralized(topo, params, spec, ce);
+  tp.AddRow({"centralized shared-everything",
+             TablePrinter::Num(rce.tps / 1e3, 1)});
+
+  DoraOptions plp;
+  plp.run.duration_s = duration;
+  RunMetrics rplp = RunPlp(topo, params, spec, plp);
+  tp.AddRow({"PLP", TablePrinter::Num(rplp.tps / 1e3, 1)});
+
+  DoraOptions hw;
+  hw.run.duration_s = duration;
+  RunMetrics rhw = RunAtrapos(topo, params, spec, hw);
+  tp.AddRow({"ATraPos (naive partitioning)",
+             TablePrinter::Num(rhw.tps / 1e3, 1)});
+
+  // ATraPos with its searched scheme (expected-load statistics).
+  core::CostModel model(&topo, &spec);
+  core::WorkloadStats stats;
+  stats.tables.resize(spec.tables.size());
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    double load = 0;
+    for (const auto& c : spec.classes)
+      for (const auto& a : c.actions)
+        if (a.table == static_cast<int>(t))
+          load += c.weight * a.rows * a.AvgRepeat();
+    uint64_t rows = spec.tables[t].num_rows;
+    for (size_t b = 0; b < 160; ++b) {
+      stats.tables[t].sub_starts.push_back(rows * b / 160);
+      stats.tables[t].sub_cost.push_back(load / 160.0);
+    }
+  }
+  for (const auto& c : spec.classes) stats.class_counts.push_back(c.weight);
+  DoraOptions at;
+  at.run.duration_s = duration;
+  at.initial = core::ChooseScheme(model, stats);
+  RunMetrics rat = RunAtrapos(topo, params, spec, at);
+  tp.AddRow({"ATraPos (model-chosen scheme)",
+             TablePrinter::Num(rat.tps / 1e3, 1)});
+  tp.Print();
+
+  std::printf("\npartitions per table under the model-chosen scheme:\n");
+  for (size_t t = 0; t < at.initial.tables.size(); ++t)
+    std::printf("  %-10s %zu\n", spec.tables[t].name.c_str(),
+                at.initial.tables[t].num_partitions());
+
+  std::printf("\n%s\n",
+              core::RenderFlowGraph(
+                  spec, spec.classes[workload::kNewOrderTxn]).c_str());
+  return 0;
+}

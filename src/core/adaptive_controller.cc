@@ -1,0 +1,39 @@
+#include "core/adaptive_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace atrapos::core {
+
+AdaptiveController::AdaptiveController(Options opt)
+    : opt_(opt), interval_(opt.initial_interval_s), window_(opt.window) {}
+
+AdaptiveController::Action AdaptiveController::OnMeasurement(
+    double throughput) {
+  if (window_.size() < 2) {
+    // Not enough history to judge stability yet.
+    window_.Add(throughput);
+    return Action::kContinue;
+  }
+  double avg = window_.Average();
+  window_.Add(throughput);
+  double deviation = avg > 0 ? std::abs(throughput - avg) / avg : 0.0;
+  if (deviation <= opt_.threshold) {
+    interval_ = std::min(interval_ * 2.0, opt_.max_interval_s);
+    return Action::kContinue;
+  }
+  return Action::kEvaluate;
+}
+
+void AdaptiveController::OnRepartitioned() {
+  interval_ = opt_.initial_interval_s;
+  window_.Reset();
+}
+
+void AdaptiveController::OnEvaluatedNoChange() {
+  // Accept the new throughput level as baseline but stay alert: the window
+  // already contains the new measurement; the interval is left unchanged.
+  interval_ = std::max(interval_ / 2.0, opt_.initial_interval_s);
+}
+
+}  // namespace atrapos::core

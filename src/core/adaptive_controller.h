@@ -1,0 +1,52 @@
+// Adaptive monitoring-interval controller (paper §V-D, §VI-D4).
+//
+// ATraPos starts with a 1-second monitoring interval. When throughput stays
+// within 10% of the average of the previous 5 measurements, the interval
+// doubles (up to 8 s). When the deviation exceeds the threshold, the cost
+// model is evaluated; if that leads to repartitioning, the interval resets
+// to 1 s so the system stays alert while the workload is in flux.
+#pragma once
+
+#include <cstddef>
+
+#include "util/stats.h"
+
+namespace atrapos::core {
+
+class AdaptiveController {
+ public:
+  struct Options {
+    double initial_interval_s = 1.0;
+    double max_interval_s = 8.0;
+    double threshold = 0.10;  ///< relative throughput deviation
+    size_t window = 5;        ///< previous measurements to average
+  };
+
+  enum class Action {
+    kContinue,  ///< stable — keep (possibly lengthened) interval
+    kEvaluate,  ///< deviation exceeded — evaluate the cost model
+  };
+
+  AdaptiveController() : AdaptiveController(Options{}) {}
+  explicit AdaptiveController(Options opt);
+
+  /// Feeds one end-of-interval throughput measurement.
+  Action OnMeasurement(double throughput);
+
+  /// The engine repartitioned: reset to the initial interval and restart
+  /// the stability window.
+  void OnRepartitioned();
+
+  /// The evaluation decided the current scheme is still best: treat the
+  /// new level as the baseline going forward.
+  void OnEvaluatedNoChange();
+
+  double interval_s() const { return interval_; }
+
+ private:
+  Options opt_;
+  double interval_;
+  SlidingWindow window_;
+};
+
+}  // namespace atrapos::core

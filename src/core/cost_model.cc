@@ -1,0 +1,207 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace atrapos::core {
+
+namespace {
+
+/// Load of key range [lo, hi) under the observed bins, apportioning bins
+/// that straddle the range proportionally to key overlap.
+double RangeLoad(const TableLoadStats& tl, uint64_t rows, uint64_t lo,
+                 uint64_t hi) {
+  double total = 0;
+  for (size_t i = 0; i < tl.sub_starts.size(); ++i) {
+    uint64_t blo = tl.sub_starts[i];
+    uint64_t bhi = i + 1 < tl.sub_starts.size() ? tl.sub_starts[i + 1] : rows;
+    if (bhi <= blo) continue;
+    uint64_t olo = std::max(lo, blo);
+    uint64_t ohi = std::min(hi, bhi);
+    if (ohi <= olo) continue;
+    total += tl.sub_cost[i] * static_cast<double>(ohi - olo) /
+             static_cast<double>(bhi - blo);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<double> CostModel::CoreUtilization(const Scheme& s,
+                                               const WorkloadStats& w) const {
+  std::vector<double> ru(static_cast<size_t>(topo_->num_cores()), 0.0);
+  for (size_t t = 0; t < s.tables.size(); ++t) {
+    const TableScheme& ts = s.tables[t];
+    if (t >= w.tables.size()) continue;
+    const TableLoadStats& tl = w.tables[t];
+    uint64_t rows = spec_->tables[t].num_rows;
+    for (size_t p = 0; p < ts.num_partitions(); ++p) {
+      uint64_t lo = ts.boundaries[p];
+      uint64_t hi = p + 1 < ts.num_partitions() ? ts.boundaries[p + 1] : rows;
+      ru[static_cast<size_t>(ts.placement[p])] += RangeLoad(tl, rows, lo, hi);
+    }
+  }
+  return ru;
+}
+
+double CostModel::ResourceImbalance(const Scheme& s,
+                                    const WorkloadStats& w) const {
+  std::vector<double> ru = CoreUtilization(s, w);
+  auto cores = topo_->AvailableCores();
+  if (cores.empty()) return 0.0;
+  double avg = 0;
+  for (hw::CoreId c : cores) avg += ru[static_cast<size_t>(c)];
+  avg /= static_cast<double>(cores.size());
+  double imb = 0;
+  for (hw::CoreId c : cores) imb += std::abs(ru[static_cast<size_t>(c)] - avg);
+  return imb;
+}
+
+std::vector<double> CostModel::SocketWeights(const TableScheme& ts,
+                                             const TableLoadStats& tl,
+                                             uint64_t rows) const {
+  std::vector<double> w(static_cast<size_t>(topo_->num_sockets()), 0.0);
+  if (rows == 0) rows = UINT64_MAX;
+  double total = 0;
+  std::vector<double> pl(ts.num_partitions(), 0.0);
+  for (size_t p = 0; p < ts.num_partitions(); ++p) {
+    uint64_t lo = ts.boundaries[p];
+    uint64_t hi = p + 1 < ts.num_partitions() ? ts.boundaries[p + 1] : rows;
+    pl[p] = RangeLoad(tl, rows, lo, hi);
+    total += pl[p];
+  }
+  if (total <= 0) {
+    // No observations: weight uniformly by partition count.
+    for (size_t p = 0; p < ts.num_partitions(); ++p) {
+      hw::SocketId sk = topo_->socket_of(ts.placement[p]);
+      w[static_cast<size_t>(sk)] += 1.0 / static_cast<double>(ts.num_partitions());
+    }
+    return w;
+  }
+  for (size_t p = 0; p < ts.num_partitions(); ++p) {
+    hw::SocketId sk = topo_->socket_of(ts.placement[p]);
+    w[static_cast<size_t>(sk)] += pl[p] / total;
+  }
+  return w;
+}
+
+double CostModel::SyncPointCost(const Scheme& s, const WorkloadStats& w,
+                                int cls, int sp) const {
+  const TxnClass& c = spec_->classes[static_cast<size_t>(cls)];
+  const SyncPointSpec& spec = c.sync_points[static_cast<size_t>(sp)];
+  int sockets = topo_->num_sockets();
+  if (sockets <= 1) return 0.0;
+
+  // Split participants into aligned and unaligned.
+  std::vector<const ActionSpec*> aligned, unaligned;
+  for (int ai : spec.actions) {
+    const ActionSpec& a = c.actions[static_cast<size_t>(ai)];
+    (a.aligned ? aligned : unaligned).push_back(&a);
+  }
+
+  // Socket inclusion probability from the unaligned side: an unaligned
+  // action with average repeat r draws r independent partitions weighted by
+  // observed load.
+  std::vector<double> p_not(static_cast<size_t>(sockets), 1.0);
+  for (const ActionSpec* a : unaligned) {
+    const TableScheme& ts = s.tables[static_cast<size_t>(a->table)];
+    const TableLoadStats& tl = w.tables[static_cast<size_t>(a->table)];
+    std::vector<double> sw = SocketWeights(
+        ts, tl, spec_->tables[static_cast<size_t>(a->table)].num_rows);
+    double reps = a->AvgRepeat();
+    for (int k = 0; k < sockets; ++k)
+      p_not[static_cast<size_t>(k)] *=
+          std::pow(1.0 - sw[static_cast<size_t>(k)], reps);
+  }
+
+  // Aligned side: iterate over segments of the shared key domain (union of
+  // the aligned tables' fence keys), weighted by the observed key density
+  // of the first aligned table.
+  struct SegmentEval {
+    double weight;
+    std::vector<int> aligned_sockets;  // deduplicated
+  };
+  std::vector<SegmentEval> segs;
+  if (aligned.empty()) {
+    segs.push_back(SegmentEval{1.0, {}});
+  } else {
+    std::set<uint64_t> cuts;
+    for (const ActionSpec* a : aligned) {
+      const TableScheme& ts = s.tables[static_cast<size_t>(a->table)];
+      cuts.insert(ts.boundaries.begin(), ts.boundaries.end());
+    }
+    uint64_t domain =
+        spec_->tables[static_cast<size_t>(aligned[0]->table)].num_rows;
+    if (domain == 0) domain = UINT64_MAX;
+    const TableLoadStats& density =
+        w.tables[static_cast<size_t>(aligned[0]->table)];
+    std::vector<uint64_t> cut_list(cuts.begin(), cuts.end());
+    double wtotal = 0;
+    for (size_t i = 0; i < cut_list.size(); ++i) {
+      uint64_t lo = cut_list[i];
+      uint64_t hi = i + 1 < cut_list.size() ? cut_list[i + 1] : domain;
+      if (hi <= lo) continue;
+      double weight = RangeLoad(density, domain, lo, hi);
+      if (weight <= 0)
+        weight = static_cast<double>(hi - lo) / static_cast<double>(domain);
+      SegmentEval se{weight, {}};
+      std::set<int> socks;
+      for (const ActionSpec* a : aligned) {
+        const TableScheme& ts = s.tables[static_cast<size_t>(a->table)];
+        size_t p = ts.PartitionOf(lo);
+        socks.insert(topo_->socket_of(ts.placement[p]));
+      }
+      se.aligned_sockets.assign(socks.begin(), socks.end());
+      segs.push_back(std::move(se));
+      wtotal += weight;
+    }
+    for (auto& se : segs) se.weight = wtotal > 0 ? se.weight / wtotal : 0.0;
+  }
+
+  // Expected cost across segments.
+  double cost = 0;
+  for (const auto& se : segs) {
+    // Inclusion probability per socket.
+    std::vector<double> pk(static_cast<size_t>(sockets));
+    for (int k = 0; k < sockets; ++k) {
+      bool in_aligned =
+          std::find(se.aligned_sockets.begin(), se.aligned_sockets.end(), k) !=
+          se.aligned_sockets.end();
+      pk[static_cast<size_t>(k)] =
+          in_aligned ? 1.0 : 1.0 - p_not[static_cast<size_t>(k)];
+    }
+    double nsock = 0;
+    for (double p : pk) nsock += p;
+    if (nsock <= 1.0) continue;
+    // Average pairwise distance weighted by inclusion probabilities.
+    double dsum = 0, dw = 0;
+    for (int a = 0; a < sockets; ++a)
+      for (int b = a + 1; b < sockets; ++b) {
+        double pw = pk[static_cast<size_t>(a)] * pk[static_cast<size_t>(b)];
+        dsum += pw * topo_->Distance(a, b);
+        dw += pw;
+      }
+    double dist = dw > 0 ? dsum / dw : 0.0;
+    cost += se.weight * (nsock - 1.0) * dist *
+            static_cast<double>(spec.data_bytes);
+  }
+  return cost;
+}
+
+double CostModel::SyncCost(const Scheme& s, const WorkloadStats& w) const {
+  double total = 0;
+  for (size_t cls = 0; cls < spec_->classes.size(); ++cls) {
+    double count = cls < w.class_counts.size() ? w.class_counts[cls] : 0.0;
+    if (count <= 0) continue;
+    const TxnClass& c = spec_->classes[cls];
+    for (size_t sp = 0; sp < c.sync_points.size(); ++sp) {
+      total += count * SyncPointCost(s, w, static_cast<int>(cls),
+                                     static_cast<int>(sp));
+    }
+  }
+  return total;
+}
+
+}  // namespace atrapos::core

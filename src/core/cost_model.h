@@ -1,0 +1,60 @@
+// The ATraPos cost model (paper §V-B).
+//
+// Two metrics guide the search:
+//
+//   RU(S,W) = sum_c | RU(c) - RU_avg |           (resource-utilization
+//     imbalance; RU(c) = sum of the costs of all actions hitting the
+//     partitions placed on core c)
+//
+//   TS(S,W) = sum_T sum_s C(s)                   (synchronization overhead)
+//     C(s)    = (nsocket(s) - 1) * Data(s)
+//     Data(s) = Distance(s) * Size(s)
+//
+// nsocket(s) and Distance(s) for a candidate scheme are estimated from the
+// static flow graphs plus the observed key distribution: aligned actions of
+// a sync point touch the partitions covering the same key; unaligned
+// actions touch partitions at random, weighted by observed load.
+#pragma once
+
+#include "core/flow_graph.h"
+#include "core/scheme.h"
+#include "core/stats.h"
+#include "hw/topology.h"
+
+namespace atrapos::core {
+
+class CostModel {
+ public:
+  CostModel(const hw::Topology* topo, const WorkloadSpec* spec)
+      : topo_(topo), spec_(spec) {}
+
+  /// Resource-utilization imbalance RU(S,W): lower is better, 0 is perfect.
+  double ResourceImbalance(const Scheme& s, const WorkloadStats& w) const;
+
+  /// Per-core utilization vector RU(c) (for diagnostics and benches).
+  std::vector<double> CoreUtilization(const Scheme& s,
+                                      const WorkloadStats& w) const;
+
+  /// Transaction-synchronization overhead TS(S,W): lower is better.
+  double SyncCost(const Scheme& s, const WorkloadStats& w) const;
+
+  /// Expected cost of one synchronization point of one class under `s`.
+  double SyncPointCost(const Scheme& s, const WorkloadStats& w, int cls,
+                       int sp) const;
+
+  const hw::Topology& topology() const { return *topo_; }
+  const WorkloadSpec& spec() const { return *spec_; }
+
+ private:
+  /// Probability weight of socket k for an unaligned action on a table
+  /// with `rows` rows (fraction of observed load served by partitions
+  /// placed on socket k).
+  std::vector<double> SocketWeights(const TableScheme& ts,
+                                    const TableLoadStats& tl,
+                                    uint64_t rows) const;
+
+  const hw::Topology* topo_;
+  const WorkloadSpec* spec_;
+};
+
+}  // namespace atrapos::core

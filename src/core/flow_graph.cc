@@ -1,0 +1,31 @@
+#include "core/flow_graph.h"
+
+#include <sstream>
+
+namespace atrapos::core {
+
+std::string RenderFlowGraph(const WorkloadSpec& spec, const TxnClass& cls) {
+  std::ostringstream os;
+  os << "Transaction flow graph: " << cls.name << "\n";
+  os << "  actions:\n";
+  for (size_t i = 0; i < cls.actions.size(); ++i) {
+    const ActionSpec& a = cls.actions[i];
+    os << "    a" << i << ": " << OpName(a.op) << "("
+       << spec.tables[static_cast<size_t>(a.table)].name << ")";
+    if (a.repeat_hi > 1)
+      os << "  x(" << a.repeat_lo << "-" << a.repeat_hi << ")";
+    if (!a.aligned) os << "  [unaligned]";
+    os << "\n";
+  }
+  os << "  synchronization points:\n";
+  for (size_t s = 0; s < cls.sync_points.size(); ++s) {
+    const SyncPointSpec& sp = cls.sync_points[s];
+    os << "    s" << s << ": {";
+    for (size_t j = 0; j < sp.actions.size(); ++j)
+      os << (j ? ", " : "") << "a" << sp.actions[j];
+    os << "}  " << sp.data_bytes << " B\n";
+  }
+  return os.str();
+}
+
+}  // namespace atrapos::core

@@ -1,0 +1,93 @@
+// Transaction flow graphs (paper §V-A, Fig. 7).
+//
+// Every transaction class is described statically as a set of actions —
+// each touching one table — plus synchronization points where actions must
+// rendezvous and exchange data. ATraPos derives from this, automatically:
+//   a) the number of actions that access each table,
+//   b) dependencies between pairs of actions (via foreign keys), and
+//   c) the number and shape of synchronization points.
+// The dynamic side (how often each class runs, which sub-partitions it
+// touches) is captured at runtime by the monitor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atrapos::core {
+
+enum class OpType : uint8_t { kRead, kUpdate, kInsert, kDelete };
+
+inline const char* OpName(OpType op) {
+  switch (op) {
+    case OpType::kRead: return "R";
+    case OpType::kUpdate: return "U";
+    case OpType::kInsert: return "I";
+    case OpType::kDelete: return "D";
+  }
+  return "?";
+}
+
+/// One action: an operation against one table.
+struct ActionSpec {
+  int table = 0;        ///< index into WorkloadSpec::tables
+  OpType op = OpType::kRead;
+  double rows = 1;      ///< average rows touched per execution
+  /// Repetition count bounds: fixed actions have lo == hi == 1; the
+  /// variable part of TPC-C NewOrder has lo=5, hi=15 ("x(5-15)" in Fig. 7).
+  int repeat_lo = 1;
+  int repeat_hi = 1;
+  /// True when this action's key equals the transaction's routing key
+  /// (foreign-key aligned with table 0's key domain). Aligned actions of a
+  /// sync point land on co-locatable partitions; unaligned ones (e.g.
+  /// TPC-C ITEM/STOCK probes) hit effectively random partitions.
+  bool aligned = true;
+
+  double AvgRepeat() const { return (repeat_lo + repeat_hi) / 2.0; }
+};
+
+/// A synchronization point: the listed actions exchange `data_bytes`.
+struct SyncPointSpec {
+  std::vector<int> actions;  ///< indices into TxnClass::actions
+  uint64_t data_bytes = 64;
+};
+
+/// A parameterized stored procedure (paper: all transactions fall into
+/// predefined classes).
+struct TxnClass {
+  std::string name;
+  std::vector<ActionSpec> actions;
+  std::vector<SyncPointSpec> sync_points;
+  double weight = 1.0;  ///< share in the workload mix
+
+  /// Static info (a): actions per table.
+  std::vector<int> ActionsPerTable(int num_tables) const {
+    std::vector<int> n(static_cast<size_t>(num_tables), 0);
+    for (const auto& a : actions) ++n[static_cast<size_t>(a.table)];
+    return n;
+  }
+};
+
+struct TableSpec {
+  std::string name;
+  uint64_t num_rows = 0;
+};
+
+/// A complete workload description: schema-level table list + classes.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<TableSpec> tables;
+  std::vector<TxnClass> classes;
+
+  double TotalWeight() const {
+    double w = 0;
+    for (const auto& c : classes) w += c.weight;
+    return w;
+  }
+};
+
+/// Renders a transaction flow graph in the style of the paper's Fig. 7
+/// (used by bench/fig07_flowgraph).
+std::string RenderFlowGraph(const WorkloadSpec& spec, const TxnClass& cls);
+
+}  // namespace atrapos::core

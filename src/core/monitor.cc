@@ -1,0 +1,79 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atrapos::core {
+
+PartitionMonitor::PartitionMonitor(uint64_t start_key, uint64_t end_key,
+                                   int num_subs)
+    : start_(start_key),
+      end_(end_key),
+      span_(end_key > start_key ? end_key - start_key : 1),
+      cost_(static_cast<size_t>(num_subs), 0.0),
+      syncs_(static_cast<size_t>(num_subs), 0) {
+  assert(num_subs >= 1);
+}
+
+double PartitionMonitor::TotalCost() const {
+  double t = 0;
+  for (double c : cost_) t += c;
+  return t;
+}
+
+void PartitionMonitor::Reset() {
+  std::fill(cost_.begin(), cost_.end(), 0.0);
+  std::fill(syncs_.begin(), syncs_.end(), 0);
+}
+
+MonitorAggregator::MonitorAggregator(size_t num_tables, size_t num_classes)
+    : bins_(num_tables), class_counts_(num_classes, 0.0) {}
+
+void MonitorAggregator::AddPartition(int table, const PartitionMonitor& pm) {
+  auto& tb = bins_[static_cast<size_t>(table)];
+  for (size_t i = 0; i < static_cast<size_t>(pm.num_subs()); ++i) {
+    tb.push_back(Bin{pm.sub_start(i), pm.sub_cost(i)});
+  }
+}
+
+void MonitorAggregator::Coarsen(WorkloadStats* stats, size_t max_bins) {
+  for (auto& tl : stats->tables) {
+    size_t n = tl.sub_starts.size();
+    if (n <= max_bins) continue;
+    size_t group = (n + max_bins - 1) / max_bins;
+    std::vector<uint64_t> starts;
+    std::vector<double> costs;
+    for (size_t i = 0; i < n; i += group) {
+      starts.push_back(tl.sub_starts[i]);
+      double c = 0;
+      for (size_t j = i; j < std::min(n, i + group); ++j) c += tl.sub_cost[j];
+      costs.push_back(c);
+    }
+    tl.sub_starts = std::move(starts);
+    tl.sub_cost = std::move(costs);
+  }
+}
+
+WorkloadStats MonitorAggregator::Build(double window_seconds) const {
+  WorkloadStats out;
+  out.window_seconds = window_seconds;
+  out.tables.resize(bins_.size());
+  for (size_t t = 0; t < bins_.size(); ++t) {
+    auto sorted = bins_[t];
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Bin& a, const Bin& b) { return a.start < b.start; });
+    auto& tl = out.tables[t];
+    for (const Bin& b : sorted) {
+      if (!tl.sub_starts.empty() && tl.sub_starts.back() == b.start) {
+        tl.sub_cost.back() += b.cost;  // merged duplicate fence
+      } else {
+        tl.sub_starts.push_back(b.start);
+        tl.sub_cost.push_back(b.cost);
+      }
+    }
+  }
+  out.class_counts = class_counts_;
+  return out;
+}
+
+}  // namespace atrapos::core

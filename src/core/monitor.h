@@ -1,0 +1,92 @@
+// Lightweight workload monitoring (paper §V-D).
+//
+// Each partition owns small fixed-size arrays — one cost counter and one
+// synchronization counter per sub-partition (10 sub-partitions by default).
+// Workers write only their own partition's arrays (thread-local by the
+// data-oriented execution design), so monitoring adds no inter-socket
+// accesses in the critical path. A monitoring thread periodically harvests
+// all arrays into a WorkloadStats, and the traces are discarded after each
+// computation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace atrapos::core {
+
+constexpr int kDefaultSubPartitions = 10;
+
+/// Per-partition trace arrays. Not internally synchronized: exactly one
+/// worker writes it (data-oriented execution), and harvest happens while
+/// the partition is quiesced or tolerates torn reads (counters only).
+class PartitionMonitor {
+ public:
+  PartitionMonitor(uint64_t start_key, uint64_t end_key,
+                   int num_subs = kDefaultSubPartitions);
+
+  /// Records `cost` units of work for the action that touched `key`.
+  void RecordAction(uint64_t key, double cost) {
+    cost_[SubOf(key)] += cost;
+  }
+  /// Records one synchronization-point participation for `key`.
+  void RecordSync(uint64_t key) { ++syncs_[SubOf(key)]; }
+
+  uint64_t start_key() const { return start_; }
+  uint64_t end_key() const { return end_; }
+  int num_subs() const { return static_cast<int>(cost_.size()); }
+  /// Fence key of sub-partition `i`.
+  uint64_t sub_start(size_t i) const {
+    return start_ + span_ * i / cost_.size();
+  }
+  double sub_cost(size_t i) const { return cost_[i]; }
+  uint64_t sub_syncs(size_t i) const { return syncs_[i]; }
+  double TotalCost() const;
+
+  /// Clears the arrays (after every aggregation — traces are discarded).
+  void Reset();
+
+ private:
+  size_t SubOf(uint64_t key) const {
+    if (key <= start_) return 0;
+    if (key >= end_) return cost_.size() - 1;
+    return static_cast<size_t>((key - start_) * cost_.size() / span_);
+  }
+
+  uint64_t start_, end_, span_;
+  std::vector<double> cost_;
+  std::vector<uint64_t> syncs_;
+};
+
+/// Builds a WorkloadStats from harvested partition monitors.
+class MonitorAggregator {
+ public:
+  explicit MonitorAggregator(size_t num_tables, size_t num_classes);
+
+  /// Folds one partition's arrays in (and leaves resetting to the caller).
+  void AddPartition(int table, const PartitionMonitor& pm);
+
+  void AddClassCount(int cls, double count) {
+    class_counts_[static_cast<size_t>(cls)] += count;
+  }
+
+  /// Produces the stats; sub bins are sorted per table.
+  WorkloadStats Build(double window_seconds) const;
+
+ public:
+  /// Merges adjacent bins so no table carries more than `max_bins` —
+  /// harvests from many partitions (10 sub-partitions each) otherwise make
+  /// the search quadratically slow for no added signal.
+  static void Coarsen(WorkloadStats* stats, size_t max_bins = 160);
+
+ private:
+  struct Bin {
+    uint64_t start;
+    double cost;
+  };
+  std::vector<std::vector<Bin>> bins_;
+  std::vector<double> class_counts_;
+};
+
+}  // namespace atrapos::core

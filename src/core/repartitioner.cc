@@ -1,0 +1,87 @@
+#include "core/repartitioner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace atrapos::core {
+
+std::vector<RepartitionAction> PlanRepartition(const Scheme& from,
+                                               const Scheme& to) {
+  std::vector<RepartitionAction> plan;
+  size_t ntables = std::min(from.tables.size(), to.tables.size());
+  for (size_t t = 0; t < ntables; ++t) {
+    std::set<uint64_t> old_b(from.tables[t].boundaries.begin(),
+                             from.tables[t].boundaries.end());
+    std::set<uint64_t> new_b(to.tables[t].boundaries.begin(),
+                             to.tables[t].boundaries.end());
+    // Splits: fences to add.
+    for (uint64_t k : new_b) {
+      if (!old_b.count(k))
+        plan.push_back(RepartitionAction{RepartitionAction::Kind::kSplit,
+                                         static_cast<int>(t), k, 0,
+                                         hw::kInvalidCore});
+    }
+    // Merges: fences to remove.
+    for (uint64_t k : old_b) {
+      if (!new_b.count(k) && k != 0)
+        plan.push_back(RepartitionAction{RepartitionAction::Kind::kMerge,
+                                         static_cast<int>(t), k, 0,
+                                         hw::kInvalidCore});
+    }
+  }
+  // Moves: compare placement under the final boundaries.
+  for (size_t t = 0; t < ntables; ++t) {
+    const TableScheme& nt = to.tables[t];
+    const TableScheme& ot = from.tables[t];
+    for (size_t p = 0; p < nt.num_partitions(); ++p) {
+      // The partition's previous core: whichever old partition covered the
+      // new partition's start key.
+      size_t op = ot.PartitionOf(nt.boundaries[p]);
+      hw::CoreId prev =
+          op < ot.placement.size() ? ot.placement[op] : hw::kInvalidCore;
+      if (p < nt.placement.size() && nt.placement[p] != prev) {
+        plan.push_back(RepartitionAction{RepartitionAction::Kind::kMove,
+                                         static_cast<int>(t), 0, p,
+                                         nt.placement[p]});
+      }
+    }
+  }
+  return plan;
+}
+
+Status ApplyToTree(storage::MultiRootedBTree* tree, int table,
+                   const std::vector<RepartitionAction>& plan) {
+  // Splits first (ascending), then merges (ascending): the plan generator
+  // emits them in that order already, but re-filtering keeps this function
+  // safe for hand-built plans.
+  for (const auto& a : plan) {
+    if (a.table != table || a.kind != RepartitionAction::Kind::kSplit)
+      continue;
+    size_t p = tree->PartitionOf(a.key);
+    ATRAPOS_RETURN_NOT_OK(tree->Split(p, a.key));
+  }
+  for (const auto& a : plan) {
+    if (a.table != table || a.kind != RepartitionAction::Kind::kMerge)
+      continue;
+    size_t p = tree->PartitionOf(a.key);
+    // `key` is the fence being removed: partition p starts at key; merge it
+    // into its left neighbor.
+    if (p == 0) return Status::InvalidArgument("cannot merge first fence");
+    ATRAPOS_RETURN_NOT_OK(tree->Merge(p - 1));
+  }
+  return Status::OK();
+}
+
+PlanSummary Summarize(const std::vector<RepartitionAction>& plan) {
+  PlanSummary s;
+  for (const auto& a : plan) {
+    switch (a.kind) {
+      case RepartitionAction::Kind::kSplit: ++s.splits; break;
+      case RepartitionAction::Kind::kMerge: ++s.merges; break;
+      case RepartitionAction::Kind::kMove: ++s.moves; break;
+    }
+  }
+  return s;
+}
+
+}  // namespace atrapos::core

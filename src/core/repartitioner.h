@@ -1,0 +1,53 @@
+// Repartitioning actions (paper §V-D, "Repartitioning").
+//
+// Moving from the current scheme to a newly chosen one is expressed as a
+// sequence of split and merge actions (a "rearrange" is one split plus one
+// merge), plus placement moves. Regular action execution is paused while
+// the sequence runs — the paper found interleaving adds unpredictable
+// delays — and the partition-local monitoring arrays are reset afterwards.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scheme.h"
+#include "storage/mrbtree.h"
+#include "util/status.h"
+
+namespace atrapos::core {
+
+struct RepartitionAction {
+  enum class Kind { kSplit, kMerge, kMove };
+  Kind kind;
+  int table = 0;
+  /// kSplit: the new fence key. kMerge: the fence key being removed (the
+  /// partition starting at `key` is merged into its left neighbor).
+  uint64_t key = 0;
+  /// kMove: index of the partition (under the *final* boundaries) and the
+  /// core it moves to.
+  size_t partition = 0;
+  hw::CoreId core = hw::kInvalidCore;
+};
+
+/// Computes the split/merge/move sequence that transforms `from` into `to`.
+/// Splits are emitted in ascending key order first, then merges in
+/// ascending order, then moves — applying them in sequence yields exactly
+/// the boundary set and placement of `to`.
+std::vector<RepartitionAction> PlanRepartition(const Scheme& from,
+                                               const Scheme& to);
+
+/// Applies the physical part (splits/merges) of a plan to one table's
+/// multi-rooted B-tree. Placement moves are routing-level and handled by
+/// the engine.
+Status ApplyToTree(storage::MultiRootedBTree* tree, int table,
+                   const std::vector<RepartitionAction>& plan);
+
+/// Counts by kind (diagnostics; Fig. 9 reports cost per action kind).
+struct PlanSummary {
+  size_t splits = 0;
+  size_t merges = 0;
+  size_t moves = 0;
+};
+PlanSummary Summarize(const std::vector<RepartitionAction>& plan);
+
+}  // namespace atrapos::core

@@ -1,0 +1,46 @@
+// A partitioning-and-placement scheme S (paper §V-B): for every table, the
+// fence keys of its logical partitions and the core each partition is
+// assigned to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace atrapos::core {
+
+/// One table's partitioning: partition i serves [boundaries[i],
+/// boundaries[i+1]) and runs on core placement[i].
+struct TableScheme {
+  std::vector<uint64_t> boundaries;  ///< sorted, boundaries[0] == 0
+  std::vector<hw::CoreId> placement;
+
+  size_t num_partitions() const { return boundaries.size(); }
+  size_t PartitionOf(uint64_t key) const {
+    size_t lo = 0, hi = boundaries.size();
+    while (hi - lo > 1) {
+      size_t mid = (lo + hi) / 2;
+      if (boundaries[mid] <= key)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+};
+
+struct Scheme {
+  std::vector<TableScheme> tables;
+
+  std::string ToString() const;
+};
+
+/// The naive hardware-aware scheme of §IV: every table range-partitioned
+/// into one partition per available core, partition i of every table on
+/// core i. (This is also PLP's standard partitioning.)
+Scheme NaiveScheme(const hw::Topology& topo,
+                   const std::vector<uint64_t>& table_rows);
+
+}  // namespace atrapos::core

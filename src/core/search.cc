@@ -1,0 +1,227 @@
+#include "core/search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace atrapos::core {
+
+namespace {
+
+/// Work list entry used during partitioning: one observed sub-partition.
+struct Sub {
+  int table;
+  uint64_t start;
+  double cost;
+};
+
+/// Assigns each table's partitions to cores round-robin over sockets so
+/// every table's partitions are spread evenly ("hardware-oblivious" even
+/// spread — Algorithm 2's documented starting point).
+void SpreadPlacement(const hw::Topology& topo, Scheme* s) {
+  auto cores = topo.AvailableCores();
+  size_t next = 0;
+  for (auto& ts : s->tables) {
+    ts.placement.resize(ts.boundaries.size());
+    for (size_t p = 0; p < ts.boundaries.size(); ++p) {
+      ts.placement[p] = cores[next % cores.size()];
+      ++next;
+    }
+  }
+}
+
+}  // namespace
+
+Scheme NaiveScheme(const hw::Topology& topo,
+                   const std::vector<uint64_t>& table_rows) {
+  Scheme s;
+  auto cores = topo.AvailableCores();
+  size_t n = cores.size();
+  for (uint64_t rows : table_rows) {
+    TableScheme ts;
+    ts.boundaries.reserve(n);
+    ts.placement.reserve(n);
+    for (size_t p = 0; p < n; ++p) {
+      ts.boundaries.push_back(rows * p / n);
+      ts.placement.push_back(cores[p]);
+    }
+    // Deduplicate any equal boundaries (tiny tables on many cores).
+    for (size_t p = 1; p < ts.boundaries.size();) {
+      if (ts.boundaries[p] == ts.boundaries[p - 1]) {
+        ts.boundaries.erase(ts.boundaries.begin() + static_cast<long>(p));
+        ts.placement.erase(ts.placement.begin() + static_cast<long>(p));
+      } else {
+        ++p;
+      }
+    }
+    s.tables.push_back(std::move(ts));
+  }
+  return s;
+}
+
+std::string Scheme::ToString() const {
+  std::string out;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    out += "table " + std::to_string(t) + ": ";
+    for (size_t p = 0; p < tables[t].boundaries.size(); ++p) {
+      out += "[" + std::to_string(tables[t].boundaries[p]) + "@c" +
+             std::to_string(tables[t].placement[p]) + "] ";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Scheme ChoosePartitioning(const CostModel& model, const WorkloadStats& stats,
+                          const SearchOptions& opts) {
+  const hw::Topology& topo = model.topology();
+  auto cores = topo.AvailableCores();
+  size_t ncores = cores.size();
+  size_t ntables = model.spec().tables.size();
+
+  // Per-table sub-partition lists from the observations.
+  std::vector<std::vector<Sub>> subs(ntables);
+  double total_cost = 0;
+  for (size_t t = 0; t < ntables && t < stats.tables.size(); ++t) {
+    const TableLoadStats& tl = stats.tables[t];
+    for (size_t i = 0; i < tl.sub_starts.size(); ++i) {
+      subs[t].push_back(
+          Sub{static_cast<int>(t), tl.sub_starts[i], tl.sub_cost[i]});
+      total_cost += tl.sub_cost[i];
+    }
+  }
+
+  // Greedy initial packing: walk tables' subs in key order, filling one
+  // core's budget (the target average utilization) at a time. Each table
+  // starts a new partition whenever the core advances.
+  double target = ncores > 0 ? total_cost / static_cast<double>(ncores) : 0;
+  // part_of[t][i] = partition ordinal of sub i of table t.
+  std::vector<std::vector<int>> part_of(ntables);
+  std::vector<int> parts_per_table(ntables, 0);
+  size_t core_idx = 0;
+  double core_load = 0;
+  for (size_t t = 0; t < ntables; ++t) {
+    part_of[t].resize(subs[t].size(), 0);
+    if (subs[t].empty()) continue;
+    int cur_part = parts_per_table[t]++;
+    for (size_t i = 0; i < subs[t].size(); ++i) {
+      if (core_load >= target - 1e-9 && core_idx + 1 < ncores && i > 0) {
+        ++core_idx;
+        core_load = 0;
+        cur_part = parts_per_table[t]++;
+      }
+      part_of[t][i] = cur_part;
+      core_load += subs[t][i].cost;
+    }
+    // A table boundary also advances the core so unrelated tables do not
+    // share the greedy bucket unless the improvement loop decides so.
+    if (core_idx + 1 < ncores && core_load > 0.5 * target) {
+      ++core_idx;
+      core_load = 0;
+    }
+  }
+
+  // Materialize a Scheme from part_of (boundaries snap to sub starts).
+  auto materialize = [&]() {
+    Scheme s;
+    s.tables.resize(ntables);
+    for (size_t t = 0; t < ntables; ++t) {
+      TableScheme& ts = s.tables[t];
+      if (subs[t].empty()) {
+        ts.boundaries = {0};
+        continue;
+      }
+      int prev = -1;
+      for (size_t i = 0; i < subs[t].size(); ++i) {
+        if (part_of[t][i] != prev) {
+          ts.boundaries.push_back(i == 0 ? 0 : subs[t][i].start);
+          prev = part_of[t][i];
+        }
+      }
+    }
+    SpreadPlacement(topo, &s);
+    return s;
+  };
+
+  Scheme best = materialize();
+  double best_ru = model.ResourceImbalance(best, stats);
+
+  // Iterative improvement: move one sub-partition across the boundary of
+  // adjacent partitions of the same table (grow the partition on the more
+  // under-utilized side), keep when RU improves. This is Algorithm 1's
+  // "move a sub-partition to c" specialized to range partitioning, where
+  // only boundary-adjacent moves preserve contiguous key ranges.
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    bool improved = false;
+    for (size_t t = 0; t < ntables && !improved; ++t) {
+      if (subs[t].size() < 2) continue;
+      for (size_t i = 1; i < subs[t].size() && !improved; ++i) {
+        if (part_of[t][i] == part_of[t][i - 1]) continue;
+        // Try moving sub i to the left partition...
+        for (int dir = 0; dir < 2 && !improved; ++dir) {
+          std::vector<int> saved = part_of[t];
+          if (dir == 0) {
+            part_of[t][i] = part_of[t][i - 1];
+            // keep contiguity: nothing else to do (single sub moves left)
+          } else {
+            part_of[t][i - 1] = part_of[t][i];
+          }
+          Scheme cand = materialize();
+          double ru = model.ResourceImbalance(cand, stats);
+          if (ru + opts.min_gain < best_ru) {
+            best_ru = ru;
+            best = std::move(cand);
+            improved = true;
+          } else {
+            part_of[t] = std::move(saved);
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+Scheme ChoosePlacement(const CostModel& model, const WorkloadStats& stats,
+                       Scheme scheme, const SearchOptions& opts) {
+  double best_ts = model.SyncCost(scheme, stats);
+  if (best_ts <= 0) return scheme;
+
+  // Candidate moves: swap the cores of two partitions (of any tables).
+  // Swapping keeps the per-core partition count intact, so RU changes stay
+  // bounded while TS can drop when dependent partitions land together.
+  // The evaluation budget bounds decision latency; the scan restarts after
+  // every accepted swap, so the budget limits total work, not quality of
+  // individual moves.
+  int evals = 0;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    bool improved = false;
+    for (size_t t1 = 0; t1 < scheme.tables.size() && !improved; ++t1) {
+      auto& a = scheme.tables[t1];
+      for (size_t p1 = 0; p1 < a.placement.size() && !improved; ++p1) {
+        for (size_t t2 = t1; t2 < scheme.tables.size() && !improved; ++t2) {
+          auto& b = scheme.tables[t2];
+          size_t p2_start = t1 == t2 ? p1 + 1 : 0;
+          for (size_t p2 = p2_start; p2 < b.placement.size() && !improved;
+               ++p2) {
+            if (a.placement[p1] == b.placement[p2]) continue;
+            if (++evals > opts.max_evaluations) return scheme;
+            std::swap(a.placement[p1], b.placement[p2]);
+            double ts = model.SyncCost(scheme, stats);
+            if (ts + opts.min_gain < best_ts) {
+              best_ts = ts;
+              improved = true;  // keep and restart scan
+            } else {
+              std::swap(a.placement[p1], b.placement[p2]);
+            }
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return scheme;
+}
+
+}  // namespace atrapos::core

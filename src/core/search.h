@@ -1,0 +1,50 @@
+// The two-step search strategy (paper §V-C).
+//
+// Step 1 — Algorithm 1, "Choose Partitioning": group observed sub-partitions
+// into new partitions that balance core utilization. Greedy initial packing
+// toward the target average utilization, then iterative improvement: move a
+// sub-partition of the same table toward the most under-utilized core and
+// keep the move whenever the global RU imbalance improves.
+//
+// Step 2 — Algorithm 2, "Choose Placement": start from a placement that
+// spreads every table's partitions across sockets evenly, then repeatedly
+// pick a costly synchronization point and try switching partitions so its
+// participants share a socket; keep the switch whenever global TS improves.
+#pragma once
+
+#include "core/cost_model.h"
+#include "core/scheme.h"
+#include "core/stats.h"
+
+namespace atrapos::core {
+
+struct SearchOptions {
+  /// Safety valve on the improvement loops.
+  int max_iterations = 2000;
+  /// Relative improvement below which a move does not count.
+  double min_gain = 1e-9;
+  /// Budget on cost-model evaluations per search step: the placement
+  /// search's swap neighborhood is O(P^2); the budget keeps decisions
+  /// fast (the paper's monitoring thread decides in well under a second).
+  int max_evaluations = 30000;
+};
+
+/// Algorithm 1. Returns the partition boundaries per table (placement is
+/// filled with a socket-round-robin default so the result is usable before
+/// step 2 runs).
+Scheme ChoosePartitioning(const CostModel& model, const WorkloadStats& stats,
+                          const SearchOptions& opts = {});
+
+/// Algorithm 2. Takes the scheme from step 1 and optimizes placement
+/// in-place; returns the improved scheme.
+Scheme ChoosePlacement(const CostModel& model, const WorkloadStats& stats,
+                       Scheme scheme, const SearchOptions& opts = {});
+
+/// Convenience: both steps.
+inline Scheme ChooseScheme(const CostModel& model, const WorkloadStats& stats,
+                           const SearchOptions& opts = {}) {
+  return ChoosePlacement(model, stats, ChoosePartitioning(model, stats, opts),
+                         opts);
+}
+
+}  // namespace atrapos::core

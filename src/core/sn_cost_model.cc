@@ -1,0 +1,117 @@
+#include "core/sn_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace atrapos::core {
+
+void SharedNothingCostModel::ClassSpanProbabilities(const Scheme& s,
+                                                    const WorkloadStats& w,
+                                                    int cls, double* p_multi,
+                                                    double* p_multi_near) const {
+  const hw::Topology& topo = model_.topology();
+  const WorkloadSpec& spec = model_.spec();
+  const TxnClass& c = spec.classes[static_cast<size_t>(cls)];
+  int sockets = topo.num_sockets();
+  *p_multi = 0;
+  *p_multi_near = 0;
+  if (sockets <= 1 || c.actions.empty()) return;
+
+  // Aligned actions all follow the routing key; unaligned actions pick
+  // instances weighted by observed load. A transaction is single-site when
+  // every action lands on the aligned "home" instance.
+  // P(all unaligned picks hit the home instance) summed over homes.
+  double p_single = 0;
+  double p_span_near = 0;  // multi-instance but all within 1 hop
+  for (int home = 0; home < sockets; ++home) {
+    // Probability the routing key's aligned partition chain sits on `home`:
+    // approximate with the aligned tables' load share on that socket.
+    double p_home = 1.0 / sockets;
+    double p_rest_local = 1.0;
+    double p_rest_near = 1.0;
+    for (const auto& a : c.actions) {
+      if (a.aligned) continue;
+      const TableScheme& ts = s.tables[static_cast<size_t>(a.table)];
+      // Load-weighted socket distribution of this action's partitions.
+      double local = 0, near = 0, total = 0;
+      for (size_t p = 0; p < ts.num_partitions(); ++p) {
+        hw::SocketId sk = topo.socket_of(ts.placement[p]);
+        total += 1.0;
+        if (sk == home) local += 1.0;
+        if (topo.Distance(sk, home) <= 1) near += 1.0;
+      }
+      if (total == 0) continue;
+      double reps = a.AvgRepeat() * std::max(1.0, a.rows);
+      p_rest_local *= std::pow(local / total, reps);
+      p_rest_near *= std::pow(near / total, reps);
+    }
+    p_single += p_home * p_rest_local;
+    p_span_near += p_home * (p_rest_near - p_rest_local);
+  }
+  *p_multi = std::clamp(1.0 - p_single, 0.0, 1.0);
+  *p_multi_near = std::clamp(p_span_near, 0.0, *p_multi);
+}
+
+double SharedNothingCostModel::DistributedFraction(
+    const Scheme& s, const WorkloadStats& w) const {
+  const WorkloadSpec& spec = model_.spec();
+  double total = 0, dist = 0;
+  for (size_t cls = 0; cls < spec.classes.size(); ++cls) {
+    double count = cls < w.class_counts.size() ? w.class_counts[cls] : 0;
+    if (count <= 0) continue;
+    double p_multi = 0, p_near = 0;
+    ClassSpanProbabilities(s, w, static_cast<int>(cls), &p_multi, &p_near);
+    total += count;
+    dist += count * p_multi;
+  }
+  return total > 0 ? dist / total : 0.0;
+}
+
+double SharedNothingCostModel::DistributedCost(const Scheme& s,
+                                               const WorkloadStats& w) const {
+  const WorkloadSpec& spec = model_.spec();
+  double cost = 0;
+  for (size_t cls = 0; cls < spec.classes.size(); ++cls) {
+    double count = cls < w.class_counts.size() ? w.class_counts[cls] : 0;
+    if (count <= 0) continue;
+    double p_multi = 0, p_near = 0;
+    ClassSpanProbabilities(s, w, static_cast<int>(cls), &p_multi, &p_near);
+    double far = p_multi - p_near;
+    cost += count * opt_.dist_txn_cost *
+            (far + opt_.local_dist_factor * p_near);
+  }
+  return cost;
+}
+
+double SharedNothingCostModel::RepartitionCost(
+    const Scheme& from, const Scheme& to,
+    const std::vector<uint64_t>& table_rows) const {
+  const hw::Topology& topo = model_.topology();
+  double moved = 0;
+  size_t ntables = std::min(from.tables.size(), to.tables.size());
+  for (size_t t = 0; t < ntables; ++t) {
+    uint64_t rows = t < table_rows.size() ? table_rows[t] : 0;
+    if (rows == 0) continue;
+    // Walk the merged boundary set; rows whose owning instance changes
+    // must physically move.
+    std::set<uint64_t> cuts(from.tables[t].boundaries.begin(),
+                            from.tables[t].boundaries.end());
+    cuts.insert(to.tables[t].boundaries.begin(),
+                to.tables[t].boundaries.end());
+    std::vector<uint64_t> cut_list(cuts.begin(), cuts.end());
+    for (size_t i = 0; i < cut_list.size(); ++i) {
+      uint64_t lo = cut_list[i];
+      uint64_t hi = i + 1 < cut_list.size() ? cut_list[i + 1] : rows;
+      if (hi <= lo) continue;
+      size_t pf = from.tables[t].PartitionOf(lo);
+      size_t pt = to.tables[t].PartitionOf(lo);
+      hw::SocketId sf = topo.socket_of(from.tables[t].placement[pf]);
+      hw::SocketId st = topo.socket_of(to.tables[t].placement[pt]);
+      if (sf != st) moved += static_cast<double>(hi - lo);
+    }
+  }
+  return moved * opt_.move_cost_per_row;
+}
+
+}  // namespace atrapos::core

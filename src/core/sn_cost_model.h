@@ -1,0 +1,82 @@
+// Future-work extension (paper §VII): applying the ATraPos cost model to
+// shared-nothing architectures.
+//
+// Coarse-grained shared-nothing: data is physically partitioned across
+// instances, so the primary cost becomes the *distributed transaction*
+// (2PC), and repartitioning includes physical data movement between
+// instances — much more expensive than logical repartitioning.
+//
+// Fine-grained shared-nothing: topology-aware systems can detect that all
+// participants of a distributed transaction live on one machine and switch
+// to a cheaper shared-memory channel; the model then distinguishes the two
+// kinds of distributed transactions and prefers schemes that turn expensive
+// (cross-machine) ones into cheap (same-machine) ones.
+#pragma once
+
+#include "core/cost_model.h"
+#include "core/scheme.h"
+#include "core/stats.h"
+#include "hw/topology.h"
+
+namespace atrapos::core {
+
+struct SnCostOptions {
+  /// Cost of one distributed transaction over the generic channel
+  /// (arbitrary work units; only ratios matter).
+  double dist_txn_cost = 100.0;
+  /// Fine-grained topology-aware systems: relative cost of a distributed
+  /// transaction whose participants share a machine/socket (shared-memory
+  /// channel). 1.0 disables the distinction (coarse-grained model).
+  double local_dist_factor = 0.25;
+  /// Cost of physically moving one row between instances during
+  /// repartitioning.
+  double move_cost_per_row = 1.0;
+};
+
+/// The shared-nothing flavor of the ATraPos model: instances are sockets;
+/// a partition's instance is the socket of its placement core.
+class SharedNothingCostModel {
+ public:
+  SharedNothingCostModel(const hw::Topology* topo, const WorkloadSpec* spec,
+                         SnCostOptions opt = {})
+      : model_(topo, spec), opt_(opt) {}
+
+  /// Expected fraction of transactions (weighted by class frequency) whose
+  /// actions span more than one instance — i.e., must run as distributed
+  /// transactions.
+  double DistributedFraction(const Scheme& s, const WorkloadStats& w) const;
+
+  /// Expected distributed-transaction cost per unit time under `s`:
+  /// cross-machine and same-machine distributed transactions weighted per
+  /// SnCostOptions. This is the TS(S,W) analogue of §VII.
+  double DistributedCost(const Scheme& s, const WorkloadStats& w) const;
+
+  /// Physical repartitioning cost: rows that change instance between the
+  /// two schemes, times move_cost_per_row. (Logical repartitioning inside
+  /// one instance is free by comparison.)
+  double RepartitionCost(const Scheme& from, const Scheme& to,
+                         const std::vector<uint64_t>& table_rows) const;
+
+  /// Resource-utilization imbalance is inherited unchanged from the
+  /// shared-everything model (paper: "the resource estimation part of the
+  /// model can be used to determine sizes of individual instances").
+  double ResourceImbalance(const Scheme& s, const WorkloadStats& w) const {
+    return model_.ResourceImbalance(s, w);
+  }
+
+  const CostModel& base() const { return model_; }
+
+ private:
+  /// Probability that one transaction of class `cls` spans >1 instance,
+  /// and (jointly) the probability its span stays within one "machine"
+  /// group (for the fine-grained channel distinction, we treat socket
+  /// pairs at distance 1 as same-machine).
+  void ClassSpanProbabilities(const Scheme& s, const WorkloadStats& w,
+                              int cls, double* p_multi,
+                              double* p_multi_near) const;
+
+  CostModel model_;
+  SnCostOptions opt_;
+};
+
+}  // namespace atrapos::core

@@ -1,0 +1,42 @@
+// Dynamic workload statistics consumed by the cost model (paper §V-A,
+// "Dynamic workload information"): per-sub-partition observed cost and
+// per-class execution frequencies. Produced by aggregating the per-partition
+// Monitor arrays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow_graph.h"
+
+namespace atrapos::core {
+
+/// Observed load of one table at sub-partition granularity. `sub_starts`
+/// are fence keys of the observation bins; `sub_cost` is the execution cost
+/// (cycle or microsecond units — the model only needs proportions)
+/// accumulated per bin during the monitoring window.
+struct TableLoadStats {
+  std::vector<uint64_t> sub_starts;
+  std::vector<double> sub_cost;
+
+  double Total() const {
+    double t = 0;
+    for (double c : sub_cost) t += c;
+    return t;
+  }
+};
+
+/// Aggregated statistics for one monitoring window.
+struct WorkloadStats {
+  std::vector<TableLoadStats> tables;   ///< by table index
+  std::vector<double> class_counts;     ///< executions per class
+  double window_seconds = 1.0;
+
+  double TotalLoad() const {
+    double t = 0;
+    for (const auto& tl : tables) t += tl.Total();
+    return t;
+  }
+};
+
+}  // namespace atrapos::core

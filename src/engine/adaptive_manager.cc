@@ -1,0 +1,93 @@
+#include "engine/adaptive_manager.h"
+
+#include <chrono>
+
+#include "core/repartitioner.h"
+#include "core/search.h"
+
+namespace atrapos::engine {
+
+AdaptiveManager::AdaptiveManager(PartitionedExecutor* exec,
+                                 const hw::Topology* topo,
+                                 const core::WorkloadSpec* spec, Options opt)
+    : exec_(exec),
+      topo_(topo),
+      spec_(spec),
+      opt_(opt),
+      controller_(opt.controller),
+      class_counts_(spec->classes.size()) {
+  for (auto& c : class_counts_) c.store(0, std::memory_order_relaxed);
+}
+
+AdaptiveManager::~AdaptiveManager() { Stop(); }
+
+void AdaptiveManager::Start() {
+  if (!stop_.exchange(false)) return;  // already running
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void AdaptiveManager::Stop() {
+  if (stop_.exchange(true)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void AdaptiveManager::Loop() {
+  uint64_t last_committed = 0;
+  bool first_eval_done = false;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    double interval = controller_.interval_s();
+    interval_s_.store(interval, std::memory_order_relaxed);
+    // Sleep in small slices so Stop() is responsive.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(interval);
+    while (!stop_.load(std::memory_order_relaxed) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+
+    uint64_t cur = committed_.load(std::memory_order_relaxed);
+    double tps = static_cast<double>(cur - last_committed) / interval;
+    last_committed = cur;
+
+    auto action = controller_.OnMeasurement(tps);
+    if (action != core::AdaptiveController::Action::kEvaluate &&
+        first_eval_done)
+      continue;
+
+    std::vector<double> counts(class_counts_.size());
+    for (size_t c = 0; c < counts.size(); ++c)
+      counts[c] = static_cast<double>(
+          class_counts_[c].exchange(0, std::memory_order_relaxed));
+    core::WorkloadStats stats = exec_->HarvestStats(counts, interval);
+    core::MonitorAggregator::Coarsen(&stats);
+    if (stats.TotalLoad() <= 0) {
+      controller_.OnEvaluatedNoChange();
+      continue;
+    }
+    first_eval_done = true;
+
+    core::CostModel model(topo_, spec_);
+    core::Scheme current = exec_->scheme();
+    core::Scheme target = core::ChooseScheme(model, stats);
+    double ru_old = model.ResourceImbalance(current, stats);
+    double ru_new = model.ResourceImbalance(target, stats);
+    double ts_old = model.SyncCost(current, stats);
+    double ts_new = model.SyncCost(target, stats);
+    bool better = ru_new < opt_.hysteresis * ru_old - 1e-9 ||
+                  ts_new < opt_.hysteresis * ts_old - 1e-9;
+    if (!better || core::PlanRepartition(current, target).empty()) {
+      controller_.OnEvaluatedNoChange();
+      continue;
+    }
+    auto applied = exec_->Repartition(target);
+    if (applied.ok() && applied.value() > 0) {
+      repartitions_.fetch_add(1, std::memory_order_relaxed);
+      controller_.OnRepartitioned();
+    } else {
+      controller_.OnEvaluatedNoChange();
+    }
+  }
+}
+
+}  // namespace atrapos::engine

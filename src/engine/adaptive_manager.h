@@ -1,0 +1,62 @@
+// The real-thread ATraPos adaptive daemon: monitoring thread + adaptive
+// interval controller + cost-model search + online repartitioning, glued to
+// a PartitionedExecutor. Mirrors simengine/dora.cc's MonitorThread.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/adaptive_controller.h"
+#include "core/cost_model.h"
+#include "engine/partitioned_executor.h"
+
+namespace atrapos::engine {
+
+class AdaptiveManager {
+ public:
+  struct Options {
+    core::AdaptiveController::Options controller;
+    /// Minimum relative model improvement required to repartition.
+    double hysteresis = 0.85;
+  };
+
+  AdaptiveManager(PartitionedExecutor* exec, const hw::Topology* topo,
+                  const core::WorkloadSpec* spec, Options opt);
+  ~AdaptiveManager();
+
+  /// Starts/stops the monitoring thread.
+  void Start();
+  void Stop();
+
+  /// Workload drivers report each executed transaction here.
+  void ReportTransaction(int cls) {
+    class_counts_[static_cast<size_t>(cls)].fetch_add(
+        1, std::memory_order_relaxed);
+    committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t repartitions() const {
+    return repartitions_.load(std::memory_order_relaxed);
+  }
+  double current_interval_s() const {
+    return interval_s_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  PartitionedExecutor* exec_;
+  const hw::Topology* topo_;
+  const core::WorkloadSpec* spec_;
+  Options opt_;
+  core::AdaptiveController controller_;
+  std::vector<std::atomic<uint64_t>> class_counts_;
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> repartitions_{0};
+  std::atomic<double> interval_s_{1.0};
+  std::atomic<bool> stop_{true};
+  std::thread thread_;
+};
+
+}  // namespace atrapos::engine

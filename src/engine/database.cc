@@ -1,0 +1,132 @@
+#include "engine/database.h"
+
+#include <thread>
+
+#include "hw/binding.h"
+
+namespace atrapos::engine {
+
+Database::Database(Options opt)
+    : opt_(opt),
+      wal_(opt.wal_flush_interval_us),
+      volume_lock_(opt.num_sockets > 0 ? opt.num_sockets : 1) {
+  if (opt.numa_aware_state) {
+    txn_list_ = std::make_unique<txn::PartitionedTxnList>(
+        opt.num_sockets > 0 ? opt.num_sockets : 1);
+  } else {
+    txn_list_ = std::make_unique<txn::CentralizedTxnList>();
+  }
+}
+
+int Database::AddTable(std::unique_ptr<storage::Table> table) {
+  tables_.push_back(std::move(table));
+  return static_cast<int>(tables_.size()) - 1;
+}
+
+Database::Txn Database::Begin(txn::TxnId reuse_id) {
+  Txn t;
+  t.id = reuse_id != 0 ? reuse_id
+                       : next_txn_.fetch_add(1, std::memory_order_relaxed);
+  hw::SocketId s = hw::CurrentPlacement().socket;
+  t.socket = (s >= 0 && s < opt_.num_sockets) ? s : 0;
+  volume_lock_.LockShared(t.socket);
+  t.node = txn_list_->Add(t.id, t.socket);
+  volume_lock_.UnlockShared(t.socket);
+  wal_.Append(t.id, txn::LogType::kBegin);
+  t.open = true;
+  return t;
+}
+
+Status Database::Read(Txn* txn, int table, uint64_t key,
+                      storage::Tuple* out) {
+  ATRAPOS_RETURN_NOT_OK(locks_.Acquire(txn->id, txn::MakeLockId(table, key),
+                                       txn::LockMode::kShared));
+  return tables_[static_cast<size_t>(table)]->Read(key, out);
+}
+
+Status Database::ReadForUpdate(Txn* txn, int table, uint64_t key,
+                               storage::Tuple* out) {
+  ATRAPOS_RETURN_NOT_OK(locks_.Acquire(txn->id, txn::MakeLockId(table, key),
+                                       txn::LockMode::kExclusive));
+  return tables_[static_cast<size_t>(table)]->Read(key, out);
+}
+
+Status Database::Update(Txn* txn, int table, uint64_t key,
+                        const storage::Tuple& row) {
+  ATRAPOS_RETURN_NOT_OK(locks_.Acquire(txn->id, txn::MakeLockId(table, key),
+                                       txn::LockMode::kExclusive));
+  ATRAPOS_RETURN_NOT_OK(tables_[static_cast<size_t>(table)]->Update(key, row));
+  wal_.Append(txn->id, txn::LogType::kUpdate, static_cast<uint64_t>(table),
+              key);
+  txn->wrote = true;
+  return Status::OK();
+}
+
+Status Database::Insert(Txn* txn, int table, uint64_t key,
+                        const storage::Tuple& row) {
+  ATRAPOS_RETURN_NOT_OK(locks_.Acquire(txn->id, txn::MakeLockId(table, key),
+                                       txn::LockMode::kExclusive));
+  ATRAPOS_RETURN_NOT_OK(tables_[static_cast<size_t>(table)]->Insert(key, row));
+  wal_.Append(txn->id, txn::LogType::kInsert, static_cast<uint64_t>(table),
+              key);
+  txn->wrote = true;
+  return Status::OK();
+}
+
+Status Database::Delete(Txn* txn, int table, uint64_t key) {
+  ATRAPOS_RETURN_NOT_OK(locks_.Acquire(txn->id, txn::MakeLockId(table, key),
+                                       txn::LockMode::kExclusive));
+  ATRAPOS_RETURN_NOT_OK(tables_[static_cast<size_t>(table)]->Delete(key));
+  wal_.Append(txn->id, txn::LogType::kDelete, static_cast<uint64_t>(table),
+              key);
+  txn->wrote = true;
+  return Status::OK();
+}
+
+Status Database::Commit(Txn* txn) {
+  if (!txn->open) return Status::InvalidArgument("transaction not open");
+  if (txn->wrote) {
+    wal_.Commit(txn->id);  // append + wait durable (group commit)
+  } else {
+    wal_.Append(txn->id, txn::LogType::kCommit);
+  }
+  locks_.ReleaseAll(txn->id);
+  txn_list_->Remove(txn->node, txn->socket);
+  txn->open = false;
+  return Status::OK();
+}
+
+void Database::Abort(Txn* txn) {
+  if (!txn->open) return;
+  wal_.Append(txn->id, txn::LogType::kAbort);
+  locks_.ReleaseAll(txn->id);
+  txn_list_->Remove(txn->node, txn->socket);
+  txn->open = false;
+}
+
+Status Database::RunTransaction(const std::function<Status(Txn*)>& fn,
+                                int max_retries) {
+  txn::TxnId id = 0;
+  for (int attempt = 0; attempt < max_retries; ++attempt) {
+    Txn t = Begin(id);
+    id = t.id;  // restarts keep the original wait-die timestamp
+    Status s = fn(&t);
+    if (s.ok()) return Commit(&t);
+    Abort(&t);
+    if (!s.IsRetryableAbort()) return s;
+    // Brief backoff so the conflicting older transaction can finish.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(std::min(20 * (attempt + 1), 500)));
+  }
+  return Status::DeadlockAbort("retries exhausted");
+}
+
+uint64_t Database::Checkpoint() {
+  sync::ExclusiveGuard g(volume_lock_);
+  uint64_t n = 0;
+  txn_list_->ForEach([&](txn::TxnId) { ++n; });
+  wal_.Append(0, txn::LogType::kCheckpoint, n);
+  return n;
+}
+
+}  // namespace atrapos::engine

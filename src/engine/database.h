@@ -1,0 +1,103 @@
+// The real-thread storage manager facade: a shared-everything database with
+// ACID-ish transactions over the storage/txn substrates. This is the
+// "MiniShore" used by the examples and integration tests; the benchmark
+// figures run on the deterministic simulated engines instead (DESIGN.md §1).
+//
+// Concurrency control: strict two-phase locking with wait-die; durability:
+// WAL with group commit; system state: the active-transaction list in
+// either flavor (centralized or per-socket — paper §IV).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+#include "storage/table.h"
+#include "sync/partitioned_rwlock.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_list.h"
+#include "txn/wal.h"
+#include "util/status.h"
+
+namespace atrapos::engine {
+
+class Database {
+ public:
+  struct Options {
+    /// Use per-socket transaction lists + partitioned volume lock (ATraPos
+    /// §IV) instead of centralized ones.
+    bool numa_aware_state = true;
+    int num_sockets = 1;
+    uint64_t wal_flush_interval_us = 50;
+  };
+
+  explicit Database(Options opt);
+
+  /// Registers a table; the database takes ownership. Returns its id slot.
+  int AddTable(std::unique_ptr<storage::Table> table);
+  storage::Table* table(int idx) { return tables_[static_cast<size_t>(idx)].get(); }
+  const storage::Table* table(int idx) const {
+    return tables_[static_cast<size_t>(idx)].get();
+  }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// A transaction handle. Obtain with Begin(); finish with Commit/Abort.
+  struct Txn {
+    txn::TxnId id = 0;
+    txn::TxnNode* node = nullptr;
+    hw::SocketId socket = 0;
+    bool wrote = false;
+    bool open = false;
+  };
+
+  /// Starts a transaction on the calling thread (socket taken from the
+  /// thread's placement; see hw::BindCurrentThread). `reuse_id` restarts an
+  /// aborted transaction with its original wait-die timestamp — the
+  /// textbook rule that makes wait-die starvation-free.
+  Txn Begin(txn::TxnId reuse_id = 0);
+
+  // All data operations lock first (S for reads, X for writes), then touch
+  // the table; locks are held until Commit/Abort (strict 2PL). A
+  // DeadlockAbort status means the caller must Abort() and may retry.
+  Status Read(Txn* txn, int table, uint64_t key, storage::Tuple* out);
+  /// Read with update intent: takes the X lock up front, avoiding the
+  /// S->X upgrade storms wait-die is prone to in read-modify-write loops.
+  Status ReadForUpdate(Txn* txn, int table, uint64_t key,
+                       storage::Tuple* out);
+  Status Update(Txn* txn, int table, uint64_t key, const storage::Tuple& row);
+  Status Insert(Txn* txn, int table, uint64_t key, const storage::Tuple& row);
+  Status Delete(Txn* txn, int table, uint64_t key);
+
+  /// Commits: forces the commit record (group commit), releases locks,
+  /// leaves the active list.
+  Status Commit(Txn* txn);
+  /// Aborts: releases locks, leaves the active list. (Updates are not
+  /// rolled back — callers in this library use abort only for deadlock
+  /// retry before any write, as the tests assert.)
+  void Abort(Txn* txn);
+
+  /// Runs `fn` as a transaction with automatic wait-die retry.
+  Status RunTransaction(const std::function<Status(Txn*)>& fn,
+                        int max_retries = 10);
+
+  uint64_t active_transactions() const { return txn_list_->ActiveCount(); }
+  txn::WriteAheadLog& wal() { return wal_; }
+
+  /// Checkpoint: takes the volume lock exclusively (all socket partitions),
+  /// scans the active list, and writes a checkpoint record. Returns the
+  /// number of active transactions observed.
+  uint64_t Checkpoint();
+
+ private:
+  Options opt_;
+  std::vector<std::unique_ptr<storage::Table>> tables_;
+  txn::LockManager locks_;
+  txn::WriteAheadLog wal_;
+  std::unique_ptr<txn::ActiveTxnList> txn_list_;
+  sync::PartitionedRWLock volume_lock_;
+  std::atomic<txn::TxnId> next_txn_{1};
+};
+
+}  // namespace atrapos::engine

@@ -1,0 +1,152 @@
+#include "engine/partitioned_executor.h"
+
+#include <chrono>
+
+#include "core/repartitioner.h"
+#include "hw/binding.h"
+
+namespace atrapos::engine {
+
+PartitionedExecutor::PartitionedExecutor(Database* db,
+                                         const hw::Topology& topo,
+                                         core::Scheme scheme)
+    : db_(db), topo_(&topo), scheme_(std::move(scheme)) {
+  StartWorkers();
+}
+
+PartitionedExecutor::~PartitionedExecutor() { StopWorkers(); }
+
+void PartitionedExecutor::StartWorkers() {
+  parts_.clear();
+  parts_.resize(scheme_.tables.size());
+  for (size_t t = 0; t < scheme_.tables.size(); ++t) {
+    const core::TableScheme& ts = scheme_.tables[t];
+    uint64_t rows = db_->table(static_cast<int>(t))->num_rows();
+    for (size_t p = 0; p < ts.num_partitions(); ++p) {
+      auto part = std::make_unique<Partition>();
+      part->table = static_cast<int>(t);
+      part->lo = ts.boundaries[p];
+      part->hi = p + 1 < ts.num_partitions() ? ts.boundaries[p + 1]
+                                             : std::max(rows, part->lo + 1);
+      part->core = ts.placement[p];
+      part->monitor =
+          std::make_unique<core::PartitionMonitor>(part->lo, part->hi);
+      Partition* raw = part.get();
+      const hw::Topology* topo = topo_;
+      part->worker = std::thread([raw, topo] {
+        hw::BindCurrentThread(*topo, raw->core);
+        std::unique_lock lk(raw->mu);
+        while (true) {
+          raw->cv.wait(lk, [raw] { return raw->stop || !raw->queue.empty(); });
+          if (raw->queue.empty() && raw->stop) return;
+          auto fn = std::move(raw->queue.front());
+          raw->queue.pop_front();
+          lk.unlock();
+          fn();
+          lk.lock();
+        }
+      });
+      parts_[t].push_back(std::move(part));
+    }
+  }
+}
+
+void PartitionedExecutor::StopWorkers() {
+  for (auto& tp : parts_) {
+    for (auto& p : tp) {
+      {
+        std::lock_guard lk(p->mu);
+        p->stop = true;
+      }
+      p->cv.notify_all();
+    }
+  }
+  for (auto& tp : parts_)
+    for (auto& p : tp)
+      if (p->worker.joinable()) p->worker.join();
+}
+
+PartitionedExecutor::Partition* PartitionedExecutor::Route(int table,
+                                                           uint64_t key) {
+  const core::TableScheme& ts = scheme_.tables[static_cast<size_t>(table)];
+  size_t p = ts.PartitionOf(key);
+  return parts_[static_cast<size_t>(table)][p].get();
+}
+
+void PartitionedExecutor::Execute(std::vector<Action> actions) {
+  std::shared_lock gate(scheme_mu_);
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = actions.size();
+
+  for (auto& a : actions) {
+    Partition* part = Route(a.table, a.key);
+    storage::Table* table = db_->table(a.table);
+    auto fn = std::move(a.fn);
+    uint64_t key = a.key;
+    auto work = [part, table, fn = std::move(fn), key, join, this] {
+      auto start = std::chrono::steady_clock::now();
+      fn(table);
+      auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      part->monitor->RecordAction(key, static_cast<double>(us) + 1.0);
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard jlk(join->mu);
+      if (--join->remaining == 0) join->cv.notify_all();
+    };
+    {
+      std::lock_guard lk(part->mu);
+      part->queue.push_back(std::move(work));
+    }
+    part->cv.notify_one();
+  }
+  std::unique_lock jlk(join->mu);
+  join->cv.wait(jlk, [&] { return join->remaining == 0; });
+}
+
+core::Scheme PartitionedExecutor::scheme() const {
+  std::shared_lock lk(scheme_mu_);
+  return scheme_;
+}
+
+core::WorkloadStats PartitionedExecutor::HarvestStats(
+    std::vector<double> class_counts, double window_seconds) {
+  std::shared_lock gate(scheme_mu_);
+  core::MonitorAggregator agg(parts_.size(), class_counts.size());
+  for (size_t t = 0; t < parts_.size(); ++t) {
+    for (auto& p : parts_[t]) {
+      agg.AddPartition(static_cast<int>(t), *p->monitor);
+      p->monitor->Reset();
+    }
+  }
+  for (size_t c = 0; c < class_counts.size(); ++c)
+    agg.AddClassCount(static_cast<int>(c), class_counts[c]);
+  return agg.Build(window_seconds);
+}
+
+Result<size_t> PartitionedExecutor::Repartition(const core::Scheme& target) {
+  // Pause intake: regular actions and repartitioning never interleave
+  // (paper §V-D). Waiting Execute() calls resume under the new scheme.
+  std::unique_lock gate(scheme_mu_);
+  StopWorkers();  // drains queues: workers exit only when empty
+  auto plan = core::PlanRepartition(scheme_, target);
+  for (size_t t = 0; t < scheme_.tables.size(); ++t) {
+    Status s = core::ApplyToTree(&db_->table(static_cast<int>(t))->index(),
+                                 static_cast<int>(t), plan);
+    if (!s.ok()) {
+      // Restart workers under the old scheme before reporting failure.
+      StartWorkers();
+      return s;
+    }
+  }
+  scheme_ = target;
+  StartWorkers();
+  return plan.size();
+}
+
+}  // namespace atrapos::engine

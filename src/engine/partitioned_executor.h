@@ -1,0 +1,94 @@
+// Real-thread data-oriented (DORA/PLP-style) executor: one worker thread
+// per logical partition, each owning its subtree of the multi-rooted
+// B-trees; transactions are decomposed into actions routed to the owning
+// workers. Includes the ATraPos monitoring hooks and online repartitioning.
+//
+// This is the functional counterpart of simengine/dora.cc: same core logic
+// (scheme, monitors, search, repartition planning), real threads and real
+// data. The examples and integration tests run on it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/scheme.h"
+#include "engine/database.h"
+#include "hw/topology.h"
+#include "util/status.h"
+
+namespace atrapos::engine {
+
+class PartitionedExecutor {
+ public:
+  /// One routed action: runs on the worker owning (table, key).
+  struct Action {
+    int table = 0;
+    uint64_t key = 0;
+    /// The work itself; receives the owning table. Runs exactly once, on
+    /// the partition's worker thread.
+    std::function<void(storage::Table*)> fn;
+  };
+
+  PartitionedExecutor(Database* db, const hw::Topology& topo,
+                      core::Scheme scheme);
+  ~PartitionedExecutor();
+
+  PartitionedExecutor(const PartitionedExecutor&) = delete;
+  PartitionedExecutor& operator=(const PartitionedExecutor&) = delete;
+
+  /// Executes all actions of one transaction (blocking until every action
+  /// completed). Actions on the same partition run in submission order.
+  void Execute(std::vector<Action> actions);
+
+  /// Current scheme (copy).
+  core::Scheme scheme() const;
+
+  /// Harvests and resets the per-partition monitors into WorkloadStats
+  /// (class counts must be supplied by the caller's own accounting).
+  core::WorkloadStats HarvestStats(std::vector<double> class_counts,
+                                   double window_seconds);
+
+  /// Applies a new scheme: pauses intake, drains workers, applies
+  /// split/merge actions to every table's multi-rooted B-tree, restarts
+  /// workers under the new routing. Returns the number of repartitioning
+  /// actions applied.
+  Result<size_t> Repartition(const core::Scheme& target);
+
+  uint64_t executed_actions() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Partition {
+    int table;
+    uint64_t lo, hi;
+    hw::CoreId core;
+    std::unique_ptr<core::PartitionMonitor> monitor;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;
+    std::thread worker;
+  };
+
+  void StartWorkers();
+  void StopWorkers();
+  Partition* Route(int table, uint64_t key);
+
+  Database* db_;
+  const hw::Topology* topo_;
+  mutable std::shared_mutex scheme_mu_;  // shared: Execute; unique: Repartition
+  core::Scheme scheme_;
+  std::vector<std::vector<std::unique_ptr<Partition>>> parts_;
+  std::atomic<uint64_t> executed_{0};
+};
+
+}  // namespace atrapos::engine

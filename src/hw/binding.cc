@@ -1,0 +1,32 @@
+#include "hw/binding.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace atrapos::hw {
+
+namespace {
+thread_local ThreadPlacement g_placement;
+}  // namespace
+
+bool BindCurrentThread(const Topology& topo, CoreId core) {
+  g_placement.core = core;
+  g_placement.socket = topo.socket_of(core);
+
+  // Best-effort OS affinity: only if the host actually has that many CPUs.
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0 || static_cast<unsigned>(core) >= hw) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+const ThreadPlacement& CurrentPlacement() { return g_placement; }
+
+void ResetPlacement() { g_placement = ThreadPlacement{}; }
+
+}  // namespace atrapos::hw

@@ -1,0 +1,32 @@
+// Thread-to-core binding (paper §IV, "Thread binding").
+//
+// ATraPos binds every worker thread to a specific core and caches its socket
+// so the thread always touches the *same* per-socket partition of each
+// NUMA-aware data structure. On hardware without that many cores (or without
+// permission to set affinity) binding degrades gracefully to bookkeeping
+// only: the logical core/socket identity is still tracked, which is all the
+// partitioned data structures need for correctness.
+#pragma once
+
+#include "hw/topology.h"
+
+namespace atrapos::hw {
+
+/// Per-thread logical placement. Thread-local; set once at worker start.
+struct ThreadPlacement {
+  CoreId core = kInvalidCore;
+  SocketId socket = kInvalidSocket;
+};
+
+/// Binds the calling thread to logical core `core` of `topo`. Attempts OS
+/// affinity if the machine has a matching CPU; always records the logical
+/// placement in thread-local storage. Returns true if OS affinity was set.
+bool BindCurrentThread(const Topology& topo, CoreId core);
+
+/// The calling thread's logical placement (kInvalidCore if never bound).
+const ThreadPlacement& CurrentPlacement();
+
+/// Clears the calling thread's placement (used by tests).
+void ResetPlacement();
+
+}  // namespace atrapos::hw

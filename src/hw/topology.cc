@@ -1,0 +1,122 @@
+#include "hw/topology.h"
+
+#include <cassert>
+#include <deque>
+#include <sstream>
+
+namespace atrapos::hw {
+
+Topology::Topology(int num_sockets, int cores_per_socket,
+                   const std::vector<std::pair<SocketId, SocketId>>& links)
+    : num_sockets_(num_sockets),
+      cores_per_socket_(cores_per_socket),
+      links_(links),
+      dist_(static_cast<size_t>(num_sockets) * num_sockets, -1),
+      alive_(static_cast<size_t>(num_sockets), true) {
+  assert(num_sockets >= 1 && cores_per_socket >= 1);
+  // Adjacency.
+  std::vector<std::vector<SocketId>> adj(num_sockets);
+  for (auto [a, b] : links_) {
+    assert(a >= 0 && a < num_sockets && b >= 0 && b < num_sockets);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  // BFS from every socket.
+  for (SocketId s = 0; s < num_sockets; ++s) {
+    auto* row = &dist_[static_cast<size_t>(s) * num_sockets];
+    row[s] = 0;
+    std::deque<SocketId> q{s};
+    while (!q.empty()) {
+      SocketId u = q.front();
+      q.pop_front();
+      for (SocketId v : adj[u]) {
+        if (row[v] < 0) {
+          row[v] = row[u] + 1;
+          q.push_back(v);
+        }
+      }
+    }
+    for (SocketId t = 0; t < num_sockets; ++t) {
+      assert(row[t] >= 0 && "topology must be connected");
+      max_dist_ = std::max(max_dist_, row[t]);
+    }
+  }
+}
+
+Topology Topology::SingleSocket(int cores) { return Topology(1, cores, {}); }
+
+Topology Topology::Cube(int dims, int cores) {
+  assert(dims >= 0 && dims <= 3);
+  int n = 1 << dims;
+  std::vector<std::pair<SocketId, SocketId>> links;
+  for (SocketId s = 0; s < n; ++s)
+    for (int d = 0; d < dims; ++d)
+      if (s < (s ^ (1 << d))) links.emplace_back(s, s ^ (1 << d));
+  return Topology(n, cores, links);
+}
+
+Topology Topology::TwistedCube8x10() {
+  // Cube edges plus the four "twist" diagonals (each socket to its bitwise
+  // complement). Every socket has 4 QPI links — as on Xeon E7 — and the
+  // network diameter is 2 hops, matching the Westmere-EX 8-socket glueless
+  // twisted-cube configuration.
+  std::vector<std::pair<SocketId, SocketId>> links;
+  for (SocketId s = 0; s < 8; ++s)
+    for (int d = 0; d < 3; ++d)
+      if (s < (s ^ (1 << d))) links.emplace_back(s, s ^ (1 << d));
+  for (SocketId s = 0; s < 4; ++s) links.emplace_back(s, 7 - s);
+  return Topology(8, 10, links);
+}
+
+Topology Topology::Mesh(int rows, int cols) {
+  std::vector<std::pair<SocketId, SocketId>> links;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) links.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) links.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return Topology(rows * cols, 1, links);
+}
+
+double Topology::AvgDistance() const {
+  if (num_sockets_ == 1) return 0.0;
+  double sum = 0;
+  int pairs = 0;
+  for (SocketId a = 0; a < num_sockets_; ++a)
+    for (SocketId b = a + 1; b < num_sockets_; ++b) {
+      sum += Distance(a, b);
+      ++pairs;
+    }
+  return sum / pairs;
+}
+
+void Topology::FailSocket(SocketId s) {
+  assert(s >= 0 && s < num_sockets_);
+  alive_[s] = false;
+}
+
+int Topology::num_available_cores() const {
+  int n = 0;
+  for (SocketId s = 0; s < num_sockets_; ++s)
+    if (alive_[s]) n += cores_per_socket_;
+  return n;
+}
+
+std::vector<CoreId> Topology::AvailableCores() const {
+  std::vector<CoreId> out;
+  out.reserve(static_cast<size_t>(num_cores()));
+  for (CoreId c = 0; c < num_cores(); ++c)
+    if (IsCoreAvailable(c)) out.push_back(c);
+  return out;
+}
+
+std::string Topology::ToString() const {
+  std::ostringstream os;
+  os << num_sockets_ << " sockets x " << cores_per_socket_
+     << " cores, max hop distance " << max_dist_ << ", links:";
+  for (auto [a, b] : links_) os << " " << a << "-" << b;
+  return os.str();
+}
+
+}  // namespace atrapos::hw

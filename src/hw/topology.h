@@ -1,0 +1,99 @@
+// Hardware-island topology description (paper §II-A).
+//
+// An "Island" is a group of cores that communicate fast with each other and
+// several times slower with cores of other groups. On the paper's machine an
+// Island is one processor socket; the eight sockets are connected by QPI
+// links in a twisted-cube topology. The Topology object captures sockets,
+// cores, and the inter-socket hop-distance matrix; both the simulator and
+// the ATraPos cost model consume it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atrapos::hw {
+
+using CoreId = int32_t;
+using SocketId = int32_t;
+
+constexpr CoreId kInvalidCore = -1;
+constexpr SocketId kInvalidSocket = -1;
+
+/// Immutable machine description: sockets, cores per socket, and a symmetric
+/// inter-socket distance matrix in "hops" (0 = same socket).
+class Topology {
+ public:
+  /// Builds a topology from an explicit inter-socket link list. Distances
+  /// are computed as BFS hop counts over the links.
+  Topology(int num_sockets, int cores_per_socket,
+           const std::vector<std::pair<SocketId, SocketId>>& links);
+
+  // ---- Presets ----------------------------------------------------------
+
+  /// Single multicore socket (the paper's 1-socket baseline).
+  static Topology SingleSocket(int cores);
+
+  /// The paper's evaluation machine: 8 Intel Xeon E7-L8867 sockets, 10
+  /// cores each, connected in a twisted cube (cube edges plus two diagonal
+  /// links so the diameter is 2 hops).
+  static Topology TwistedCube8x10();
+
+  /// A cube of `2^dims` sockets (dims in [0,3]) with `cores` cores each;
+  /// used for the 1/2/4/8-socket sweeps of Figs. 1, 2 and 5.
+  static Topology Cube(int dims, int cores);
+
+  /// Tilera-style on-chip mesh: rows x cols single-core "sockets" where the
+  /// distance is Manhattan hop count (paper §II-A, islands within a chip).
+  static Topology Mesh(int rows, int cols);
+
+  // ---- Shape ------------------------------------------------------------
+
+  int num_sockets() const { return num_sockets_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+  int num_cores() const { return num_sockets_ * cores_per_socket_; }
+
+  SocketId socket_of(CoreId core) const { return core / cores_per_socket_; }
+  /// Cores of socket s are [s*cps, (s+1)*cps).
+  CoreId first_core(SocketId s) const { return s * cores_per_socket_; }
+
+  /// Hop distance between two sockets (0 on the same socket).
+  int Distance(SocketId a, SocketId b) const {
+    return dist_[static_cast<size_t>(a) * num_sockets_ + b];
+  }
+  int DistanceCores(CoreId a, CoreId b) const {
+    return Distance(socket_of(a), socket_of(b));
+  }
+  int MaxDistance() const { return max_dist_; }
+
+  /// Average hop distance over all distinct socket pairs.
+  double AvgDistance() const;
+
+  /// The raw link list (for interconnect-traffic accounting).
+  const std::vector<std::pair<SocketId, SocketId>>& links() const {
+    return links_;
+  }
+
+  // ---- Dynamic hardware changes (paper §VI-D3) --------------------------
+
+  /// Marks a socket as failed; its cores become unavailable. Distances are
+  /// unchanged (links through a failed socket still route in hardware).
+  void FailSocket(SocketId s);
+  bool IsSocketAlive(SocketId s) const { return alive_[s]; }
+  bool IsCoreAvailable(CoreId c) const { return alive_[socket_of(c)]; }
+  int num_available_cores() const;
+  /// All available core ids, in socket order.
+  std::vector<CoreId> AvailableCores() const;
+
+  std::string ToString() const;
+
+ private:
+  int num_sockets_;
+  int cores_per_socket_;
+  std::vector<std::pair<SocketId, SocketId>> links_;
+  std::vector<int> dist_;  // row-major num_sockets x num_sockets
+  std::vector<bool> alive_;
+  int max_dist_ = 0;
+};
+
+}  // namespace atrapos::hw

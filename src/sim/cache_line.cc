@@ -1,0 +1,52 @@
+#include "sim/cache_line.h"
+
+namespace atrapos::sim {
+
+CacheLine::CacheLine(Machine* m, hw::SocketId home) : mach_(m), owner_(home) {
+  mach_->RegisterDrainer([this] {
+    while (!waiters_.empty()) {
+      auto w = waiters_.front();
+      waiters_.pop_front();
+      w.h.resume();
+    }
+  });
+}
+
+void CacheLine::Enqueue(Waiter w) {
+  waiters_.push_back(w);
+  if (!busy_) Grant();
+}
+
+void CacheLine::Grant() {
+  if (waiters_.empty() || !mach_->running()) return;
+  Waiter w = waiters_.front();
+  waiters_.pop_front();
+  busy_ = true;
+  ++ops_;
+
+  const CostParams& p = mach_->params();
+  hw::SocketId s = w.ctx->socket;
+  Tick cost;
+  if (s == owner_) {
+    cost = p.cas_local;
+  } else {
+    int hops = mach_->topology().Distance(s, owner_);
+    cost = p.cas_remote_base +
+           static_cast<Tick>(hops) * p.cas_remote_per_hop;
+    mach_->counters().AddQpiBytes(owner_, s, p.cache_line_bytes);
+  }
+  cost += p.cas_queue_penalty * static_cast<Tick>(waiters_.size());
+  owner_ = s;
+
+  auto& cc = mach_->counters().core(w.ctx->core);
+  cc.stall += cost;
+  cc.instr += p.atomic_instr;
+
+  mach_->At(mach_->now() + cost, [this, h = w.h] {
+    busy_ = false;
+    h.resume();
+    Grant();
+  });
+}
+
+}  // namespace atrapos::sim

@@ -1,0 +1,59 @@
+// Contended cache-line model — the mechanism behind the paper's central
+// observation (§III-B): atomic operations are cheap while the line is owned
+// by the local socket and very expensive across sockets, and *any*
+// centralized data structure in the critical path eventually becomes the
+// bottleneck as sockets are added.
+//
+// Model: the line has one exclusive owner socket at a time. Atomic RMW
+// operations serialize FIFO. The cost of an operation granted to socket s is
+//   cas_local                                  if owner == s
+//   cas_remote_base + hops*cas_remote_per_hop  otherwise
+// plus cas_queue_penalty per contender queued behind it (CAS retry storms:
+// every failed contender steals the line and forces a re-transfer).
+// Ownership moves to the requester. Remote grants count 64 B of QPI traffic.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/machine.h"
+
+namespace atrapos::sim {
+
+class CacheLine {
+ public:
+  /// `home` is the socket whose LLC initially owns the line.
+  CacheLine(Machine* m, hw::SocketId home = 0);
+
+  CacheLine(const CacheLine&) = delete;
+  CacheLine& operator=(const CacheLine&) = delete;
+
+  struct Awaiter {
+    CacheLine* line;
+    Ctx* ctx;
+    bool await_ready() const noexcept { return !line->mach_->running(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      line->Enqueue(Waiter{h, ctx, line->mach_->now()});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Performs one atomic RMW on this line from ctx's socket.
+  Awaiter Atomic(Ctx& ctx) { return Awaiter{this, &ctx}; }
+
+  hw::SocketId owner() const { return owner_; }
+  uint64_t ops() const { return ops_; }
+
+ private:
+  friend struct Awaiter;
+  void Enqueue(Waiter w);
+  void Grant();
+
+  Machine* mach_;
+  hw::SocketId owner_;
+  bool busy_ = false;
+  uint64_t ops_ = 0;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace atrapos::sim

@@ -1,0 +1,69 @@
+#include "sim/channel.h"
+
+namespace atrapos::sim {
+
+Channel::Channel(Machine* m, hw::SocketId home) : mach_(m), home_(home) {
+  mach_->RegisterDrainer([this] {
+    while (!consumers_.empty()) {
+      auto w = consumers_.front();
+      consumers_.pop_front();
+      w.h.resume();
+    }
+  });
+}
+
+void Channel::SendAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Machine* m = ch->mach_;
+  const CostParams& p = m->params();
+  // Sender-side cost.
+  auto& cc = m->counters().core(ctx->core);
+  cc.busy += p.channel_send_work;
+  cc.instr += static_cast<uint64_t>(
+      static_cast<double>(p.channel_send_work) * p.work_ipc);
+
+  int hops = m->topology().Distance(ctx->socket, ch->home_);
+  Tick latency = p.channel_same_socket +
+                 static_cast<Tick>(hops) * p.channel_per_hop;
+  if (hops > 0)
+    m->counters().AddQpiBytes(ctx->socket, ch->home_, 4 * p.cache_line_bytes);
+
+  m->At(m->now() + latency, [c = ch, msg = std::move(msg)]() mutable {
+    c->Deliver(std::move(msg));
+  });
+  // Sender resumes after its local send work.
+  m->ResumeAt(m->now() + p.channel_send_work, h);
+}
+
+void Channel::Deliver(Msg msg) {
+  ++delivered_;
+  msgs_.push_back(std::move(msg));
+  if (!consumers_.empty()) {
+    Waiter w = consumers_.front();
+    consumers_.pop_front();
+    const CostParams& p = mach_->params();
+    auto& cc = mach_->counters().core(w.ctx->core);
+    cc.busy += p.channel_recv_work;
+    mach_->ResumeAt(mach_->now() + p.channel_recv_work, w.h);
+  }
+}
+
+void Channel::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
+  Machine* m = ch->mach_;
+  if (!ch->msgs_.empty()) {
+    const CostParams& p = m->params();
+    auto& cc = m->counters().core(ctx->core);
+    cc.busy += p.channel_recv_work;
+    m->ResumeAt(m->now() + p.channel_recv_work, h);
+    return;
+  }
+  ch->consumers_.push_back(Waiter{h, ctx, m->now()});
+}
+
+std::optional<Msg> Channel::RecvAwaiter::await_resume() noexcept {
+  if (ch->msgs_.empty()) return std::nullopt;
+  Msg v = std::move(ch->msgs_.front());
+  ch->msgs_.pop_front();
+  return v;
+}
+
+}  // namespace atrapos::sim

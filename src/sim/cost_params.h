@@ -1,0 +1,103 @@
+// Calibration constants for the machine simulator (DESIGN.md §5).
+//
+// Values are cycle costs on the modeled 2.4 GHz Westmere-EX. They are drawn
+// from the paper's qualitative observations (§II-A, §III-B, §III-D) and
+// anchored against its absolute throughputs: extreme shared-nothing
+// read-one-row ~6.5 MTPS on 80 cores (Fig. 2) implies ~30 K cycles per
+// transaction through the full Shore-MT path; Table I's 100-row read
+// transactions at ~700 TPS/core imply a similar per-row cost. Absolute
+// matching is not the goal — the *shape* of each figure is.
+#pragma once
+
+#include "sim/time.h"
+
+namespace atrapos::sim {
+
+struct CostParams {
+  // ---- Cache-coherence / atomic operations ------------------------------
+  /// CAS on a line already owned by the local socket (hot in local LLC).
+  Tick cas_local = 24;
+  /// Base cost of an atomic on a line owned by another socket.
+  Tick cas_remote_base = 220;
+  /// Additional cost per QPI hop between requester and owner.
+  Tick cas_remote_per_hop = 90;
+  /// Extra cost per queued contender at grant time. Models CAS retry storms
+  /// and coherence fan-out under contention: each waiter's failed attempt
+  /// steals the line and forces a re-transfer.
+  Tick cas_queue_penalty = 21;
+
+  // ---- Plain memory accesses --------------------------------------------
+  /// LLC hit on the local socket.
+  Tick l3_hit = 42;
+  /// DRAM access on the local memory node.
+  Tick dram_local = 430;
+  /// Additional DRAM latency per QPI hop to a remote memory node.
+  /// Deliberately small: the paper measures <= 10% impact (§III-D).
+  Tick dram_per_hop = 85;
+  /// Probability that one cache-line touch misses the LLC.
+  double llc_miss_ratio = 0.35;
+  /// Distinct cache lines touched per logical row operation (B-tree nodes,
+  /// page header, record, lock word, ...).
+  int lines_per_row = 24;
+
+  // ---- Execution work (per logical row operation, excluding memory) ------
+  /// CPU work to execute one row read through index probe + tuple copy.
+  Tick row_read_work = 22000;
+  /// CPU work for one row update (read + modify + log-record construction).
+  Tick row_update_work = 46000;
+  /// CPU work for one row insert.
+  Tick row_insert_work = 52000;
+  /// Instructions retired per cycle of useful execution work (OLTP ~0.6).
+  double work_ipc = 0.62;
+  /// Instructions retired per cycle while spin-waiting on a cached lock
+  /// word (tight loop hitting local cache: high IPC, no progress). This is
+  /// what drives the counter-intuitive IPC rise of the centralized design
+  /// in Fig. 1.
+  double spin_ipc = 1.8;
+  /// Instructions retired for an atomic op (few instructions, many cycles).
+  Tick atomic_instr = 6;
+
+  // ---- Transaction bookkeeping -------------------------------------------
+  /// Begin+commit bookkeeping besides shared-structure accesses.
+  Tick txn_mgmt_work = 3000;
+  /// Service time of a log-buffer reservation + memcpy (per record).
+  Tick log_insert_service = 700;
+  /// Service time of a log force (commit/prepare/decision records must hit
+  /// the memory-mapped log "disk").
+  Tick log_force_service = UsToCycles(8);
+  /// Service time of one centralized lock-manager bucket critical section.
+  Tick lockmgr_service = 900;
+  /// Cache lines a mutex-protected critical section touches. When the
+  /// resource hands off across sockets, each of these lines is a coherence
+  /// miss — the reason centralized structures degrade as soon as a second
+  /// socket joins (§III-B), long before the queue saturates.
+  int resource_handoff_lines = 12;
+  /// Work to acquire a partition-local (DORA) lock: no shared state.
+  Tick local_lock_work = 260;
+  /// Work to route one action to a partition queue (enqueue cost).
+  Tick action_route_work = 800;
+  /// Cost of a rendezvous/synchronization point update (local part).
+  Tick syncpoint_work = 800;
+
+  // ---- Message channels (2PC, shared-memory IPC) -------------------------
+  /// One-way shared-memory message latency between cores on one socket.
+  Tick channel_same_socket = UsToCycles(12);
+  /// Additional latency per QPI hop.
+  Tick channel_per_hop = UsToCycles(8);
+  /// Sender-side cost to produce/enqueue a message.
+  Tick channel_send_work = UsToCycles(2.5);
+  /// Receiver-side cost to consume a message.
+  Tick channel_recv_work = UsToCycles(2);
+
+  // ---- Two-phase commit --------------------------------------------------
+  /// Extra lock-manager bookkeeping multiplier for rows touched by
+  /// distributed transactions (2PC state tracked per lock).
+  double dist_lock_factor = 2.5;
+
+  /// Bytes per cache-line transfer (traffic accounting).
+  Tick cache_line_bytes = 64;
+  /// Bytes of DRAM traffic per missed line.
+  Tick line_bytes = 64;
+};
+
+}  // namespace atrapos::sim

@@ -1,0 +1,97 @@
+#include "sim/counters.h"
+
+#include <deque>
+#include <sstream>
+
+namespace atrapos::sim {
+
+Counters::Counters(const hw::Topology& topo)
+    : topo_(&topo),
+      cores_(static_cast<size_t>(topo.num_cores())),
+      imc_bytes_(static_cast<size_t>(topo.num_sockets()), 0),
+      link_bytes_(topo.links().size(), 0) {
+  // Precompute, for each ordered socket pair, the list of link indices on
+  // one BFS shortest path. Used to attribute interconnect traffic per link.
+  int s_count = topo.num_sockets();
+  path_links_.resize(static_cast<size_t>(s_count) * s_count);
+  // adjacency with link ids
+  std::vector<std::vector<std::pair<int, int>>> adj(s_count);  // (nbr, link)
+  for (size_t li = 0; li < topo.links().size(); ++li) {
+    auto [a, b] = topo.links()[li];
+    adj[a].emplace_back(b, static_cast<int>(li));
+    adj[b].emplace_back(a, static_cast<int>(li));
+  }
+  for (int src = 0; src < s_count; ++src) {
+    std::vector<int> prev_node(s_count, -1), prev_link(s_count, -1);
+    std::deque<int> q{src};
+    prev_node[src] = src;
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop_front();
+      for (auto [v, li] : adj[u]) {
+        if (prev_node[v] < 0) {
+          prev_node[v] = u;
+          prev_link[v] = li;
+          q.push_back(v);
+        }
+      }
+    }
+    for (int dst = 0; dst < s_count; ++dst) {
+      if (dst == src || prev_node[dst] < 0) continue;
+      auto& path = path_links_[static_cast<size_t>(src) * s_count + dst];
+      for (int v = dst; v != src; v = prev_node[v]) path.push_back(prev_link[v]);
+    }
+  }
+}
+
+void Counters::AddQpiBytes(hw::SocketId from, hw::SocketId to, uint64_t bytes) {
+  if (from == to) return;
+  const auto& path =
+      path_links_[static_cast<size_t>(from) * topo_->num_sockets() + to];
+  for (int li : path) link_bytes_[static_cast<size_t>(li)] += bytes;
+}
+
+uint64_t Counters::total_imc_bytes() const {
+  uint64_t t = 0;
+  for (auto b : imc_bytes_) t += b;
+  return t;
+}
+
+uint64_t Counters::total_qpi_bytes() const {
+  uint64_t t = 0;
+  for (auto b : link_bytes_) t += b;
+  return t;
+}
+
+double Counters::QpiImcRatio() const {
+  uint64_t imc = total_imc_bytes();
+  return imc == 0 ? 0.0
+                  : static_cast<double>(total_qpi_bytes()) /
+                        static_cast<double>(imc);
+}
+
+double Counters::Ipc(Tick elapsed, int num_cores) const {
+  if (elapsed == 0 || num_cores == 0) return 0.0;
+  uint64_t instr = 0;
+  for (const auto& c : cores_) instr += c.instr;
+  return static_cast<double>(instr) /
+         (static_cast<double>(elapsed) * num_cores);
+}
+
+void Counters::Reset() {
+  for (auto& c : cores_) c = CoreCounters{};
+  std::fill(imc_bytes_.begin(), imc_bytes_.end(), 0);
+  std::fill(link_bytes_.begin(), link_bytes_.end(), 0);
+  committed_ = aborted_ = 0;
+  breakdown_ = Breakdown{};
+}
+
+std::string Counters::ToString(Tick elapsed) const {
+  std::ostringstream os;
+  os << "committed=" << committed_ << " aborted=" << aborted_
+     << " ipc=" << Ipc(elapsed, static_cast<int>(cores_.size()))
+     << " qpi/imc=" << QpiImcRatio();
+  return os.str();
+}
+
+}  // namespace atrapos::sim

@@ -1,0 +1,104 @@
+// Performance counters of the simulated machine: per-core cycle/instruction
+// accounting (IPC, Fig. 1), per-socket memory-controller traffic and
+// per-link interconnect traffic (Table I), and transaction outcomes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+#include "sim/time.h"
+
+namespace atrapos::sim {
+
+/// Cycle/instruction accounting for one simulated core.
+struct CoreCounters {
+  Tick busy = 0;    ///< executing useful work
+  Tick stall = 0;   ///< waiting for cache-line transfers / DRAM
+  Tick spin = 0;    ///< spin-waiting on contended locks
+  uint64_t instr = 0;
+
+  Tick active() const { return busy + stall + spin; }
+};
+
+/// Per-transaction-component time, microseconds-equivalent in cycles
+/// (the Fig. 4 breakdown categories).
+struct Breakdown {
+  Tick xct_mgmt = 0;
+  Tick xct_exec = 0;
+  Tick communication = 0;
+  Tick locking = 0;
+  Tick logging = 0;
+
+  Breakdown& operator+=(const Breakdown& o) {
+    xct_mgmt += o.xct_mgmt;
+    xct_exec += o.xct_exec;
+    communication += o.communication;
+    locking += o.locking;
+    logging += o.logging;
+    return *this;
+  }
+  Tick total() const {
+    return xct_mgmt + xct_exec + communication + locking + logging;
+  }
+};
+
+/// All counters of one simulation run.
+class Counters {
+ public:
+  explicit Counters(const hw::Topology& topo);
+
+  CoreCounters& core(hw::CoreId c) { return cores_[static_cast<size_t>(c)]; }
+  const CoreCounters& core(hw::CoreId c) const {
+    return cores_[static_cast<size_t>(c)];
+  }
+
+  /// DRAM traffic served by socket s's integrated memory controller.
+  void AddImcBytes(hw::SocketId s, uint64_t bytes) {
+    imc_bytes_[static_cast<size_t>(s)] += bytes;
+  }
+  /// Interconnect traffic between two sockets; attributed to every link on
+  /// the (precomputed) shortest path.
+  void AddQpiBytes(hw::SocketId from, hw::SocketId to, uint64_t bytes);
+
+  uint64_t imc_bytes(hw::SocketId s) const {
+    return imc_bytes_[static_cast<size_t>(s)];
+  }
+  uint64_t total_imc_bytes() const;
+  uint64_t total_qpi_bytes() const;
+  uint64_t link_bytes(size_t link_idx) const { return link_bytes_[link_idx]; }
+  size_t num_links() const { return link_bytes_.size(); }
+
+  /// QPI-to-IMC data traffic ratio (Table I reports 0.01 / 1.36 / 1.49).
+  double QpiImcRatio() const;
+
+  void AddCommit() { ++committed_; }
+  void AddAbort() { ++aborted_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+
+  Breakdown& breakdown() { return breakdown_; }
+  const Breakdown& breakdown() const { return breakdown_; }
+
+  /// Aggregate IPC over the given elapsed simulated time and core set:
+  /// instructions retired / (elapsed * active core count), i.e. exactly what
+  /// a hardware profiler reports for the occupied cores.
+  double Ipc(Tick elapsed, int num_cores) const;
+
+  void Reset();
+  std::string ToString(Tick elapsed) const;
+
+ private:
+  const hw::Topology* topo_;
+  std::vector<CoreCounters> cores_;
+  std::vector<uint64_t> imc_bytes_;   // per socket
+  std::vector<uint64_t> link_bytes_;  // per topology link
+  // next_hop_[a*S+b] = first link index on the shortest path a->b.
+  std::vector<std::vector<int>> path_links_;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  Breakdown breakdown_;
+};
+
+}  // namespace atrapos::sim

@@ -1,0 +1,109 @@
+#include "sim/locks.h"
+
+namespace atrapos::sim {
+
+SimRWLock::SimRWLock(Machine* m, hw::SocketId home)
+    : mach_(m), line_(m, home) {
+  mach_->RegisterDrainer([this] {
+    while (!waiters_.empty()) {
+      auto p = waiters_.front();
+      waiters_.pop_front();
+      p.w.h.resume();
+    }
+  });
+}
+
+void SimRWLock::AcquireAwaiter::await_suspend(std::coroutine_handle<> h) {
+  SimRWLock* l = lk;
+  Machine* m = l->mach_;
+  // Step 1: the CAS on the lock word (always happens, grant or not).
+  // We model it by scheduling through the cache line, then checking
+  // admission. Implemented as: enqueue a proxy continuation on the line.
+  Tick t0 = m->now();
+  l->waiters_.push_back(Pending{Waiter{h, ctx, t0}, write});
+  l->GrantWaiters();
+}
+
+void SimRWLock::GrantWaiters() {
+  // FIFO with reader batching: grant readers until a writer is at the head;
+  // grant a writer only when nothing is held.
+  while (!waiters_.empty() && mach_->running()) {
+    Pending& head = waiters_.front();
+    if (head.write) {
+      if (readers_ > 0 || write_held_) return;
+      write_held_ = true;
+    } else {
+      if (write_held_) return;
+      ++readers_;
+    }
+    Pending p = head;
+    waiters_.pop_front();
+    // Spin time while queued.
+    Tick waited = mach_->now() - p.w.enqueued_at;
+    if (waited > 0) mach_->AccountSpin(*p.w.ctx, waited);
+    // The CAS itself: route through the shared line, then resume the waiter.
+    struct Granter {
+      SimRWLock* lk;
+      Ctx* ctx;
+      std::coroutine_handle<> target;
+      CacheLine::Awaiter aw;
+      // Drive the cache-line awaiter manually via a helper coroutine.
+    };
+    // Helper coroutine: pay the atomic, then resume the acquirer.
+    auto helper = [](SimRWLock* lk, Ctx* ctx,
+                     std::coroutine_handle<> target) -> Task {
+      co_await lk->line_.Atomic(*ctx);
+      target.resume();
+    };
+    helper(this, p.w.ctx, p.w.h);
+  }
+}
+
+CacheLine::Awaiter SimRWLock::Release(Ctx& ctx) {
+  if (write_held_) {
+    write_held_ = false;
+  } else if (readers_ > 0) {
+    --readers_;
+  }
+  // Wake admissible waiters after the release CAS is charged.
+  mach_->At(mach_->now(), [this] { GrantWaiters(); });
+  return line_.Atomic(ctx);
+}
+
+SimMutex::SimMutex(Machine* m) : mach_(m) {
+  mach_->RegisterDrainer([this] {
+    while (!waiters_.empty()) {
+      auto w = waiters_.front();
+      waiters_.pop_front();
+      w.h.resume();
+    }
+  });
+}
+
+void SimMutex::Awaiter::await_suspend(std::coroutine_handle<> h) {
+  if (!mu->held_) {
+    mu->held_ = true;
+    mu->mach_->ResumeAt(mu->mach_->now(), h);
+    return;
+  }
+  mu->waiters_.push_back(Waiter{h, ctx, mu->mach_->now()});
+}
+
+void SimMutex::Release() {
+  if (waiters_.empty()) {
+    held_ = false;
+    return;
+  }
+  Waiter w = waiters_.front();
+  waiters_.pop_front();
+  mach_->ResumeAt(mach_->now(), w.h);
+}
+
+PartitionedRWLock::PartitionedRWLock(Machine* m) {
+  int sockets = m->topology().num_sockets();
+  locks_.reserve(static_cast<size_t>(sockets));
+  for (hw::SocketId s = 0; s < sockets; ++s)
+    locks_.push_back(std::make_unique<SimRWLock>(m, s));
+}
+
+}  // namespace atrapos::sim

@@ -1,0 +1,180 @@
+// Simulated read/write locks, centralized and NUMA-partitioned (paper §IV,
+// "Shared locks"), plus the SimQueue used for DORA-style action routing.
+//
+// The centralized SimRWLock is a single lock word: every acquire/release is
+// an atomic on one cache line — cheap on one socket, a convoy on eight.
+// The PartitionedRWLock keeps one lock per socket: readers touch only their
+// socket-local line (the critical-path case); writers — background tasks
+// like checkpointing — grab every per-socket lock.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/cache_line.h"
+#include "sim/machine.h"
+
+namespace atrapos::sim {
+
+/// Centralized read/write lock on one contended cache line.
+class SimRWLock {
+ public:
+  explicit SimRWLock(Machine* m, hw::SocketId home = 0);
+
+  SimRWLock(const SimRWLock&) = delete;
+  SimRWLock& operator=(const SimRWLock&) = delete;
+
+  struct AcquireAwaiter {
+    SimRWLock* lk;
+    Ctx* ctx;
+    bool write;
+    bool await_ready() const noexcept { return !lk->mach_->running(); }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  /// Acquire in read or write mode. The CAS on the lock word is charged via
+  /// the underlying CacheLine; conflicts additionally spin-wait FIFO
+  /// (with reader batching).
+  AcquireAwaiter Acquire(Ctx& ctx, bool write) {
+    return AcquireAwaiter{this, &ctx, write};
+  }
+
+  /// Release; charges one atomic on the lock word.
+  CacheLine::Awaiter Release(Ctx& ctx);
+
+  int readers() const { return readers_; }
+  bool write_held() const { return write_held_; }
+
+ private:
+  friend struct AcquireAwaiter;
+  struct Pending {
+    Waiter w;
+    bool write;
+  };
+  void GrantWaiters();
+
+  Machine* mach_;
+  CacheLine line_;
+  int readers_ = 0;
+  bool write_held_ = false;
+  std::deque<Pending> waiters_;
+};
+
+/// NUMA-aware partitioned rwlock: one SimRWLock per socket (paper §IV).
+class PartitionedRWLock {
+ public:
+  explicit PartitionedRWLock(Machine* m);
+
+  /// Socket-local read acquire — the critical-path operation.
+  SimRWLock::AcquireAwaiter AcquireRead(Ctx& ctx) {
+    return locks_[static_cast<size_t>(ctx.socket)]->Acquire(ctx, false);
+  }
+  CacheLine::Awaiter ReleaseRead(Ctx& ctx) {
+    return locks_[static_cast<size_t>(ctx.socket)]->Release(ctx);
+  }
+
+  /// Write mode grabs every per-socket lock (background tasks only).
+  SimRWLock& socket_lock(hw::SocketId s) { return *locks_[static_cast<size_t>(s)]; }
+  size_t num_partitions() const { return locks_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SimRWLock>> locks_;
+};
+
+/// Plain FIFO mutex with no cache-line cost: used as the per-core lease
+/// that time-shares a simulated core among the workers placed on it
+/// (oversaturation modeling — two partitions on one core halve each other's
+/// throughput, the effect behind Fig. 6's "HW-aware" bar).
+class SimMutex {
+ public:
+  explicit SimMutex(Machine* m);
+
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  struct Awaiter {
+    SimMutex* mu;
+    Ctx* ctx;
+    bool await_ready() const noexcept { return !mu->mach_->running(); }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  /// Acquire (FIFO). Waiting time is idle (the worker is descheduled).
+  Awaiter Acquire(Ctx& ctx) { return Awaiter{this, &ctx}; }
+
+  /// Release; wakes the next waiter at the current time.
+  void Release();
+
+  bool held() const { return held_; }
+
+ private:
+  friend struct Awaiter;
+  Machine* mach_;
+  bool held_ = false;
+  std::deque<Waiter> waiters_;
+};
+
+/// Unbounded FIFO queue for routing DORA actions to partition workers.
+/// A consumer parks on Pop() when empty; Push() wakes it. Pop returns
+/// nullopt when the machine is shutting down. Producers pay the
+/// cross-socket enqueue cost by awaiting line().Atomic(ctx) before Push.
+template <typename T>
+class SimQueue {
+ public:
+  explicit SimQueue(Machine* m, hw::SocketId home = 0)
+      : mach_(m), line_(m, home) {
+    mach_->RegisterDrainer([this] {
+      while (!consumers_.empty()) {
+        auto w = consumers_.front();
+        consumers_.pop_front();
+        w.h.resume();
+      }
+    });
+  }
+
+  CacheLine& line() { return line_; }
+
+  void Push(T v) {
+    items_.push_back(std::move(v));
+    if (!consumers_.empty()) {
+      auto w = consumers_.front();
+      consumers_.pop_front();
+      mach_->At(mach_->now(), [h = w.h] { h.resume(); });
+    }
+  }
+
+  struct PopAwaiter {
+    SimQueue* q;
+    Ctx* ctx;
+    bool await_ready() const noexcept {
+      return !q->mach_->running() || !q->items_.empty();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      q->consumers_.push_back(Waiter{h, ctx, q->mach_->now()});
+    }
+    std::optional<T> await_resume() const noexcept {
+      if (q->items_.empty()) return std::nullopt;
+      T v = std::move(q->items_.front());
+      q->items_.pop_front();
+      return v;
+    }
+  };
+
+  PopAwaiter Pop(Ctx& ctx) { return PopAwaiter{this, &ctx}; }
+
+  size_t size() const { return items_.size(); }
+
+ private:
+  friend struct PopAwaiter;
+  Machine* mach_;
+  CacheLine line_;
+  std::deque<T> items_;
+  std::deque<Waiter> consumers_;
+};
+
+}  // namespace atrapos::sim

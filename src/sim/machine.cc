@@ -1,0 +1,86 @@
+#include "sim/machine.h"
+
+#include <cassert>
+
+namespace atrapos::sim {
+
+Machine::Machine(const hw::Topology& topo, CostParams params)
+    : topo_(&topo), params_(params), counters_(topo) {}
+
+void Machine::At(Tick t, std::function<void()> fn) {
+  assert(t >= now_ || !running_);
+  events_.push(Event{t < now_ ? now_ : t, seq_++, std::move(fn)});
+}
+
+void Machine::ResumeAt(Tick t, std::coroutine_handle<> h) {
+  At(t, [h] { h.resume(); });
+}
+
+size_t Machine::RunUntil(Tick t) {
+  size_t n = 0;
+  while (!events_.empty() && events_.top().t <= t) {
+    Event e = events_.top();
+    events_.pop();
+    now_ = e.t;
+    e.fn();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+size_t Machine::RunUntilIdle() {
+  size_t n = 0;
+  while (!events_.empty()) {
+    Event e = events_.top();
+    events_.pop();
+    now_ = e.t;
+    e.fn();
+    ++n;
+  }
+  return n;
+}
+
+void Machine::Shutdown() {
+  running_ = false;
+  // Drain in rounds: draining a primitive may resume coroutines that then
+  // park on other primitives or schedule events; iterate to a fixed point.
+  for (int round = 0; round < 64; ++round) {
+    RunUntilIdle();
+    for (auto& d : drainers_) d();
+    if (events_.empty()) break;
+  }
+  RunUntilIdle();
+}
+
+Machine::DelayAwaiter Machine::MemAccess(Ctx& ctx, hw::SocketId mem_node,
+                                         uint64_t rows, Tick work_per_row) {
+  auto& cc = counters_.core(ctx.core);
+  int hops = topo_->Distance(ctx.socket, mem_node);
+  // Each row operation touches lines_per_row distinct cache lines (B-tree
+  // nodes, page header, record, lock word...); each either hits the LLC or
+  // stalls on (possibly remote) DRAM.
+  uint64_t lines = rows * static_cast<uint64_t>(params_.lines_per_row);
+  // Expected-value miss count with one stochastic draw for the fractional
+  // part (cheaper than per-line draws, same mean, still deterministic).
+  double expected = static_cast<double>(lines) * params_.llc_miss_ratio;
+  auto misses = static_cast<uint64_t>(expected);
+  double frac = expected - static_cast<double>(misses);
+  if ((NextHash() & 1023) < static_cast<uint64_t>(frac * 1024.0)) ++misses;
+  Tick miss_lat =
+      params_.dram_local + static_cast<Tick>(hops) * params_.dram_per_hop;
+  Tick stall = misses * miss_lat + (lines - misses) * params_.l3_hit;
+  Tick busy = rows * work_per_row;
+  cc.busy += busy;
+  cc.stall += stall;
+  cc.instr +=
+      static_cast<uint64_t>(static_cast<double>(busy) * params_.work_ipc);
+  if (misses > 0) {
+    counters_.AddImcBytes(mem_node, misses * params_.line_bytes);
+    if (hops > 0)
+      counters_.AddQpiBytes(ctx.socket, mem_node, misses * params_.line_bytes);
+  }
+  return {this, now_ + busy + stall};
+}
+
+}  // namespace atrapos::sim

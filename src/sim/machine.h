@@ -1,0 +1,176 @@
+// The discrete-event machine simulator.
+//
+// Simulated workers are C++20 coroutines. They advance simulated time by
+// awaiting primitives (Delay / Compute / Stall / MemAccess and the
+// synchronization objects in cache_line.h, locks.h, resource.h, channel.h).
+// A single real thread drives the event queue, so simulations are fully
+// deterministic.
+//
+// Cancellation protocol: Machine::Shutdown() flips running() to false and
+// drains every parked coroutine. Awaitables complete immediately (zero cost)
+// once the machine is stopped, so worker loops written as
+// `while (ctx.mach->running()) { ... co_await ...; }` unwind cleanly and
+// all coroutine frames are destroyed.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "hw/topology.h"
+#include "sim/cost_params.h"
+#include "sim/counters.h"
+#include "sim/time.h"
+
+namespace atrapos::sim {
+
+class Machine;
+
+/// Fire-and-forget coroutine. Starts eagerly; the frame self-destructs when
+/// the coroutine runs to completion.
+struct Task {
+  struct promise_type {
+    Task get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// Execution context of a simulated worker: which core it is pinned to.
+/// Mirrors the paper's thread binding (§IV): a worker's socket identity
+/// decides which partition of every NUMA-aware structure it touches.
+struct Ctx {
+  Machine* mach = nullptr;
+  hw::CoreId core = 0;
+  hw::SocketId socket = 0;
+};
+
+/// Waiter bookkeeping shared by all blocking primitives.
+struct Waiter {
+  std::coroutine_handle<> h;
+  Ctx* ctx = nullptr;
+  Tick enqueued_at = 0;
+};
+
+class Machine {
+ public:
+  Machine(const hw::Topology& topo, CostParams params = CostParams{});
+
+  const hw::Topology& topology() const { return *topo_; }
+  const CostParams& params() const { return params_; }
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+  Tick now() const { return now_; }
+  bool running() const { return running_; }
+
+  /// Makes a worker context pinned to `core`.
+  Ctx MakeCtx(hw::CoreId core) {
+    return Ctx{this, core, topo_->socket_of(core)};
+  }
+
+  // ---- Scheduling --------------------------------------------------------
+
+  /// Runs `fn` at simulated time `t` (>= now).
+  void At(Tick t, std::function<void()> fn);
+  /// Resumes `h` at simulated time `t`.
+  void ResumeAt(Tick t, std::coroutine_handle<> h);
+
+  /// Drives the event loop until simulated time `t` (events at exactly `t`
+  /// are executed). Returns the number of events processed.
+  size_t RunUntil(Tick t);
+  /// Drives the event loop until no events remain.
+  size_t RunUntilIdle();
+
+  /// Stops the simulation: running() becomes false, all queued events run,
+  /// and blocking primitives drain their waiters so coroutine frames are
+  /// reclaimed. Must be called from outside the event loop.
+  void Shutdown();
+
+  /// Blocking primitives register themselves to be drained at Shutdown().
+  using Drainer = std::function<void()>;
+  void RegisterDrainer(Drainer d) { drainers_.push_back(std::move(d)); }
+
+  // ---- Timed awaitables ---------------------------------------------------
+
+  struct DelayAwaiter {
+    Machine* m;
+    Tick t_resume;
+    bool await_ready() const noexcept { return !m->running(); }
+    void await_suspend(std::coroutine_handle<> h) { m->ResumeAt(t_resume, h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// Pure wall-clock delay (no accounting): used by monitoring threads.
+  DelayAwaiter Delay(Tick d) { return {this, now_ + d}; }
+
+  /// Useful execution work: occupies `cycles`, retires instructions at
+  /// params().work_ipc.
+  DelayAwaiter Compute(Ctx& ctx, Tick cycles) {
+    auto& cc = counters_.core(ctx.core);
+    cc.busy += cycles;
+    cc.instr += static_cast<uint64_t>(static_cast<double>(cycles) *
+                                      params_.work_ipc);
+    return {this, now_ + cycles};
+  }
+
+  /// Stall: cycles pass, almost no instructions retire (cache-line
+  /// transfers, DRAM waits).
+  DelayAwaiter Stall(Ctx& ctx, Tick cycles, uint64_t instr = 0) {
+    auto& cc = counters_.core(ctx.core);
+    cc.stall += cycles;
+    cc.instr += instr;
+    return {this, now_ + cycles};
+  }
+
+  /// Accounts `cycles` of spin-waiting (high IPC, no progress) ending now.
+  /// Called by locks when a waiter is granted.
+  void AccountSpin(Ctx& ctx, Tick cycles) {
+    auto& cc = counters_.core(ctx.core);
+    cc.spin += cycles;
+    cc.instr += static_cast<uint64_t>(static_cast<double>(cycles) *
+                                      params_.spin_ipc);
+  }
+
+  /// Row accesses against memory homed on `mem_node`: per-row CPU work plus
+  /// LLC-miss DRAM latency (local or remote), with IMC/QPI traffic
+  /// accounting. `work_per_row` is one of params().row_*_work.
+  DelayAwaiter MemAccess(Ctx& ctx, hw::SocketId mem_node, uint64_t rows,
+                         Tick work_per_row);
+
+  /// Deterministic per-machine hash stream for miss-ratio draws.
+  uint64_t NextHash() {
+    hash_state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t x = hash_state_;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  struct Event {
+    Tick t;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  const hw::Topology* topo_;
+  CostParams params_;
+  Counters counters_;
+  Tick now_ = 0;
+  uint64_t seq_ = 0;
+  bool running_ = true;
+  uint64_t hash_state_ = 0x853c49e6748fea9bULL;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<Drainer> drainers_;
+};
+
+}  // namespace atrapos::sim

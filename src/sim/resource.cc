@@ -1,0 +1,77 @@
+#include "sim/resource.h"
+
+namespace atrapos::sim {
+
+Resource::Resource(Machine* m, hw::SocketId home, bool spin_wait,
+                   int handoff_lines)
+    : mach_(m),
+      last_socket_(home),
+      spin_wait_(spin_wait),
+      handoff_lines_(handoff_lines) {
+  mach_->RegisterDrainer([this] {
+    while (!waiters_.empty()) {
+      auto p = waiters_.front();
+      waiters_.pop_front();
+      p.w.h.resume();
+    }
+  });
+}
+
+void Resource::Awaiter::await_suspend(std::coroutine_handle<> h) {
+  res->waiters_.push_back(
+      Pending{Waiter{h, ctx, res->mach_->now()}, service});
+  if (!res->busy_) res->Grant();
+}
+
+void Resource::Grant() {
+  if (waiters_.empty() || !mach_->running()) return;
+  Pending p = waiters_.front();
+  waiters_.pop_front();
+  busy_ = true;
+  ++uses_;
+
+  const CostParams& prm = mach_->params();
+  Ctx* ctx = p.w.ctx;
+
+  // Time spent queued.
+  Tick waited = mach_->now() - p.w.enqueued_at;
+  total_wait_ += waited;
+  if (waited > 0) {
+    if (spin_wait_) {
+      mach_->AccountSpin(*ctx, waited);
+    } else {
+      mach_->counters().core(ctx->core).stall += waited;
+    }
+  }
+
+  // Service time; a cross-socket handoff drags every line the critical
+  // section touches over QPI (coherence misses inside the CS).
+  Tick service = p.service;
+  int lines =
+      handoff_lines_ >= 0 ? handoff_lines_ : prm.resource_handoff_lines;
+  if (ctx->socket != last_socket_) {
+    int hops = mach_->topology().Distance(ctx->socket, last_socket_);
+    service += static_cast<Tick>(lines) *
+               (prm.cas_remote_base +
+                static_cast<Tick>(hops) * prm.cas_remote_per_hop);
+    mach_->counters().AddQpiBytes(
+        last_socket_, ctx->socket,
+        static_cast<uint64_t>(lines) * prm.cache_line_bytes);
+  } else {
+    service += prm.cas_local;
+  }
+  last_socket_ = ctx->socket;
+
+  auto& cc = mach_->counters().core(ctx->core);
+  cc.busy += service;
+  cc.instr += static_cast<uint64_t>(static_cast<double>(service) *
+                                    prm.work_ipc * 0.5);
+
+  mach_->At(mach_->now() + service, [this, h = p.w.h] {
+    busy_ = false;
+    h.resume();
+    Grant();
+  });
+}
+
+}  // namespace atrapos::sim

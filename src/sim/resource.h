@@ -1,0 +1,65 @@
+// A FIFO server resource: one holder at a time, explicit service time.
+// Models critical sections guarded by a single mutex-protected structure:
+// the log-buffer insert, a centralized lock-manager bucket, etc.
+//
+// Waiting is accounted as spin (high-IPC busy wait) or stall depending on
+// `spin_wait` — Shore-MT's contended mutexes spin, which is what inflates
+// the centralized design's IPC in Fig. 1 while throughput collapses.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+
+#include "sim/machine.h"
+
+namespace atrapos::sim {
+
+class Resource {
+ public:
+  /// `spin_wait`: account queueing delay as spin cycles (true) or stall.
+  /// `handoff_lines` overrides params().resource_handoff_lines (<0 = use
+  /// the default): Aether-style consolidated structures hand off a single
+  /// line; fat lock-manager critical sections drag many.
+  Resource(Machine* m, hw::SocketId home = 0, bool spin_wait = true,
+           int handoff_lines = -1);
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct Awaiter {
+    Resource* res;
+    Ctx* ctx;
+    Tick service;
+    bool await_ready() const noexcept { return !res->mach_->running(); }
+    void await_suspend(std::coroutine_handle<> h);
+    void await_resume() const noexcept {}
+  };
+
+  /// Occupies the resource for `service` cycles (FIFO). The awaiting worker
+  /// resumes when its own service completes. Cross-socket handoffs add a
+  /// cache-line transfer to the service time and QPI traffic.
+  Awaiter Use(Ctx& ctx, Tick service) { return Awaiter{this, &ctx, service}; }
+
+  uint64_t uses() const { return uses_; }
+  /// Total time requesters spent queued (contention signal).
+  Tick total_wait() const { return total_wait_; }
+
+ private:
+  friend struct Awaiter;
+  struct Pending {
+    Waiter w;
+    Tick service;
+  };
+  void Grant();
+
+  Machine* mach_;
+  hw::SocketId last_socket_;
+  bool spin_wait_;
+  int handoff_lines_;
+  bool busy_ = false;
+  uint64_t uses_ = 0;
+  Tick total_wait_ = 0;
+  std::deque<Pending> waiters_;
+};
+
+}  // namespace atrapos::sim

@@ -1,0 +1,25 @@
+// Simulated time. The unit is one CPU cycle of the modeled machine
+// (2.4 GHz Westmere-EX, matching the paper's Xeon E7-L8867).
+#pragma once
+
+#include <cstdint>
+
+namespace atrapos::sim {
+
+using Tick = uint64_t;
+
+/// Modeled core frequency: cycles per microsecond.
+constexpr Tick kCyclesPerUs = 2400;
+
+constexpr Tick UsToCycles(double us) {
+  return static_cast<Tick>(us * static_cast<double>(kCyclesPerUs));
+}
+constexpr Tick MsToCycles(double ms) { return UsToCycles(ms * 1000.0); }
+constexpr Tick SecToCycles(double s) { return UsToCycles(s * 1e6); }
+
+constexpr double CyclesToUs(Tick c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerUs);
+}
+constexpr double CyclesToSec(Tick c) { return CyclesToUs(c) / 1e6; }
+
+}  // namespace atrapos::sim

@@ -1,0 +1,157 @@
+#include "simengine/centralized.h"
+
+#include <memory>
+
+#include "sim/cache_line.h"
+#include "sim/locks.h"
+#include "sim/resource.h"
+
+namespace atrapos::simengine {
+
+namespace {
+
+using core::ActionSpec;
+using core::OpType;
+
+/// Shared state of the centralized instance.
+struct Shared {
+  Shared(sim::Machine* m, const core::WorkloadSpec* spec)
+      : txn_list(m, 0),
+        volume_lock(m, 0),
+        table_lock_mutex(m, 0, /*spin_wait=*/true),
+        log(m, 0, /*spin_wait=*/true) {
+    // One row-lock hash bucket per 8 cores keeps row-lock buckets off the
+    // critical path; the table-level intent-lock mutex stays singular —
+    // Shore-MT's actual hot spot.
+    int buckets = std::max(8, m->topology().num_cores() / 2);
+    for (int b = 0; b < buckets; ++b)
+      row_buckets.push_back(std::make_unique<sim::Resource>(m, 0, true));
+  }
+  sim::CacheLine txn_list;
+  sim::SimRWLock volume_lock;
+  sim::Resource table_lock_mutex;
+  std::vector<std::unique_ptr<sim::Resource>> row_buckets;
+  sim::Resource log;
+  const std::vector<double>* weights = nullptr;
+};
+
+sim::Tick WorkFor(const sim::CostParams& p, OpType op) {
+  switch (op) {
+    case OpType::kRead: return p.row_read_work;
+    case OpType::kUpdate: return p.row_update_work;
+    case OpType::kInsert: return p.row_insert_work;
+    case OpType::kDelete: return p.row_update_work;
+  }
+  return p.row_read_work;
+}
+
+sim::Task Worker(sim::Machine& m, sim::Ctx ctx, Shared& sh,
+                 const core::WorkloadSpec& spec, const RunOptions& run,
+                 Tick end, uint64_t seed) {
+  Rng rng(seed);
+  ClassPicker picker(&spec);
+  const sim::CostParams& p = m.params();
+  int nsockets = m.topology().num_sockets();
+
+  while (m.running() && m.now() < end) {
+    std::vector<double> weights;
+    if (run.weights_fn) weights = run.weights_fn(m.now());
+    int cls = picker.Pick(rng, run.weights_fn ? &weights : nullptr);
+    const core::TxnClass& c = spec.classes[static_cast<size_t>(cls)];
+
+    // ---- begin: volume lock (shared) + global transaction list ----------
+    Tick t0 = m.now();
+    co_await sh.volume_lock.Acquire(ctx, false);
+    co_await sh.volume_lock.Release(ctx);
+    co_await sh.txn_list.Atomic(ctx);
+    // The centralized code path carries heavier bookkeeping than the
+    // partitioned designs (latching, global statistics).
+    co_await m.Compute(ctx, p.txn_mgmt_work * 2);
+    m.counters().breakdown().xct_mgmt += m.now() - t0;
+
+    bool wrote = false;
+    uint64_t routing =
+        run.routing_fn
+            ? run.routing_fn(rng, m.now(), spec.tables[0].num_rows)
+            : rng.Uniform(spec.tables[0].num_rows ? spec.tables[0].num_rows
+                                                  : 1);
+
+    for (const ActionSpec& a : c.actions) {
+      int reps = static_cast<int>(
+          rng.UniformRange(a.repeat_lo, a.repeat_hi));
+      for (int r = 0; r < reps; ++r) {
+        uint64_t rows_in_table =
+            spec.tables[static_cast<size_t>(a.table)].num_rows;
+        uint64_t key = a.aligned
+                           ? AlignKey(spec, a.table, routing)
+                           : rng.Uniform(rows_in_table ? rows_in_table : 1);
+        auto nrows = static_cast<uint64_t>(a.rows < 1 ? 1 : a.rows);
+
+        // ---- locking: table intent lock + row locks ----------------------
+        Tick tl = m.now();
+        co_await sh.table_lock_mutex.Use(ctx, p.lockmgr_service);
+        size_t bucket = (key * 0x9e3779b97f4a7c15ULL) % sh.row_buckets.size();
+        co_await sh.row_buckets[bucket]->Use(ctx, p.lockmgr_service / 4);
+        m.counters().breakdown().locking += m.now() - tl;
+
+        // ---- execution: buffer pool pages striped over NUMA nodes --------
+        Tick tx = m.now();
+        auto home = static_cast<hw::SocketId>(
+            rows_in_table ? key * static_cast<uint64_t>(nsockets) /
+                                rows_in_table
+                          : 0);
+        if (home >= nsockets) home = nsockets - 1;
+        co_await m.MemAccess(ctx, home, nrows, WorkFor(p, a.op));
+        m.counters().breakdown().xct_exec += m.now() - tx;
+
+        // ---- logging ------------------------------------------------------
+        if (a.op != OpType::kRead) {
+          wrote = true;
+          Tick tg = m.now();
+          co_await sh.log.Use(ctx, p.log_insert_service * nrows);
+          m.counters().breakdown().logging += m.now() - tg;
+        }
+      }
+    }
+
+    // ---- commit ----------------------------------------------------------
+    if (wrote) {
+      Tick tg = m.now();
+      co_await sh.log.Use(ctx, p.log_force_service);
+      m.counters().breakdown().logging += m.now() - tg;
+    }
+    Tick tc = m.now();
+    co_await sh.txn_list.Atomic(ctx);
+    co_await m.Compute(ctx, p.txn_mgmt_work / 2);
+    m.counters().breakdown().xct_mgmt += m.now() - tc;
+    m.counters().AddCommit();
+  }
+}
+
+}  // namespace
+
+RunMetrics RunCentralized(const hw::Topology& topo,
+                          const sim::CostParams& params,
+                          const core::WorkloadSpec& spec,
+                          const CentralizedOptions& opt) {
+  sim::Machine m(topo, params);
+  Shared sh(&m, &spec);
+  Tick end = sim::SecToCycles(opt.run.duration_s);
+
+  RunMetrics metrics;
+  auto cores = topo.AvailableCores();
+  for (size_t i = 0; i < cores.size(); ++i) {
+    sim::Ctx ctx = m.MakeCtx(cores[i]);
+    Worker(m, ctx, sh, spec, opt.run, end, opt.run.seed * 7919 + i);
+  }
+  if (opt.run.sample_interval_s > 0)
+    Sampler(m, sim::SecToCycles(opt.run.sample_interval_s), end, &metrics);
+
+  m.RunUntil(end);
+  Tick elapsed = m.now();
+  m.Shutdown();
+  FinalizeMetrics(m, elapsed, static_cast<int>(cores.size()), &metrics);
+  return metrics;
+}
+
+}  // namespace atrapos::simengine

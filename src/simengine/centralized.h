@@ -1,0 +1,21 @@
+// Centralized shared-everything engine (paper §III-A): one instance using
+// all cores; every transaction goes through the centralized lock manager,
+// the global list of active transactions, the volume read/write lock, and
+// the shared log — exactly the structures whose contention the paper blames.
+#pragma once
+
+#include "hw/topology.h"
+#include "simengine/common.h"
+
+namespace atrapos::simengine {
+
+struct CentralizedOptions {
+  RunOptions run;
+};
+
+RunMetrics RunCentralized(const hw::Topology& topo,
+                          const sim::CostParams& params,
+                          const core::WorkloadSpec& spec,
+                          const CentralizedOptions& opt);
+
+}  // namespace atrapos::simengine

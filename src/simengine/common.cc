@@ -1,0 +1,45 @@
+#include "simengine/common.h"
+
+namespace atrapos::simengine {
+
+void FinalizeMetrics(const sim::Machine& m, Tick elapsed, int active_cores,
+                     RunMetrics* metrics) {
+  const sim::Counters& c = m.counters();
+  metrics->committed = c.committed();
+  metrics->seconds = sim::CyclesToSec(elapsed);
+  metrics->tps =
+      metrics->seconds > 0 ? static_cast<double>(c.committed()) / metrics->seconds : 0;
+  metrics->mtps = metrics->tps / 1e6;
+  metrics->ipc = c.Ipc(elapsed, active_cores);
+  metrics->qpi_imc_ratio = c.QpiImcRatio();
+  metrics->breakdown = c.breakdown();
+  if (c.committed() > 0)
+    metrics->avg_txn_us = sim::CyclesToUs(c.breakdown().total()) /
+                          static_cast<double>(c.committed());
+  // Interconnect utilization: bytes / time vs a 25.6 GB/s QPI link.
+  double secs = metrics->seconds;
+  if (secs > 0) {
+    metrics->qpi_gbps =
+        static_cast<double>(c.total_qpi_bytes()) * 8.0 / secs / 1e9;
+    uint64_t busiest = 0;
+    for (size_t l = 0; l < c.num_links(); ++l)
+      busiest = std::max(busiest, c.link_bytes(l));
+    metrics->max_link_util =
+        static_cast<double>(busiest) / secs / (25.6e9 / 8.0);
+  }
+}
+
+sim::Task Sampler(sim::Machine& m, Tick interval, Tick end,
+                  RunMetrics* metrics) {
+  uint64_t last = 0;
+  while (m.running() && m.now() < end) {
+    co_await m.Delay(interval);
+    uint64_t cur = m.counters().committed();
+    metrics->timeline_t.push_back(sim::CyclesToSec(m.now()));
+    metrics->timeline_tps.push_back(
+        static_cast<double>(cur - last) / sim::CyclesToSec(interval));
+    last = cur;
+  }
+}
+
+}  // namespace atrapos::simengine

@@ -1,0 +1,99 @@
+// Shared infrastructure for the simulated execution engines.
+//
+// The four system designs of the paper (§III-A) are implemented as
+// coroutine programs over sim::Machine:
+//   - centralized shared-everything      (centralized.cc)
+//   - extreme / coarse shared-nothing    (shared_nothing.cc, with 2PC)
+//   - PLP and ATraPos                    (dora.cc; ATraPos = PLP +
+//     NUMA-aware state + adaptive partitioning/placement)
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/flow_graph.h"
+#include "sim/counters.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+namespace atrapos::simengine {
+
+using sim::Tick;
+
+/// Options common to every engine run.
+struct RunOptions {
+  /// Simulated run length in seconds.
+  double duration_s = 0.02;
+  uint64_t seed = 1;
+  /// >0: sample a throughput timeline at this simulated period (Figs 10-13).
+  double sample_interval_s = 0.0;
+  /// Optional dynamic class-weight override (phase changes, Figs 10/13).
+  std::function<std::vector<double>(Tick)> weights_fn;
+  /// Optional routing-key generator override (skew, Fig 11). Takes the RNG,
+  /// the current simulated time and the routing domain size.
+  std::function<uint64_t(Rng&, Tick, uint64_t)> routing_fn;
+};
+
+/// Results of one engine run.
+struct RunMetrics {
+  uint64_t committed = 0;
+  double seconds = 0;
+  double tps = 0;
+  double mtps = 0;
+  double ipc = 0;
+  double qpi_imc_ratio = 0;
+  double qpi_gbps = 0;
+  double max_link_util = 0;  ///< share of the busiest link's modeled 25.6 GB/s
+  double avg_txn_us = 0;     ///< breakdown total / committed
+  sim::Breakdown breakdown;  ///< cycle totals by component
+  std::vector<double> timeline_tps;
+  std::vector<double> timeline_t;    ///< sample timestamps (seconds)
+  /// Monitoring-interval history (ATraPos adaptive runs; Fig. 13).
+  std::vector<double> interval_t;
+  std::vector<double> interval_s;
+  std::vector<uint64_t> per_instance_committed;
+  uint64_t repartitions = 0;
+};
+
+/// Weighted class picker over the workload spec.
+class ClassPicker {
+ public:
+  explicit ClassPicker(const core::WorkloadSpec* spec) : spec_(spec) {}
+
+  int Pick(Rng& rng, const std::vector<double>* weights_override) const {
+    double total = 0;
+    auto weight = [&](size_t i) {
+      return weights_override ? (*weights_override)[i]
+                              : spec_->classes[i].weight;
+    };
+    for (size_t i = 0; i < spec_->classes.size(); ++i) total += weight(i);
+    double x = rng.NextDouble() * total;
+    for (size_t i = 0; i < spec_->classes.size(); ++i) {
+      x -= weight(i);
+      if (x <= 0) return static_cast<int>(i);
+    }
+    return static_cast<int>(spec_->classes.size()) - 1;
+  }
+
+ private:
+  const core::WorkloadSpec* spec_;
+};
+
+/// Maps an aligned routing key (in table 0's domain) into table t's domain.
+inline uint64_t AlignKey(const core::WorkloadSpec& spec, int table,
+                         uint64_t routing) {
+  uint64_t base = spec.tables[0].num_rows;
+  uint64_t rows = spec.tables[static_cast<size_t>(table)].num_rows;
+  if (base == 0) return 0;
+  return routing * (rows / base ? rows / base : 1) % (rows ? rows : 1);
+}
+
+/// Fills `metrics` fields computed from machine counters.
+void FinalizeMetrics(const sim::Machine& m, Tick elapsed, int active_cores,
+                     RunMetrics* metrics);
+
+/// Timeline sampler: appends a TPS sample every `interval`.
+sim::Task Sampler(sim::Machine& m, Tick interval, Tick end,
+                  RunMetrics* metrics);
+
+}  // namespace atrapos::simengine

@@ -1,0 +1,600 @@
+#include "simengine/dora.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/cost_model.h"
+#include "core/monitor.h"
+#include "core/repartitioner.h"
+#include "core/search.h"
+#include "sim/cache_line.h"
+#include "sim/locks.h"
+#include "sim/resource.h"
+
+namespace atrapos::simengine {
+
+namespace {
+
+using core::ActionSpec;
+using core::OpType;
+
+sim::Tick WorkFor(const sim::CostParams& p, OpType op) {
+  switch (op) {
+    case OpType::kRead: return p.row_read_work;
+    case OpType::kUpdate: return p.row_update_work;
+    case OpType::kInsert: return p.row_insert_work;
+    case OpType::kDelete: return p.row_update_work;
+  }
+  return p.row_read_work;
+}
+
+struct TxnState;
+
+/// One routed action.
+struct ActionMsg {
+  TxnState* txn = nullptr;  ///< nullptr == stop sentinel for the worker
+  uint64_t key = 0;
+  uint64_t nrows = 1;
+  OpType op = OpType::kRead;
+  bool rendezvous = false;  ///< multi-action txn: join at the driver's line
+  uint64_t sync_bytes = 0;  ///< data exchanged at the synchronization point
+  /// Socket of the transaction's primary partition: sync-point data flows
+  /// between the dependent partitions, so the exchange is free when they
+  /// share a socket — the locality Algorithm 2 optimizes for.
+  hw::SocketId sync_home = 0;
+};
+
+/// Per-driver transaction completion state (reused across its txns).
+struct TxnState {
+  int remaining = 0;
+  std::coroutine_handle<> waiter;
+  sim::Machine* mach = nullptr;
+  std::unique_ptr<sim::CacheLine> rendezvous;  // homed at the driver's socket
+  hw::SocketId driver_socket = 0;
+
+  struct Awaiter {
+    TxnState* st;
+    bool await_ready() const noexcept {
+      return st->remaining == 0 || !st->mach->running();
+    }
+    void await_suspend(std::coroutine_handle<> h) { st->waiter = h; }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Wait() { return Awaiter{this}; }
+
+  void Finish() {
+    if (--remaining == 0 && waiter) {
+      auto h = waiter;
+      waiter = nullptr;
+      mach->ResumeAt(mach->now(), h);
+    }
+  }
+};
+
+/// One logical partition: queue + worker + monitor, pinned to a core.
+struct Partition {
+  int table = 0;
+  uint64_t key_lo = 0, key_hi = 0;
+  hw::CoreId core = 0;
+  hw::SocketId mem_socket = 0;  ///< where its memory was allocated
+  std::unique_ptr<sim::SimQueue<ActionMsg>> queue;
+  std::unique_ptr<core::PartitionMonitor> monitor;
+};
+
+/// Pause gate for repartitioning: drivers enter per transaction; the
+/// repartitioner closes the gate and waits for in-flight work to drain.
+struct Gate {
+  sim::Machine* m = nullptr;
+  bool closed = false;
+  uint64_t in_flight = 0;
+  std::deque<sim::Waiter> waiting;
+
+  struct Awaiter {
+    Gate* g;
+    sim::Ctx* ctx;
+    bool await_ready() const noexcept {
+      return !g->closed || !g->m->running();
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      g->waiting.push_back(sim::Waiter{h, ctx, g->m->now()});
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter Enter(sim::Ctx& ctx) { return Awaiter{this, &ctx}; }
+  void Open() {
+    closed = false;
+    while (!waiting.empty()) {
+      auto w = waiting.front();
+      waiting.pop_front();
+      m->ResumeAt(m->now(), w.h);
+    }
+  }
+};
+
+struct Engine {
+  sim::Machine* m = nullptr;
+  hw::Topology* topo = nullptr;  // engine-owned mutable copy (Fig. 12)
+  const core::WorkloadSpec* spec = nullptr;
+  const DoraOptions* opt = nullptr;
+  Tick end = 0;
+
+  core::Scheme scheme;
+  std::vector<std::vector<std::unique_ptr<Partition>>> parts;  // [table][p]
+  std::vector<std::unique_ptr<Partition>> graveyard;  // keep drainers alive
+
+  // System state structures. Besides the transaction list, Shore-MT's
+  // begin/commit path touches further globally shared lines (transaction
+  // object free-list, statistics); `aux` models them as one more hot line.
+  std::unique_ptr<sim::CacheLine> global_txn_list;           // PLP
+  std::unique_ptr<sim::CacheLine> global_aux;                // PLP
+  std::vector<std::unique_ptr<sim::CacheLine>> socket_lists;  // ATraPos
+  std::vector<std::unique_ptr<sim::CacheLine>> socket_aux;    // ATraPos
+  std::unique_ptr<sim::SimRWLock> global_volume_lock;         // PLP
+  std::unique_ptr<sim::PartitionedRWLock> part_volume_lock;   // ATraPos
+  std::unique_ptr<sim::Resource> log;
+  std::vector<std::unique_ptr<sim::SimMutex>> core_lease;  // per core
+  std::vector<int> core_last_user;  // partition identity for switch cost
+
+  Gate gate;
+  /// Engine-owned per-driver transaction states: they must outlive the
+  /// driver coroutine frames because queued actions and machine drainers
+  /// reference them through shutdown.
+  std::vector<std::unique_ptr<TxnState>> txn_states;
+  std::vector<double> class_count;  // since last harvest (monitoring)
+  int prev_available_cores = 0;
+  RunMetrics* metrics = nullptr;
+  std::vector<double> latest_weights;
+  uint64_t next_partition_uid = 1;
+};
+
+sim::Task PartitionWorker(Engine& eng, Partition* part, int uid);
+
+void BuildPartitions(Engine& eng) {
+  auto& m = *eng.m;
+  eng.parts.clear();
+  eng.parts.resize(eng.spec->tables.size());
+  for (size_t t = 0; t < eng.spec->tables.size(); ++t) {
+    const core::TableScheme& ts = eng.scheme.tables[t];
+    uint64_t rows = eng.spec->tables[t].num_rows;
+    for (size_t pi = 0; pi < ts.num_partitions(); ++pi) {
+      auto part = std::make_unique<Partition>();
+      part->table = static_cast<int>(t);
+      part->key_lo = ts.boundaries[pi];
+      part->key_hi =
+          pi + 1 < ts.num_partitions() ? ts.boundaries[pi + 1] : rows;
+      part->core = ts.placement[pi];
+      part->mem_socket = eng.topo->socket_of(part->core);
+      part->queue = std::make_unique<sim::SimQueue<ActionMsg>>(
+          &m, part->mem_socket);
+      part->monitor = std::make_unique<core::PartitionMonitor>(
+          part->key_lo, part->key_hi);
+      PartitionWorker(eng, part.get(),
+                      static_cast<int>(eng.next_partition_uid++));
+      eng.parts[t].push_back(std::move(part));
+    }
+  }
+}
+
+void RetirePartitions(Engine& eng) {
+  for (auto& tp : eng.parts) {
+    for (auto& p : tp) {
+      p->queue->Push(ActionMsg{});  // stop sentinel wakes the worker
+      eng.graveyard.push_back(std::move(p));
+    }
+    tp.clear();
+  }
+}
+
+sim::Task PartitionWorker(Engine& eng, Partition* part, int uid) {
+  auto& m = *eng.m;
+  const sim::CostParams& p = m.params();
+  sim::Ctx ctx = m.MakeCtx(part->core);
+  while (m.running()) {
+    auto msg = co_await part->queue->Pop(ctx);
+    if (!msg || msg->txn == nullptr) break;  // shutdown or stop sentinel
+
+    // The partition may have been migrated (Fig. 12): always lease the
+    // current core.
+    hw::CoreId core = part->core;
+    ctx = m.MakeCtx(core);
+    auto& lease = *eng.core_lease[static_cast<size_t>(core)];
+    co_await lease.Acquire(ctx);
+    if (eng.core_last_user[static_cast<size_t>(core)] != uid) {
+      eng.core_last_user[static_cast<size_t>(core)] = uid;
+      co_await m.Compute(ctx, eng.opt->core_switch_cost);
+    }
+
+    Tick t0 = m.now();
+    // Partition-local lock: no shared state (PLP's whole point).
+    Tick tl = m.now();
+    co_await m.Compute(ctx, p.local_lock_work);
+    m.counters().breakdown().locking += m.now() - tl;
+
+    Tick tx = m.now();
+    co_await m.MemAccess(ctx, part->mem_socket, msg->nrows,
+                         WorkFor(p, msg->op));
+    m.counters().breakdown().xct_exec += m.now() - tx;
+
+    if (eng.opt->monitoring) {
+      co_await m.Compute(ctx, eng.opt->monitor_overhead);
+      part->monitor->RecordAction(msg->key,
+                                  static_cast<double>(m.now() - t0));
+    }
+
+    if (msg->rendezvous) {
+      // Synchronization point: update the transaction's rendezvous line
+      // (cross-socket when this partition is far from the driver) and ship
+      // the exchanged data.
+      Tick ts = m.now();
+      co_await m.Compute(ctx, p.syncpoint_work);
+      co_await msg->txn->rendezvous->Atomic(ctx);
+      int hops = eng.topo->Distance(ctx.socket, msg->sync_home);
+      if (hops > 0 && msg->sync_bytes > 0) {
+        uint64_t lines = (msg->sync_bytes + 63) / 64;
+        Tick xfer = lines * (p.cas_remote_base +
+                             static_cast<Tick>(hops) * p.cas_remote_per_hop);
+        co_await m.Stall(ctx, xfer);
+        m.counters().AddQpiBytes(ctx.socket, msg->sync_home,
+                                 msg->sync_bytes);
+      }
+      if (eng.opt->monitoring) part->monitor->RecordSync(msg->key);
+      m.counters().breakdown().communication += m.now() - ts;
+    }
+
+    lease.Release();
+    msg->txn->Finish();
+  }
+}
+
+sim::Task Driver(Engine& eng, hw::CoreId core, TxnState& st, uint64_t seed) {
+  auto& m = *eng.m;
+  const sim::CostParams& p = m.params();
+  sim::Ctx ctx = m.MakeCtx(core);
+  Rng rng(seed);
+  ClassPicker picker(eng.spec);
+
+  while (m.running() && m.now() < eng.end) {
+    co_await eng.gate.Enter(ctx);
+    if (!m.running() || m.now() >= eng.end) break;
+    ++eng.gate.in_flight;
+
+    std::vector<double> weights;
+    if (eng.opt->run.weights_fn) weights = eng.opt->run.weights_fn(m.now());
+    int cls = picker.Pick(rng, eng.opt->run.weights_fn ? &weights : nullptr);
+    const core::TxnClass& c = eng.spec->classes[static_cast<size_t>(cls)];
+
+    // Dispatcher work happens on this core: lease it (released while the
+    // transaction's actions execute on the partition workers).
+    auto& lease = *eng.core_lease[static_cast<size_t>(ctx.core)];
+    co_await lease.Acquire(ctx);
+
+    // ---- begin: transaction list + volume lock ---------------------------
+    Tick t0 = m.now();
+    if (eng.opt->numa_aware_state) {
+      co_await eng.socket_lists[static_cast<size_t>(ctx.socket)]->Atomic(ctx);
+      co_await eng.socket_aux[static_cast<size_t>(ctx.socket)]->Atomic(ctx);
+      co_await eng.part_volume_lock->AcquireRead(ctx);
+      co_await eng.part_volume_lock->ReleaseRead(ctx);
+    } else {
+      co_await eng.global_txn_list->Atomic(ctx);
+      co_await eng.global_aux->Atomic(ctx);
+      co_await eng.global_volume_lock->Acquire(ctx, false);
+      co_await eng.global_volume_lock->Release(ctx);
+    }
+    co_await m.Compute(ctx, p.txn_mgmt_work / 2);
+    m.counters().breakdown().xct_mgmt += m.now() - t0;
+
+    uint64_t routing =
+        eng.opt->run.routing_fn
+            ? eng.opt->run.routing_fn(rng, m.now(),
+                                      eng.spec->tables[0].num_rows)
+            : rng.Uniform(eng.spec->tables[0].num_rows
+                              ? eng.spec->tables[0].num_rows
+                              : 1);
+
+    // ---- route actions ----------------------------------------------------
+    struct Routed {
+      Partition* part;
+      ActionMsg msg;
+    };
+    std::vector<Routed> routed;
+    bool wrote = false;
+    uint64_t log_records = 0;
+    for (const ActionSpec& a : c.actions) {
+      int reps =
+          static_cast<int>(rng.UniformRange(a.repeat_lo, a.repeat_hi));
+      for (int r = 0; r < reps; ++r) {
+        uint64_t rows_in_table =
+            eng.spec->tables[static_cast<size_t>(a.table)].num_rows;
+        uint64_t key = a.aligned
+                           ? AlignKey(*eng.spec, a.table, routing)
+                           : rng.Uniform(rows_in_table ? rows_in_table : 1);
+        auto& ts = eng.scheme.tables[static_cast<size_t>(a.table)];
+        size_t pi = ts.PartitionOf(key);
+        ActionMsg msg;
+        msg.txn = &st;
+        msg.key = key;
+        msg.nrows = static_cast<uint64_t>(a.rows < 1 ? 1 : a.rows);
+        msg.op = a.op;
+        if (a.op != OpType::kRead) {
+          wrote = true;
+          log_records += msg.nrows;
+        }
+        routed.push_back(
+            Routed{eng.parts[static_cast<size_t>(a.table)][pi].get(), msg});
+      }
+    }
+    bool multi = routed.size() > 1;
+    uint64_t sync_bytes = 0;
+    for (const auto& sp : c.sync_points) sync_bytes += sp.data_bytes;
+    st.remaining = static_cast<int>(routed.size());
+
+    hw::SocketId sync_home =
+        routed.empty()
+            ? ctx.socket
+            : eng.topo->socket_of(routed.front().part->core);
+    Tick tr = m.now();
+    for (auto& r : routed) {
+      r.msg.rendezvous = multi;
+      r.msg.sync_home = sync_home;
+      r.msg.sync_bytes =
+          multi ? sync_bytes / (routed.size() ? routed.size() : 1) : 0;
+      co_await m.Compute(ctx, p.action_route_work);
+      co_await r.part->queue->line().Atomic(ctx);
+      r.part->queue->Push(r.msg);
+    }
+    m.counters().breakdown().communication += m.now() - tr;
+
+    // ---- wait for all actions (core yielded meanwhile) --------------------
+    lease.Release();
+    co_await st.Wait();
+    co_await lease.Acquire(ctx);
+
+    // ---- commit ------------------------------------------------------------
+    if (wrote && m.running()) {
+      Tick tg = m.now();
+      // One consolidated log-buffer reservation per transaction (Aether
+      // batches records); the force is a group commit: the driver waits for
+      // the flush without occupying either the log or its core.
+      co_await eng.log->Use(
+          ctx, p.log_insert_service + log_records * p.log_insert_service / 8);
+      lease.Release();
+      co_await m.Delay(p.log_force_service);
+      co_await lease.Acquire(ctx);
+      m.counters().breakdown().logging += m.now() - tg;
+    }
+    Tick tc = m.now();
+    if (eng.opt->numa_aware_state) {
+      co_await eng.socket_lists[static_cast<size_t>(ctx.socket)]->Atomic(ctx);
+      co_await eng.socket_aux[static_cast<size_t>(ctx.socket)]->Atomic(ctx);
+    } else {
+      co_await eng.global_txn_list->Atomic(ctx);
+      co_await eng.global_aux->Atomic(ctx);
+    }
+    co_await m.Compute(ctx, p.txn_mgmt_work / 2);
+    m.counters().breakdown().xct_mgmt += m.now() - tc;
+
+    m.counters().AddCommit();
+    eng.class_count[static_cast<size_t>(cls)] += 1.0;
+    --eng.gate.in_flight;
+    lease.Release();
+  }
+}
+
+/// Harvests monitors into WorkloadStats and resets them.
+core::WorkloadStats Harvest(Engine& eng, double window_s) {
+  core::MonitorAggregator agg(eng.spec->tables.size(),
+                              eng.spec->classes.size());
+  for (size_t t = 0; t < eng.parts.size(); ++t) {
+    for (auto& part : eng.parts[t]) {
+      agg.AddPartition(static_cast<int>(t), *part->monitor);
+      part->monitor->Reset();
+    }
+  }
+  for (size_t c = 0; c < eng.class_count.size(); ++c) {
+    agg.AddClassCount(static_cast<int>(c), eng.class_count[c]);
+    eng.class_count[c] = 0.0;
+  }
+  return agg.Build(window_s);
+}
+
+/// The ATraPos monitoring thread (paper §V-D).
+sim::Task MonitorThread(Engine& eng, core::AdaptiveController* controller) {
+  auto& m = *eng.m;
+  uint64_t last_committed = 0;
+  // At startup the system runs the naive scheme with no trace information;
+  // the first window with real traces triggers one unconditional evaluation
+  // (paper §V-D, "Detecting changes").
+  bool first_eval_done = false;
+  // After a repartition, re-evaluate on the next window too: the previous
+  // decision was made from traces polluted by the transition.
+  bool post_repartition_check = false;
+  while (m.running() && m.now() < eng.end) {
+    double interval = controller->interval_s();
+    co_await m.Delay(sim::SecToCycles(interval));
+    if (!m.running() || m.now() >= eng.end) break;
+
+    uint64_t cur = m.counters().committed();
+    double tps = static_cast<double>(cur - last_committed) / interval;
+    last_committed = cur;
+    if (eng.metrics) {
+      eng.metrics->interval_t.push_back(sim::CyclesToSec(m.now()));
+      eng.metrics->interval_s.push_back(interval);
+    }
+
+    bool hw_changed =
+        eng.topo->num_available_cores() != eng.prev_available_cores;
+    auto action = controller->OnMeasurement(tps);
+    if (action != core::AdaptiveController::Action::kEvaluate &&
+        !hw_changed && first_eval_done && !post_repartition_check)
+      continue;
+    post_repartition_check = false;
+
+    // ---- evaluate the cost model -----------------------------------------
+    core::WorkloadStats stats = Harvest(eng, interval);
+    core::MonitorAggregator::Coarsen(&stats);
+    if (stats.TotalLoad() <= 0 && !hw_changed) {
+      controller->OnEvaluatedNoChange();
+      continue;
+    }
+    first_eval_done = true;
+    co_await m.Delay(sim::MsToCycles(eng.opt->decide_ms));
+    core::CostModel model(eng.topo, eng.spec);
+    core::Scheme target = core::ChooseScheme(model, stats);
+    auto plan = core::PlanRepartition(eng.scheme, target);
+    // Hysteresis: repartition only when the model predicts a material
+    // improvement (or the hardware changed and the old scheme references
+    // dead cores).
+    if (!hw_changed && !plan.empty()) {
+      double ru_old = model.ResourceImbalance(eng.scheme, stats);
+      double ru_new = model.ResourceImbalance(target, stats);
+      double ts_old = model.SyncCost(eng.scheme, stats);
+      double ts_new = model.SyncCost(target, stats);
+      // Material improvement only: at least 15% relative AND 2% of total
+      // load absolute, so an already-balanced scheme is left alone.
+      double floor = 0.02 * stats.TotalLoad();
+      bool better = ru_new < 0.85 * ru_old - floor ||
+                    ts_new < 0.85 * ts_old - 1e-9;
+      if (!better) plan.clear();
+    }
+    if (plan.empty()) {
+      controller->OnEvaluatedNoChange();
+      continue;
+    }
+
+    // ---- repartition: pause, apply, resume (paper §V-D) -------------------
+    eng.gate.closed = true;
+    while (eng.gate.in_flight > 0 && m.running()) {
+      co_await m.Delay(sim::UsToCycles(20));
+    }
+    if (!m.running()) break;
+    core::PlanSummary sum = core::Summarize(plan);
+    double pause_ms = static_cast<double>(sum.splits) * eng.opt->split_ms +
+                      static_cast<double>(sum.merges) * eng.opt->merge_ms +
+                      static_cast<double>(sum.moves) * eng.opt->move_ms;
+    co_await m.Delay(sim::MsToCycles(pause_ms));
+    RetirePartitions(eng);
+    eng.scheme = std::move(target);
+    eng.prev_available_cores = eng.topo->num_available_cores();
+    BuildPartitions(eng);
+    eng.gate.Open();
+    controller->OnRepartitioned();
+    post_repartition_check = true;
+    if (eng.metrics) ++eng.metrics->repartitions;
+  }
+}
+
+/// Fig. 12: fail a socket at a given time; its partitions' workers are
+/// rescheduled by the OS onto the next socket's cores (overloading them).
+void InjectFailure(Engine& eng) {
+  const DoraOptions& opt = *eng.opt;
+  eng.m->At(sim::SecToCycles(opt.fail_socket_at_s), [&eng] {
+    hw::SocketId failed = eng.opt->fail_socket;
+    eng.topo->FailSocket(failed);
+    hw::SocketId fallback =
+        (failed + 1) % eng.topo->num_sockets();
+    if (!eng.topo->IsSocketAlive(fallback)) fallback = 0;
+    int cps = eng.topo->cores_per_socket();
+    for (auto& tp : eng.parts) {
+      for (auto& part : tp) {
+        if (eng.topo->socket_of(part->core) == failed) {
+          part->core = eng.topo->first_core(fallback) + part->core % cps;
+          // Memory stays on the failed socket's node: DRAM outlives cores.
+        }
+      }
+    }
+    // The static scheme's placement is stale too; keep it consistent for
+    // any later lookups.
+    for (auto& ts : eng.scheme.tables)
+      for (auto& c : ts.placement)
+        if (eng.topo->socket_of(c) == failed)
+          c = eng.topo->first_core(fallback) + c % cps;
+  });
+}
+
+}  // namespace
+
+RunMetrics RunDora(const hw::Topology& topo, const sim::CostParams& params,
+                   const core::WorkloadSpec& spec, const DoraOptions& opt) {
+  hw::Topology topo_copy = topo;  // engine may fail sockets (Fig. 12)
+  sim::Machine m(topo_copy, params);
+
+  Engine eng;
+  eng.m = &m;
+  eng.topo = &topo_copy;
+  eng.spec = &spec;
+  eng.opt = &opt;
+  eng.end = sim::SecToCycles(opt.run.duration_s);
+  eng.gate.m = &m;
+  eng.class_count.assign(spec.classes.size(), 0.0);
+  eng.prev_available_cores = topo_copy.num_available_cores();
+
+  // System state structures.
+  eng.global_txn_list = std::make_unique<sim::CacheLine>(&m, 0);
+  eng.global_aux = std::make_unique<sim::CacheLine>(&m, 0);
+  eng.global_volume_lock = std::make_unique<sim::SimRWLock>(&m, 0);
+  for (int s = 0; s < topo_copy.num_sockets(); ++s) {
+    eng.socket_lists.push_back(std::make_unique<sim::CacheLine>(&m, s));
+    eng.socket_aux.push_back(std::make_unique<sim::CacheLine>(&m, s));
+  }
+  eng.part_volume_lock = std::make_unique<sim::PartitionedRWLock>(&m);
+  // Aether-style consolidated log buffer: one-line handoffs.
+  eng.log = std::make_unique<sim::Resource>(&m, 0, /*spin=*/true,
+                                            /*handoff_lines=*/1);
+  for (hw::CoreId c = 0; c < topo_copy.num_cores(); ++c) {
+    eng.core_lease.push_back(std::make_unique<sim::SimMutex>(&m));
+    eng.core_last_user.push_back(-1);
+  }
+
+  // Initial scheme: supplied or naive (§IV).
+  if (!opt.initial.tables.empty()) {
+    eng.scheme = opt.initial;
+  } else {
+    std::vector<uint64_t> rows;
+    for (const auto& t : spec.tables) rows.push_back(t.num_rows);
+    eng.scheme = core::NaiveScheme(topo_copy, rows);
+  }
+  BuildPartitions(eng);
+
+  RunMetrics metrics;
+  eng.metrics = &metrics;
+
+  // Client/dispatcher coroutines per available core.
+  auto cores = topo_copy.AvailableCores();
+  int dpc = std::max(1, opt.drivers_per_core);
+  for (size_t i = 0; i < cores.size(); ++i) {
+    for (int d = 0; d < dpc; ++d) {
+      auto st = std::make_unique<TxnState>();
+      st->mach = &m;
+      st->driver_socket = topo_copy.socket_of(cores[i]);
+      st->rendezvous =
+          std::make_unique<sim::CacheLine>(&m, st->driver_socket);
+      TxnState* st_raw = st.get();
+      m.RegisterDrainer([st_raw] {
+        if (st_raw->waiter) {
+          auto h = st_raw->waiter;
+          st_raw->waiter = nullptr;
+          h.resume();
+        }
+      });
+      eng.txn_states.push_back(std::move(st));
+      Driver(eng, cores[i], *st_raw,
+             opt.run.seed * 131 + i * 7 + static_cast<size_t>(d) * 7919);
+    }
+  }
+
+  core::AdaptiveController controller(opt.controller);
+  if (opt.adaptive) MonitorThread(eng, &controller);
+  if (opt.run.sample_interval_s > 0)
+    Sampler(m, sim::SecToCycles(opt.run.sample_interval_s), eng.end,
+            &metrics);
+  if (opt.fail_socket_at_s >= 0) InjectFailure(eng);
+
+  m.RunUntil(eng.end);
+  Tick elapsed = m.now();
+  m.Shutdown();
+  FinalizeMetrics(m, elapsed, static_cast<int>(cores.size()), &metrics);
+  return metrics;
+}
+
+}  // namespace atrapos::simengine

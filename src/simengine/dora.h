@@ -1,0 +1,75 @@
+// Data-oriented execution engines: PLP and ATraPos (paper §III-A, §IV, §V).
+//
+// Both decompose transactions into actions routed to partition workers
+// (each logical partition is pinned to a core; its multi-rooted B-tree
+// subtree and lock table are accessed only by that worker). They differ in:
+//
+//   PLP      — system state is centralized: one global list of active
+//              transactions (one CAS-hot cache line), one global volume
+//              rwlock. Scales on one socket, convoys across sockets.
+//   ATraPos  — per-socket transaction lists and partitioned rwlocks
+//              (§IV), plus — when `adaptive` is set — the monitoring,
+//              cost-model search and repartitioning machinery of §V.
+#pragma once
+
+#include "core/adaptive_controller.h"
+#include "core/scheme.h"
+#include "hw/topology.h"
+#include "simengine/common.h"
+
+namespace atrapos::simengine {
+
+struct DoraOptions {
+  RunOptions run;
+  /// ATraPos §IV: per-socket transaction lists + partitioned volume lock.
+  bool numa_aware_state = false;
+  /// Record per-partition monitoring arrays (costs monitor_overhead/action).
+  bool monitoring = false;
+  /// Full ATraPos: monitor thread + cost model + repartitioning.
+  bool adaptive = false;
+  /// Initial partitioning/placement; empty => naive (one partition of each
+  /// table per core).
+  core::Scheme initial;
+  /// Closed-loop client/dispatcher coroutines per core. More than one keeps
+  /// partition workers saturated while a client waits on action completion.
+  int drivers_per_core = 2;
+  /// Adaptive-controller options (benches scale these for compressed
+  /// timeline experiments).
+  core::AdaptiveController::Options controller;
+  /// Per-action monitoring cost in cycles (Table II's overhead source).
+  Tick monitor_overhead = 350;
+  /// Repartitioning action costs, simulated as machine pause time. The
+  /// defaults mirror the real-storage measurements of bench/fig09.
+  double split_ms = 1.6;
+  double merge_ms = 1.2;
+  double move_ms = 0.05;
+  /// Cost model evaluation time charged to the monitoring thread.
+  double decide_ms = 2.0;
+  /// Thread context-switch penalty when a core's lease changes hands
+  /// (drives oversaturation losses: Fig. 6 "HW-aware", Fig. 12 overload).
+  Tick core_switch_cost = sim::UsToCycles(3);
+  /// Inject a socket failure at this simulated time (Fig. 12); <0 = never.
+  double fail_socket_at_s = -1.0;
+  hw::SocketId fail_socket = 0;
+};
+
+RunMetrics RunDora(const hw::Topology& topo, const sim::CostParams& params,
+                   const core::WorkloadSpec& spec, const DoraOptions& opt);
+
+/// Convenience wrappers for the two named designs.
+inline RunMetrics RunPlp(const hw::Topology& topo,
+                         const sim::CostParams& params,
+                         const core::WorkloadSpec& spec, DoraOptions opt) {
+  opt.numa_aware_state = false;
+  opt.adaptive = false;
+  return RunDora(topo, params, spec, opt);
+}
+
+inline RunMetrics RunAtrapos(const hw::Topology& topo,
+                             const sim::CostParams& params,
+                             const core::WorkloadSpec& spec, DoraOptions opt) {
+  opt.numa_aware_state = true;
+  return RunDora(topo, params, spec, opt);
+}
+
+}  // namespace atrapos::simengine

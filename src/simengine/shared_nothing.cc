@@ -1,0 +1,312 @@
+#include "simengine/shared_nothing.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "sim/cache_line.h"
+#include "sim/channel.h"
+#include "sim/locks.h"
+#include "sim/resource.h"
+
+namespace atrapos::simengine {
+
+namespace {
+
+using core::ActionSpec;
+using core::OpType;
+
+enum MsgKind : int { kReq = 1, kVote = 2, kCommit = 3 };
+
+/// One database instance: socket-local structures plus a request mailbox.
+struct Instance {
+  int id;
+  hw::SocketId socket;
+  hw::SocketId mem_node;
+  uint64_t key_lo, key_hi;  // slice of the (single) table
+  std::unique_ptr<sim::CacheLine> txn_list;
+  std::unique_ptr<sim::Resource> log;
+  std::vector<std::unique_ptr<sim::Resource>> lock_buckets;
+  std::unique_ptr<sim::Channel> req;
+  uint64_t committed = 0;
+};
+
+struct Cluster {
+  std::vector<std::unique_ptr<Instance>> instances;
+  std::vector<std::unique_ptr<sim::Channel>> reply;  // per core
+  // Per-core lease: the driver and the 2PC participant server of a core
+  // time-share it, so remote work displaces local progress (a participant
+  // instance is genuinely busy while serving sub-transactions).
+  std::vector<std::unique_ptr<sim::SimMutex>> lease;
+  uint64_t table_rows = 0;
+
+  size_t InstanceOf(uint64_t key) const {
+    size_t n = instances.size();
+    size_t i = static_cast<size_t>(
+        static_cast<unsigned __int128>(key) * n / (table_rows ? table_rows : 1));
+    return i >= n ? n - 1 : i;
+  }
+};
+
+sim::Tick WorkFor(const sim::CostParams& p, OpType op) {
+  switch (op) {
+    case OpType::kRead: return p.row_read_work;
+    case OpType::kUpdate: return p.row_update_work;
+    case OpType::kInsert: return p.row_insert_work;
+    case OpType::kDelete: return p.row_update_work;
+  }
+  return p.row_read_work;
+}
+
+/// Executes `nrows` rows locally inside `inst` (lock + access + log insert).
+/// `dist` marks rows belonging to a distributed transaction (extra lock
+/// bookkeeping). Accounts breakdown slices.
+sim::Task ServeLoop(sim::Machine& m, sim::Ctx ctx, Cluster& cl, Instance& inst,
+                    const SharedNothingOptions& opt, OpType op) {
+  const sim::CostParams& p = m.params();
+  while (m.running()) {
+    auto msg = co_await inst.req->Recv(ctx);
+    if (!msg) break;
+    auto& lease = *cl.lease[static_cast<size_t>(ctx.core)];
+    co_await lease.Acquire(ctx);
+    if (msg->kind == kReq) {
+      uint64_t nrows = msg->a;
+      // Locking with 2PC bookkeeping.
+      Tick tl = m.now();
+      size_t bucket = msg->b % inst.lock_buckets.size();
+      co_await inst.lock_buckets[bucket]->Use(
+          ctx, static_cast<Tick>(static_cast<double>(p.lockmgr_service) *
+                                 p.dist_lock_factor));
+      m.counters().breakdown().locking += m.now() - tl;
+      // Execute.
+      Tick tx = m.now();
+      co_await m.MemAccess(ctx, inst.mem_node, nrows, WorkFor(p, op));
+      m.counters().breakdown().xct_exec += m.now() - tx;
+      // Log the updates + prepare record (forced: participant must be able
+      // to commit after a coordinator decision).
+      Tick tg = m.now();
+      co_await inst.log->Use(ctx, p.log_insert_service * nrows +
+                                      p.log_force_service);
+      m.counters().breakdown().logging += m.now() - tg;
+      // Vote yes.
+      Tick ts = m.now();
+      co_await cl.reply[static_cast<size_t>(msg->from)]->Send(
+          ctx, sim::Msg{.kind = kVote, .from = inst.id, .a = 1, .b = 0,
+                        .payload = nullptr});
+      m.counters().breakdown().communication += m.now() - ts;
+    } else if (msg->kind == kCommit) {
+      // Decision record + lock release.
+      Tick tg = m.now();
+      co_await inst.log->Use(ctx, p.log_insert_service);
+      m.counters().breakdown().logging += m.now() - tg;
+      Tick tl = m.now();
+      size_t bucket = msg->b % inst.lock_buckets.size();
+      co_await inst.lock_buckets[bucket]->Use(ctx, p.lockmgr_service / 4);
+      m.counters().breakdown().locking += m.now() - tl;
+    }
+    lease.Release();
+  }
+}
+
+sim::Task Driver(sim::Machine& m, sim::Ctx ctx, Cluster& cl, Instance& inst,
+                 const core::WorkloadSpec& spec,
+                 const SharedNothingOptions& opt, Tick end, uint64_t seed) {
+  Rng rng(seed);
+  ClassPicker picker(&spec);
+  const sim::CostParams& p = m.params();
+
+  while (m.running() && m.now() < end) {
+    std::vector<double> weights;
+    if (opt.run.weights_fn) weights = opt.run.weights_fn(m.now());
+    int cls = picker.Pick(rng, opt.run.weights_fn ? &weights : nullptr);
+    const core::TxnClass& c = spec.classes[static_cast<size_t>(cls)];
+
+    auto& lease = *cl.lease[static_cast<size_t>(ctx.core)];
+    co_await lease.Acquire(ctx);
+
+    // ---- begin (instance-local: always a socket-local CAS) --------------
+    Tick t0 = m.now();
+    co_await inst.txn_list->Atomic(ctx);
+    co_await m.Compute(ctx, p.txn_mgmt_work / 2);
+    m.counters().breakdown().xct_mgmt += m.now() - t0;
+
+    uint64_t slice = inst.key_hi - inst.key_lo;
+    bool wrote = false;
+    // Remote work grouped per participant instance: instance -> row count.
+    std::map<size_t, uint64_t> remote;
+
+    for (const ActionSpec& a : c.actions) {
+      auto nrows = static_cast<uint64_t>(a.rows < 1 ? 1 : a.rows);
+      if (a.op != OpType::kRead) wrote = true;
+      if (a.aligned) {
+        // Local-site rows.
+        uint64_t key = inst.key_lo + rng.Uniform(slice ? slice : 1);
+        if (opt.lock_reads || a.op != OpType::kRead) {
+          Tick tl = m.now();
+          size_t bucket = key % inst.lock_buckets.size();
+          co_await inst.lock_buckets[bucket]->Use(ctx, p.lockmgr_service);
+          m.counters().breakdown().locking += m.now() - tl;
+        }
+        Tick tx = m.now();
+        co_await m.MemAccess(ctx, inst.mem_node, nrows, WorkFor(p, a.op));
+        m.counters().breakdown().xct_exec += m.now() - tx;
+        if (a.op != OpType::kRead) {
+          Tick tg = m.now();
+          co_await inst.log->Use(ctx, p.log_insert_service * nrows);
+          m.counters().breakdown().logging += m.now() - tg;
+        }
+      } else {
+        // Rows chosen uniformly from the whole dataset.
+        for (uint64_t r = 0; r < nrows; ++r) {
+          uint64_t key = rng.Uniform(cl.table_rows ? cl.table_rows : 1);
+          size_t owner = cl.InstanceOf(key);
+          if (owner == static_cast<size_t>(inst.id)) {
+            if (opt.lock_reads || a.op != OpType::kRead) {
+              Tick tl = m.now();
+              size_t bucket = key % inst.lock_buckets.size();
+              co_await inst.lock_buckets[bucket]->Use(ctx, p.lockmgr_service);
+              m.counters().breakdown().locking += m.now() - tl;
+            }
+            Tick tx = m.now();
+            co_await m.MemAccess(ctx, inst.mem_node, 1, WorkFor(p, a.op));
+            m.counters().breakdown().xct_exec += m.now() - tx;
+            if (a.op != OpType::kRead) {
+              Tick tg = m.now();
+              co_await inst.log->Use(ctx, p.log_insert_service);
+              m.counters().breakdown().logging += m.now() - tg;
+            }
+          } else {
+            remote[owner] += 1;
+          }
+        }
+      }
+    }
+
+    if (!remote.empty()) {
+      // ---- distributed transaction: two-phase commit ---------------------
+      Tick ts = m.now();
+      for (auto [owner, nrows] : remote) {
+        co_await cl.instances[owner]->req->Send(
+            ctx, sim::Msg{.kind = kReq, .from = ctx.core, .a = nrows,
+                          .b = static_cast<uint64_t>(inst.id),
+                          .payload = nullptr});
+      }
+      // Collect votes (the core is yielded while blocked on 2PC, so the
+      // instance's server can process other coordinators' requests).
+      lease.Release();
+      for (size_t i = 0; i < remote.size(); ++i) {
+        auto vote = co_await cl.reply[static_cast<size_t>(ctx.core)]->Recv(ctx);
+        if (!vote) break;
+      }
+      co_await lease.Acquire(ctx);
+      m.counters().breakdown().communication += m.now() - ts;
+      // Decision: force the distributed-commit record.
+      Tick tg = m.now();
+      co_await inst.log->Use(ctx, p.log_force_service +
+                                      p.log_insert_service *
+                                          (1 + remote.size()));
+      m.counters().breakdown().logging += m.now() - tg;
+      // Broadcast commit (presumed-commit: no acks).
+      Tick tb = m.now();
+      for (auto [owner, nrows] : remote) {
+        co_await cl.instances[owner]->req->Send(
+            ctx, sim::Msg{.kind = kCommit, .from = ctx.core, .a = 0,
+                          .b = static_cast<uint64_t>(inst.id),
+                          .payload = nullptr});
+      }
+      m.counters().breakdown().communication += m.now() - tb;
+    } else if (wrote) {
+      Tick tg = m.now();
+      co_await inst.log->Use(ctx, p.log_force_service);
+      m.counters().breakdown().logging += m.now() - tg;
+    }
+
+    // ---- commit ----------------------------------------------------------
+    Tick tc = m.now();
+    co_await inst.txn_list->Atomic(ctx);
+    co_await m.Compute(ctx, p.txn_mgmt_work / 2);
+    m.counters().breakdown().xct_mgmt += m.now() - tc;
+    m.counters().AddCommit();
+    ++inst.committed;
+    lease.Release();
+  }
+}
+
+}  // namespace
+
+RunMetrics RunSharedNothing(const hw::Topology& topo,
+                            const sim::CostParams& params,
+                            const core::WorkloadSpec& spec,
+                            const SharedNothingOptions& opt) {
+  // The shared-nothing engines model single-table microbenchmarks (the
+  // paper evaluates them on exactly those: Figs. 1-4 and Table I).
+  sim::Machine m(topo, params);
+  Cluster cl;
+  cl.table_rows = spec.tables[0].num_rows;
+
+  auto cores = topo.AvailableCores();
+  int n_inst = opt.per_socket_instances
+                   ? topo.num_sockets()
+                   : static_cast<int>(cores.size());
+
+  for (int i = 0; i < n_inst; ++i) {
+    auto inst = std::make_unique<Instance>();
+    inst->id = i;
+    inst->socket = opt.per_socket_instances
+                       ? static_cast<hw::SocketId>(i)
+                       : topo.socket_of(cores[static_cast<size_t>(i)]);
+    inst->mem_node =
+        opt.mem_policy ? opt.mem_policy(inst->socket) : inst->socket;
+    inst->key_lo = cl.table_rows * static_cast<uint64_t>(i) /
+                   static_cast<uint64_t>(n_inst);
+    inst->key_hi = cl.table_rows * static_cast<uint64_t>(i + 1) /
+                   static_cast<uint64_t>(n_inst);
+    inst->txn_list = std::make_unique<sim::CacheLine>(&m, inst->socket);
+    inst->log =
+        std::make_unique<sim::Resource>(&m, inst->socket, /*spin=*/true);
+    int buckets = opt.per_socket_instances ? 16 : 4;
+    for (int b = 0; b < buckets; ++b)
+      inst->lock_buckets.push_back(
+          std::make_unique<sim::Resource>(&m, inst->socket, true));
+    inst->req = std::make_unique<sim::Channel>(&m, inst->socket);
+    cl.instances.push_back(std::move(inst));
+  }
+  for (hw::CoreId c = 0; c < topo.num_cores(); ++c) {
+    cl.reply.push_back(std::make_unique<sim::Channel>(&m, topo.socket_of(c)));
+    cl.lease.push_back(std::make_unique<sim::SimMutex>(&m));
+  }
+
+  Tick end = sim::SecToCycles(opt.run.duration_s);
+  RunMetrics metrics;
+
+  // Spawn drivers and servers.
+  for (size_t ci = 0; ci < cores.size(); ++ci) {
+    hw::CoreId c = cores[ci];
+    size_t inst_idx = opt.per_socket_instances
+                          ? static_cast<size_t>(topo.socket_of(c))
+                          : ci;
+    Instance& inst = *cl.instances[inst_idx];
+    sim::Ctx dctx = m.MakeCtx(c);
+    Driver(m, dctx, cl, inst, spec, opt, end, opt.run.seed * 31 + ci);
+    // Servers: workload classes with unaligned actions need participants.
+    sim::Ctx sctx = m.MakeCtx(c);
+    OpType remote_op = OpType::kUpdate;
+    for (const auto& cc : spec.classes)
+      for (const auto& a : cc.actions)
+        if (!a.aligned) remote_op = a.op;
+    ServeLoop(m, sctx, cl, inst, opt, remote_op);
+  }
+  if (opt.run.sample_interval_s > 0)
+    Sampler(m, sim::SecToCycles(opt.run.sample_interval_s), end, &metrics);
+
+  m.RunUntil(end);
+  Tick elapsed = m.now();
+  m.Shutdown();
+  FinalizeMetrics(m, elapsed, static_cast<int>(cores.size()), &metrics);
+  metrics.per_instance_committed.clear();
+  for (const auto& inst : cl.instances)
+    metrics.per_instance_committed.push_back(inst->committed);
+  return metrics;
+}
+
+}  // namespace atrapos::simengine

@@ -1,0 +1,38 @@
+// Shared-nothing engines (paper §III-A): multiple independent instances
+// each owning a key slice, joined by a thin distributed-transaction layer
+// (two-phase commit over shared-memory channels).
+//
+//   extreme: one instance per core (H-Store style); locking/latching
+//            disabled for read-only work.
+//   coarse:  one instance per socket; locking/latching on.
+//
+// Multi-site transactions run 2PC: the coordinator executes its local rows,
+// ships sub-transactions to participant instances, collects votes, logs the
+// decision, and broadcasts commit — holding locks until the decision, with
+// extra distributed-transaction log records (§III-C).
+#pragma once
+
+#include <functional>
+
+#include "hw/topology.h"
+#include "simengine/common.h"
+
+namespace atrapos::simengine {
+
+struct SharedNothingOptions {
+  RunOptions run;
+  /// false: extreme (instance per core); true: coarse (instance per socket).
+  bool per_socket_instances = false;
+  /// Extreme shared-nothing disables locking for read-only workloads.
+  bool lock_reads = false;
+  /// Memory-allocation policy (Table I): maps an instance's socket to the
+  /// NUMA node its memory is allocated on. Default: local allocation.
+  std::function<hw::SocketId(hw::SocketId)> mem_policy;
+};
+
+RunMetrics RunSharedNothing(const hw::Topology& topo,
+                            const sim::CostParams& params,
+                            const core::WorkloadSpec& spec,
+                            const SharedNothingOptions& opt);
+
+}  // namespace atrapos::simengine

@@ -1,0 +1,55 @@
+#include "storage/heap_file.h"
+
+#include <mutex>
+
+namespace atrapos::storage {
+
+Result<Rid> HeapFile::Insert(const uint8_t* data, uint32_t len) {
+  std::unique_lock lk(mu_);
+  if (insert_hint_ < pages_.size()) {
+    auto r = pages_[insert_hint_]->Insert(data, len);
+    if (r.ok())
+      return Rid{static_cast<uint32_t>(insert_hint_), r.value()};
+  }
+  pages_.push_back(std::make_unique<Page>());
+  insert_hint_ = pages_.size() - 1;
+  auto r = pages_.back()->Insert(data, len);
+  if (!r.ok()) return r.status();  // record larger than a page
+  return Rid{static_cast<uint32_t>(insert_hint_), r.value()};
+}
+
+Status HeapFile::Read(Rid rid, uint8_t* out, uint32_t len) const {
+  std::shared_lock lk(mu_);
+  if (rid.page >= pages_.size()) return Status::NotFound("bad page");
+  uint32_t stored = 0;
+  const uint8_t* p = pages_[rid.page]->Get(rid.slot, &stored);
+  if (!p) return Status::NotFound("empty slot");
+  std::memcpy(out, p, std::min(len, stored));
+  return Status::OK();
+}
+
+Status HeapFile::Update(Rid rid, const uint8_t* data, uint32_t len) {
+  std::unique_lock lk(mu_);
+  if (rid.page >= pages_.size()) return Status::NotFound("bad page");
+  return pages_[rid.page]->Update(rid.slot, data, len);
+}
+
+Status HeapFile::Delete(Rid rid) {
+  std::unique_lock lk(mu_);
+  if (rid.page >= pages_.size()) return Status::NotFound("bad page");
+  return pages_[rid.page]->Delete(rid.slot);
+}
+
+uint64_t HeapFile::num_records() const {
+  std::shared_lock lk(mu_);
+  uint64_t n = 0;
+  for (const auto& p : pages_) n += p->live_records();
+  return n;
+}
+
+size_t HeapFile::num_pages() const {
+  std::shared_lock lk(mu_);
+  return pages_.size();
+}
+
+}  // namespace atrapos::storage

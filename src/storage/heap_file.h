@@ -1,0 +1,41 @@
+// Heap file: an append-friendly collection of slotted pages. Memory
+// resident, matching the paper's setup ("memory mapped disks for both data
+// and log files"). Thread safety: a heap file is protected by one
+// shared_mutex; partitioned engines give each partition its own heap so the
+// latch is never contended in the critical path.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace atrapos::storage {
+
+class HeapFile {
+ public:
+  HeapFile() = default;
+
+  /// Appends a record, returning its Rid.
+  Result<Rid> Insert(const uint8_t* data, uint32_t len);
+
+  /// Copies the record into `out` (must hold `len` bytes). NotFound if gone.
+  Status Read(Rid rid, uint8_t* out, uint32_t len) const;
+
+  /// In-place overwrite (fixed-size records).
+  Status Update(Rid rid, const uint8_t* data, uint32_t len);
+
+  Status Delete(Rid rid);
+
+  uint64_t num_records() const;
+  size_t num_pages() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  size_t insert_hint_ = 0;  // page most likely to have space
+};
+
+}  // namespace atrapos::storage

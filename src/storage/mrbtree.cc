@@ -1,0 +1,125 @@
+#include "storage/mrbtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace atrapos::storage {
+
+MultiRootedBTree::MultiRootedBTree(std::vector<uint64_t> boundaries) {
+  assert(!boundaries.empty() && boundaries[0] == 0);
+  assert(std::is_sorted(boundaries.begin(), boundaries.end()));
+  parts_.reserve(boundaries.size());
+  for (uint64_t b : boundaries)
+    parts_.push_back(Part{b, std::make_unique<BPlusTree>()});
+}
+
+size_t MultiRootedBTree::PartitionOf(uint64_t key) const {
+  // Last partition whose start <= key.
+  size_t lo = 0, hi = parts_.size();
+  while (hi - lo > 1) {
+    size_t mid = (lo + hi) / 2;
+    if (parts_[mid].start <= key)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+uint64_t MultiRootedBTree::total_size() const {
+  uint64_t n = 0;
+  for (const auto& p : parts_) n += p.tree->size();
+  return n;
+}
+
+std::vector<uint64_t> MultiRootedBTree::Boundaries() const {
+  std::vector<uint64_t> out;
+  out.reserve(parts_.size());
+  for (const auto& p : parts_) out.push_back(p.start);
+  return out;
+}
+
+Status MultiRootedBTree::Insert(uint64_t key, uint64_t value) {
+  return parts_[PartitionOf(key)].tree->Insert(key, value);
+}
+
+std::optional<uint64_t> MultiRootedBTree::Get(uint64_t key) const {
+  return parts_[PartitionOf(key)].tree->Get(key);
+}
+
+Status MultiRootedBTree::Update(uint64_t key, uint64_t value) {
+  return parts_[PartitionOf(key)].tree->Update(key, value);
+}
+
+Status MultiRootedBTree::Delete(uint64_t key) {
+  return parts_[PartitionOf(key)].tree->Delete(key);
+}
+
+void MultiRootedBTree::Scan(
+    uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, uint64_t)>& fn) const {
+  bool more = true;
+  for (size_t p = PartitionOf(lo); p < parts_.size() && more; ++p) {
+    if (parts_[p].start > hi) break;
+    parts_[p].tree->Scan(lo, hi, [&](uint64_t k, uint64_t v) {
+      more = fn(k, v);
+      return more;
+    });
+  }
+}
+
+Status MultiRootedBTree::Split(size_t p, uint64_t key) {
+  if (p >= parts_.size()) return Status::OutOfRange("no such partition");
+  uint64_t start = parts_[p].start;
+  uint64_t end = p + 1 < parts_.size() ? parts_[p + 1].start : UINT64_MAX;
+  if (key <= start || key >= end)
+    return Status::InvalidArgument("split key outside partition range");
+  auto moved = parts_[p].tree->ExtractFrom(key);
+  auto tree = std::make_unique<BPlusTree>();
+  tree->BulkLoad(std::move(moved));
+  parts_.insert(parts_.begin() + static_cast<long>(p) + 1,
+                Part{key, std::move(tree)});
+  return Status::OK();
+}
+
+Status MultiRootedBTree::Merge(size_t p) {
+  if (p + 1 >= parts_.size()) return Status::OutOfRange("no right neighbor");
+  // Append the right subtree's entries (all keys larger than p's max).
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(parts_[p + 1].tree->size());
+  parts_[p + 1].tree->Scan(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    entries.emplace_back(k, v);
+    return true;
+  });
+  parts_[p].tree->BulkAppend(entries);
+  parts_.erase(parts_.begin() + static_cast<long>(p) + 1);
+  return Status::OK();
+}
+
+void MultiRootedBTree::Repartition(const std::vector<uint64_t>& boundaries) {
+  assert(!boundaries.empty() && boundaries[0] == 0);
+  std::vector<std::pair<uint64_t, uint64_t>> all;
+  all.reserve(total_size());
+  Scan(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    all.emplace_back(k, v);
+    return true;
+  });
+  std::vector<Part> np;
+  np.reserve(boundaries.size());
+  size_t i = 0;
+  for (size_t b = 0; b < boundaries.size(); ++b) {
+    uint64_t end = b + 1 < boundaries.size() ? boundaries[b + 1] : UINT64_MAX;
+    std::vector<std::pair<uint64_t, uint64_t>> chunk;
+    while (i < all.size() &&
+           (all[i].first < end || end == UINT64_MAX)) {
+      chunk.push_back(all[i]);
+      ++i;
+    }
+    auto tree = std::make_unique<BPlusTree>();
+    tree->BulkLoad(std::move(chunk));
+    np.push_back(Part{boundaries[b], std::move(tree)});
+  }
+  parts_ = std::move(np);
+}
+
+}  // namespace atrapos::storage

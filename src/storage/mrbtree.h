@@ -1,0 +1,72 @@
+// Multi-rooted B+-tree (paper §III-A, PLP): the original B-tree is split
+// into one root per logical partition, with fence keys deciding which root
+// serves a key. Because each partition is accessed only by its owner worker
+// thread, subtree accesses need no latches in the critical path.
+//
+// Repartitioning actions (paper §V-D) operate on this structure:
+//   Split(p, key)  — divide partition p into two at `key`
+//   Merge(p)       — fuse partitions p and p+1
+//   Rearrange      — one split plus one merge (composed by the caller)
+// These mutate physical subtrees and the fence-key table; callers must have
+// paused the affected partitions' workers first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/btree.h"
+#include "util/status.h"
+
+namespace atrapos::storage {
+
+class MultiRootedBTree {
+ public:
+  /// Creates `boundaries.size()` partitions; partition i serves keys in
+  /// [boundaries[i], boundaries[i+1]) — the last one up to UINT64_MAX.
+  /// boundaries[0] must be 0.
+  explicit MultiRootedBTree(std::vector<uint64_t> boundaries = {0});
+
+  size_t num_partitions() const { return parts_.size(); }
+  /// Partition serving `key`.
+  size_t PartitionOf(uint64_t key) const;
+  uint64_t partition_start(size_t p) const { return parts_[p].start; }
+  uint64_t partition_size(size_t p) const { return parts_[p].tree->size(); }
+  uint64_t total_size() const;
+  std::vector<uint64_t> Boundaries() const;
+
+  // ---- Key operations (routed to the owning subtree) ---------------------
+  Status Insert(uint64_t key, uint64_t value);
+  std::optional<uint64_t> Get(uint64_t key) const;
+  Status Update(uint64_t key, uint64_t value);
+  Status Delete(uint64_t key);
+  void Scan(uint64_t lo, uint64_t hi,
+            const std::function<bool(uint64_t, uint64_t)>& fn) const;
+
+  /// Direct subtree access for a partition's owner worker (latch-free path).
+  BPlusTree& subtree(size_t p) { return *parts_[p].tree; }
+  const BPlusTree& subtree(size_t p) const { return *parts_[p].tree; }
+
+  // ---- Repartitioning actions --------------------------------------------
+
+  /// Splits partition p at `key` (strictly inside its range): p keeps
+  /// [start, key), a new partition p+1 owns [key, next_start).
+  Status Split(size_t p, uint64_t key);
+
+  /// Merges partition p with p+1 (entries of p+1 are appended to p).
+  Status Merge(size_t p);
+
+  /// Replaces the whole partitioning with `boundaries`, redistributing all
+  /// entries. Convenience for engine-level repartitioning to an arbitrary
+  /// target; cost is linear in total entries.
+  void Repartition(const std::vector<uint64_t>& boundaries);
+
+ private:
+  struct Part {
+    uint64_t start;
+    std::unique_ptr<BPlusTree> tree;
+  };
+  std::vector<Part> parts_;
+};
+
+}  // namespace atrapos::storage

@@ -1,0 +1,59 @@
+#include "storage/page.h"
+
+namespace atrapos::storage {
+
+Page::Page() : data_(kPageSize, 0) {}
+
+uint32_t Page::free_space() const {
+  uint32_t slot_dir_end =
+      static_cast<uint32_t>(slots_.size() * sizeof(Slot)) + 16;
+  return heap_top_ > slot_dir_end ? heap_top_ - slot_dir_end : 0;
+}
+
+Result<uint32_t> Page::Insert(const uint8_t* data, uint32_t len) {
+  // Reuse a tombstone of the same length first (fixed-size records make
+  // this the common case after deletes).
+  for (uint32_t i = 0; i < num_slots_; ++i) {
+    if (slots_[i].len == 0 && slots_[i].off != 0) {
+      // Tombstone; its original extent is unknown to us, but with fixed-size
+      // records per table the extent always fits `len`.
+      std::memcpy(data_.data() + slots_[i].off, data, len);
+      slots_[i].len = len;
+      ++live_;
+      return i;
+    }
+  }
+  if (free_space() < len + sizeof(Slot)) {
+    return Status::ResourceExhausted("page full");
+  }
+  heap_top_ -= len;
+  std::memcpy(data_.data() + heap_top_, data, len);
+  slots_.push_back(Slot{heap_top_, len});
+  ++live_;
+  return num_slots_++;
+}
+
+const uint8_t* Page::Get(uint32_t slot, uint32_t* len) const {
+  if (slot >= num_slots_ || slots_[slot].len == 0) return nullptr;
+  if (len) *len = slots_[slot].len;
+  return data_.data() + slots_[slot].off;
+}
+
+Status Page::Update(uint32_t slot, const uint8_t* data, uint32_t len) {
+  if (slot >= num_slots_ || slots_[slot].len == 0)
+    return Status::NotFound("no such slot");
+  if (slots_[slot].len != len)
+    return Status::InvalidArgument("update must preserve record size");
+  std::memcpy(data_.data() + slots_[slot].off, data, len);
+  return Status::OK();
+}
+
+Status Page::Delete(uint32_t slot) {
+  if (slot >= num_slots_ || slots_[slot].len == 0)
+    return Status::NotFound("no such slot");
+  slots_[slot].len = 0;  // keep off as tombstone marker
+  --live_;
+  return Status::OK();
+}
+
+}  // namespace atrapos::storage

@@ -1,0 +1,68 @@
+// Slotted data page. Fixed 8 KiB frames; records are fixed-size per table
+// (see Schema) but the slot directory keeps the page format general.
+//
+// Layout:  [header][slot directory ...] ... free ... [records grow down]
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace atrapos::storage {
+
+constexpr uint32_t kPageSize = 8192;
+
+/// Record identifier: page number within a heap file + slot index.
+struct Rid {
+  uint32_t page = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const Rid&) const = default;
+  uint64_t Encode() const {
+    return (static_cast<uint64_t>(page) << 32) | slot;
+  }
+  static Rid Decode(uint64_t v) {
+    return Rid{static_cast<uint32_t>(v >> 32), static_cast<uint32_t>(v)};
+  }
+};
+
+/// A single slotted page. Not thread-safe; callers latch externally.
+class Page {
+ public:
+  Page();
+
+  /// Inserts a record; returns the slot index or ResourceExhausted when the
+  /// page cannot fit it.
+  Result<uint32_t> Insert(const uint8_t* data, uint32_t len);
+
+  /// Reads the record in `slot`; nullptr if the slot is empty/invalid.
+  const uint8_t* Get(uint32_t slot, uint32_t* len = nullptr) const;
+
+  /// Overwrites a record in place (same length only — fixed-size records).
+  Status Update(uint32_t slot, const uint8_t* data, uint32_t len);
+
+  /// Deletes the record (slot becomes reusable tombstone).
+  Status Delete(uint32_t slot);
+
+  uint32_t num_slots() const { return num_slots_; }
+  uint32_t live_records() const { return live_; }
+  uint32_t free_space() const;
+
+ private:
+  struct Slot {
+    uint32_t off = 0;
+    uint32_t len = 0;  // 0 => tombstone
+  };
+  // In-memory representation: the slot directory and heap area are kept in
+  // one contiguous buffer, mirroring the on-disk layout of Shore-MT pages.
+  std::vector<uint8_t> data_;
+  std::vector<Slot> slots_;
+  uint32_t num_slots_ = 0;
+  uint32_t live_ = 0;
+  uint32_t heap_top_ = kPageSize;  // records grow down from the end
+};
+
+}  // namespace atrapos::storage

@@ -1,0 +1,40 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+
+namespace atrapos::storage {
+
+Schema::Schema(std::vector<Column> cols) : cols_(std::move(cols)) {
+  offsets_.reserve(cols_.size());
+  uint32_t off = 0;
+  for (const auto& c : cols_) {
+    offsets_.push_back(off);
+    off += c.size;
+  }
+  record_size_ = off;
+}
+
+int Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < cols_.size(); ++i)
+    if (cols_[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+std::string Tuple::GetString(size_t col) const {
+  const Column& c = schema_->column(col);
+  const char* p =
+      reinterpret_cast<const char*>(data_.data() + schema_->offset(col));
+  size_t len = 0;
+  while (len < c.size && p[len] != '\0') ++len;
+  return std::string(p, len);
+}
+
+void Tuple::SetString(size_t col, std::string_view v) {
+  const Column& c = schema_->column(col);
+  uint8_t* p = data_.data() + schema_->offset(col);
+  size_t n = std::min<size_t>(v.size(), c.size);
+  std::memcpy(p, v.data(), n);
+  std::memset(p + n, 0, c.size - n);
+}
+
+}  // namespace atrapos::storage

@@ -1,0 +1,87 @@
+// Table schemas and fixed-width tuples.
+//
+// All workload tables (micro, TATP, TPC-C) use Int64 and fixed-width string
+// columns, so records are fixed-size: the record layout is computed once per
+// schema and tuples serialize to flat byte arrays stored in slotted pages.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace atrapos::storage {
+
+enum class ColumnType : uint8_t {
+  kInt64,
+  kFixedString,  ///< fixed capacity, NUL-padded
+};
+
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  uint32_t size = 8;  ///< bytes; 8 for Int64, capacity for FixedString
+
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ColumnType::kInt64, 8};
+  }
+  static Column FixedString(std::string name, uint32_t cap) {
+    return Column{std::move(name), ColumnType::kFixedString, cap};
+  }
+};
+
+/// Immutable column layout; computes offsets and the record size.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> cols);
+
+  size_t num_columns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+  uint32_t record_size() const { return record_size_; }
+  /// Index of a column by name; -1 if absent.
+  int FindColumn(std::string_view name) const;
+
+ private:
+  std::vector<Column> cols_;
+  std::vector<uint32_t> offsets_;
+  uint32_t record_size_ = 0;
+};
+
+/// A mutable record bound to a schema. Stores the flat serialized form.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(const Schema* schema)
+      : schema_(schema), data_(schema->record_size(), 0) {}
+  /// Wraps existing serialized bytes (copies them).
+  Tuple(const Schema* schema, const uint8_t* bytes)
+      : schema_(schema),
+        data_(bytes, bytes + schema->record_size()) {}
+
+  const Schema* schema() const { return schema_; }
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* mutable_data() { return data_.data(); }
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+
+  int64_t GetInt(size_t col) const {
+    int64_t v;
+    std::memcpy(&v, data_.data() + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  void SetInt(size_t col, int64_t v) {
+    std::memcpy(data_.data() + schema_->offset(col), &v, sizeof(v));
+  }
+  std::string GetString(size_t col) const;
+  void SetString(size_t col, std::string_view v);
+
+ private:
+  const Schema* schema_ = nullptr;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace atrapos::storage

@@ -1,0 +1,44 @@
+#include "storage/table.h"
+
+namespace atrapos::storage {
+
+Table::Table(TableId id, std::string name, Schema schema,
+             std::vector<uint64_t> boundaries)
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      index_(std::move(boundaries)) {}
+
+Status Table::Insert(uint64_t key, const Tuple& row) {
+  auto rid = heap_.Insert(row.data(), row.size());
+  if (!rid.ok()) return rid.status();
+  Status s = index_.Insert(key, rid.value().Encode());
+  if (!s.ok()) {
+    // Roll the heap insert back so the table stays consistent.
+    (void)heap_.Delete(rid.value());
+    return s;
+  }
+  return Status::OK();
+}
+
+Status Table::Read(uint64_t key, Tuple* out) const {
+  auto rid = index_.Get(key);
+  if (!rid) return Status::NotFound("no such key");
+  *out = Tuple(&schema_);
+  return heap_.Read(Rid::Decode(*rid), out->mutable_data(), out->size());
+}
+
+Status Table::Update(uint64_t key, const Tuple& row) {
+  auto rid = index_.Get(key);
+  if (!rid) return Status::NotFound("no such key");
+  return heap_.Update(Rid::Decode(*rid), row.data(), row.size());
+}
+
+Status Table::Delete(uint64_t key) {
+  auto rid = index_.Get(key);
+  if (!rid) return Status::NotFound("no such key");
+  ATRAPOS_RETURN_NOT_OK(heap_.Delete(Rid::Decode(*rid)));
+  return index_.Delete(key);
+}
+
+}  // namespace atrapos::storage

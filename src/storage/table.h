@@ -1,0 +1,51 @@
+// A table: schema + heap file + multi-rooted primary index. The logical
+// partitioning lives in the index's fence keys; the engine maps partitions
+// to worker threads/cores.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "storage/heap_file.h"
+#include "storage/mrbtree.h"
+#include "storage/schema.h"
+#include "util/status.h"
+
+namespace atrapos::storage {
+
+using TableId = int32_t;
+
+class Table {
+ public:
+  Table(TableId id, std::string name, Schema schema,
+        std::vector<uint64_t> boundaries = {0});
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  MultiRootedBTree& index() { return index_; }
+  const MultiRootedBTree& index() const { return index_; }
+  HeapFile& heap() { return heap_; }
+
+  /// Inserts a row under primary key `key`.
+  Status Insert(uint64_t key, const Tuple& row);
+
+  /// Reads the row with primary key `key` into `out`.
+  Status Read(uint64_t key, Tuple* out) const;
+
+  /// Replaces the row with primary key `key`.
+  Status Update(uint64_t key, const Tuple& row);
+
+  Status Delete(uint64_t key);
+
+  uint64_t num_rows() const { return index_.total_size(); }
+
+ private:
+  TableId id_;
+  std::string name_;
+  Schema schema_;
+  HeapFile heap_;
+  MultiRootedBTree index_;
+};
+
+}  // namespace atrapos::storage

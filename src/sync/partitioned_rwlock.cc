@@ -1,0 +1,35 @@
+#include "sync/partitioned_rwlock.h"
+
+namespace atrapos::sync {
+
+PartitionedRWLock::PartitionedRWLock(int num_sockets) {
+  locks_.reserve(static_cast<size_t>(num_sockets));
+  for (int i = 0; i < num_sockets; ++i)
+    locks_.push_back(std::make_unique<PaddedLock>());
+}
+
+hw::SocketId PartitionedRWLock::CallerSocket() const {
+  hw::SocketId s = hw::CurrentPlacement().socket;
+  if (s < 0 || s >= static_cast<hw::SocketId>(locks_.size())) s = 0;
+  return s;
+}
+
+void PartitionedRWLock::LockShared() { LockShared(CallerSocket()); }
+void PartitionedRWLock::UnlockShared() { UnlockShared(CallerSocket()); }
+
+void PartitionedRWLock::LockShared(hw::SocketId s) {
+  locks_[static_cast<size_t>(s)]->mu.lock_shared();
+}
+void PartitionedRWLock::UnlockShared(hw::SocketId s) {
+  locks_[static_cast<size_t>(s)]->mu.unlock_shared();
+}
+
+void PartitionedRWLock::LockExclusive() {
+  for (auto& l : locks_) l->mu.lock();
+}
+void PartitionedRWLock::UnlockExclusive() {
+  for (auto it = locks_.rbegin(); it != locks_.rend(); ++it)
+    (*it)->mu.unlock();
+}
+
+}  // namespace atrapos::sync

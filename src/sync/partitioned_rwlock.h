@@ -1,0 +1,77 @@
+// NUMA-aware partitioned read/write lock (paper §IV, "Shared locks") — the
+// real-thread counterpart of sim::PartitionedRWLock.
+//
+// One reader/writer lock per socket. The critical-path operation, a shared
+// (read) acquire, touches only the calling thread's socket-local lock, so
+// it never drags cache lines across the interconnect and contends only with
+// threads of the same socket. Exclusive (write) acquires — background tasks
+// like checkpointing — take every per-socket lock in order.
+//
+// Each per-socket lock is padded to its own cache line to prevent false
+// sharing between sockets.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "hw/binding.h"
+#include "hw/topology.h"
+
+namespace atrapos::sync {
+
+class PartitionedRWLock {
+ public:
+  explicit PartitionedRWLock(int num_sockets);
+
+  /// Shared acquire on the caller's socket partition (from thread-local
+  /// placement; socket 0 if the thread was never bound).
+  void LockShared();
+  void UnlockShared();
+  /// Shared acquire on an explicit socket (for engines managing placement
+  /// themselves).
+  void LockShared(hw::SocketId s);
+  void UnlockShared(hw::SocketId s);
+
+  /// Exclusive acquire: grabs all per-socket locks in ascending order
+  /// (deadlock-free by global order).
+  void LockExclusive();
+  void UnlockExclusive();
+
+  int num_partitions() const { return static_cast<int>(locks_.size()); }
+
+ private:
+  struct alignas(64) PaddedLock {
+    std::shared_mutex mu;
+  };
+  hw::SocketId CallerSocket() const;
+  std::vector<std::unique_ptr<PaddedLock>> locks_;
+};
+
+/// RAII shared guard.
+class SharedGuard {
+ public:
+  explicit SharedGuard(PartitionedRWLock& l) : l_(&l) { l_->LockShared(); }
+  ~SharedGuard() { l_->UnlockShared(); }
+  SharedGuard(const SharedGuard&) = delete;
+  SharedGuard& operator=(const SharedGuard&) = delete;
+
+ private:
+  PartitionedRWLock* l_;
+};
+
+/// RAII exclusive guard.
+class ExclusiveGuard {
+ public:
+  explicit ExclusiveGuard(PartitionedRWLock& l) : l_(&l) {
+    l_->LockExclusive();
+  }
+  ~ExclusiveGuard() { l_->UnlockExclusive(); }
+  ExclusiveGuard(const ExclusiveGuard&) = delete;
+  ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+
+ private:
+  PartitionedRWLock* l_;
+};
+
+}  // namespace atrapos::sync

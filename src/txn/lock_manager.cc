@@ -1,0 +1,127 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace atrapos::txn {
+
+LockManager::LockManager(size_t num_buckets) : buckets_(num_buckets) {}
+
+bool LockManager::Compatible(const Entry& e, const Request& r) {
+  for (const Request& g : e.queue) {
+    if (!g.granted) break;  // waiters start after the granted prefix
+    if (g.txn == r.txn) continue;
+    if (g.mode == LockMode::kExclusive || r.mode == LockMode::kExclusive)
+      return false;
+  }
+  return true;
+}
+
+bool LockManager::Promote(Entry& e) {
+  bool any = false;
+  for (auto& r : e.queue) {
+    if (r.granted) continue;
+    if (Compatible(e, r)) {
+      r.granted = true;
+      any = true;
+    } else {
+      break;  // strict FIFO beyond the first blocked waiter
+    }
+  }
+  return any;
+}
+
+Status LockManager::Acquire(TxnId txn, LockId id, LockMode mode) {
+  Bucket& b = BucketOf(id);
+  std::unique_lock lk(b.mu);
+  Entry& e = b.locks[id];
+
+  // Re-entrant upgrade-free fast path: already granted in a covering mode.
+  for (auto& g : e.queue) {
+    if (!g.granted) break;
+    if (g.txn == txn &&
+        (g.mode == mode || g.mode == LockMode::kExclusive)) {
+      return Status::OK();
+    }
+  }
+
+  Request req{txn, mode, false};
+  if (Compatible(e, req) &&
+      std::none_of(e.queue.begin(), e.queue.end(),
+                   [](const Request& r) { return !r.granted; })) {
+    req.granted = true;
+    e.queue.push_back(req);
+  } else {
+    // Wait-die: younger (higher id) requesters die instead of waiting on
+    // older holders; older requesters may wait.
+    for (const Request& g : e.queue) {
+      if (!g.granted) break;
+      bool conflict = g.txn != txn && (g.mode == LockMode::kExclusive ||
+                                       mode == LockMode::kExclusive);
+      if (conflict && txn > g.txn) {
+        return Status::DeadlockAbort("wait-die: younger than holder");
+      }
+    }
+    e.queue.push_back(req);
+    b.cv.wait(lk, [&] {
+      for (const Request& r : e.queue)
+        if (r.txn == txn && r.mode == mode) return r.granted;
+      return true;  // request vanished (should not happen)
+    });
+  }
+
+  {
+    std::lock_guard hlk(held_mu_);
+    held_[txn].push_back(id);
+  }
+  return Status::OK();
+}
+
+void LockManager::Release(TxnId txn, LockId id) {
+  Bucket& b = BucketOf(id);
+  bool promoted = false;
+  {
+    std::lock_guard lk(b.mu);
+    auto it = b.locks.find(id);
+    if (it == b.locks.end()) return;
+    auto& q = it->second.queue;
+    for (auto qit = q.begin(); qit != q.end(); ++qit) {
+      if (qit->txn == txn) {
+        q.erase(qit);
+        break;
+      }
+    }
+    if (q.empty()) {
+      b.locks.erase(it);
+    } else {
+      promoted = Promote(it->second);
+    }
+  }
+  if (promoted) b.cv.notify_all();
+  std::lock_guard hlk(held_mu_);
+  auto hit = held_.find(txn);
+  if (hit != held_.end()) {
+    auto& v = hit->second;
+    auto vit = std::find(v.begin(), v.end(), id);
+    if (vit != v.end()) v.erase(vit);
+    if (v.empty()) held_.erase(hit);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::vector<LockId> ids;
+  {
+    std::lock_guard hlk(held_mu_);
+    auto it = held_.find(txn);
+    if (it == held_.end()) return;
+    ids = it->second;
+  }
+  for (LockId id : ids) Release(txn, id);
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard hlk(held_mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace atrapos::txn

@@ -1,0 +1,76 @@
+// Centralized lock manager with shared/exclusive row locks and wait-die
+// deadlock avoidance. This is the structure whose contention motivates PLP
+// (paper §III-A): every lock acquisition hashes into a shared bucket table.
+// Partitioned engines bypass it with per-partition local lock tables.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/txn_list.h"
+#include "util/status.h"
+
+namespace atrapos::txn {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+/// Lock identifier: table id in the high 16 bits is conventional but the
+/// manager treats it as opaque.
+using LockId = uint64_t;
+
+constexpr LockId MakeLockId(int32_t table, uint64_t key) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(table)) << 48) |
+         (key & 0xFFFFFFFFFFFFULL);
+}
+
+class LockManager {
+ public:
+  explicit LockManager(size_t num_buckets = 1024);
+
+  /// Acquires `id` in `mode` for transaction `txn` (its id doubles as the
+  /// wait-die timestamp: lower id == older == may wait). Returns
+  /// DeadlockAbort if wait-die chooses the caller as victim.
+  Status Acquire(TxnId txn, LockId id, LockMode mode);
+
+  /// Releases one lock.
+  void Release(TxnId txn, LockId id);
+
+  /// Releases everything held by `txn` (commit/abort path).
+  void ReleaseAll(TxnId txn);
+
+  /// Locks currently held by `txn` (diagnostics/tests).
+  size_t HeldCount(TxnId txn) const;
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    bool granted;
+  };
+  struct Entry {
+    std::deque<Request> queue;  // granted prefix, then waiters
+  };
+  struct alignas(64) Bucket {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockId, Entry> locks;
+  };
+
+  Bucket& BucketOf(LockId id) {
+    return buckets_[static_cast<size_t>(id * 0x9e3779b97f4a7c15ULL %
+                                        buckets_.size())];
+  }
+  static bool Compatible(const Entry& e, const Request& r);
+  /// Grants any waiters now admissible; returns true if someone was granted.
+  static bool Promote(Entry& e);
+
+  std::vector<Bucket> buckets_;
+  mutable std::mutex held_mu_;
+  std::unordered_map<TxnId, std::vector<LockId>> held_;
+};
+
+}  // namespace atrapos::txn

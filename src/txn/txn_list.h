@@ -1,0 +1,79 @@
+// Active-transaction lists (paper §IV, "List of transactions").
+//
+// Shore-MT keeps one lock-free list of active transactions: beginning a
+// transaction is a CAS on the global list head — fine on one socket, a
+// convoy across eight. ATraPos keeps one list per socket: begin/end touch
+// only the socket-local head, and background operations (checkpointing,
+// page cleaning) traverse all per-socket lists.
+//
+// Both flavors are provided behind one interface so engines can switch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace atrapos::txn {
+
+using TxnId = uint64_t;
+
+/// Node of the intrusive lock-free list.
+struct TxnNode {
+  TxnId id = 0;
+  std::atomic<bool> active{false};
+  std::atomic<TxnNode*> next{nullptr};
+};
+
+/// Interface: add on begin, remove on end, snapshot for background tasks.
+class ActiveTxnList {
+ public:
+  virtual ~ActiveTxnList() = default;
+
+  /// Registers a transaction; `socket` is the caller's socket (ignored by
+  /// the centralized flavor). The returned node stays owned by the list.
+  virtual TxnNode* Add(TxnId id, hw::SocketId socket) = 0;
+
+  /// Marks the transaction finished. Must be called by the same thread
+  /// (and hence socket) that called Add — the paper's thread-binding rule.
+  virtual void Remove(TxnNode* node, hw::SocketId socket) = 0;
+
+  /// Visits every active transaction (checkpointer path).
+  virtual void ForEach(const std::function<void(TxnId)>& fn) const = 0;
+
+  virtual uint64_t ActiveCount() const = 0;
+};
+
+/// Shore-MT style: one global lock-free list, CAS on a single head.
+class CentralizedTxnList : public ActiveTxnList {
+ public:
+  CentralizedTxnList() = default;
+  ~CentralizedTxnList() override;
+
+  TxnNode* Add(TxnId id, hw::SocketId socket) override;
+  void Remove(TxnNode* node, hw::SocketId socket) override;
+  void ForEach(const std::function<void(TxnId)>& fn) const override;
+  uint64_t ActiveCount() const override;
+
+ private:
+  std::atomic<TxnNode*> head_{nullptr};
+};
+
+/// ATraPos style: one lock-free list per socket.
+class PartitionedTxnList : public ActiveTxnList {
+ public:
+  explicit PartitionedTxnList(int num_sockets);
+
+  TxnNode* Add(TxnId id, hw::SocketId socket) override;
+  void Remove(TxnNode* node, hw::SocketId socket) override;
+  void ForEach(const std::function<void(TxnId)>& fn) const override;
+  uint64_t ActiveCount() const override;
+
+ private:
+  std::vector<std::unique_ptr<CentralizedTxnList>> lists_;
+};
+
+}  // namespace atrapos::txn

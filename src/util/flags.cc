@@ -1,0 +1,50 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace atrapos {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", a);
+      std::exit(2);
+    }
+    std::string s(a + 2);
+    auto eq = s.find('=');
+    if (eq != std::string::npos) {
+      kv_[s.substr(0, eq)] = s.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      kv_[s] = argv[++i];
+    } else {
+      kv_[s] = "true";
+    }
+  }
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+}  // namespace atrapos

@@ -1,0 +1,28 @@
+// Minimal command-line flag parsing for bench/example binaries:
+// --name=value or --name value. Unknown flags are an error so typos surface.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace atrapos {
+
+/// Parses argv into a key->value map and offers typed getters with defaults.
+class Flags {
+ public:
+  /// Parse; exits with a message on malformed input.
+  Flags(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  bool Has(const std::string& name) const { return kv_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace atrapos

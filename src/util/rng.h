@@ -1,0 +1,141 @@
+// Deterministic random number generation for workloads and benchmarks.
+// All benchmark harnesses seed explicitly so every run is bit-reproducible.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace atrapos {
+
+/// xorshift128+ generator: fast, decent quality, fully deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to spread a small seed over the state.
+    uint64_t z = seed;
+    for (auto* s : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      *s = x ^ (x >> 31);
+    }
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (TPC-C style).
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// TPC-C NURand(A, x, y) non-uniform random (spec clause 2.1.6).
+  int64_t NURand(int64_t a, int64_t x, int64_t y, int64_t c = 42) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipf-distributed generator over [0, n). Uses the Gray et al. (SIGMOD'94)
+/// rejection-free method with precomputed normalization constants, so a draw
+/// is O(1) after O(1) setup (we avoid the O(n) harmonic sum via integral
+/// approximation, which is accurate for the n >= 1000 used in workloads).
+class ZipfRng {
+ public:
+  ZipfRng(uint64_t n, double theta, uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    assert(n >= 1);
+    zetan_ = Zeta(n, theta);
+    zeta2_ = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  /// Draw a rank in [0, n); rank 0 is the hottest item.
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto v = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    // Exact for small n; integral approximation beyond 10000 terms.
+    double sum = 0;
+    uint64_t exact = n < 10000 ? n : 10000;
+    for (uint64_t i = 1; i <= exact; ++i) sum += std::pow(1.0 / static_cast<double>(i), theta);
+    if (exact < n) {
+      // integral of x^-theta from `exact` to n
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(exact), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  Rng rng_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+/// "Hot set" skew generator: with probability `hot_prob` draw uniformly from
+/// the first `hot_fraction` of the key space, otherwise uniformly from the
+/// rest. This matches the paper's Fig. 11 skew ("50% of the requests go to
+/// the 20% of the data").
+class HotSetRng {
+ public:
+  HotSetRng(uint64_t n, double hot_fraction, double hot_prob, uint64_t seed = 1)
+      : n_(n),
+        hot_n_(static_cast<uint64_t>(static_cast<double>(n) * hot_fraction)),
+        hot_prob_(hot_prob),
+        rng_(seed) {
+    if (hot_n_ == 0) hot_n_ = 1;
+  }
+
+  uint64_t Next() {
+    if (rng_.NextDouble() < hot_prob_) return rng_.Uniform(hot_n_);
+    if (hot_n_ >= n_) return rng_.Uniform(n_);
+    return hot_n_ + rng_.Uniform(n_ - hot_n_);
+  }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_n_;
+  double hot_prob_;
+  Rng rng_;
+};
+
+}  // namespace atrapos

@@ -1,0 +1,50 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace atrapos {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(long long v) { return std::to_string(v); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> w(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) w[i] = header_[i].size();
+  for (const auto& r : rows_)
+    for (size_t i = 0; i < r.size(); ++i) w[i] = std::max(w[i], r[i].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "  " : "");
+      os << cells[i];
+      os << std::string(w[i] - cells[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t i = 0; i < w.size(); ++i) total += w[i] + (i ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace atrapos

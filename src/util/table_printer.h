@@ -1,0 +1,30 @@
+// Fixed-width table formatter used by every bench binary so the output
+// mirrors the rows/series of the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace atrapos {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  /// Render to stdout with a separator under the header.
+  void Print() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace atrapos

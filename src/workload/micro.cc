@@ -1,0 +1,80 @@
+#include "workload/micro.h"
+
+namespace atrapos::workload {
+
+using core::ActionSpec;
+using core::OpType;
+using core::SyncPointSpec;
+using core::TxnClass;
+using core::WorkloadSpec;
+
+storage::Schema MicroTableSchema() {
+  std::vector<storage::Column> cols;
+  for (int i = 0; i < 10; ++i)
+    cols.push_back(storage::Column::Int64("c" + std::to_string(i)));
+  return storage::Schema(cols);
+}
+
+core::WorkloadSpec ReadOneSpec(uint64_t rows) {
+  WorkloadSpec spec;
+  spec.name = "read-one";
+  spec.tables = {{"T", rows}};
+  TxnClass cls;
+  cls.name = "ReadOne";
+  cls.actions = {ActionSpec{0, OpType::kRead, 1, 1, 1, true}};
+  cls.weight = 1.0;
+  spec.classes.push_back(cls);
+  return spec;
+}
+
+core::WorkloadSpec MultisiteUpdateSpec(double multisite_pct, uint64_t rows) {
+  WorkloadSpec spec;
+  spec.name = "multisite-update";
+  spec.tables = {{"T", rows}};
+
+  TxnClass local;
+  local.name = "LocalUpdate10";
+  local.actions = {ActionSpec{0, OpType::kUpdate, 10, 1, 1, true}};
+  local.weight = 100.0 - multisite_pct;
+  spec.classes.push_back(local);
+
+  TxnClass multi;
+  multi.name = "MultisiteUpdate";
+  // 1 local row + 9 rows uniform over the whole dataset (unaligned).
+  multi.actions = {ActionSpec{0, OpType::kUpdate, 1, 1, 1, true},
+                   ActionSpec{0, OpType::kUpdate, 9, 1, 1, false}};
+  multi.sync_points = {SyncPointSpec{{0, 1}, 128}};
+  multi.weight = multisite_pct;
+  spec.classes.push_back(multi);
+  return spec;
+}
+
+core::WorkloadSpec Read100Spec(uint64_t rows) {
+  WorkloadSpec spec;
+  spec.name = "read-100";
+  spec.tables = {{"T", rows}};
+  TxnClass cls;
+  cls.name = "Read100";
+  cls.actions = {ActionSpec{0, OpType::kRead, 100, 1, 1, false}};
+  cls.weight = 1.0;
+  spec.classes.push_back(cls);
+  return spec;
+}
+
+core::WorkloadSpec SimpleTwoTableSpec(uint64_t rows) {
+  WorkloadSpec spec;
+  spec.name = "simple-two-table";
+  spec.tables = {{"A", rows}, {"B", rows}};
+  TxnClass cls;
+  cls.name = "ReadAB";
+  cls.actions = {ActionSpec{0, OpType::kRead, 1, 1, 1, true},
+                 ActionSpec{1, OpType::kRead, 1, 1, 1, true}};
+  // The dependent read ships the first row's relevant columns plus probe
+  // state between the two partitions.
+  cls.sync_points = {SyncPointSpec{{0, 1}, 512}};
+  cls.weight = 1.0;
+  spec.classes.push_back(cls);
+  return spec;
+}
+
+}  // namespace atrapos::workload

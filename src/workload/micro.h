@@ -1,0 +1,30 @@
+// The paper's microbenchmarks (§III, §IV, §V-A).
+#pragma once
+
+#include "core/flow_graph.h"
+#include "storage/schema.h"
+
+namespace atrapos::workload {
+
+/// The microbenchmark table: 10 integer columns (c0 is the key).
+storage::Schema MicroTableSchema();
+
+/// §III-B / §IV / Fig. 1, 2, 5: perfectly partitionable workload — each
+/// transaction reads one row from one table (800 K rows by default).
+core::WorkloadSpec ReadOneSpec(uint64_t rows = 800000);
+
+/// §III-C / Fig. 3, 4: two transaction classes on one table —
+///   local:      update 10 rows from the local site
+///   multi-site: update 1 local row + 9 rows uniform over the whole dataset
+/// `multisite_pct` in [0,100] sets the class weights.
+core::WorkloadSpec MultisiteUpdateSpec(double multisite_pct,
+                                       uint64_t rows = 800000);
+
+/// §III-D / Table I: read 100 rows chosen randomly from a 1 M-row table.
+core::WorkloadSpec Read100Spec(uint64_t rows = 1000000);
+
+/// §V-A Fig. 6: the simple two-table transaction — read one row of A, then
+/// the dependent row of B (same key domain, foreign-key aligned).
+core::WorkloadSpec SimpleTwoTableSpec(uint64_t rows = 800000);
+
+}  // namespace atrapos::workload

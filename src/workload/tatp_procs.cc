@@ -1,0 +1,163 @@
+#include "workload/tatp_procs.h"
+
+namespace atrapos::workload {
+
+namespace {
+/// Column indices (see BuildTatpTables schemas).
+enum SubCol { kSubId = 0, kSubNbr, kBit1, kHex1, kByte2, kMscLoc, kVlrLoc };
+enum AiCol { kAiSId = 0, kAiType, kAiData1, kAiData2, kAiData3, kAiData4 };
+enum SfCol { kSfSId = 0, kSfType, kSfActive, kSfErr, kSfDataA, kSfDataB };
+enum CfCol { kCfSId = 0, kCfType, kCfStart, kCfEnd, kCfNumber };
+}  // namespace
+
+Status TatpProcedures::GetSubscriberData(uint64_t s_id, storage::Tuple* out) {
+  return db_->RunTransaction([&](engine::Database::Txn* txn) {
+    return db_->Read(txn, kSubscriber, s_id, out);
+  });
+}
+
+Status TatpProcedures::GetAccessData(uint64_t s_id, uint64_t ai_type,
+                                     int64_t* data1) {
+  return db_->RunTransaction([&](engine::Database::Txn* txn) {
+    storage::Tuple row;
+    ATRAPOS_RETURN_NOT_OK(
+        db_->Read(txn, kAccessInfo, TatpEncodeAiKey(s_id, ai_type), &row));
+    *data1 = row.GetInt(kAiData1);
+    return Status::OK();
+  });
+}
+
+Status TatpProcedures::GetNewDestination(uint64_t s_id, uint64_t sf_type,
+                                         uint64_t start_time,
+                                         uint64_t end_time,
+                                         std::string* numberx) {
+  return db_->RunTransaction([&](engine::Database::Txn* txn) {
+    storage::Tuple sf;
+    ATRAPOS_RETURN_NOT_OK(
+        db_->Read(txn, kSpecialFacility, TatpEncodeSfKey(s_id, sf_type), &sf));
+    if (sf.GetInt(kSfActive) == 0) return Status::NotFound("inactive SF");
+    // CallForwarding windows start at multiples of 8; probe the covering
+    // candidates at or before start_time.
+    for (uint64_t start = 0; start <= start_time; start += 8) {
+      storage::Tuple cf;
+      Status s = db_->Read(txn, kCallForwarding,
+                           TatpEncodeCfKey(s_id, sf_type, start), &cf);
+      if (!s.ok()) {
+        if (s.code() == StatusCode::kNotFound) continue;
+        return s;
+      }
+      if (static_cast<uint64_t>(cf.GetInt(kCfStart)) <= start_time &&
+          static_cast<uint64_t>(cf.GetInt(kCfEnd)) > end_time) {
+        *numberx = cf.GetString(kCfNumber);
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("no matching forwarding window");
+  });
+}
+
+Status TatpProcedures::UpdateSubscriberData(uint64_t s_id, int64_t bit,
+                                            uint64_t sf_type,
+                                            int64_t data_a) {
+  return db_->RunTransaction([&](engine::Database::Txn* txn) {
+    storage::Tuple sub;
+    ATRAPOS_RETURN_NOT_OK(db_->ReadForUpdate(txn, kSubscriber, s_id, &sub));
+    sub.SetInt(kBit1, bit);
+    ATRAPOS_RETURN_NOT_OK(db_->Update(txn, kSubscriber, s_id, sub));
+    storage::Tuple sf;
+    uint64_t sf_key = TatpEncodeSfKey(s_id, sf_type);
+    ATRAPOS_RETURN_NOT_OK(
+        db_->ReadForUpdate(txn, kSpecialFacility, sf_key, &sf));
+    sf.SetInt(kSfDataA, data_a);
+    return db_->Update(txn, kSpecialFacility, sf_key, sf);
+  });
+}
+
+Status TatpProcedures::UpdateLocation(uint64_t s_id, int64_t vlr_location) {
+  return db_->RunTransaction([&](engine::Database::Txn* txn) {
+    storage::Tuple sub;
+    ATRAPOS_RETURN_NOT_OK(db_->ReadForUpdate(txn, kSubscriber, s_id, &sub));
+    sub.SetInt(kVlrLoc, vlr_location);
+    return db_->Update(txn, kSubscriber, s_id, sub);
+  });
+}
+
+Status TatpProcedures::InsertCallForwarding(uint64_t s_id, uint64_t sf_type,
+                                            uint64_t start_time,
+                                            uint64_t end_time,
+                                            const std::string& numberx) {
+  return db_->RunTransaction([&](engine::Database::Txn* txn) {
+    // Spec: the subscriber and an SF row are read first.
+    storage::Tuple sub, sf;
+    ATRAPOS_RETURN_NOT_OK(db_->Read(txn, kSubscriber, s_id, &sub));
+    ATRAPOS_RETURN_NOT_OK(
+        db_->Read(txn, kSpecialFacility, TatpEncodeSfKey(s_id, sf_type), &sf));
+    storage::Tuple cf(&db_->table(kCallForwarding)->schema());
+    cf.SetInt(kCfSId, static_cast<int64_t>(s_id));
+    cf.SetInt(kCfType, static_cast<int64_t>(sf_type));
+    cf.SetInt(kCfStart, static_cast<int64_t>(start_time));
+    cf.SetInt(kCfEnd, static_cast<int64_t>(end_time));
+    cf.SetString(kCfNumber, numberx);
+    return db_->Insert(txn, kCallForwarding,
+                       TatpEncodeCfKey(s_id, sf_type, start_time), cf);
+  });
+}
+
+Status TatpProcedures::DeleteCallForwarding(uint64_t s_id, uint64_t sf_type,
+                                            uint64_t start_time) {
+  return db_->RunTransaction([&](engine::Database::Txn* txn) {
+    return db_->Delete(txn, kCallForwarding,
+                       TatpEncodeCfKey(s_id, sf_type, start_time));
+  });
+}
+
+Result<int> TatpProcedures::RunMix(Rng& rng) {
+  uint64_t s_id = rng.Uniform(subscribers_);
+  uint64_t sf_type = rng.Uniform(4);
+  int draw = static_cast<int>(rng.Uniform(100));
+  auto ok_or_miss = [](Status s) {
+    return s.ok() || s.code() == StatusCode::kNotFound ||
+                   s.code() == StatusCode::kAlreadyExists
+               ? Status::OK()
+               : s;
+  };
+  // Standard mix: 35 / 10 / 35 / 2 / 14 / 2 / 2.
+  if (draw < 35) {
+    storage::Tuple row;
+    ATRAPOS_RETURN_NOT_OK(ok_or_miss(GetSubscriberData(s_id, &row)));
+    return kGetSubData;
+  }
+  if (draw < 45) {
+    std::string number;
+    ATRAPOS_RETURN_NOT_OK(ok_or_miss(
+        GetNewDestination(s_id, sf_type, rng.Uniform(3) * 8, 1, &number)));
+    return kGetNewDest;
+  }
+  if (draw < 80) {
+    int64_t d1 = 0;
+    ATRAPOS_RETURN_NOT_OK(
+        ok_or_miss(GetAccessData(s_id, rng.Uniform(4), &d1)));
+    return kGetAccData;
+  }
+  if (draw < 82) {
+    ATRAPOS_RETURN_NOT_OK(ok_or_miss(UpdateSubscriberData(
+        s_id, static_cast<int64_t>(rng.Uniform(2)), sf_type,
+        static_cast<int64_t>(rng.Uniform(256)))));
+    return kUpdSubData;
+  }
+  if (draw < 96) {
+    ATRAPOS_RETURN_NOT_OK(ok_or_miss(UpdateLocation(
+        s_id, static_cast<int64_t>(rng.Next() % (1ULL << 31)))));
+    return kUpdLocation;
+  }
+  if (draw < 98) {
+    ATRAPOS_RETURN_NOT_OK(ok_or_miss(InsertCallForwarding(
+        s_id, sf_type, rng.Uniform(4) * 8, rng.Uniform(24) + 8, "555-0199")));
+    return kInsCallFwd;
+  }
+  ATRAPOS_RETURN_NOT_OK(
+      ok_or_miss(DeleteCallForwarding(s_id, sf_type, rng.Uniform(4) * 8)));
+  return kDelCallFwd;
+}
+
+}  // namespace atrapos::workload

@@ -1,0 +1,57 @@
+// The seven TATP stored procedures implemented against the real engine
+// (engine::Database): the workload's functional counterpart to the
+// simulated flow graphs. Follows the TATP specification's semantics at the
+// row level (wait-die retry handled by the caller or RunMix).
+#pragma once
+
+#include <string>
+
+#include "engine/database.h"
+#include "util/rng.h"
+#include "workload/tatp.h"
+
+namespace atrapos::workload {
+
+class TatpProcedures {
+ public:
+  /// `db` must contain the four TATP tables at indices kSubscriber..
+  /// kCallForwarding (as produced by BuildTatpTables + Database::AddTable).
+  TatpProcedures(engine::Database* db, uint64_t subscribers)
+      : db_(db), subscribers_(subscribers) {}
+
+  // ---- read-only, single table ------------------------------------------
+  Status GetSubscriberData(uint64_t s_id, storage::Tuple* out);
+  Status GetAccessData(uint64_t s_id, uint64_t ai_type, int64_t* data1);
+
+  // ---- read-only, multi table -------------------------------------------
+  /// Returns the forwarding number if an active SpecialFacility with a
+  /// matching CallForwarding window exists (NotFound otherwise, as in the
+  /// spec where ~76.5% of calls find a destination).
+  Status GetNewDestination(uint64_t s_id, uint64_t sf_type,
+                           uint64_t start_time, uint64_t end_time,
+                           std::string* numberx);
+
+  // ---- updates ------------------------------------------------------------
+  Status UpdateSubscriberData(uint64_t s_id, int64_t bit, uint64_t sf_type,
+                              int64_t data_a);
+  Status UpdateLocation(uint64_t s_id, int64_t vlr_location);
+  Status InsertCallForwarding(uint64_t s_id, uint64_t sf_type,
+                              uint64_t start_time, uint64_t end_time,
+                              const std::string& numberx);
+  Status DeleteCallForwarding(uint64_t s_id, uint64_t sf_type,
+                              uint64_t start_time);
+
+  /// Draws a transaction from the standard TATP mix and executes it with
+  /// retry. Returns the class index executed (TatpTxn), or an error status
+  /// for non-retryable failures. Spec-conformant "expected" misses
+  /// (NotFound on probes) count as success.
+  Result<int> RunMix(Rng& rng);
+
+  uint64_t subscribers() const { return subscribers_; }
+
+ private:
+  engine::Database* db_;
+  uint64_t subscribers_;
+};
+
+}  // namespace atrapos::workload

@@ -1,0 +1,226 @@
+#include "workload/tpcc.h"
+
+#include "util/rng.h"
+
+namespace atrapos::workload {
+
+using core::ActionSpec;
+using core::OpType;
+using core::SyncPointSpec;
+using core::TxnClass;
+using core::WorkloadSpec;
+
+namespace {
+
+/// The NewOrder flow graph of Fig. 7:
+///   fixed part:    R(WH) R(DIST) R(CUST) -> U(DIST) -> I(NORD) I(ORD)
+///   variable part: R(ITEM) -> R(STO) -> U(STO) -> I(OL), x(5-15)
+/// Four synchronization points; all but the second involve a variable
+/// number of partitions.
+TxnClass MakeNewOrder() {
+  TxnClass c;
+  c.name = "NewOrder";
+  c.actions = {
+      /*0*/ ActionSpec{kWarehouse, OpType::kRead, 1, 1, 1, true},
+      /*1*/ ActionSpec{kDistrict, OpType::kRead, 1, 1, 1, true},
+      /*2*/ ActionSpec{kCustomer, OpType::kRead, 1, 1, 1, true},
+      /*3*/ ActionSpec{kDistrict, OpType::kUpdate, 1, 1, 1, true},
+      /*4*/ ActionSpec{kNewOrder, OpType::kInsert, 1, 1, 1, true},
+      /*5*/ ActionSpec{kOrder, OpType::kInsert, 1, 1, 1, true},
+      /*6*/ ActionSpec{kItem, OpType::kRead, 1, 5, 15, false},
+      /*7*/ ActionSpec{kStock, OpType::kRead, 1, 5, 15, false},
+      /*8*/ ActionSpec{kStock, OpType::kUpdate, 1, 5, 15, false},
+      /*9*/ ActionSpec{kOrderLine, OpType::kInsert, 1, 5, 15, true},
+  };
+  c.sync_points = {
+      SyncPointSpec{{0, 1, 2, 6}, 256},  // input gather (variable: items)
+      SyncPointSpec{{3, 4, 5}, 128},     // the fixed one
+      SyncPointSpec{{6, 7, 8}, 192},     // per-item stock check (variable)
+      SyncPointSpec{{8, 9}, 192},        // order-line emit (variable)
+  };
+  c.weight = 45;
+  return c;
+}
+
+TxnClass MakePayment() {
+  TxnClass c;
+  c.name = "Payment";
+  c.actions = {
+      ActionSpec{kWarehouse, OpType::kUpdate, 1, 1, 1, true},
+      ActionSpec{kDistrict, OpType::kUpdate, 1, 1, 1, true},
+      ActionSpec{kCustomer, OpType::kUpdate, 1, 1, 1, true},
+      ActionSpec{kHistory, OpType::kInsert, 1, 1, 1, true},
+  };
+  c.sync_points = {SyncPointSpec{{0, 1, 2}, 128}, SyncPointSpec{{2, 3}, 64}};
+  c.weight = 43;
+  return c;
+}
+
+TxnClass MakeOrderStatus() {
+  TxnClass c;
+  c.name = "OrderStatus";
+  c.actions = {
+      ActionSpec{kCustomer, OpType::kRead, 1, 1, 1, true},
+      ActionSpec{kOrder, OpType::kRead, 1, 1, 1, true},
+      ActionSpec{kOrderLine, OpType::kRead, 10, 1, 1, true},
+  };
+  c.sync_points = {SyncPointSpec{{0, 1}, 64}, SyncPointSpec{{1, 2}, 128}};
+  c.weight = 4;
+  return c;
+}
+
+TxnClass MakeDelivery() {
+  TxnClass c;
+  c.name = "Delivery";
+  c.actions = {
+      ActionSpec{kNewOrder, OpType::kDelete, 1, 10, 10, true},
+      ActionSpec{kOrder, OpType::kUpdate, 1, 10, 10, true},
+      ActionSpec{kOrderLine, OpType::kUpdate, 10, 10, 10, true},
+      ActionSpec{kCustomer, OpType::kUpdate, 1, 10, 10, true},
+  };
+  c.sync_points = {SyncPointSpec{{0, 1, 2}, 128}, SyncPointSpec{{2, 3}, 64}};
+  c.weight = 4;
+  return c;
+}
+
+TxnClass MakeStockLevel() {
+  TxnClass c;
+  c.name = "StockLevel";
+  c.actions = {
+      ActionSpec{kDistrict, OpType::kRead, 1, 1, 1, true},
+      ActionSpec{kOrderLine, OpType::kRead, 200, 1, 1, true},
+      // The join probes stock by item id: unaligned.
+      ActionSpec{kStock, OpType::kRead, 200, 1, 1, false},
+  };
+  c.sync_points = {SyncPointSpec{{0, 1}, 64}, SyncPointSpec{{1, 2}, 2048}};
+  c.weight = 4;
+  return c;
+}
+
+}  // namespace
+
+core::WorkloadSpec TpccSpec(int warehouses) {
+  WorkloadSpec spec;
+  spec.name = "tpcc";
+  auto w = static_cast<uint64_t>(warehouses);
+  spec.tables = {
+      {"WAREHOUSE", w},         {"DISTRICT", w * 10},
+      {"CUSTOMER", w * 300000}, {"HISTORY", w * 300000},
+      {"NEWORDER", w * 90000},  {"ORDER", w * 300000},
+      {"ORDERLINE", w * 3000000}, {"ITEM", 100000},
+      {"STOCK", w * 100000},
+  };
+  spec.classes = {MakeNewOrder(), MakePayment(), MakeOrderStatus(),
+                  MakeDelivery(), MakeStockLevel()};
+  return spec;
+}
+
+core::WorkloadSpec TpccSingleTxnSpec(TpccTxn txn, int warehouses) {
+  WorkloadSpec spec = TpccSpec(warehouses);
+  for (size_t i = 0; i < spec.classes.size(); ++i)
+    spec.classes[i].weight = (static_cast<int>(i) == txn) ? 1.0 : 0.0;
+  spec.name = "tpcc-" + spec.classes[static_cast<size_t>(txn)].name;
+  return spec;
+}
+
+std::vector<std::unique_ptr<storage::Table>> BuildTpccTables(
+    int warehouses, int districts_per_wh, int cust_per_district, int items,
+    uint64_t seed) {
+  using storage::Column;
+  using storage::Schema;
+  using storage::Table;
+  using storage::Tuple;
+  Rng rng(seed);
+  std::vector<std::unique_ptr<Table>> tables;
+  auto wn = static_cast<uint64_t>(warehouses);
+
+  Schema wh_schema({Column::Int64("w_id"), Column::FixedString("w_name", 10),
+                    Column::Int64("w_tax"), Column::Int64("w_ytd")});
+  auto wh = std::make_unique<Table>(kWarehouse, "WAREHOUSE", wh_schema);
+  for (uint64_t w = 0; w < wn; ++w) {
+    Tuple t(&wh->schema());
+    t.SetInt(0, static_cast<int64_t>(w));
+    t.SetString(1, "WH" + std::to_string(w));
+    t.SetInt(2, static_cast<int64_t>(rng.Uniform(2000)));
+    (void)wh->Insert(w, t);
+  }
+  tables.push_back(std::move(wh));
+
+  Schema d_schema({Column::Int64("d_w_id"), Column::Int64("d_id"),
+                   Column::Int64("d_tax"), Column::Int64("d_next_o_id")});
+  auto dist = std::make_unique<Table>(kDistrict, "DISTRICT", d_schema);
+  for (uint64_t w = 0; w < wn; ++w)
+    for (uint64_t d = 0; d < static_cast<uint64_t>(districts_per_wh); ++d) {
+      Tuple t(&dist->schema());
+      t.SetInt(0, static_cast<int64_t>(w));
+      t.SetInt(1, static_cast<int64_t>(d));
+      t.SetInt(3, 1);
+      (void)dist->Insert(TpccDistrictKey(w, d), t);
+    }
+  tables.push_back(std::move(dist));
+
+  Schema c_schema({Column::Int64("c_w_id"), Column::Int64("c_d_id"),
+                   Column::Int64("c_id"), Column::FixedString("c_last", 16),
+                   Column::Int64("c_balance")});
+  auto cust = std::make_unique<Table>(kCustomer, "CUSTOMER", c_schema);
+  for (uint64_t w = 0; w < wn; ++w)
+    for (uint64_t d = 0; d < static_cast<uint64_t>(districts_per_wh); ++d)
+      for (uint64_t cid = 0; cid < static_cast<uint64_t>(cust_per_district);
+           ++cid) {
+        Tuple t(&cust->schema());
+        t.SetInt(0, static_cast<int64_t>(w));
+        t.SetInt(1, static_cast<int64_t>(d));
+        t.SetInt(2, static_cast<int64_t>(cid));
+        t.SetString(3, "Cust" + std::to_string(cid));
+        t.SetInt(4, -10);
+        (void)cust->Insert(TpccCustomerKey(w, d, cid), t);
+      }
+  tables.push_back(std::move(cust));
+
+  Schema h_schema({Column::Int64("h_c_id"), Column::Int64("h_amount")});
+  tables.push_back(
+      std::make_unique<Table>(kHistory, "HISTORY", h_schema));
+
+  Schema no_schema({Column::Int64("no_w_id"), Column::Int64("no_d_id"),
+                    Column::Int64("no_o_id")});
+  tables.push_back(std::make_unique<Table>(kNewOrder, "NEWORDER", no_schema));
+
+  Schema o_schema({Column::Int64("o_w_id"), Column::Int64("o_d_id"),
+                   Column::Int64("o_id"), Column::Int64("o_c_id"),
+                   Column::Int64("o_ol_cnt")});
+  tables.push_back(std::make_unique<Table>(kOrder, "ORDER", o_schema));
+
+  Schema ol_schema({Column::Int64("ol_w_id"), Column::Int64("ol_d_id"),
+                    Column::Int64("ol_o_id"), Column::Int64("ol_number"),
+                    Column::Int64("ol_i_id"), Column::Int64("ol_quantity")});
+  tables.push_back(
+      std::make_unique<Table>(kOrderLine, "ORDERLINE", ol_schema));
+
+  Schema i_schema({Column::Int64("i_id"), Column::FixedString("i_name", 14),
+                   Column::Int64("i_price")});
+  auto item = std::make_unique<Table>(kItem, "ITEM", i_schema);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(items); ++i) {
+    Tuple t(&item->schema());
+    t.SetInt(0, static_cast<int64_t>(i));
+    t.SetString(1, "Item" + std::to_string(i));
+    t.SetInt(2, static_cast<int64_t>(100 + rng.Uniform(9900)));
+    (void)item->Insert(i, t);
+  }
+  tables.push_back(std::move(item));
+
+  Schema s_schema({Column::Int64("s_w_id"), Column::Int64("s_i_id"),
+                   Column::Int64("s_quantity"), Column::Int64("s_ytd")});
+  auto stock = std::make_unique<Table>(kStock, "STOCK", s_schema);
+  for (uint64_t w = 0; w < wn; ++w)
+    for (uint64_t i = 0; i < static_cast<uint64_t>(items); ++i) {
+      Tuple t(&stock->schema());
+      t.SetInt(0, static_cast<int64_t>(w));
+      t.SetInt(1, static_cast<int64_t>(i));
+      t.SetInt(2, static_cast<int64_t>(10 + rng.Uniform(90)));
+      (void)stock->Insert(TpccStockKey(w, i), t);
+    }
+  tables.push_back(std::move(stock));
+  return tables;
+}
+
+}  // namespace atrapos::workload

@@ -1,0 +1,71 @@
+// TPC-C (§VI-A): 9 tables, 5 transactions; every transaction touches data
+// from 3+ tables. Warehouse-keyed tables share an aligned key domain
+// (partitioning by warehouse); ITEM has its own domain, so ITEM/STOCK
+// probes by item id are unaligned — the adversarial part of NewOrder's
+// flow graph (Fig. 7).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/flow_graph.h"
+#include "storage/table.h"
+
+namespace atrapos::workload {
+
+enum TpccTable : int {
+  kWarehouse = 0,
+  kDistrict = 1,
+  kCustomer = 2,
+  kHistory = 3,
+  kNewOrder = 4,
+  kOrder = 5,
+  kOrderLine = 6,
+  kItem = 7,
+  kStock = 8,
+};
+
+enum TpccTxn : int {
+  kNewOrderTxn = 0,
+  kPayment = 1,
+  kOrderStatus = 2,
+  kDelivery = 3,
+  kStockLevel = 4,
+};
+
+/// The TPC-C workload spec at `warehouses` scale with the standard mix
+/// (NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%).
+core::WorkloadSpec TpccSpec(int warehouses = 80);
+
+/// Single-transaction spec (Fig. 8 per-transaction bars).
+core::WorkloadSpec TpccSingleTxnSpec(TpccTxn txn, int warehouses = 80);
+
+/// Builds and populates real TPC-C tables at a (scaled-down) row count per
+/// warehouse, for the real engine and examples. `cust_per_district` scales
+/// CUSTOMER/STOCK rows to keep example runtimes short.
+std::vector<std::unique_ptr<storage::Table>> BuildTpccTables(
+    int warehouses, int districts_per_wh = 10, int cust_per_district = 30,
+    int items = 1000, uint64_t seed = 42);
+
+// Composite-key encodings (warehouse id in the high bits keeps the aligned
+// tables partitionable by warehouse).
+constexpr uint64_t kTpccDistrictsPerWh = 10;
+
+constexpr uint64_t TpccDistrictKey(uint64_t w, uint64_t d) {
+  return w * kTpccDistrictsPerWh + d;
+}
+constexpr uint64_t TpccCustomerKey(uint64_t w, uint64_t d, uint64_t c) {
+  return (w * kTpccDistrictsPerWh + d) * 100000 + c;
+}
+constexpr uint64_t TpccOrderKey(uint64_t w, uint64_t d, uint64_t o) {
+  return (w * kTpccDistrictsPerWh + d) * 10000000 + o;
+}
+constexpr uint64_t TpccOrderLineKey(uint64_t w, uint64_t d, uint64_t o,
+                                    uint64_t l) {
+  return TpccOrderKey(w, d, o) * 16 + l;
+}
+constexpr uint64_t TpccStockKey(uint64_t w, uint64_t i) {
+  return w * 100000 + i;
+}
+
+}  // namespace atrapos::workload

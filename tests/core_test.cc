@@ -1,0 +1,348 @@
+// Tests of the ATraPos core: cost model, Algorithms 1 & 2, monitoring,
+// adaptive interval controller, repartition planning.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/adaptive_controller.h"
+#include "core/cost_model.h"
+#include "core/monitor.h"
+#include "core/repartitioner.h"
+#include "core/search.h"
+#include "storage/mrbtree.h"
+
+namespace atrapos::core {
+namespace {
+
+/// Two-table workload of the paper's "Simple Transaction Example" (§V-A):
+/// read one row of A, then a dependent row of B; one sync point.
+WorkloadSpec SimpleSpec(uint64_t rows = 80000) {
+  WorkloadSpec spec;
+  spec.name = "simple";
+  spec.tables = {{"A", rows}, {"B", rows}};
+  TxnClass cls;
+  cls.name = "ReadAB";
+  cls.actions = {
+      ActionSpec{0, OpType::kRead, 1, 1, 1, true},
+      ActionSpec{1, OpType::kRead, 1, 1, 1, true},
+  };
+  cls.sync_points = {SyncPointSpec{{0, 1}, 64}};
+  cls.weight = 1.0;
+  spec.classes.push_back(cls);
+  return spec;
+}
+
+/// Uniform load stats at `bins` bins per table.
+WorkloadStats UniformStats(const WorkloadSpec& spec, size_t bins,
+                           double total_per_table = 1000.0) {
+  WorkloadStats w;
+  w.tables.resize(spec.tables.size());
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    uint64_t rows = spec.tables[t].num_rows;
+    for (size_t b = 0; b < bins; ++b) {
+      w.tables[t].sub_starts.push_back(rows * b / bins);
+      w.tables[t].sub_cost.push_back(total_per_table / static_cast<double>(bins));
+    }
+  }
+  w.class_counts.assign(spec.classes.size(), 1000.0);
+  return w;
+}
+
+TEST(SchemeTest, NaiveOnePartitionPerCore) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  Scheme s = NaiveScheme(topo, {800000, 800000});
+  ASSERT_EQ(s.tables.size(), 2u);
+  EXPECT_EQ(s.tables[0].num_partitions(), 80u);
+  EXPECT_EQ(s.tables[0].boundaries[0], 0u);
+  EXPECT_EQ(s.tables[0].boundaries[1], 10000u);
+  EXPECT_EQ(s.tables[0].placement[79], 79);
+  EXPECT_EQ(s.tables[0].PartitionOf(10000), 1u);
+  EXPECT_EQ(s.tables[0].PartitionOf(9999), 0u);
+}
+
+TEST(SchemeTest, NaiveSkipsFailedSockets) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  topo.FailSocket(2);
+  Scheme s = NaiveScheme(topo, {700000});
+  EXPECT_EQ(s.tables[0].num_partitions(), 70u);
+  for (hw::CoreId c : s.tables[0].placement)
+    EXPECT_NE(topo.socket_of(c), 2);
+}
+
+TEST(CostModelTest, PerfectBalanceHasZeroImbalance) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = SimpleSpec();
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  Scheme s = NaiveScheme(topo, {spec.tables[0].num_rows,
+                                spec.tables[1].num_rows});
+  EXPECT_NEAR(model.ResourceImbalance(s, w), 0.0, 1e-6);
+}
+
+TEST(CostModelTest, SkewedLoadYieldsImbalance) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = SimpleSpec();
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  // Put all of table A's load on the first bin.
+  std::fill(w.tables[0].sub_cost.begin(), w.tables[0].sub_cost.end(), 0.0);
+  w.tables[0].sub_cost[0] = 1000.0;
+  Scheme s = NaiveScheme(topo, {spec.tables[0].num_rows,
+                                spec.tables[1].num_rows});
+  EXPECT_GT(model.ResourceImbalance(s, w), 100.0);
+}
+
+TEST(CostModelTest, CoLocatedDependentPartitionsHaveZeroSyncCost) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = SimpleSpec();
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  // Naive scheme: partition i of both tables on core i => same socket for
+  // the aligned sync point => zero sync cost.
+  Scheme s = NaiveScheme(topo, {spec.tables[0].num_rows,
+                                spec.tables[1].num_rows});
+  EXPECT_NEAR(model.SyncCost(s, w), 0.0, 1e-6);
+}
+
+TEST(CostModelTest, CrossSocketPlacementCostsMore) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = SimpleSpec();
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  Scheme s = NaiveScheme(topo, {spec.tables[0].num_rows,
+                                spec.tables[1].num_rows});
+  // Shift table B's placement by one whole socket: every aligned pair now
+  // spans two sockets.
+  for (auto& c : s.tables[1].placement) c = (c + 10) % 80;
+  double ts = model.SyncCost(s, w);
+  EXPECT_GT(ts, 0.0);
+}
+
+TEST(CostModelTest, UnalignedActionsAlwaysCost) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  WorkloadSpec spec = SimpleSpec();
+  spec.classes[0].actions[1].aligned = false;  // like TPC-C ITEM probes
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  Scheme s = NaiveScheme(topo, {spec.tables[0].num_rows,
+                                spec.tables[1].num_rows});
+  // Even the naive co-located scheme can't avoid cross-socket sync when one
+  // action picks random partitions.
+  EXPECT_GT(model.SyncCost(s, w), 0.0);
+}
+
+TEST(CostModelTest, SingleSocketSyncIsFree) {
+  auto topo = hw::Topology::SingleSocket(10);
+  auto spec = SimpleSpec();
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 10);
+  Scheme s = NaiveScheme(topo, {spec.tables[0].num_rows,
+                                spec.tables[1].num_rows});
+  EXPECT_EQ(model.SyncCost(s, w), 0.0);
+}
+
+TEST(SearchTest, PartitioningBalancesSkewedLoad) {
+  auto topo = hw::Topology::Cube(2, 4);  // 4 sockets x 4 cores
+  auto spec = SimpleSpec(16000);
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 64);
+  // Skew: first quarter of table A carries 10x load.
+  for (size_t b = 0; b < 16; ++b) w.tables[0].sub_cost[b] *= 10.0;
+
+  Scheme naive = NaiveScheme(topo, {16000, 16000});
+  Scheme chosen = ChoosePartitioning(model, w);
+  EXPECT_LT(model.ResourceImbalance(chosen, w),
+            model.ResourceImbalance(naive, w));
+}
+
+TEST(SearchTest, PlacementReducesSyncCost) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = SimpleSpec();
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  // Start from a deliberately bad placement: B shifted a socket away.
+  Scheme s = NaiveScheme(topo, {spec.tables[0].num_rows,
+                                spec.tables[1].num_rows});
+  for (auto& c : s.tables[1].placement) c = (c + 10) % 80;
+  double before = model.SyncCost(s, w);
+  ASSERT_GT(before, 0.0);
+  Scheme improved = ChoosePlacement(model, w, s);
+  double after = model.SyncCost(improved, w);
+  EXPECT_LT(after, before);
+}
+
+TEST(SearchTest, FullSearchEndsBalancedAndCheap) {
+  auto topo = hw::Topology::Cube(2, 4);
+  auto spec = SimpleSpec(16000);
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 32);
+  Scheme s = ChooseScheme(model, w);
+  // Sanity: boundaries valid and sorted per table, placement on real cores.
+  for (const auto& ts : s.tables) {
+    ASSERT_FALSE(ts.boundaries.empty());
+    EXPECT_EQ(ts.boundaries[0], 0u);
+    EXPECT_TRUE(std::is_sorted(ts.boundaries.begin(), ts.boundaries.end()));
+    EXPECT_EQ(ts.placement.size(), ts.boundaries.size());
+    for (hw::CoreId c : ts.placement) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, topo.num_cores());
+    }
+  }
+  // Uniform load on a symmetric machine: imbalance should be small relative
+  // to total load (1000 per table).
+  EXPECT_LT(model.ResourceImbalance(s, w), 500.0);
+}
+
+TEST(SearchTest, RespectsFailedSocket) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  topo.FailSocket(7);
+  auto spec = SimpleSpec();
+  CostModel model(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  Scheme s = ChooseScheme(model, w);
+  for (const auto& ts : s.tables)
+    for (hw::CoreId c : ts.placement) EXPECT_NE(topo.socket_of(c), 7);
+}
+
+TEST(MonitorTest, BinsActionsBySubPartition) {
+  PartitionMonitor pm(1000, 2000, 10);
+  pm.RecordAction(1000, 5.0);   // sub 0
+  pm.RecordAction(1099, 5.0);   // sub 0
+  pm.RecordAction(1500, 3.0);   // sub 5
+  pm.RecordAction(1999, 2.0);   // sub 9
+  pm.RecordAction(5000, 1.0);   // clamped to sub 9
+  EXPECT_DOUBLE_EQ(pm.sub_cost(0), 10.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(5), 3.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(9), 3.0);
+  EXPECT_DOUBLE_EQ(pm.TotalCost(), 16.0);
+  pm.RecordSync(1500);
+  EXPECT_EQ(pm.sub_syncs(5), 1u);
+  pm.Reset();
+  EXPECT_DOUBLE_EQ(pm.TotalCost(), 0.0);
+  EXPECT_EQ(pm.sub_syncs(5), 0u);
+}
+
+TEST(MonitorTest, SubStartsSpanRange) {
+  PartitionMonitor pm(0, 10000, 10);
+  EXPECT_EQ(pm.sub_start(0), 0u);
+  EXPECT_EQ(pm.sub_start(5), 5000u);
+  EXPECT_EQ(pm.sub_start(9), 9000u);
+}
+
+TEST(MonitorTest, AggregatorBuildsSortedStats) {
+  MonitorAggregator agg(2, 1);
+  PartitionMonitor p0(0, 100, 2), p1(100, 200, 2);
+  p0.RecordAction(10, 1.0);
+  p1.RecordAction(150, 4.0);
+  // Added out of key order on purpose.
+  agg.AddPartition(0, p1);
+  agg.AddPartition(0, p0);
+  agg.AddClassCount(0, 123.0);
+  WorkloadStats w = agg.Build(2.0);
+  ASSERT_EQ(w.tables[0].sub_starts.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(w.tables[0].sub_starts.begin(),
+                             w.tables[0].sub_starts.end()));
+  EXPECT_DOUBLE_EQ(w.tables[0].Total(), 5.0);
+  EXPECT_DOUBLE_EQ(w.class_counts[0], 123.0);
+  EXPECT_DOUBLE_EQ(w.window_seconds, 2.0);
+}
+
+TEST(AdaptiveControllerTest, DoublesIntervalWhenStable) {
+  AdaptiveController c;
+  EXPECT_DOUBLE_EQ(c.interval_s(), 1.0);
+  // Feed stable throughput.
+  for (int i = 0; i < 2; ++i) c.OnMeasurement(100.0);
+  EXPECT_EQ(c.OnMeasurement(101.0), AdaptiveController::Action::kContinue);
+  EXPECT_DOUBLE_EQ(c.interval_s(), 2.0);
+  EXPECT_EQ(c.OnMeasurement(99.0), AdaptiveController::Action::kContinue);
+  EXPECT_DOUBLE_EQ(c.interval_s(), 4.0);
+  c.OnMeasurement(100.0);
+  c.OnMeasurement(100.5);
+  EXPECT_DOUBLE_EQ(c.interval_s(), 8.0);  // capped
+  c.OnMeasurement(100.0);
+  EXPECT_DOUBLE_EQ(c.interval_s(), 8.0);
+}
+
+TEST(AdaptiveControllerTest, EvaluatesOnDeviation) {
+  AdaptiveController c;
+  for (int i = 0; i < 3; ++i) c.OnMeasurement(100.0);
+  EXPECT_EQ(c.OnMeasurement(50.0), AdaptiveController::Action::kEvaluate);
+}
+
+TEST(AdaptiveControllerTest, ResetsAfterRepartition) {
+  AdaptiveController c;
+  for (int i = 0; i < 4; ++i) c.OnMeasurement(100.0);
+  EXPECT_GT(c.interval_s(), 1.0);
+  c.OnRepartitioned();
+  EXPECT_DOUBLE_EQ(c.interval_s(), 1.0);
+  // Window restarted: next measurements don't immediately trigger.
+  EXPECT_EQ(c.OnMeasurement(500.0), AdaptiveController::Action::kContinue);
+}
+
+TEST(RepartitionerTest, PlanSplitsAndMerges) {
+  Scheme from, to;
+  from.tables.push_back(TableScheme{{0, 100, 200}, {0, 1, 2}});
+  to.tables.push_back(TableScheme{{0, 150}, {0, 1}});
+  auto plan = PlanRepartition(from, to);
+  PlanSummary sum = Summarize(plan);
+  EXPECT_EQ(sum.splits, 1u);  // add fence 150
+  EXPECT_EQ(sum.merges, 2u);  // drop fences 100 and 200
+}
+
+TEST(RepartitionerTest, ApplyYieldsTargetBoundaries) {
+  storage::MultiRootedBTree tree({0, 100, 200});
+  for (uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  Scheme from, to;
+  from.tables.push_back(TableScheme{{0, 100, 200}, {0, 1, 2}});
+  to.tables.push_back(TableScheme{{0, 150}, {0, 1}});
+  auto plan = PlanRepartition(from, to);
+  ASSERT_TRUE(ApplyToTree(&tree, 0, plan).ok());
+  EXPECT_EQ(tree.Boundaries(), (std::vector<uint64_t>{0, 150}));
+  // Data intact.
+  for (uint64_t k = 0; k < 300; k += 17) EXPECT_EQ(*tree.Get(k), k);
+}
+
+TEST(RepartitionerTest, IdenticalSchemesPlanOnlyMovesOrNothing) {
+  Scheme s;
+  s.tables.push_back(TableScheme{{0, 100}, {0, 1}});
+  auto plan = PlanRepartition(s, s);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(RepartitionerTest, PlacementChangeYieldsMoves) {
+  Scheme from, to;
+  from.tables.push_back(TableScheme{{0, 100}, {0, 1}});
+  to.tables.push_back(TableScheme{{0, 100}, {0, 5}});
+  auto plan = PlanRepartition(from, to);
+  PlanSummary sum = Summarize(plan);
+  EXPECT_EQ(sum.splits, 0u);
+  EXPECT_EQ(sum.merges, 0u);
+  EXPECT_EQ(sum.moves, 1u);
+  EXPECT_EQ(plan[0].partition, 1u);
+  EXPECT_EQ(plan[0].core, 5);
+}
+
+TEST(FlowGraphTest, StaticInfoFromNewOrderLikeClass) {
+  WorkloadSpec spec;
+  spec.tables = {{"WH", 10}, {"DIST", 100}, {"CUST", 1000}, {"ITEM", 1000}};
+  TxnClass cls;
+  cls.name = "neworder-ish";
+  cls.actions = {
+      ActionSpec{0, OpType::kRead, 1, 1, 1, true},
+      ActionSpec{1, OpType::kUpdate, 1, 1, 1, true},
+      ActionSpec{3, OpType::kRead, 1, 5, 15, false},
+  };
+  cls.sync_points = {SyncPointSpec{{0, 1, 2}, 128}};
+  auto per_table = cls.ActionsPerTable(4);
+  EXPECT_EQ(per_table[0], 1);
+  EXPECT_EQ(per_table[3], 1);
+  EXPECT_EQ(per_table[2], 0);
+  EXPECT_DOUBLE_EQ(cls.actions[2].AvgRepeat(), 10.0);
+  std::string render = RenderFlowGraph(spec, cls);
+  EXPECT_NE(render.find("R(WH)"), std::string::npos);
+  EXPECT_NE(render.find("x(5-15)"), std::string::npos);
+  EXPECT_NE(render.find("[unaligned]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atrapos::core

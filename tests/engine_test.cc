@@ -1,0 +1,258 @@
+// Integration tests of the real-thread engine: Database transactions,
+// partitioned execution, and online repartitioning under load.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/adaptive_manager.h"
+#include "engine/database.h"
+#include "engine/partitioned_executor.h"
+#include "workload/micro.h"
+#include "workload/tatp.h"
+
+namespace atrapos::engine {
+namespace {
+
+std::unique_ptr<storage::Table> MicroTable(uint64_t rows,
+                                           std::vector<uint64_t> bounds = {0}) {
+  auto t = std::make_unique<storage::Table>(0, "T", workload::MicroTableSchema(),
+                                            bounds);
+  for (uint64_t k = 0; k < rows; ++k) {
+    storage::Tuple row(&t->schema());
+    row.SetInt(0, static_cast<int64_t>(k));
+    row.SetInt(1, 100);
+    (void)t->Insert(k, row);
+  }
+  return t;
+}
+
+TEST(DatabaseTest, CommitReadBack) {
+  Database db({.numa_aware_state = true, .num_sockets = 2});
+  int t = db.AddTable(MicroTable(100));
+  auto txn = db.Begin();
+  storage::Tuple row;
+  ASSERT_TRUE(db.Read(&txn, t, 42, &row).ok());
+  row.SetInt(1, 999);
+  ASSERT_TRUE(db.Update(&txn, t, 42, row).ok());
+  ASSERT_TRUE(db.Commit(&txn).ok());
+
+  auto txn2 = db.Begin();
+  storage::Tuple row2;
+  ASSERT_TRUE(db.Read(&txn2, t, 42, &row2).ok());
+  EXPECT_EQ(row2.GetInt(1), 999);
+  ASSERT_TRUE(db.Commit(&txn2).ok());
+  EXPECT_EQ(db.active_transactions(), 0u);
+}
+
+TEST(DatabaseTest, InsertDeleteWithWal) {
+  Database db({});
+  int t = db.AddTable(MicroTable(10));
+  uint64_t wal_before = db.wal().num_records();
+  auto txn = db.Begin();
+  storage::Tuple row(&db.table(t)->schema());
+  row.SetInt(0, 500);
+  ASSERT_TRUE(db.Insert(&txn, t, 500, row).ok());
+  ASSERT_TRUE(db.Delete(&txn, t, 3).ok());
+  ASSERT_TRUE(db.Commit(&txn).ok());
+  // begin + insert + delete + commit
+  EXPECT_GE(db.wal().num_records(), wal_before + 4);
+  auto txn2 = db.Begin();
+  storage::Tuple out;
+  EXPECT_EQ(db.Read(&txn2, t, 3, &out).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db.Read(&txn2, t, 500, &out).ok());
+  ASSERT_TRUE(db.Commit(&txn2).ok());
+}
+
+TEST(DatabaseTest, WaitDieAbortsYoungerConflictor) {
+  Database db({});
+  int t = db.AddTable(MicroTable(10));
+  auto older = db.Begin();
+  auto younger = db.Begin();
+  storage::Tuple row(&db.table(t)->schema());
+  ASSERT_TRUE(db.Read(&older, t, 5, &row).ok());
+  row.SetInt(1, 1);
+  // Younger writer conflicts with older reader: wait-die kills it.
+  Status s = db.Update(&younger, t, 5, row);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlockAbort);
+  db.Abort(&younger);
+  ASSERT_TRUE(db.Commit(&older).ok());
+}
+
+TEST(DatabaseTest, RunTransactionRetries) {
+  Database db({});
+  int t = db.AddTable(MicroTable(10));
+  int calls = 0;
+  Status s = db.RunTransaction([&](Database::Txn* txn) {
+    ++calls;
+    if (calls < 3) return Status::DeadlockAbort();
+    storage::Tuple row;
+    return db.Read(txn, t, 1, &row);
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(DatabaseTest, ConcurrentIncrementsAreSerializable) {
+  Database db({.numa_aware_state = true, .num_sockets = 2});
+  int t = db.AddTable(MicroTable(4));
+  constexpr int kThreads = 4, kIncr = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> aborted{0};
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&db, t, &aborted] {
+      for (int n = 0; n < kIncr; ++n) {
+        Status s = db.RunTransaction(
+            [&](Database::Txn* txn) {
+              storage::Tuple row;
+              ATRAPOS_RETURN_NOT_OK(db.ReadForUpdate(txn, t, 1, &row));
+              row.SetInt(1, row.GetInt(1) + 1);
+              return db.Update(txn, t, 1, row);
+            },
+            1000);
+        if (!s.ok()) ++aborted;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(aborted.load(), 0);
+  auto txn = db.Begin();
+  storage::Tuple row;
+  ASSERT_TRUE(db.Read(&txn, t, 1, &row).ok());
+  EXPECT_EQ(row.GetInt(1), 100 + kThreads * kIncr);
+  ASSERT_TRUE(db.Commit(&txn).ok());
+}
+
+TEST(DatabaseTest, CheckpointSeesActiveTransactions) {
+  Database db({.numa_aware_state = true, .num_sockets = 2});
+  (void)db.AddTable(MicroTable(10));
+  auto txn = db.Begin();
+  EXPECT_EQ(db.Checkpoint(), 1u);
+  ASSERT_TRUE(db.Commit(&txn).ok());
+  EXPECT_EQ(db.Checkpoint(), 0u);
+}
+
+core::Scheme TwoPartitionScheme(uint64_t rows) {
+  core::Scheme s;
+  core::TableScheme ts;
+  ts.boundaries = {0, rows / 2};
+  ts.placement = {0, 1};
+  s.tables.push_back(ts);
+  return s;
+}
+
+TEST(PartitionedExecutorTest, RoutesActionsToOwningPartition) {
+  Database db({});
+  uint64_t rows = 1000;
+  (void)db.AddTable(MicroTable(rows, {0, rows / 2}));
+  auto topo = hw::Topology::SingleSocket(2);
+  PartitionedExecutor exec(&db, topo, TwoPartitionScheme(rows));
+
+  std::atomic<int64_t> sum{0};
+  std::vector<PartitionedExecutor::Action> actions;
+  for (uint64_t k : {10ULL, 600ULL, 900ULL}) {
+    actions.push_back({0, k, [k, &sum](storage::Table* t) {
+                         storage::Tuple row;
+                         ASSERT_TRUE(t->Read(k, &row).ok());
+                         sum += row.GetInt(1);
+                       }});
+  }
+  exec.Execute(std::move(actions));
+  EXPECT_EQ(sum.load(), 300);
+  EXPECT_EQ(exec.executed_actions(), 3u);
+}
+
+TEST(PartitionedExecutorTest, HarvestStatsReflectsLoad) {
+  Database db({});
+  uint64_t rows = 1000;
+  (void)db.AddTable(MicroTable(rows, {0, rows / 2}));
+  auto topo = hw::Topology::SingleSocket(2);
+  PartitionedExecutor exec(&db, topo, TwoPartitionScheme(rows));
+  // Hammer the low half only.
+  for (int i = 0; i < 20; ++i) {
+    exec.Execute({{0, static_cast<uint64_t>(i * 7 % 500),
+                   [](storage::Table*) {}}});
+  }
+  auto stats = exec.HarvestStats({20.0}, 1.0);
+  ASSERT_EQ(stats.tables.size(), 1u);
+  double low = 0, high = 0;
+  for (size_t i = 0; i < stats.tables[0].sub_starts.size(); ++i) {
+    (stats.tables[0].sub_starts[i] < 500 ? low : high) +=
+        stats.tables[0].sub_cost[i];
+  }
+  EXPECT_GT(low, 0.0);
+  EXPECT_EQ(high, 0.0);
+}
+
+TEST(PartitionedExecutorTest, RepartitionPreservesDataUnderLoad) {
+  Database db({});
+  uint64_t rows = 2000;
+  (void)db.AddTable(MicroTable(rows, {0, rows / 2}));
+  auto topo = hw::Topology::SingleSocket(4);
+  PartitionedExecutor exec(&db, topo, TwoPartitionScheme(rows));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread load([&] {
+    Rng rng(3);
+    while (!stop) {
+      uint64_t k = rng.Uniform(rows);
+      exec.Execute({{0, k, [k, &errors](storage::Table* t) {
+                       storage::Tuple row;
+                       if (!t->Read(k, &row).ok() || row.GetInt(1) != 100)
+                         ++errors;
+                     }}});
+    }
+  });
+  // Repartition to 4 partitions mid-load.
+  core::Scheme target;
+  core::TableScheme ts;
+  ts.boundaries = {0, rows / 4, rows / 2, 3 * rows / 4};
+  ts.placement = {0, 1, 2, 3};
+  target.tables.push_back(ts);
+  auto applied = exec.Repartition(target);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_GT(applied.value(), 0u);
+  stop = true;
+  load.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(db.table(0)->index().num_partitions(), 4u);
+  EXPECT_EQ(db.table(0)->num_rows(), rows);
+}
+
+TEST(AdaptiveManagerTest, RepartitionsUnderSkewedLoad) {
+  Database db({});
+  uint64_t rows = 4000;
+  (void)db.AddTable(MicroTable(rows, {0, rows / 4, rows / 2, 3 * rows / 4}));
+  auto topo = hw::Topology::SingleSocket(4);
+  auto spec = workload::ReadOneSpec(rows);
+  core::Scheme initial;
+  core::TableScheme ts;
+  ts.boundaries = {0, rows / 4, rows / 2, 3 * rows / 4};
+  ts.placement = {0, 1, 2, 3};
+  initial.tables.push_back(ts);
+  PartitionedExecutor exec(&db, topo, initial);
+
+  AdaptiveManager::Options mopt;
+  mopt.controller.initial_interval_s = 0.05;
+  mopt.controller.max_interval_s = 0.2;
+  AdaptiveManager mgr(&exec, &topo, &spec, mopt);
+  mgr.Start();
+
+  // Skewed load: 90% of reads hit the first 10% of keys.
+  Rng rng(5);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline) {
+    uint64_t k = rng.Chance(0.9) ? rng.Uniform(rows / 10) : rng.Uniform(rows);
+    exec.Execute({{0, k, [](storage::Table*) {}}});
+    mgr.ReportTransaction(0);
+    if (mgr.repartitions() > 0) break;
+  }
+  mgr.Stop();
+  EXPECT_GE(mgr.repartitions(), 1u);
+  // All rows still present after repartitioning.
+  EXPECT_EQ(db.table(0)->num_rows(), rows);
+}
+
+}  // namespace
+}  // namespace atrapos::engine

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hw/binding.h"
+#include "hw/topology.h"
+
+namespace atrapos::hw {
+namespace {
+
+TEST(TopologyTest, SingleSocketShape) {
+  Topology t = Topology::SingleSocket(10);
+  EXPECT_EQ(t.num_sockets(), 1);
+  EXPECT_EQ(t.num_cores(), 10);
+  EXPECT_EQ(t.Distance(0, 0), 0);
+  EXPECT_EQ(t.MaxDistance(), 0);
+  EXPECT_EQ(t.socket_of(7), 0);
+}
+
+TEST(TopologyTest, CubeDistances) {
+  Topology t = Topology::Cube(3, 10);  // plain 3-cube, 8 sockets
+  EXPECT_EQ(t.num_sockets(), 8);
+  EXPECT_EQ(t.num_cores(), 80);
+  EXPECT_EQ(t.Distance(0, 1), 1);
+  EXPECT_EQ(t.Distance(0, 3), 2);  // 000 -> 011
+  EXPECT_EQ(t.Distance(0, 7), 3);  // 000 -> 111
+  EXPECT_EQ(t.MaxDistance(), 3);
+  // symmetry
+  for (int a = 0; a < 8; ++a)
+    for (int b = 0; b < 8; ++b) EXPECT_EQ(t.Distance(a, b), t.Distance(b, a));
+}
+
+TEST(TopologyTest, TwistedCubeDiameterTwo) {
+  Topology t = Topology::TwistedCube8x10();
+  EXPECT_EQ(t.num_sockets(), 8);
+  EXPECT_EQ(t.cores_per_socket(), 10);
+  EXPECT_EQ(t.MaxDistance(), 2);  // the twist shrinks the cube's diameter
+  EXPECT_EQ(t.Distance(0, 7), 1);
+}
+
+TEST(TopologyTest, SocketOfCore) {
+  Topology t = Topology::TwistedCube8x10();
+  EXPECT_EQ(t.socket_of(0), 0);
+  EXPECT_EQ(t.socket_of(9), 0);
+  EXPECT_EQ(t.socket_of(10), 1);
+  EXPECT_EQ(t.socket_of(79), 7);
+  EXPECT_EQ(t.first_core(3), 30);
+}
+
+TEST(TopologyTest, MeshManhattanDistances) {
+  Topology t = Topology::Mesh(6, 6);  // Tilera-style 36 cores
+  EXPECT_EQ(t.num_sockets(), 36);
+  EXPECT_EQ(t.Distance(0, 5), 5);    // across the top row
+  EXPECT_EQ(t.Distance(0, 35), 10);  // opposite corners
+  EXPECT_EQ(t.MaxDistance(), 10);
+}
+
+TEST(TopologyTest, AvgDistancePositiveOnMultisocket) {
+  EXPECT_EQ(Topology::SingleSocket(4).AvgDistance(), 0.0);
+  EXPECT_GT(Topology::TwistedCube8x10().AvgDistance(), 1.0);
+  EXPECT_LT(Topology::TwistedCube8x10().AvgDistance(), 2.0);
+}
+
+TEST(TopologyTest, FailSocketRemovesCores) {
+  Topology t = Topology::TwistedCube8x10();
+  EXPECT_EQ(t.num_available_cores(), 80);
+  t.FailSocket(3);
+  EXPECT_FALSE(t.IsSocketAlive(3));
+  EXPECT_EQ(t.num_available_cores(), 70);
+  EXPECT_FALSE(t.IsCoreAvailable(35));
+  EXPECT_TRUE(t.IsCoreAvailable(25));
+  auto cores = t.AvailableCores();
+  EXPECT_EQ(cores.size(), 70u);
+  for (CoreId c : cores) EXPECT_NE(t.socket_of(c), 3);
+}
+
+TEST(BindingTest, RecordsLogicalPlacement) {
+  Topology t = Topology::TwistedCube8x10();
+  std::thread th([&] {
+    BindCurrentThread(t, 42);
+    EXPECT_EQ(CurrentPlacement().core, 42);
+    EXPECT_EQ(CurrentPlacement().socket, 4);
+    ResetPlacement();
+    EXPECT_EQ(CurrentPlacement().core, kInvalidCore);
+  });
+  th.join();
+}
+
+TEST(BindingTest, PlacementIsThreadLocal) {
+  Topology t = Topology::TwistedCube8x10();
+  BindCurrentThread(t, 5);
+  std::thread th([&] { EXPECT_EQ(CurrentPlacement().core, kInvalidCore); });
+  th.join();
+  EXPECT_EQ(CurrentPlacement().core, 5);
+  ResetPlacement();
+}
+
+}  // namespace
+}  // namespace atrapos::hw

@@ -1,0 +1,269 @@
+// Property-style parameterized tests: invariants that must hold across
+// sweeps of sizes, partition counts, topologies, and contention levels.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cost_model.h"
+#include "core/repartitioner.h"
+#include "core/search.h"
+#include "hw/topology.h"
+#include "sim/cache_line.h"
+#include "sim/machine.h"
+#include "storage/btree.h"
+#include "storage/mrbtree.h"
+#include "util/rng.h"
+#include "workload/micro.h"
+
+namespace atrapos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// B+-tree: sorted-iteration, size, and membership invariants across sizes
+// and insertion orders.
+class BTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeProperty, RandomInsertsKeepSortedOrderAndMembership) {
+  int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 77 + 1);
+  storage::BPlusTree bt;
+  std::set<uint64_t> reference;
+  for (int i = 0; i < n; ++i) {
+    uint64_t k = rng.Uniform(static_cast<uint64_t>(n) * 4);
+    if (reference.insert(k).second) {
+      ASSERT_TRUE(bt.Insert(k, k ^ 0xABCD).ok());
+    } else {
+      EXPECT_FALSE(bt.Insert(k, 0).ok());
+    }
+  }
+  EXPECT_EQ(bt.size(), reference.size());
+  // Full scan visits exactly the reference set, in order.
+  std::vector<uint64_t> scanned;
+  bt.Scan(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(v, k ^ 0xABCD);
+    scanned.push_back(k);
+    return true;
+  });
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  EXPECT_EQ(scanned.size(), reference.size());
+  EXPECT_TRUE(std::equal(scanned.begin(), scanned.end(), reference.begin()));
+  // Deleting half keeps the rest reachable.
+  size_t removed = 0;
+  for (auto it = reference.begin(); it != reference.end();) {
+    if (removed % 2 == 0) {
+      EXPECT_TRUE(bt.Delete(*it).ok());
+      it = reference.erase(it);
+    } else {
+      ++it;
+    }
+    ++removed;
+  }
+  for (uint64_t k : reference) EXPECT_TRUE(bt.Get(k).has_value());
+  EXPECT_EQ(bt.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BTreeProperty,
+                         ::testing::Values(10, 100, 1000, 5000, 20000));
+
+// ---------------------------------------------------------------------------
+// Multi-rooted B-tree: any sequence of splits/merges preserves contents and
+// keeps fence keys consistent with routing.
+class MrbTreeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MrbTreeProperty, RandomRepartitionSequencePreservesContents) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  constexpr uint64_t kRows = 4000;
+  storage::MultiRootedBTree t({0});
+  for (uint64_t k = 0; k < kRows; ++k)
+    ASSERT_TRUE(t.Insert(k, k * 3 + 1).ok());
+
+  for (int op = 0; op < 40; ++op) {
+    if (t.num_partitions() == 1 || rng.Chance(0.6)) {
+      // Split a random partition at a random interior key.
+      size_t p = rng.Uniform(t.num_partitions());
+      uint64_t lo = t.partition_start(p);
+      uint64_t hi =
+          p + 1 < t.num_partitions() ? t.partition_start(p + 1) : kRows;
+      if (hi - lo < 2) continue;
+      uint64_t key = lo + 1 + rng.Uniform(hi - lo - 1);
+      ASSERT_TRUE(t.Split(p, key).ok());
+    } else {
+      size_t p = rng.Uniform(t.num_partitions() - 1);
+      ASSERT_TRUE(t.Merge(p).ok());
+    }
+    // Invariants: fences sorted and unique; routing agrees with fences.
+    auto b = t.Boundaries();
+    EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+    EXPECT_EQ(std::set<uint64_t>(b.begin(), b.end()).size(), b.size());
+    EXPECT_EQ(t.total_size(), kRows);
+  }
+  for (uint64_t k = 0; k < kRows; k += 97) EXPECT_EQ(*t.Get(k), k * 3 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MrbTreeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Topology: distance is a metric on every preset.
+class TopologyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopologyProperty, DistanceIsAMetric) {
+  hw::Topology topo = [&] {
+    switch (GetParam()) {
+      case 0: return hw::Topology::SingleSocket(10);
+      case 1: return hw::Topology::Cube(1, 10);
+      case 2: return hw::Topology::Cube(2, 10);
+      case 3: return hw::Topology::TwistedCube8x10();
+      default: return hw::Topology::Mesh(4, 4);
+    }
+  }();
+  int s = topo.num_sockets();
+  for (int a = 0; a < s; ++a) {
+    EXPECT_EQ(topo.Distance(a, a), 0);
+    for (int b = 0; b < s; ++b) {
+      EXPECT_EQ(topo.Distance(a, b), topo.Distance(b, a));
+      if (a != b) EXPECT_GE(topo.Distance(a, b), 1);
+      for (int c = 0; c < s; ++c) {
+        EXPECT_LE(topo.Distance(a, c),
+                  topo.Distance(a, b) + topo.Distance(b, c));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, TopologyProperty,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Cost model: across socket counts, co-locating a two-table transaction's
+// dependent partitions never costs more than spreading them, and the search
+// never increases either metric versus its own starting point.
+class CostModelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostModelProperty, ColocationNeverWorseAndSearchMonotonic) {
+  int dims = GetParam();  // 2^dims sockets
+  hw::Topology topo = hw::Topology::Cube(dims, 4);
+  auto spec = workload::SimpleTwoTableSpec(16000);
+  core::CostModel model(&topo, &spec);
+
+  core::WorkloadStats stats;
+  stats.tables.resize(2);
+  Rng rng(static_cast<uint64_t>(dims) + 5);
+  // Enough observation bins that the boundary-snapped search has the
+  // resolution to balance (10 sub-partitions per partition in production).
+  for (auto& tl : stats.tables) {
+    for (size_t b = 0; b < 160; ++b) {
+      tl.sub_starts.push_back(16000 * b / 160);
+      tl.sub_cost.push_back(1.0 + rng.NextDouble());
+    }
+  }
+  stats.class_counts = {100.0};
+
+  core::Scheme co = core::NaiveScheme(topo, {16000, 16000});
+  core::Scheme spread = co;
+  int shift = topo.cores_per_socket();
+  for (auto& c : spread.tables[1].placement)
+    c = (c + shift) % topo.num_cores();
+  EXPECT_LE(model.SyncCost(co, stats), model.SyncCost(spread, stats) + 1e-9);
+
+  core::Scheme improved = core::ChoosePlacement(model, stats, spread);
+  EXPECT_LE(model.SyncCost(improved, stats),
+            model.SyncCost(spread, stats) + 1e-9);
+
+  // The search must clearly beat the degenerate one-partition-per-table
+  // scheme (everything on one core). Beating the naive even split on
+  // *random* loads is not guaranteed (its boundaries land mid-bin), so
+  // allow a small factor against it.
+  core::Scheme single;
+  single.tables.resize(2);
+  for (auto& ts : single.tables) {
+    ts.boundaries = {0};
+    ts.placement = {0};
+  }
+  core::Scheme part = core::ChoosePartitioning(model, stats);
+  EXPECT_LT(model.ResourceImbalance(part, stats),
+            model.ResourceImbalance(single, stats));
+  EXPECT_LE(model.ResourceImbalance(part, stats),
+            model.ResourceImbalance(co, stats) * 2.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SocketCounts, CostModelProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+// ---------------------------------------------------------------------------
+// Repartition planning: from any scheme to any other, applying the plan to
+// a tree yields exactly the target boundaries.
+class RepartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RepartitionProperty, PlanReachesTargetBoundaries) {
+  int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 13 + 7);
+  constexpr uint64_t kRows = 2000;
+  auto random_bounds = [&] {
+    std::set<uint64_t> b{0};
+    size_t parts = 1 + rng.Uniform(8);
+    while (b.size() < parts) b.insert(1 + rng.Uniform(kRows - 1));
+    return std::vector<uint64_t>(b.begin(), b.end());
+  };
+  auto from_b = random_bounds();
+  auto to_b = random_bounds();
+
+  storage::MultiRootedBTree tree(from_b);
+  for (uint64_t k = 0; k < kRows; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+
+  core::Scheme from, to;
+  from.tables.push_back(core::TableScheme{
+      from_b, std::vector<hw::CoreId>(from_b.size(), 0)});
+  to.tables.push_back(
+      core::TableScheme{to_b, std::vector<hw::CoreId>(to_b.size(), 0)});
+  auto plan = core::PlanRepartition(from, to);
+  ASSERT_TRUE(core::ApplyToTree(&tree, 0, plan).ok());
+  EXPECT_EQ(tree.Boundaries(), to_b);
+  EXPECT_EQ(tree.total_size(), kRows);
+  for (uint64_t k = 0; k < kRows; k += 61) EXPECT_EQ(*tree.Get(k), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepartitionProperty,
+                         ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Simulator: the contended-cache-line convoy is deterministic and its cost
+// grows monotonically with the number of cross-socket contenders.
+class CacheLineProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheLineProperty, ConvoyCostMonotonicInContenders) {
+  int contenders = GetParam();
+  auto run = [&](int n) {
+    auto topo = hw::Topology::TwistedCube8x10();
+    sim::Machine m(topo);
+    sim::CacheLine line(&m, 0);
+    auto w = [](sim::Machine& m, sim::CacheLine& l, sim::Ctx ctx,
+                int ops) -> sim::Task {
+      for (int i = 0; i < ops; ++i) {
+        co_await l.Atomic(ctx);
+        co_await m.Compute(ctx, 500);
+      }
+    };
+    std::vector<sim::Ctx> ctxs;
+    for (int i = 0; i < n; ++i)
+      ctxs.push_back(m.MakeCtx(topo.first_core(i % 8)));
+    for (int i = 0; i < n; ++i) w(m, line, ctxs[i], 40);
+    m.RunUntilIdle();
+    return m.now();
+  };
+  sim::Tick a = run(contenders);
+  sim::Tick b = run(contenders);
+  EXPECT_EQ(a, b);  // deterministic
+  if (contenders > 1) {
+    // More contenders => more total cycles for the same per-worker ops.
+    EXPECT_GT(run(contenders), run(contenders - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Contenders, CacheLineProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace atrapos

@@ -1,0 +1,230 @@
+// End-to-end tests of the simulated engines: all four designs run, commit
+// transactions, stay deterministic, and reproduce the paper's qualitative
+// orderings on small configurations.
+#include <gtest/gtest.h>
+
+#include "simengine/centralized.h"
+#include "simengine/dora.h"
+#include "simengine/shared_nothing.h"
+#include "workload/micro.h"
+#include "workload/tatp.h"
+
+namespace atrapos::simengine {
+namespace {
+
+sim::CostParams Params() { return sim::CostParams{}; }
+
+TEST(CentralizedEngineTest, CommitsAndAccounts) {
+  auto topo = hw::Topology::Cube(1, 4);  // 2 sockets x 4 cores
+  auto spec = workload::ReadOneSpec(80000);
+  CentralizedOptions opt;
+  opt.run.duration_s = 0.005;
+  RunMetrics r = RunCentralized(topo, Params(), spec, opt);
+  EXPECT_GT(r.committed, 100u);
+  EXPECT_GT(r.tps, 0.0);
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_GT(r.breakdown.xct_exec, 0u);
+  EXPECT_GT(r.breakdown.locking, 0u);
+}
+
+TEST(CentralizedEngineTest, Deterministic) {
+  auto topo = hw::Topology::Cube(1, 2);
+  auto spec = workload::ReadOneSpec(10000);
+  CentralizedOptions opt;
+  opt.run.duration_s = 0.002;
+  RunMetrics a = RunCentralized(topo, Params(), spec, opt);
+  RunMetrics b = RunCentralized(topo, Params(), spec, opt);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_DOUBLE_EQ(a.ipc, b.ipc);
+}
+
+TEST(SharedNothingEngineTest, ExtremeCommitsLocalOnly) {
+  auto topo = hw::Topology::Cube(1, 4);
+  auto spec = workload::ReadOneSpec(80000);
+  SharedNothingOptions opt;
+  opt.run.duration_s = 0.005;
+  RunMetrics r = RunSharedNothing(topo, Params(), spec, opt);
+  EXPECT_GT(r.committed, 100u);
+  EXPECT_EQ(r.per_instance_committed.size(), 8u);  // one per core
+  // Perfectly partitionable + local: no QPI traffic at all.
+  EXPECT_DOUBLE_EQ(r.qpi_imc_ratio, 0.0);
+}
+
+TEST(SharedNothingEngineTest, CoarseRunsMultisiteTransactions) {
+  auto topo = hw::Topology::Cube(1, 4);
+  auto spec = workload::MultisiteUpdateSpec(50.0, 80000);
+  SharedNothingOptions opt;
+  opt.run.duration_s = 0.01;
+  opt.per_socket_instances = true;
+  RunMetrics r = RunSharedNothing(topo, Params(), spec, opt);
+  EXPECT_GT(r.committed, 20u);
+  EXPECT_EQ(r.per_instance_committed.size(), 2u);  // one per socket
+  EXPECT_GT(r.breakdown.communication, 0u);        // 2PC messages
+  EXPECT_GT(r.breakdown.logging, 0u);
+}
+
+TEST(SharedNothingEngineTest, MultisiteFractionHurtsThroughput) {
+  auto topo = hw::Topology::Cube(1, 4);
+  auto params = Params();
+  SharedNothingOptions opt;
+  opt.run.duration_s = 0.01;
+  auto spec0 = workload::MultisiteUpdateSpec(0.0, 80000);
+  auto spec100 = workload::MultisiteUpdateSpec(100.0, 80000);
+  RunMetrics local = RunSharedNothing(topo, params, spec0, opt);
+  RunMetrics multi = RunSharedNothing(topo, params, spec100, opt);
+  EXPECT_GT(local.tps, multi.tps * 1.5);
+}
+
+TEST(SharedNothingEngineTest, RemoteMemoryPolicyCostsSomeThroughput) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::Read100Spec(100000);
+  SharedNothingOptions opt;
+  opt.run.duration_s = 0.02;
+  opt.per_socket_instances = true;
+  RunMetrics local = RunSharedNothing(topo, Params(), spec, opt);
+  opt.mem_policy = [&](hw::SocketId s) {
+    return (s + 1) % topo.num_sockets();
+  };
+  RunMetrics remote = RunSharedNothing(topo, Params(), spec, opt);
+  EXPECT_LT(remote.tps, local.tps);
+  // Paper §III-D: the penalty is bounded (3-7%); allow up to 15% here.
+  EXPECT_GT(remote.tps, local.tps * 0.85);
+  EXPECT_GT(remote.qpi_imc_ratio, local.qpi_imc_ratio);
+}
+
+TEST(DoraEngineTest, PlpCommitsOnOneSocket) {
+  auto topo = hw::Topology::SingleSocket(8);
+  auto spec = workload::ReadOneSpec(80000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.005;
+  RunMetrics r = RunPlp(topo, Params(), spec, opt);
+  EXPECT_GT(r.committed, 100u);
+}
+
+TEST(DoraEngineTest, AtraposBeatsPlpAcrossSockets) {
+  // The CAS convoy on PLP's centralized state needs many contenders; use
+  // the paper's 8x10 machine.
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::ReadOneSpec(800000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.003;
+  RunMetrics plp = RunPlp(topo, Params(), spec, opt);
+  RunMetrics atr = RunAtrapos(topo, Params(), spec, opt);
+  // The paper's central claim (Figs. 5, 8): NUMA-aware state wins clearly
+  // on multisocket for perfectly partitionable work (6.7x for GetSubData).
+  EXPECT_GT(atr.tps, plp.tps * 3.0);
+  // And PLP's IPC collapses while stalled on remote CAS (Fig. 1).
+  EXPECT_LT(plp.ipc, atr.ipc * 0.5);
+}
+
+TEST(DoraEngineTest, PlpMatchesAtraposOnOneSocket) {
+  auto topo = hw::Topology::SingleSocket(8);
+  auto spec = workload::ReadOneSpec(80000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.005;
+  RunMetrics plp = RunPlp(topo, Params(), spec, opt);
+  RunMetrics atr = RunAtrapos(topo, Params(), spec, opt);
+  // On one socket every access is local: the designs should be close.
+  EXPECT_NEAR(plp.tps, atr.tps, plp.tps * 0.2);
+}
+
+TEST(DoraEngineTest, MonitoringOverheadIsSmall) {
+  auto topo = hw::Topology::Cube(1, 4);
+  auto spec = workload::ReadOneSpec(80000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.01;
+  RunMetrics off = RunAtrapos(topo, Params(), spec, opt);
+  opt.monitoring = true;
+  RunMetrics on = RunAtrapos(topo, Params(), spec, opt);
+  EXPECT_LT(on.tps, off.tps * 1.001);
+  // Table II: monitoring costs at most a few percent.
+  EXPECT_GT(on.tps, off.tps * 0.90);
+}
+
+TEST(DoraEngineTest, OversaturationHalvesThroughput) {
+  // Fig. 6's HW-aware effect: two tables, one partition of each per core.
+  auto topo = hw::Topology::Cube(1, 4);
+  auto spec = workload::SimpleTwoTableSpec(80000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.01;
+  // Naive: 2 partitions per core (oversaturated).
+  RunMetrics naive = RunAtrapos(topo, Params(), spec, opt);
+  // Balanced: half the partitions of each table, one partition per core.
+  core::Scheme balanced;
+  auto cores = topo.AvailableCores();
+  size_t half = cores.size() / 2;
+  core::TableScheme ta, tb;
+  for (size_t i = 0; i < half; ++i) {
+    ta.boundaries.push_back(80000 * i / half);
+    ta.placement.push_back(cores[i]);
+    tb.boundaries.push_back(80000 * i / half);
+    tb.placement.push_back(cores[half + i]);
+  }
+  balanced.tables = {ta, tb};
+  opt.initial = balanced;
+  RunMetrics bal = RunAtrapos(topo, Params(), spec, opt);
+  EXPECT_GT(bal.tps, naive.tps * 1.3);
+}
+
+TEST(DoraEngineTest, AdaptiveRepartitionsUnderSkew) {
+  auto topo = hw::Topology::Cube(2, 2);  // 4 sockets x 2 cores
+  auto spec = workload::ReadOneSpec(80000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.4;
+  opt.monitoring = true;
+  opt.adaptive = true;
+  // Compressed controller timescale for a short simulation.
+  opt.controller.initial_interval_s = 0.02;
+  opt.controller.max_interval_s = 0.16;
+  // Skew appears mid-run (as in Fig. 11): after t=0.15s half the traffic
+  // hits 10% of the keys.
+  opt.run.routing_fn = [](Rng& rng, Tick now, uint64_t rows) {
+    if (now > sim::SecToCycles(0.15) && rng.Chance(0.5))
+      return rng.Uniform(rows / 10);
+    return rng.Uniform(rows);
+  };
+  RunMetrics r = RunAtrapos(topo, Params(), spec, opt);
+  EXPECT_GT(r.committed, 100u);
+  EXPECT_GE(r.repartitions, 1u);
+}
+
+TEST(DoraEngineTest, TimelineSamplerProducesSeries) {
+  auto topo = hw::Topology::Cube(1, 2);
+  auto spec = workload::ReadOneSpec(20000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.05;
+  opt.run.sample_interval_s = 0.01;
+  RunMetrics r = RunAtrapos(topo, Params(), spec, opt);
+  EXPECT_GE(r.timeline_tps.size(), 4u);
+  for (double tps : r.timeline_tps) EXPECT_GT(tps, 0.0);
+}
+
+TEST(DoraEngineTest, SocketFailureDropsThroughputButKeepsRunning) {
+  auto topo = hw::Topology::Cube(2, 2);
+  auto spec = workload::ReadOneSpec(40000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.1;
+  opt.run.sample_interval_s = 0.01;
+  opt.fail_socket_at_s = 0.05;
+  opt.fail_socket = 2;
+  RunMetrics r = RunAtrapos(topo, Params(), spec, opt);
+  ASSERT_GE(r.timeline_tps.size(), 9u);
+  // Throughput after the failure is lower but nonzero.
+  double before = r.timeline_tps[3];
+  double after = r.timeline_tps.back();
+  EXPECT_GT(after, 0.0);
+  EXPECT_LT(after, before);
+}
+
+TEST(DoraEngineTest, TatpMixRuns) {
+  auto topo = hw::Topology::Cube(1, 4);
+  auto spec = workload::TatpSpec(80000);
+  DoraOptions opt;
+  opt.run.duration_s = 0.01;
+  RunMetrics r = RunAtrapos(topo, Params(), spec, opt);
+  EXPECT_GT(r.committed, 50u);
+  EXPECT_GT(r.breakdown.logging, 0u);  // the mix contains updates
+}
+
+}  // namespace
+}  // namespace atrapos::simengine

@@ -1,0 +1,114 @@
+// Tests of the shared-nothing cost-model extension (paper §VII).
+#include <gtest/gtest.h>
+
+#include "core/search.h"
+#include "core/sn_cost_model.h"
+#include "workload/micro.h"
+
+namespace atrapos::core {
+namespace {
+
+WorkloadStats UniformStats(const WorkloadSpec& spec, size_t bins) {
+  WorkloadStats w;
+  w.tables.resize(spec.tables.size());
+  for (size_t t = 0; t < spec.tables.size(); ++t) {
+    uint64_t rows = spec.tables[t].num_rows;
+    for (size_t b = 0; b < bins; ++b) {
+      w.tables[t].sub_starts.push_back(rows * b / bins);
+      w.tables[t].sub_cost.push_back(1.0);
+    }
+  }
+  w.class_counts.assign(spec.classes.size(), 100.0);
+  return w;
+}
+
+TEST(SnCostModelTest, PerfectlyPartitionableHasNoDistributedTxns) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::ReadOneSpec(80000);
+  SharedNothingCostModel m(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  Scheme s = NaiveScheme(topo, {80000});
+  EXPECT_NEAR(m.DistributedFraction(s, w), 0.0, 1e-9);
+  EXPECT_NEAR(m.DistributedCost(s, w), 0.0, 1e-9);
+}
+
+TEST(SnCostModelTest, MultisiteWorkloadIsMostlyDistributed) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  // 100% multi-site: 9 of 10 rows uniform over the dataset.
+  auto spec = workload::MultisiteUpdateSpec(100.0, 80000);
+  SharedNothingCostModel m(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 80);
+  w.class_counts = {0.0, 100.0};  // only the multi-site class
+  Scheme s = NaiveScheme(topo, {80000});
+  // With 9 uniform picks over 8 sockets, almost every txn spans instances.
+  EXPECT_GT(m.DistributedFraction(s, w), 0.9);
+  EXPECT_GT(m.DistributedCost(s, w), 0.0);
+}
+
+TEST(SnCostModelTest, DistributedFractionScalesWithMultisitePct) {
+  auto topo = hw::Topology::Cube(2, 4);
+  WorkloadStats w;
+  Scheme s = NaiveScheme(topo, {80000});
+  double prev = -1;
+  for (double pct : {0.0, 25.0, 50.0, 100.0}) {
+    auto spec = workload::MultisiteUpdateSpec(pct, 80000);
+    SharedNothingCostModel m(&topo, &spec);
+    w = UniformStats(spec, 32);
+    w.class_counts = {100.0 - pct, pct};
+    double frac = m.DistributedFraction(s, w);
+    EXPECT_GT(frac, prev);
+    prev = frac;
+  }
+}
+
+TEST(SnCostModelTest, SharedMemoryChannelsCutCost) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::MultisiteUpdateSpec(100.0, 80000);
+  WorkloadStats w = UniformStats(spec, 80);
+  w.class_counts = {0.0, 100.0};
+  Scheme s = NaiveScheme(topo, {80000});
+
+  SnCostOptions coarse;
+  coarse.local_dist_factor = 1.0;  // no channel distinction
+  SnCostOptions fine;
+  fine.local_dist_factor = 0.25;  // topology-aware shared-memory channels
+  SharedNothingCostModel mc(&topo, &spec, coarse);
+  SharedNothingCostModel mf(&topo, &spec, fine);
+  EXPECT_LT(mf.DistributedCost(s, w), mc.DistributedCost(s, w));
+}
+
+TEST(SnCostModelTest, RepartitionCostCountsMovedRowsOnly) {
+  auto topo = hw::Topology::TwistedCube8x10();
+  auto spec = workload::ReadOneSpec(80000);
+  SharedNothingCostModel m(&topo, &spec);
+
+  Scheme a = NaiveScheme(topo, {80000});
+  // Identical scheme: nothing moves.
+  EXPECT_DOUBLE_EQ(m.RepartitionCost(a, a, {80000}), 0.0);
+
+  // Move one partition (1000 rows) to a different socket.
+  Scheme b = a;
+  b.tables[0].placement[0] =
+      topo.first_core((topo.socket_of(a.tables[0].placement[0]) + 1) % 8);
+  double cost = m.RepartitionCost(a, b, {80000});
+  EXPECT_NEAR(cost, 1000.0, 1.0);  // 80000/80 rows * 1.0 per row
+
+  // Boundary shift within the same socket is free.
+  Scheme c = a;
+  c.tables[0].boundaries[1] += 100;  // partition 0 grows by 100 rows
+  // partitions 0 and 1 are on cores 0 and 1 — same socket — so no movement.
+  EXPECT_DOUBLE_EQ(m.RepartitionCost(a, c, {80000}), 0.0);
+}
+
+TEST(SnCostModelTest, ResourceImbalanceMatchesBaseModel) {
+  auto topo = hw::Topology::Cube(1, 4);
+  auto spec = workload::ReadOneSpec(8000);
+  SharedNothingCostModel m(&topo, &spec);
+  CostModel base(&topo, &spec);
+  WorkloadStats w = UniformStats(spec, 16);
+  Scheme s = NaiveScheme(topo, {8000});
+  EXPECT_DOUBLE_EQ(m.ResourceImbalance(s, w), base.ResourceImbalance(s, w));
+}
+
+}  // namespace
+}  // namespace atrapos::core

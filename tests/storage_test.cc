@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "storage/mrbtree.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace atrapos::storage {
+namespace {
+
+Schema MicroSchema() {
+  // The paper's microbenchmark table: 10 integer columns.
+  std::vector<Column> cols;
+  for (int i = 0; i < 10; ++i) cols.push_back(Column::Int64("c" + std::to_string(i)));
+  return Schema(cols);
+}
+
+TEST(SchemaTest, LayoutAndAccessors) {
+  Schema s({Column::Int64("id"), Column::FixedString("name", 16),
+            Column::Int64("balance")});
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.record_size(), 32u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 24u);
+  EXPECT_EQ(s.FindColumn("balance"), 2);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+
+  Tuple t(&s);
+  t.SetInt(0, 42);
+  t.SetString(1, "alice");
+  t.SetInt(2, -7);
+  EXPECT_EQ(t.GetInt(0), 42);
+  EXPECT_EQ(t.GetString(1), "alice");
+  EXPECT_EQ(t.GetInt(2), -7);
+}
+
+TEST(SchemaTest, StringTruncatesAtCapacity) {
+  Schema s({Column::FixedString("n", 4)});
+  Tuple t(&s);
+  t.SetString(0, "abcdefgh");
+  EXPECT_EQ(t.GetString(0), "abcd");
+}
+
+TEST(SchemaTest, TupleRoundTripThroughBytes) {
+  Schema s = MicroSchema();
+  Tuple t(&s);
+  for (int i = 0; i < 10; ++i) t.SetInt(static_cast<size_t>(i), i * 1000);
+  Tuple u(&s, t.data());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(u.GetInt(static_cast<size_t>(i)), i * 1000);
+}
+
+TEST(PageTest, InsertGetUpdateDelete) {
+  Page p;
+  uint8_t rec[80];
+  std::fill(rec, rec + 80, 0xAB);
+  auto slot = p.Insert(rec, 80);
+  ASSERT_TRUE(slot.ok());
+  uint32_t len = 0;
+  const uint8_t* got = p.Get(slot.value(), &len);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(len, 80u);
+  EXPECT_EQ(got[0], 0xAB);
+
+  uint8_t rec2[80];
+  std::fill(rec2, rec2 + 80, 0xCD);
+  EXPECT_TRUE(p.Update(slot.value(), rec2, 80).ok());
+  EXPECT_EQ(p.Get(slot.value())[0], 0xCD);
+
+  EXPECT_TRUE(p.Delete(slot.value()).ok());
+  EXPECT_EQ(p.Get(slot.value()), nullptr);
+  EXPECT_FALSE(p.Delete(slot.value()).ok());
+}
+
+TEST(PageTest, FillsUpThenRejects) {
+  Page p;
+  uint8_t rec[128] = {1};
+  int inserted = 0;
+  while (true) {
+    auto s = p.Insert(rec, 128);
+    if (!s.ok()) {
+      EXPECT_EQ(s.status().code(), StatusCode::kResourceExhausted);
+      break;
+    }
+    ++inserted;
+  }
+  // ~8K / (128 + slot) -> around 60.
+  EXPECT_GT(inserted, 50);
+  EXPECT_EQ(p.live_records(), static_cast<uint32_t>(inserted));
+}
+
+TEST(PageTest, ReusesTombstones) {
+  Page p;
+  uint8_t rec[64] = {7};
+  auto s1 = p.Insert(rec, 64);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(p.Delete(s1.value()).ok());
+  auto s2 = p.Insert(rec, 64);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2.value(), s1.value());  // slot recycled
+}
+
+TEST(HeapFileTest, InsertReadAcrossPages) {
+  HeapFile hf;
+  Schema s = MicroSchema();
+  std::vector<Rid> rids;
+  for (int i = 0; i < 1000; ++i) {
+    Tuple t(&s);
+    t.SetInt(0, i);
+    auto r = hf.Insert(t.data(), t.size());
+    ASSERT_TRUE(r.ok());
+    rids.push_back(r.value());
+  }
+  EXPECT_GT(hf.num_pages(), 1u);
+  EXPECT_EQ(hf.num_records(), 1000u);
+  for (int i = 0; i < 1000; i += 97) {
+    Tuple t(&s);
+    ASSERT_TRUE(hf.Read(rids[static_cast<size_t>(i)], t.mutable_data(), t.size()).ok());
+    EXPECT_EQ(t.GetInt(0), i);
+  }
+}
+
+TEST(BTreeTest, InsertGetSequential) {
+  BPlusTree bt;
+  for (uint64_t k = 0; k < 10000; ++k)
+    ASSERT_TRUE(bt.Insert(k, k * 2).ok());
+  EXPECT_EQ(bt.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; k += 37) {
+    auto v = bt.Get(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, k * 2);
+  }
+  EXPECT_FALSE(bt.Get(999999).has_value());
+  EXPECT_GT(bt.height(), 1);
+}
+
+TEST(BTreeTest, InsertGetRandomOrder) {
+  BPlusTree bt;
+  std::vector<uint64_t> keys(20000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  std::mt19937_64 g(42);
+  std::shuffle(keys.begin(), keys.end(), g);
+  for (uint64_t k : keys) ASSERT_TRUE(bt.Insert(k, k + 1).ok());
+  for (uint64_t k = 0; k < 20000; k += 111) {
+    auto v = bt.Get(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, k + 1);
+  }
+  EXPECT_EQ(*bt.MinKey(), 0u);
+  EXPECT_EQ(*bt.MaxKey(), 19999u);
+}
+
+TEST(BTreeTest, DuplicateInsertRejected) {
+  BPlusTree bt;
+  ASSERT_TRUE(bt.Insert(5, 1).ok());
+  EXPECT_EQ(bt.Insert(5, 2).code(), StatusCode::kAlreadyExists);
+  bt.Upsert(5, 3);
+  EXPECT_EQ(*bt.Get(5), 3u);
+  EXPECT_EQ(bt.size(), 1u);
+}
+
+TEST(BTreeTest, UpdateAndDelete) {
+  BPlusTree bt;
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(bt.Insert(k, k).ok());
+  EXPECT_TRUE(bt.Update(50, 999).ok());
+  EXPECT_EQ(*bt.Get(50), 999u);
+  EXPECT_FALSE(bt.Update(1000, 1).ok());
+  EXPECT_TRUE(bt.Delete(50).ok());
+  EXPECT_FALSE(bt.Get(50).has_value());
+  EXPECT_FALSE(bt.Delete(50).ok());
+  EXPECT_EQ(bt.size(), 99u);
+}
+
+TEST(BTreeTest, ScanRangeInOrder) {
+  BPlusTree bt;
+  for (uint64_t k = 0; k < 1000; k += 2) ASSERT_TRUE(bt.Insert(k, k).ok());
+  std::vector<uint64_t> seen;
+  bt.Scan(100, 200, [&](uint64_t k, uint64_t) {
+    seen.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(seen.size(), 51u);  // 100,102,...,200
+  EXPECT_EQ(seen.front(), 100u);
+  EXPECT_EQ(seen.back(), 200u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(BTreeTest, ScanEarlyStop) {
+  BPlusTree bt;
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(bt.Insert(k, k).ok());
+  int count = 0;
+  bt.Scan(0, 99, [&](uint64_t, uint64_t) { return ++count < 10; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(BTreeTest, ExtractFromSplitsContents) {
+  BPlusTree bt;
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(bt.Insert(k, k * 3).ok());
+  auto moved = bt.ExtractFrom(600);
+  EXPECT_EQ(moved.size(), 400u);
+  EXPECT_EQ(bt.size(), 600u);
+  EXPECT_EQ(moved.front().first, 600u);
+  EXPECT_EQ(moved.back().first, 999u);
+  EXPECT_TRUE(bt.Get(599).has_value());
+  EXPECT_FALSE(bt.Get(600).has_value());
+  // values preserved
+  for (auto [k, v] : moved) EXPECT_EQ(v, k * 3);
+}
+
+TEST(BTreeTest, BulkLoadThenPointQueries) {
+  std::vector<std::pair<uint64_t, uint64_t>> data;
+  for (uint64_t k = 0; k < 50000; ++k) data.emplace_back(k, k ^ 0xFF);
+  BPlusTree bt;
+  bt.BulkLoad(data);
+  EXPECT_EQ(bt.size(), 50000u);
+  for (uint64_t k = 0; k < 50000; k += 503) EXPECT_EQ(*bt.Get(k), k ^ 0xFF);
+  // Inserts still work after a bulk load.
+  ASSERT_TRUE(bt.Insert(60000, 1).ok());
+  EXPECT_EQ(*bt.Get(60000), 1u);
+}
+
+TEST(MrbTreeTest, RoutesKeysToPartitions) {
+  MultiRootedBTree t({0, 100, 200, 300});
+  EXPECT_EQ(t.num_partitions(), 4u);
+  EXPECT_EQ(t.PartitionOf(0), 0u);
+  EXPECT_EQ(t.PartitionOf(99), 0u);
+  EXPECT_EQ(t.PartitionOf(100), 1u);
+  EXPECT_EQ(t.PartitionOf(250), 2u);
+  EXPECT_EQ(t.PartitionOf(1000000), 3u);
+}
+
+TEST(MrbTreeTest, OperationsAcrossPartitions) {
+  MultiRootedBTree t({0, 500});
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(t.Insert(k, k).ok());
+  EXPECT_EQ(t.total_size(), 1000u);
+  EXPECT_EQ(t.partition_size(0), 500u);
+  EXPECT_EQ(t.partition_size(1), 500u);
+  EXPECT_EQ(*t.Get(499), 499u);
+  EXPECT_EQ(*t.Get(500), 500u);
+  EXPECT_TRUE(t.Update(750, 1).ok());
+  EXPECT_EQ(*t.Get(750), 1u);
+  EXPECT_TRUE(t.Delete(750).ok());
+  EXPECT_FALSE(t.Get(750).has_value());
+}
+
+TEST(MrbTreeTest, ScanSpansPartitions) {
+  MultiRootedBTree t({0, 100, 200});
+  for (uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(t.Insert(k, k).ok());
+  std::vector<uint64_t> seen;
+  t.Scan(50, 250, [&](uint64_t k, uint64_t) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 201u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(MrbTreeTest, SplitMovesUpperRange) {
+  MultiRootedBTree t({0});
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(t.Insert(k, k).ok());
+  ASSERT_TRUE(t.Split(0, 400).ok());
+  EXPECT_EQ(t.num_partitions(), 2u);
+  EXPECT_EQ(t.partition_start(1), 400u);
+  EXPECT_EQ(t.partition_size(0), 400u);
+  EXPECT_EQ(t.partition_size(1), 600u);
+  // All keys still reachable.
+  for (uint64_t k = 0; k < 1000; k += 99) EXPECT_EQ(*t.Get(k), k);
+}
+
+TEST(MrbTreeTest, SplitRejectsOutOfRangeKey) {
+  MultiRootedBTree t({0, 500});
+  EXPECT_FALSE(t.Split(0, 0).ok());
+  EXPECT_FALSE(t.Split(0, 500).ok());
+  EXPECT_FALSE(t.Split(0, 700).ok());
+  EXPECT_FALSE(t.Split(5, 100).ok());
+}
+
+TEST(MrbTreeTest, MergeFusesNeighbors) {
+  MultiRootedBTree t({0, 300, 600});
+  for (uint64_t k = 0; k < 900; ++k) ASSERT_TRUE(t.Insert(k, k).ok());
+  ASSERT_TRUE(t.Merge(0).ok());
+  EXPECT_EQ(t.num_partitions(), 2u);
+  EXPECT_EQ(t.partition_size(0), 600u);
+  for (uint64_t k = 0; k < 900; k += 77) EXPECT_EQ(*t.Get(k), k);
+  EXPECT_FALSE(t.Merge(1).ok());  // no right neighbor
+}
+
+TEST(MrbTreeTest, SplitMergeRoundTripPreservesData) {
+  MultiRootedBTree t({0});
+  Rng rng(7);
+  for (uint64_t k = 0; k < 5000; ++k) ASSERT_TRUE(t.Insert(k, rng.Next()).ok());
+  std::vector<uint64_t> before;
+  t.Scan(0, UINT64_MAX, [&](uint64_t, uint64_t v) {
+    before.push_back(v);
+    return true;
+  });
+  ASSERT_TRUE(t.Split(0, 1000).ok());
+  ASSERT_TRUE(t.Split(1, 3000).ok());
+  ASSERT_TRUE(t.Merge(0).ok());
+  ASSERT_TRUE(t.Merge(0).ok());
+  EXPECT_EQ(t.num_partitions(), 1u);
+  std::vector<uint64_t> after;
+  t.Scan(0, UINT64_MAX, [&](uint64_t, uint64_t v) {
+    after.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(before, after);
+}
+
+TEST(MrbTreeTest, RepartitionToArbitraryBoundaries) {
+  MultiRootedBTree t({0, 100});
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(t.Insert(k, k).ok());
+  t.Repartition({0, 250, 500, 750});
+  EXPECT_EQ(t.num_partitions(), 4u);
+  for (size_t p = 0; p < 4; ++p) EXPECT_EQ(t.partition_size(p), 250u);
+  for (uint64_t k = 0; k < 1000; k += 33) EXPECT_EQ(*t.Get(k), k);
+}
+
+TEST(TableTest, CrudRoundTrip) {
+  Schema s = MicroSchema();
+  Table tbl(1, "micro", s, {0, 400});
+  for (int64_t k = 0; k < 800; ++k) {
+    Tuple t(&tbl.schema());
+    t.SetInt(0, k);
+    t.SetInt(1, k * 10);
+    ASSERT_TRUE(tbl.Insert(static_cast<uint64_t>(k), t).ok());
+  }
+  EXPECT_EQ(tbl.num_rows(), 800u);
+
+  Tuple out;
+  ASSERT_TRUE(tbl.Read(123, &out).ok());
+  EXPECT_EQ(out.GetInt(0), 123);
+  EXPECT_EQ(out.GetInt(1), 1230);
+
+  out.SetInt(1, -5);
+  ASSERT_TRUE(tbl.Update(123, out).ok());
+  Tuple out2;
+  ASSERT_TRUE(tbl.Read(123, &out2).ok());
+  EXPECT_EQ(out2.GetInt(1), -5);
+
+  ASSERT_TRUE(tbl.Delete(123).ok());
+  EXPECT_EQ(tbl.Read(123, &out2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tbl.num_rows(), 799u);
+}
+
+TEST(TableTest, DuplicateKeyRejectedAndHeapRolledBack) {
+  Schema s = MicroSchema();
+  Table tbl(1, "micro", s);
+  Tuple t(&tbl.schema());
+  t.SetInt(0, 1);
+  ASSERT_TRUE(tbl.Insert(7, t).ok());
+  uint64_t heap_before = tbl.heap().num_records();
+  EXPECT_EQ(tbl.Insert(7, t).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tbl.heap().num_records(), heap_before);
+}
+
+}  // namespace
+}  // namespace atrapos::storage

@@ -1,0 +1,128 @@
+// Functional tests of the TATP stored procedures on the real engine.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/database.h"
+#include "workload/tatp.h"
+#include "workload/tatp_procs.h"
+
+namespace atrapos::workload {
+namespace {
+
+class TatpProcsTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kSubs = 2000;
+
+  void SetUp() override {
+    db_ = std::make_unique<engine::Database>(
+        engine::Database::Options{.numa_aware_state = true, .num_sockets = 2});
+    for (auto& t : BuildTatpTables(kSubs, {0, kSubs / 2}))
+      db_->AddTable(std::move(t));
+    procs_ = std::make_unique<TatpProcedures>(db_.get(), kSubs);
+  }
+
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<TatpProcedures> procs_;
+};
+
+TEST_F(TatpProcsTest, GetSubscriberDataReturnsRow) {
+  storage::Tuple row;
+  ASSERT_TRUE(procs_->GetSubscriberData(42, &row).ok());
+  EXPECT_EQ(row.GetInt(0), 42);
+  EXPECT_EQ(row.GetString(1), "42");
+}
+
+TEST_F(TatpProcsTest, GetSubscriberDataMissingKey) {
+  storage::Tuple row;
+  EXPECT_EQ(procs_->GetSubscriberData(kSubs + 10, &row).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TatpProcsTest, GetAccessDataReadsAiRow) {
+  // Every subscriber has ai_type 0 (generator inserts 1-4 types from 0).
+  int64_t d1 = -1;
+  ASSERT_TRUE(procs_->GetAccessData(7, 0, &d1).ok());
+  EXPECT_GE(d1, 0);
+  EXPECT_LT(d1, 256);
+}
+
+TEST_F(TatpProcsTest, UpdateLocationPersists) {
+  ASSERT_TRUE(procs_->UpdateLocation(123, 987654).ok());
+  storage::Tuple row;
+  ASSERT_TRUE(procs_->GetSubscriberData(123, &row).ok());
+  EXPECT_EQ(row.GetInt(6), 987654);
+}
+
+TEST_F(TatpProcsTest, UpdateSubscriberDataTouchesBothTables) {
+  ASSERT_TRUE(procs_->UpdateSubscriberData(5, 1, 0, 77).ok());
+  storage::Tuple sub;
+  ASSERT_TRUE(procs_->GetSubscriberData(5, &sub).ok());
+  EXPECT_EQ(sub.GetInt(2), 1);
+  storage::Tuple sf;
+  auto txn = db_->Begin();
+  ASSERT_TRUE(
+      db_->Read(&txn, kSpecialFacility, TatpEncodeSfKey(5, 0), &sf).ok());
+  ASSERT_TRUE(db_->Commit(&txn).ok());
+  EXPECT_EQ(sf.GetInt(4), 77);
+}
+
+TEST_F(TatpProcsTest, InsertThenDeleteCallForwarding) {
+  // Use a window slot the generator may or may not have filled; pick a
+  // subscriber/sf/start and delete first to make room deterministically.
+  (void)procs_->DeleteCallForwarding(9, 0, 16);
+  ASSERT_TRUE(
+      procs_->InsertCallForwarding(9, 0, 16, 23, "555-7777").ok());
+  // Duplicate insert rejected.
+  EXPECT_EQ(
+      procs_->InsertCallForwarding(9, 0, 16, 23, "555-8888").code(),
+      StatusCode::kAlreadyExists);
+  ASSERT_TRUE(procs_->DeleteCallForwarding(9, 0, 16).ok());
+  EXPECT_EQ(procs_->DeleteCallForwarding(9, 0, 16).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TatpProcsTest, GetNewDestinationFindsInsertedWindow) {
+  (void)procs_->DeleteCallForwarding(11, 0, 0);
+  ASSERT_TRUE(procs_->InsertCallForwarding(11, 0, 0, 20, "555-0042").ok());
+  // Force the SF active so the lookup is deterministic.
+  auto txn = db_->Begin();
+  storage::Tuple sf;
+  uint64_t sf_key = TatpEncodeSfKey(11, 0);
+  ASSERT_TRUE(db_->ReadForUpdate(&txn, kSpecialFacility, sf_key, &sf).ok());
+  sf.SetInt(2, 1);
+  ASSERT_TRUE(db_->Update(&txn, kSpecialFacility, sf_key, sf).ok());
+  ASSERT_TRUE(db_->Commit(&txn).ok());
+
+  std::string number;
+  ASSERT_TRUE(procs_->GetNewDestination(11, 0, 5, 10, &number).ok());
+  EXPECT_EQ(number, "555-0042");
+  // A window that ends too early does not match.
+  EXPECT_EQ(procs_->GetNewDestination(11, 0, 5, 25, &number).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TatpProcsTest, MixRunsAllClasses) {
+  Rng rng(99);
+  std::map<int, int> executed;
+  for (int i = 0; i < 3000; ++i) {
+    auto r = procs_->RunMix(rng);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ++executed[r.value()];
+  }
+  // All seven classes appear, roughly in mix proportion.
+  EXPECT_EQ(executed.size(), 7u);
+  EXPECT_GT(executed[kGetSubData], 800);
+  EXPECT_GT(executed[kGetAccData], 800);
+  EXPECT_GT(executed[kUpdLocation], 250);
+  EXPECT_GT(executed[kGetNewDest], 150);
+}
+
+TEST_F(TatpProcsTest, MixLeavesNoActiveTransactions) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(procs_->RunMix(rng).ok());
+  EXPECT_EQ(db_->active_transactions(), 0u);
+}
+
+}  // namespace
+}  // namespace atrapos::workload

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sync/partitioned_rwlock.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_list.h"
+#include "txn/wal.h"
+
+namespace atrapos::txn {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  LockId id = MakeLockId(1, 42);
+  EXPECT_TRUE(lm.Acquire(1, id, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, id, LockMode::kShared).ok());
+  EXPECT_EQ(lm.HeldCount(1), 1u);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.HeldCount(1), 0u);
+}
+
+TEST(LockManagerTest, ExclusiveConflictWaitDie) {
+  LockManager lm;
+  LockId id = MakeLockId(1, 7);
+  // Txn 5 (younger than 10? wait-die: lower id == older) holds X.
+  EXPECT_TRUE(lm.Acquire(5, id, LockMode::kExclusive).ok());
+  // Txn 10 is younger -> dies instead of waiting.
+  Status s = lm.Acquire(10, id, LockMode::kExclusive);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlockAbort);
+  lm.ReleaseAll(5);
+}
+
+TEST(LockManagerTest, OlderWaitsAndIsGranted) {
+  LockManager lm;
+  LockId id = MakeLockId(2, 1);
+  ASSERT_TRUE(lm.Acquire(10, id, LockMode::kExclusive).ok());
+  std::atomic<bool> granted{false};
+  // Txn 3 is older -> allowed to wait.
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Acquire(3, id, LockMode::kExclusive).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(granted.load());
+  lm.Release(10, id);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  lm.ReleaseAll(3);
+}
+
+TEST(LockManagerTest, ReentrantAcquireIsNoop) {
+  LockManager lm;
+  LockId id = MakeLockId(1, 3);
+  ASSERT_TRUE(lm.Acquire(1, id, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, id, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(1, id, LockMode::kShared).ok());  // covered by X
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, SharedBlocksExclusiveYoungerDies) {
+  LockManager lm;
+  LockId id = MakeLockId(1, 9);
+  ASSERT_TRUE(lm.Acquire(1, id, LockMode::kShared).ok());
+  EXPECT_EQ(lm.Acquire(2, id, LockMode::kExclusive).code(),
+            StatusCode::kDeadlockAbort);
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, ManyTablesManyRowsIndependent) {
+  LockManager lm;
+  for (int t = 0; t < 8; ++t)
+    for (uint64_t k = 0; k < 64; ++k)
+      EXPECT_TRUE(lm.Acquire(1, MakeLockId(t, k), LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.HeldCount(1), 8u * 64u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldCount(1), 0u);
+  // Another txn can take them all now.
+  EXPECT_TRUE(lm.Acquire(9, MakeLockId(3, 5), LockMode::kExclusive).ok());
+  lm.ReleaseAll(9);
+}
+
+TEST(WalTest, LsnsMonotonic) {
+  WriteAheadLog wal(10);
+  Lsn a = wal.Append(1, LogType::kBegin);
+  Lsn b = wal.Append(1, LogType::kUpdate, 42, 43);
+  Lsn c = wal.Append(2, LogType::kBegin);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(wal.num_records(), 3u);
+}
+
+TEST(WalTest, CommitWaitsForDurability) {
+  WriteAheadLog wal(50);
+  wal.Append(1, LogType::kBegin);
+  Lsn commit = wal.Commit(1);
+  EXPECT_GE(wal.durable_lsn(), commit);
+}
+
+TEST(WalTest, ReadBackRecords) {
+  WriteAheadLog wal(10);
+  wal.Append(1, LogType::kBegin);
+  wal.Append(1, LogType::kUpdate, 100, 200);
+  wal.Commit(1);
+  auto recs = wal.Read(1, wal.tail_lsn());
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].type, LogType::kBegin);
+  EXPECT_EQ(recs[1].type, LogType::kUpdate);
+  EXPECT_EQ(recs[1].payload_a, 100u);
+  EXPECT_EQ(recs[2].type, LogType::kCommit);
+}
+
+TEST(WalTest, ConcurrentAppendersAllDurable) {
+  WriteAheadLog wal(20);
+  constexpr int kThreads = 4, kPerThread = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&wal, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        wal.Append(static_cast<TxnId>(t), LogType::kUpdate,
+                   static_cast<uint64_t>(i), 0);
+      wal.Commit(static_cast<TxnId>(t));
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(wal.num_records(),
+            static_cast<uint64_t>(kThreads) * (kPerThread + 1));
+  // LSNs unique and dense.
+  auto recs = wal.Read(1, wal.tail_lsn());
+  std::set<Lsn> lsns;
+  for (const auto& r : recs) lsns.insert(r.lsn);
+  EXPECT_EQ(lsns.size(), recs.size());
+}
+
+TEST(TxnListTest, CentralizedAddRemoveTraverse) {
+  CentralizedTxnList list;
+  TxnNode* a = list.Add(1, 0);
+  TxnNode* b = list.Add(2, 0);
+  EXPECT_EQ(list.ActiveCount(), 2u);
+  std::set<TxnId> seen;
+  list.ForEach([&](TxnId id) { seen.insert(id); });
+  EXPECT_EQ(seen, (std::set<TxnId>{1, 2}));
+  list.Remove(a, 0);
+  EXPECT_EQ(list.ActiveCount(), 1u);
+  list.Remove(b, 0);
+  EXPECT_EQ(list.ActiveCount(), 0u);
+}
+
+TEST(TxnListTest, CentralizedConcurrentChurn) {
+  CentralizedTxnList list;
+  constexpr int kThreads = 4, kOps = 2000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&list, t] {
+      for (int i = 0; i < kOps; ++i) {
+        TxnNode* n = list.Add(static_cast<TxnId>(t * kOps + i), 0);
+        list.Remove(n, 0);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(list.ActiveCount(), 0u);
+}
+
+TEST(TxnListTest, PartitionedKeepsSocketsSeparate) {
+  PartitionedTxnList list(4);
+  TxnNode* a = list.Add(1, 0);
+  TxnNode* b = list.Add(2, 3);
+  EXPECT_EQ(list.ActiveCount(), 2u);
+  std::set<TxnId> seen;
+  list.ForEach([&](TxnId id) { seen.insert(id); });
+  EXPECT_EQ(seen, (std::set<TxnId>{1, 2}));
+  list.Remove(a, 0);
+  list.Remove(b, 3);
+  EXPECT_EQ(list.ActiveCount(), 0u);
+}
+
+TEST(PartitionedRWLockTest, SharedDoesNotBlockAcrossSockets) {
+  sync::PartitionedRWLock lk(4);
+  lk.LockShared(0);
+  lk.LockShared(3);  // different socket partition: independent
+  lk.UnlockShared(0);
+  lk.UnlockShared(3);
+}
+
+TEST(PartitionedRWLockTest, ExclusiveBlocksAllSharedHolders) {
+  sync::PartitionedRWLock lk(2);
+  std::atomic<bool> exclusive_done{false};
+  lk.LockShared(1);
+  std::thread w([&] {
+    lk.LockExclusive();  // must wait for the shared holder on socket 1
+    exclusive_done.store(true);
+    lk.UnlockExclusive();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(exclusive_done.load());
+  lk.UnlockShared(1);
+  w.join();
+  EXPECT_TRUE(exclusive_done.load());
+}
+
+TEST(PartitionedRWLockTest, GuardsCompile) {
+  sync::PartitionedRWLock lk(2);
+  {
+    sync::SharedGuard g(lk);
+  }
+  {
+    sync::ExclusiveGuard g(lk);
+  }
+}
+
+}  // namespace
+}  // namespace atrapos::txn
