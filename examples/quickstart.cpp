@@ -12,8 +12,9 @@ using namespace atrapos;
 
 int main() {
   // A database with ATraPos-style NUMA-aware system state (per-socket
-  // transaction lists + partitioned volume lock) for a 2-socket machine.
-  engine::Database db({.numa_aware_state = true, .num_sockets = 2});
+  // transaction lists, partitioned volume lock, island-local memory
+  // arenas) for a 2-socket machine.
+  engine::Database db({.topo = hw::Topology::Cube(1, 2)});
 
   // Define a table: accounts(id, owner, balance), range-partitioned at 500.
   storage::Schema schema({storage::Column::Int64("id"),

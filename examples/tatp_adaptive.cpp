@@ -20,7 +20,7 @@ int main() {
   auto topo = hw::Topology::SingleSocket(4);
 
   // Build the database with real TATP tables, 4 partitions each.
-  engine::Database db({.numa_aware_state = true, .num_sockets = 1});
+  engine::Database db({.topo = topo});
   std::vector<uint64_t> bounds;
   for (int p = 0; p < 4; ++p) bounds.push_back(kSubscribers * p / 4);
   auto tables = workload::BuildTatpTables(kSubscribers, bounds);

@@ -10,20 +10,21 @@ PartitionMonitor::PartitionMonitor(uint64_t start_key, uint64_t end_key,
     : start_(start_key),
       end_(end_key),
       span_(end_key > start_key ? end_key - start_key : 1),
-      cost_(static_cast<size_t>(num_subs), 0.0),
-      syncs_(static_cast<size_t>(num_subs), 0) {
+      cost_(static_cast<size_t>(num_subs)),
+      syncs_(static_cast<size_t>(num_subs)) {
   assert(num_subs >= 1);
+  Reset();
 }
 
 double PartitionMonitor::TotalCost() const {
   double t = 0;
-  for (double c : cost_) t += c;
+  for (const auto& c : cost_) t += c.load(std::memory_order_relaxed);
   return t;
 }
 
 void PartitionMonitor::Reset() {
-  std::fill(cost_.begin(), cost_.end(), 0.0);
-  std::fill(syncs_.begin(), syncs_.end(), 0);
+  for (auto& c : cost_) c.store(0.0, std::memory_order_relaxed);
+  for (auto& s : syncs_) s.store(0, std::memory_order_relaxed);
 }
 
 MonitorAggregator::MonitorAggregator(size_t num_tables, size_t num_classes)

@@ -9,6 +9,7 @@
 // computation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -18,9 +19,13 @@ namespace atrapos::core {
 
 constexpr int kDefaultSubPartitions = 10;
 
-/// Per-partition trace arrays. Not internally synchronized: exactly one
-/// worker writes it (data-oriented execution), and harvest happens while
-/// the partition is quiesced or tolerates torn reads (counters only).
+/// Per-partition trace arrays. One worker writes each array
+/// (data-oriented execution) while the harvest thread reads and resets it
+/// concurrently; the bins are relaxed atomics and writers use fetch_add,
+/// so no update can tear or resurrect a pre-reset total (plain doubles
+/// were a data race). The only remaining imprecision is benign: an action
+/// recorded between the harvester's read and its Reset is dropped with
+/// the discarded trace.
 class PartitionMonitor {
  public:
   PartitionMonitor(uint64_t start_key, uint64_t end_key,
@@ -28,10 +33,12 @@ class PartitionMonitor {
 
   /// Records `cost` units of work for the action that touched `key`.
   void RecordAction(uint64_t key, double cost) {
-    cost_[SubOf(key)] += cost;
+    cost_[SubOf(key)].fetch_add(cost, std::memory_order_relaxed);
   }
   /// Records one synchronization-point participation for `key`.
-  void RecordSync(uint64_t key) { ++syncs_[SubOf(key)]; }
+  void RecordSync(uint64_t key) {
+    syncs_[SubOf(key)].fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t start_key() const { return start_; }
   uint64_t end_key() const { return end_; }
@@ -40,8 +47,12 @@ class PartitionMonitor {
   uint64_t sub_start(size_t i) const {
     return start_ + span_ * i / cost_.size();
   }
-  double sub_cost(size_t i) const { return cost_[i]; }
-  uint64_t sub_syncs(size_t i) const { return syncs_[i]; }
+  double sub_cost(size_t i) const {
+    return cost_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t sub_syncs(size_t i) const {
+    return syncs_[i].load(std::memory_order_relaxed);
+  }
   double TotalCost() const;
 
   /// Clears the arrays (after every aggregation — traces are discarded).
@@ -55,8 +66,8 @@ class PartitionMonitor {
   }
 
   uint64_t start_, end_, span_;
-  std::vector<double> cost_;
-  std::vector<uint64_t> syncs_;
+  std::vector<std::atomic<double>> cost_;
+  std::vector<std::atomic<uint64_t>> syncs_;
 };
 
 /// Builds a WorkloadStats from harvested partition monitors.

@@ -7,12 +7,12 @@
 namespace atrapos::engine {
 
 Database::Database(Options opt)
-    : opt_(opt),
-      wal_(opt.wal_flush_interval_us),
-      volume_lock_(opt.num_sockets > 0 ? opt.num_sockets : 1) {
-  if (opt.numa_aware_state) {
-    txn_list_ = std::make_unique<txn::PartitionedTxnList>(
-        opt.num_sockets > 0 ? opt.num_sockets : 1);
+    : opt_(std::move(opt)),
+      mem_(opt_.topo, opt_.mem),
+      wal_(opt_.wal_flush_interval_us),
+      volume_lock_(num_sockets()) {
+  if (opt_.partitioned_state) {
+    txn_list_ = std::make_unique<txn::PartitionedTxnList>(num_sockets());
   } else {
     txn_list_ = std::make_unique<txn::CentralizedTxnList>();
   }
@@ -28,7 +28,7 @@ Database::Txn Database::Begin(txn::TxnId reuse_id) {
   t.id = reuse_id != 0 ? reuse_id
                        : next_txn_.fetch_add(1, std::memory_order_relaxed);
   hw::SocketId s = hw::CurrentPlacement().socket;
-  t.socket = (s >= 0 && s < opt_.num_sockets) ? s : 0;
+  t.socket = (s >= 0 && s < num_sockets()) ? s : 0;
   volume_lock_.LockShared(t.socket);
   t.node = txn_list_->Add(t.id, t.socket);
   volume_lock_.UnlockShared(t.socket);

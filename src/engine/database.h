@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hw/topology.h"
+#include "mem/island_allocator.h"
 #include "storage/table.h"
 #include "sync/partitioned_rwlock.h"
 #include "txn/lock_manager.h"
@@ -25,11 +26,19 @@ namespace atrapos::engine {
 
 class Database {
  public:
+  /// Memory placement knobs: which island's arena serves each partition's
+  /// pages and B-tree nodes, and how allocation/access traffic is charged
+  /// (paper §II-B, Table I).
+  using MemoryOptions = mem::IslandAllocator::Options;
+
   struct Options {
+    /// The machine the database runs on; sockets drive both the per-socket
+    /// system state partitioning and the island arenas.
+    hw::Topology topo = hw::Topology::SingleSocket(1);
     /// Use per-socket transaction lists + partitioned volume lock (ATraPos
     /// §IV) instead of centralized ones.
-    bool numa_aware_state = true;
-    int num_sockets = 1;
+    bool partitioned_state = true;
+    MemoryOptions mem;
     uint64_t wal_flush_interval_us = 50;
   };
 
@@ -85,6 +94,13 @@ class Database {
   uint64_t active_transactions() const { return txn_list_->ActiveCount(); }
   txn::WriteAheadLog& wal() { return wal_; }
 
+  /// The island-aware allocator owning one arena per socket; the executor
+  /// uses it to place partition state, benchmarks read its AllocStats.
+  mem::IslandAllocator& memory() { return mem_; }
+  const mem::IslandAllocator& memory() const { return mem_; }
+  const hw::Topology& topology() const { return opt_.topo; }
+  int num_sockets() const { return opt_.topo.num_sockets(); }
+
   /// Checkpoint: takes the volume lock exclusively (all socket partitions),
   /// scans the active list, and writes a checkpoint record. Returns the
   /// number of active transactions observed.
@@ -92,6 +108,7 @@ class Database {
 
  private:
   Options opt_;
+  mem::IslandAllocator mem_;
   std::vector<std::unique_ptr<storage::Table>> tables_;
   txn::LockManager locks_;
   txn::WriteAheadLog wal_;

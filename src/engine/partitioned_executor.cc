@@ -1,5 +1,6 @@
 #include "engine/partitioned_executor.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/repartitioner.h"
@@ -16,7 +17,32 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
 
 PartitionedExecutor::~PartitionedExecutor() { StopWorkers(); }
 
+void PartitionedExecutor::PlacePartitions() {
+  mem::IslandAllocator& alloc = db_->memory();
+  uint64_t seq = 0;
+  for (size_t t = 0; t < scheme_.tables.size(); ++t) {
+    const core::TableScheme& ts = scheme_.tables[t];
+    if (ts.num_partitions() == 0) continue;
+    storage::Table* table = db_->table(static_cast<int>(t));
+    storage::MultiRootedBTree& index = table->index();
+    size_t n = std::min(ts.num_partitions(), index.num_partitions());
+    for (size_t p = 0; p < n; ++p, ++seq) {
+      hw::SocketId owner = topo_->socket_of(ts.placement[p]);
+      mem::Arena* arena = alloc.arena(alloc.ResolveSeq(owner, seq));
+      // MigratePartition is a no-op when the subtree already lives there.
+      index.MigratePartition(p, arena);
+    }
+    // One heap per table: it follows the island of the first partition's
+    // owner (finer-grained placement needs per-partition heaps — ROADMAP).
+    // Seq = table index so kInterleaved spreads heaps across islands.
+    hw::SocketId owner0 = topo_->socket_of(ts.placement[0]);
+    mem::Arena* harena = alloc.arena(alloc.ResolveSeq(owner0, t));
+    if (table->heap().arena() != harena) table->heap().MigrateTo(harena);
+  }
+}
+
 void PartitionedExecutor::StartWorkers() {
+  PlacePartitions();
   parts_.clear();
   parts_.resize(scheme_.tables.size());
   for (size_t t = 0; t < scheme_.tables.size(); ++t) {

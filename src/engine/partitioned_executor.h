@@ -57,7 +57,8 @@ class PartitionedExecutor {
                                    double window_seconds);
 
   /// Applies a new scheme: pauses intake, drains workers, applies
-  /// split/merge actions to every table's multi-rooted B-tree, restarts
+  /// split/merge actions to every table's multi-rooted B-tree, migrates
+  /// moved subtrees to their new owner island's arena, and restarts
   /// workers under the new routing. Returns the number of repartitioning
   /// actions applied.
   Result<size_t> Repartition(const core::Scheme& target);
@@ -81,6 +82,10 @@ class PartitionedExecutor {
 
   void StartWorkers();
   void StopWorkers();
+  /// Places every partition's subtree (and each table's heap) on the arena
+  /// the database's placement policy selects for its owning island; called
+  /// with workers stopped. Subtrees whose owner changed are migrated.
+  void PlacePartitions();
   Partition* Route(int table, uint64_t key);
 
   Database* db_;

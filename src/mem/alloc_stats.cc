@@ -1,0 +1,95 @@
+#include "mem/alloc_stats.h"
+
+#include <sstream>
+
+namespace atrapos::mem {
+
+AllocStats::AllocStats(const hw::Topology& topo)
+    : topo_(topo),
+      n_(topo.num_sockets()),
+      alloc_(static_cast<size_t>(n_) * n_),
+      access_(static_cast<size_t>(n_) * n_),
+      freed_(static_cast<size_t>(n_)) {
+  Reset();
+}
+
+void AllocStats::RecordAlloc(hw::SocketId from, hw::SocketId to,
+                             uint64_t bytes) {
+  alloc_[Idx(from, to)].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void AllocStats::RecordFree(hw::SocketId to, uint64_t bytes) {
+  freed_[static_cast<size_t>(Clamp(to))].fetch_add(bytes,
+                                                   std::memory_order_relaxed);
+}
+
+void AllocStats::RecordAccess(hw::SocketId from, hw::SocketId to,
+                              uint64_t bytes) {
+  access_[Idx(from, to)].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+uint64_t AllocStats::alloc_bytes(hw::SocketId from, hw::SocketId to) const {
+  return alloc_[Idx(from, to)].load(std::memory_order_relaxed);
+}
+
+uint64_t AllocStats::access_bytes(hw::SocketId from, hw::SocketId to) const {
+  return access_[Idx(from, to)].load(std::memory_order_relaxed);
+}
+
+int64_t AllocStats::resident_bytes(hw::SocketId s) const {
+  uint64_t in = 0;
+  for (int f = 0; f < n_; ++f) in += alloc_bytes(f, s);
+  uint64_t out =
+      freed_[static_cast<size_t>(Clamp(s))].load(std::memory_order_relaxed);
+  return static_cast<int64_t>(in) - static_cast<int64_t>(out);
+}
+
+uint64_t AllocStats::SumIf(const std::vector<std::atomic<uint64_t>>& m,
+                           bool diagonal) const {
+  uint64_t sum = 0;
+  for (int f = 0; f < n_; ++f)
+    for (int t = 0; t < n_; ++t)
+      if ((f == t) == diagonal)
+        sum += m[static_cast<size_t>(f) * n_ + t].load(
+            std::memory_order_relaxed);
+  return sum;
+}
+
+uint64_t AllocStats::LocalAllocBytes() const { return SumIf(alloc_, true); }
+uint64_t AllocStats::RemoteAllocBytes() const { return SumIf(alloc_, false); }
+uint64_t AllocStats::LocalAccessBytes() const { return SumIf(access_, true); }
+uint64_t AllocStats::RemoteAccessBytes() const { return SumIf(access_, false); }
+
+namespace {
+double Ratio(uint64_t remote, uint64_t local) {
+  if (remote == 0) return 0.0;
+  if (local == 0) return static_cast<double>(remote);  // all-remote: >> 1
+  return static_cast<double>(remote) / static_cast<double>(local);
+}
+}  // namespace
+
+double AllocStats::AccessRemoteRatio() const {
+  return Ratio(RemoteAccessBytes(), LocalAccessBytes());
+}
+
+double AllocStats::AllocRemoteRatio() const {
+  return Ratio(RemoteAllocBytes(), LocalAllocBytes());
+}
+
+void AllocStats::Reset() {
+  for (auto& a : alloc_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : access_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : freed_) a.store(0, std::memory_order_relaxed);
+}
+
+std::string AllocStats::ToString() const {
+  std::ostringstream os;
+  os << "alloc local=" << LocalAllocBytes()
+     << " remote=" << RemoteAllocBytes()
+     << " access local=" << LocalAccessBytes()
+     << " remote=" << RemoteAccessBytes()
+     << " access_ratio=" << AccessRemoteRatio();
+  return os.str();
+}
+
+}  // namespace atrapos::mem

@@ -1,0 +1,88 @@
+// Allocation- and access-traffic accounting for the island-aware memory
+// subsystem (paper §II-B, Table I).
+//
+// The paper's Table I distinguishes memory policies by the ratio of
+// interconnect (QPI) to local memory-controller (IMC) traffic. We reproduce
+// that signal in software: every arena allocation and every page access is
+// charged to a (requesting socket, serving socket) pair, and the remote
+// share of that matrix is the QPI/IMC-style ratio. Counters are relaxed
+// atomics — workers on every socket record concurrently with readers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace atrapos::mem {
+
+class AllocStats {
+ public:
+  /// `topo` supplies the socket count and hop distances; the stats object
+  /// keeps its own copy so it can outlive the caller's topology.
+  explicit AllocStats(const hw::Topology& topo);
+
+  // ---- Recording (relaxed atomics; callable from any thread) -------------
+
+  /// Charges `bytes` of arena allocation requested by `from` and served by
+  /// the arena on `to`.
+  void RecordAlloc(hw::SocketId from, hw::SocketId to, uint64_t bytes);
+  /// Returns `bytes` previously charged to `to` (arena recycling).
+  void RecordFree(hw::SocketId to, uint64_t bytes);
+  /// Charges `bytes` of memory traffic from a thread on `from` touching
+  /// memory homed on `to`.
+  void RecordAccess(hw::SocketId from, hw::SocketId to, uint64_t bytes);
+
+  // ---- Reading ------------------------------------------------------------
+
+  uint64_t alloc_bytes(hw::SocketId from, hw::SocketId to) const;
+  uint64_t access_bytes(hw::SocketId from, hw::SocketId to) const;
+  /// Net bytes currently resident on socket `s` (allocs minus frees).
+  int64_t resident_bytes(hw::SocketId s) const;
+
+  uint64_t LocalAllocBytes() const;
+  uint64_t RemoteAllocBytes() const;
+  uint64_t LocalAccessBytes() const;
+  uint64_t RemoteAccessBytes() const;
+
+  /// Remote/local traffic ratio over recorded accesses — the software
+  /// analogue of the paper's QPI/IMC ratio (~0 for island-local placement,
+  /// >1 when most traffic crosses sockets). Returns 0 when nothing local
+  /// and nothing remote was recorded.
+  double AccessRemoteRatio() const;
+  /// Same ratio over allocation traffic.
+  double AllocRemoteRatio() const;
+
+  /// Hop distance between two sockets (0 on the same socket).
+  int Hops(hw::SocketId from, hw::SocketId to) const {
+    return topo_.Distance(Clamp(from), Clamp(to));
+  }
+
+  int num_sockets() const { return n_; }
+
+  /// Zeroes every counter (e.g. after the load phase of a benchmark).
+  void Reset();
+
+  std::string ToString() const;
+
+ private:
+  hw::SocketId Clamp(hw::SocketId s) const {
+    return (s < 0 || s >= n_) ? 0 : s;
+  }
+  size_t Idx(hw::SocketId from, hw::SocketId to) const {
+    return static_cast<size_t>(Clamp(from)) * static_cast<size_t>(n_) +
+           static_cast<size_t>(Clamp(to));
+  }
+  uint64_t SumIf(const std::vector<std::atomic<uint64_t>>& m,
+                 bool diagonal) const;
+
+  hw::Topology topo_;
+  int n_;
+  std::vector<std::atomic<uint64_t>> alloc_;   // n x n, row = requesting
+  std::vector<std::atomic<uint64_t>> access_;  // n x n
+  std::vector<std::atomic<uint64_t>> freed_;   // per serving socket
+};
+
+}  // namespace atrapos::mem

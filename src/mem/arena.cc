@@ -1,0 +1,118 @@
+#include "mem/arena.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+
+#include "hw/binding.h"
+
+namespace atrapos::mem {
+
+Arena::Arena(hw::SocketId home, AllocStats* stats, size_t chunk_bytes,
+             uint32_t emulate_ns_per_hop)
+    : home_(home),
+      stats_(stats),
+      chunk_bytes_(chunk_bytes < 4096 ? 4096 : chunk_bytes),
+      emulate_ns_per_hop_(emulate_ns_per_hop) {}
+
+size_t Arena::BlockSize(size_t bytes) {
+  if (bytes < kMinBlock) bytes = kMinBlock;
+  return std::bit_ceil(bytes);
+}
+
+size_t Arena::ClassOf(size_t bytes) {
+  // Class i holds blocks of 2^(i+4) bytes: class 0 = 16 B.
+  size_t block = BlockSize(bytes);
+  return static_cast<size_t>(std::countr_zero(block)) - 4;
+}
+
+namespace {
+hw::SocketId RequestingSocket(hw::SocketId fallback) {
+  hw::SocketId s = hw::CurrentPlacement().socket;
+  return s == hw::kInvalidSocket ? fallback : s;
+}
+}  // namespace
+
+void* Arena::Allocate(size_t bytes) {
+  size_t block = BlockSize(bytes);
+  size_t cls = ClassOf(bytes);
+  void* p;
+  {
+    std::lock_guard lk(mu_);
+    p = AllocateLocked(block, cls);
+    in_use_ += block;
+    total_ += block;
+  }
+  if (stats_) stats_->RecordAlloc(RequestingSocket(home_), home_, block);
+  return p;
+}
+
+void* Arena::AllocateLocked(size_t block, size_t cls) {
+  if (free_[cls]) {
+    FreeBlock* b = free_[cls];
+    free_[cls] = b->next;
+    return b;
+  }
+  // for_overwrite: callers initialize their blocks (pages memset, nodes
+  // placement-new); value-init would zero whole chunks redundantly.
+  if (block > chunk_bytes_) {
+    // Oversized request: dedicated chunk, still recyclable via its class.
+    chunks_.push_back(std::make_unique_for_overwrite<uint8_t[]>(block));
+    return chunks_.back().get();
+  }
+  if (cur_left_ < block) {
+    chunks_.push_back(std::make_unique_for_overwrite<uint8_t[]>(chunk_bytes_));
+    cur_ = chunks_.back().get();
+    cur_left_ = chunk_bytes_;
+  }
+  uint8_t* p = cur_;
+  cur_ += block;
+  cur_left_ -= block;
+  return p;
+}
+
+void Arena::Deallocate(void* p, size_t bytes) {
+  if (!p) return;
+  size_t block = BlockSize(bytes);
+  size_t cls = ClassOf(bytes);
+  {
+    std::lock_guard lk(mu_);
+    auto* b = static_cast<FreeBlock*>(p);
+    b->next = free_[cls];
+    free_[cls] = b;
+    in_use_ -= block;
+  }
+  if (stats_) stats_->RecordFree(home_, block);
+}
+
+void Arena::RecordAccess(uint64_t bytes) const {
+  if (!stats_) return;
+  hw::SocketId from = RequestingSocket(home_);
+  stats_->RecordAccess(from, home_, bytes);
+  if (emulate_ns_per_hop_ == 0) return;
+  int hops = stats_->Hops(from, home_);
+  if (hops <= 0) return;
+  // Busy-wait: emulated interconnect latency (per access, not per byte).
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(
+                   static_cast<uint64_t>(hops) * emulate_ns_per_hop_);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+uint64_t Arena::bytes_in_use() const {
+  std::lock_guard lk(mu_);
+  return in_use_;
+}
+
+uint64_t Arena::bytes_allocated() const {
+  std::lock_guard lk(mu_);
+  return total_;
+}
+
+size_t Arena::num_chunks() const {
+  std::lock_guard lk(mu_);
+  return chunks_.size();
+}
+
+}  // namespace atrapos::mem

@@ -1,0 +1,90 @@
+// Per-socket memory arena: chunked bump-pointer allocation with
+// free-listed recycling by power-of-two size class.
+//
+// An Arena is "homed" on one hardware island (socket). On a real NUMA
+// machine its chunks would be bound there with mbind/numa_alloc_onnode —
+// that backend is future work (ROADMAP); today the home socket drives the
+// placement *accounting* (AllocStats) and the optional emulated
+// interconnect latency, so policies are observable and testable on any
+// host behind the same interface.
+//
+// Thread safety: Allocate/Deallocate take an internal mutex (allocation is
+// off the per-action critical path — pages and B-tree nodes amortize it);
+// RecordAccess is lock-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hw/topology.h"
+#include "mem/alloc_stats.h"
+
+namespace atrapos::mem {
+
+class Arena {
+ public:
+  static constexpr size_t kMinBlock = 16;      ///< smallest size class
+  static constexpr size_t kNumClasses = 33;    ///< classes 2^4 .. 2^36
+
+  /// `home`: the socket this arena's memory belongs to. `stats` may be
+  /// nullptr (no accounting). `emulate_ns_per_hop`: when >0, RecordAccess
+  /// busy-waits hops * ns to emulate interconnect latency on hosts without
+  /// real NUMA (used by benchmarks; off by default).
+  Arena(hw::SocketId home, AllocStats* stats, size_t chunk_bytes = 1 << 20,
+        uint32_t emulate_ns_per_hop = 0);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a block of at least `bytes` (rounded up to its size class),
+  /// 16-byte aligned. Never returns nullptr (aborts on OOM like new).
+  void* Allocate(size_t bytes);
+
+  /// Recycles a block previously returned by Allocate with the same
+  /// `bytes`. Memory is kept for reuse; chunks are never unmapped.
+  void Deallocate(void* p, size_t bytes);
+
+  /// Records `bytes` of traffic from the calling thread's socket (see
+  /// hw::CurrentPlacement) to this arena's home socket, and applies the
+  /// emulated interconnect latency if configured.
+  void RecordAccess(uint64_t bytes) const;
+
+  hw::SocketId home_socket() const { return home_; }
+  AllocStats* stats() const { return stats_; }
+
+  /// Bytes handed out minus bytes recycled (size-class granularity).
+  uint64_t bytes_in_use() const;
+  /// Bytes ever handed out (cumulative).
+  uint64_t bytes_allocated() const;
+  size_t num_chunks() const;
+
+  /// Size class a request of `bytes` lands in (rounded-up block size).
+  static size_t BlockSize(size_t bytes);
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  static size_t ClassOf(size_t bytes);
+  void* AllocateLocked(size_t block, size_t cls);
+
+  const hw::SocketId home_;
+  AllocStats* const stats_;
+  const size_t chunk_bytes_;
+  const uint32_t emulate_ns_per_hop_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  uint8_t* cur_ = nullptr;     // bump pointer into the newest chunk
+  size_t cur_left_ = 0;
+  FreeBlock* free_[kNumClasses] = {};
+  uint64_t in_use_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace atrapos::mem

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mem/arena.h"
+
 namespace atrapos::storage {
 
 struct BPlusTree::Node {
   bool leaf;
+  mem::Arena* owner = nullptr;  ///< arena the node was allocated from
   Internal* parent = nullptr;
   std::vector<uint64_t> keys;
   explicit Node(bool l) : leaf(l) {}
@@ -22,21 +25,53 @@ struct BPlusTree::Leaf : Node {
 struct BPlusTree::Internal : Node {
   std::vector<Node*> children;  // children.size() == keys.size() + 1
   Internal() : Node(false) {}
-  ~Internal() override {
-    for (Node* c : children) delete c;
-  }
+  // Children are freed by FreeTree (they may live in a different arena).
 };
 
-BPlusTree::BPlusTree() {
-  auto* l = new Leaf();
+BPlusTree::Leaf* BPlusTree::NewLeaf() {
+  if (!arena_) return new Leaf();
+  auto* l = new (arena_->Allocate(sizeof(Leaf))) Leaf();
+  l->owner = arena_;
+  return l;
+}
+
+BPlusTree::Internal* BPlusTree::NewInternal() {
+  if (!arena_) return new Internal();
+  auto* in = new (arena_->Allocate(sizeof(Internal))) Internal();
+  in->owner = arena_;
+  return in;
+}
+
+void BPlusTree::FreeNode(Node* n) {
+  if (mem::Arena* a = n->owner) {
+    size_t sz = n->leaf ? sizeof(Leaf) : sizeof(Internal);
+    n->~Node();
+    a->Deallocate(n, sz);
+  } else {
+    delete n;
+  }
+}
+
+void BPlusTree::FreeTree(Node* n) {
+  if (!n) return;
+  if (!n->leaf)
+    for (Node* c : static_cast<Internal*>(n)->children) FreeTree(c);
+  FreeNode(n);
+}
+
+BPlusTree::BPlusTree(mem::Arena* arena) : arena_(arena) {
+  auto* l = NewLeaf();
   root_ = l;
   first_leaf_ = l;
 }
 
-BPlusTree::~BPlusTree() { delete root_; }
+BPlusTree::~BPlusTree() { FreeTree(root_); }
 
 BPlusTree::BPlusTree(BPlusTree&& o) noexcept
-    : root_(o.root_), first_leaf_(o.first_leaf_), size_(o.size_) {
+    : arena_(o.arena_),
+      root_(o.root_),
+      first_leaf_(o.first_leaf_),
+      size_(o.size_) {
   o.root_ = nullptr;
   o.first_leaf_ = nullptr;
   o.size_ = 0;
@@ -44,7 +79,8 @@ BPlusTree::BPlusTree(BPlusTree&& o) noexcept
 
 BPlusTree& BPlusTree::operator=(BPlusTree&& o) noexcept {
   if (this != &o) {
-    delete root_;
+    FreeTree(root_);
+    arena_ = o.arena_;
     root_ = o.root_;
     first_leaf_ = o.first_leaf_;
     size_ = o.size_;
@@ -53,6 +89,18 @@ BPlusTree& BPlusTree::operator=(BPlusTree&& o) noexcept {
     o.size_ = 0;
   }
   return *this;
+}
+
+void BPlusTree::MigrateTo(mem::Arena* arena) {
+  if (arena == arena_) return;
+  std::vector<std::pair<uint64_t, uint64_t>> all;
+  all.reserve(size_);
+  Scan(0, UINT64_MAX, [&](uint64_t k, uint64_t v) {
+    all.emplace_back(k, v);
+    return true;
+  });
+  arena_ = arena;
+  BulkLoad(std::move(all));
 }
 
 BPlusTree::Leaf* BPlusTree::FindLeaf(uint64_t key) const {
@@ -70,7 +118,7 @@ BPlusTree::Leaf* BPlusTree::FindLeaf(uint64_t key) const {
 void BPlusTree::InsertIntoParent(Node* left, uint64_t key, Node* right) {
   Internal* parent = left->parent;
   if (!parent) {
-    auto* nr = new Internal();
+    auto* nr = NewInternal();
     nr->keys.push_back(key);
     nr->children = {left, right};
     left->parent = nr;
@@ -87,7 +135,7 @@ void BPlusTree::InsertIntoParent(Node* left, uint64_t key, Node* right) {
   right->parent = parent;
   if (parent->children.size() > kOrder) {
     // Split the internal node.
-    auto* sib = new Internal();
+    auto* sib = NewInternal();
     size_t mid = parent->keys.size() / 2;
     uint64_t up_key = parent->keys[mid];
     sib->keys.assign(parent->keys.begin() + static_cast<long>(mid) + 1,
@@ -111,7 +159,7 @@ Status BPlusTree::Insert(uint64_t key, uint64_t value) {
   lf->vals.insert(lf->vals.begin() + static_cast<long>(i), value);
   ++size_;
   if (lf->keys.size() > kOrder) {
-    auto* sib = new Leaf();
+    auto* sib = NewLeaf();
     size_t mid = lf->keys.size() / 2;
     sib->keys.assign(lf->keys.begin() + static_cast<long>(mid), lf->keys.end());
     sib->vals.assign(lf->vals.begin() + static_cast<long>(mid), lf->vals.end());
@@ -204,8 +252,8 @@ void BPlusTree::BulkAppend(
 }
 
 void BPlusTree::BulkLoad(std::vector<std::pair<uint64_t, uint64_t>> sorted) {
-  delete root_;
-  auto* l = new Leaf();
+  FreeTree(root_);
+  auto* l = NewLeaf();
   root_ = l;
   first_leaf_ = l;
   size_ = 0;
@@ -216,7 +264,7 @@ void BPlusTree::BulkLoad(std::vector<std::pair<uint64_t, uint64_t>> sorted) {
   std::vector<Leaf*> leaves{cur};
   for (auto& [k, v] : sorted) {
     if (cur->keys.size() >= kFill) {
-      auto* nl = new Leaf();
+      auto* nl = NewLeaf();
       cur->next = nl;
       cur = nl;
       leaves.push_back(nl);
@@ -232,7 +280,7 @@ void BPlusTree::BulkLoad(std::vector<std::pair<uint64_t, uint64_t>> sorted) {
     std::vector<Node*> next_level;
     size_t i = 0;
     while (i < level.size()) {
-      auto* in = new Internal();
+      auto* in = NewInternal();
       size_t take = std::min<size_t>(kOrder, level.size() - i);
       // Avoid a trailing single-child internal node.
       if (level.size() - i - take == 1) --take;

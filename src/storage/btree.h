@@ -6,6 +6,11 @@
 //
 // Deletes are lazy (no rebalancing): workload deletes are rare and
 // repartitioning rebuilds subtrees wholesale via ExtractRange/BulkLoad.
+//
+// Nodes are allocated from a mem::Arena when one is attached, placing the
+// subtree on its partition's hardware island (paper §II-B); each node
+// remembers the arena it came from, so a tree can hold a mix while it is
+// being migrated.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +22,18 @@
 
 #include "util/status.h"
 
+namespace atrapos::mem {
+class Arena;
+}  // namespace atrapos::mem
+
 namespace atrapos::storage {
 
 class BPlusTree {
  public:
   static constexpr int kOrder = 64;  ///< max children per internal node
 
-  BPlusTree();
+  /// Nodes allocate from `arena` when given, else from the global heap.
+  explicit BPlusTree(mem::Arena* arena = nullptr);
   ~BPlusTree();
   BPlusTree(BPlusTree&&) noexcept;
   BPlusTree& operator=(BPlusTree&&) noexcept;
@@ -57,6 +67,17 @@ class BPlusTree {
   std::optional<uint64_t> MaxKey() const;
   int height() const;
 
+  // ---- Island placement ---------------------------------------------------
+
+  /// Future node allocations come from `arena` (existing nodes stay where
+  /// they are; use MigrateTo to move the whole tree).
+  void set_arena(mem::Arena* arena) { arena_ = arena; }
+  mem::Arena* arena() const { return arena_; }
+
+  /// Rebuilds every node of the tree in `arena` (contents preserved) — the
+  /// physical index move of an island-to-island partition migration.
+  void MigrateTo(mem::Arena* arena);
+
  private:
   struct Node;
   struct Leaf;
@@ -64,7 +85,12 @@ class BPlusTree {
 
   Leaf* FindLeaf(uint64_t key) const;
   void InsertIntoParent(Node* left, uint64_t key, Node* right);
+  Leaf* NewLeaf();
+  Internal* NewInternal();
+  void FreeNode(Node* n);
+  void FreeTree(Node* n);
 
+  mem::Arena* arena_ = nullptr;
   Node* root_ = nullptr;
   Leaf* first_leaf_ = nullptr;
   uint64_t size_ = 0;

@@ -2,19 +2,31 @@
 
 #include <mutex>
 
+#include "mem/arena.h"
+
 namespace atrapos::storage {
+
+namespace {
+/// Charges `len` bytes of traffic to the page's home island, if placed.
+inline void ChargeAccess(const Page& page, uint32_t len) {
+  if (mem::Arena* a = page.arena()) a->RecordAccess(len);
+}
+}  // namespace
 
 Result<Rid> HeapFile::Insert(const uint8_t* data, uint32_t len) {
   std::unique_lock lk(mu_);
   if (insert_hint_ < pages_.size()) {
     auto r = pages_[insert_hint_]->Insert(data, len);
-    if (r.ok())
+    if (r.ok()) {
+      ChargeAccess(*pages_[insert_hint_], len);
       return Rid{static_cast<uint32_t>(insert_hint_), r.value()};
+    }
   }
-  pages_.push_back(std::make_unique<Page>());
+  pages_.push_back(std::make_unique<Page>(arena_));
   insert_hint_ = pages_.size() - 1;
   auto r = pages_.back()->Insert(data, len);
   if (!r.ok()) return r.status();  // record larger than a page
+  ChargeAccess(*pages_.back(), len);
   return Rid{static_cast<uint32_t>(insert_hint_), r.value()};
 }
 
@@ -25,19 +37,38 @@ Status HeapFile::Read(Rid rid, uint8_t* out, uint32_t len) const {
   const uint8_t* p = pages_[rid.page]->Get(rid.slot, &stored);
   if (!p) return Status::NotFound("empty slot");
   std::memcpy(out, p, std::min(len, stored));
+  ChargeAccess(*pages_[rid.page], std::min(len, stored));
   return Status::OK();
 }
 
 Status HeapFile::Update(Rid rid, const uint8_t* data, uint32_t len) {
   std::unique_lock lk(mu_);
   if (rid.page >= pages_.size()) return Status::NotFound("bad page");
-  return pages_[rid.page]->Update(rid.slot, data, len);
+  Status s = pages_[rid.page]->Update(rid.slot, data, len);
+  if (s.ok()) ChargeAccess(*pages_[rid.page], len);  // failed writes touch nothing
+  return s;
 }
 
 Status HeapFile::Delete(Rid rid) {
   std::unique_lock lk(mu_);
   if (rid.page >= pages_.size()) return Status::NotFound("bad page");
   return pages_[rid.page]->Delete(rid.slot);
+}
+
+void HeapFile::SetArena(mem::Arena* arena) {
+  std::unique_lock lk(mu_);
+  arena_ = arena;
+}
+
+mem::Arena* HeapFile::arena() const {
+  std::shared_lock lk(mu_);
+  return arena_;
+}
+
+void HeapFile::MigrateTo(mem::Arena* arena) {
+  std::unique_lock lk(mu_);
+  arena_ = arena;
+  for (auto& p : pages_) p->Reseat(arena);
 }
 
 uint64_t HeapFile::num_records() const {

@@ -3,6 +3,11 @@
 // and log files"). Thread safety: a heap file is protected by one
 // shared_mutex; partitioned engines give each partition its own heap so the
 // latch is never contended in the critical path.
+//
+// When an arena is attached, new page frames come from it (placing the heap
+// on the arena's island) and every record access is charged to the
+// requesting thread's socket in the arena's AllocStats — the traffic signal
+// behind the paper's Table I QPI/IMC ratios.
 #pragma once
 
 #include <memory>
@@ -16,7 +21,7 @@ namespace atrapos::storage {
 
 class HeapFile {
  public:
-  HeapFile() = default;
+  explicit HeapFile(mem::Arena* arena = nullptr) : arena_(arena) {}
 
   /// Appends a record, returning its Rid.
   Result<Rid> Insert(const uint8_t* data, uint32_t len);
@@ -29,11 +34,21 @@ class HeapFile {
 
   Status Delete(Rid rid);
 
+  /// Future pages allocate from `arena` (existing pages stay put; use
+  /// MigrateTo to move them).
+  void SetArena(mem::Arena* arena);
+  mem::Arena* arena() const;
+
+  /// Reseats every page frame into `arena` and adopts it for future pages —
+  /// the physical page move of an island-to-island partition migration.
+  void MigrateTo(mem::Arena* arena);
+
   uint64_t num_records() const;
   size_t num_pages() const;
 
  private:
   mutable std::shared_mutex mu_;
+  mem::Arena* arena_ = nullptr;
   std::vector<std::unique_ptr<Page>> pages_;
   size_t insert_hint_ = 0;  // page most likely to have space
 };

@@ -75,7 +75,9 @@ Status MultiRootedBTree::Split(size_t p, uint64_t key) {
   if (key <= start || key >= end)
     return Status::InvalidArgument("split key outside partition range");
   auto moved = parts_[p].tree->ExtractFrom(key);
-  auto tree = std::make_unique<BPlusTree>();
+  // The new right partition starts on its parent's island; the engine
+  // re-places it once the new scheme's ownership is known.
+  auto tree = std::make_unique<BPlusTree>(parts_[p].tree->arena());
   tree->BulkLoad(std::move(moved));
   parts_.insert(parts_.begin() + static_cast<long>(p) + 1,
                 Part{key, std::move(tree)});
@@ -115,7 +117,9 @@ void MultiRootedBTree::Repartition(const std::vector<uint64_t>& boundaries) {
       chunk.push_back(all[i]);
       ++i;
     }
-    auto tree = std::make_unique<BPlusTree>();
+    // Each new partition starts on the island that served its start key.
+    auto tree = std::make_unique<BPlusTree>(
+        parts_[PartitionOf(boundaries[b])].tree->arena());
     tree->BulkLoad(std::move(chunk));
     np.push_back(Part{boundaries[b], std::move(tree)});
   }

@@ -47,6 +47,21 @@ class MultiRootedBTree {
   BPlusTree& subtree(size_t p) { return *parts_[p].tree; }
   const BPlusTree& subtree(size_t p) const { return *parts_[p].tree; }
 
+  // ---- Island placement (paper §II-B) ------------------------------------
+
+  /// Future node allocations of partition p come from `arena`.
+  void SetPartitionArena(size_t p, mem::Arena* arena) {
+    parts_[p].tree->set_arena(arena);
+  }
+  mem::Arena* partition_arena(size_t p) const {
+    return parts_[p].tree->arena();
+  }
+  /// Rebuilds partition p's subtree in `arena` (used when repartitioning
+  /// hands the partition to a worker on another island).
+  void MigratePartition(size_t p, mem::Arena* arena) {
+    parts_[p].tree->MigrateTo(arena);
+  }
+
   // ---- Repartitioning actions --------------------------------------------
 
   /// Splits partition p at `key` (strictly inside its range): p keeps

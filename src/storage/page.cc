@@ -1,8 +1,40 @@
 #include "storage/page.h"
 
+#include "mem/arena.h"
+
 namespace atrapos::storage {
 
-Page::Page() : data_(kPageSize, 0) {}
+namespace {
+uint8_t* AllocFrame(mem::Arena* arena) {
+  uint8_t* f = arena ? static_cast<uint8_t*>(arena->Allocate(kPageSize))
+                     : new uint8_t[kPageSize];
+  std::memset(f, 0, kPageSize);
+  return f;
+}
+}  // namespace
+
+Page::Page(mem::Arena* arena) : arena_(arena), frame_(AllocFrame(arena)) {}
+
+void Page::FreeFrame() {
+  if (!frame_) return;
+  if (arena_)
+    arena_->Deallocate(frame_, kPageSize);
+  else
+    delete[] frame_;
+  frame_ = nullptr;
+}
+
+Page::~Page() { FreeFrame(); }
+
+void Page::Reseat(mem::Arena* arena) {
+  if (arena == arena_) return;
+  uint8_t* nf = arena ? static_cast<uint8_t*>(arena->Allocate(kPageSize))
+                      : new uint8_t[kPageSize];
+  std::memcpy(nf, frame_, kPageSize);
+  FreeFrame();
+  arena_ = arena;
+  frame_ = nf;
+}
 
 uint32_t Page::free_space() const {
   uint32_t slot_dir_end =
@@ -17,7 +49,7 @@ Result<uint32_t> Page::Insert(const uint8_t* data, uint32_t len) {
     if (slots_[i].len == 0 && slots_[i].off != 0) {
       // Tombstone; its original extent is unknown to us, but with fixed-size
       // records per table the extent always fits `len`.
-      std::memcpy(data_.data() + slots_[i].off, data, len);
+      std::memcpy(frame_ + slots_[i].off, data, len);
       slots_[i].len = len;
       ++live_;
       return i;
@@ -27,7 +59,7 @@ Result<uint32_t> Page::Insert(const uint8_t* data, uint32_t len) {
     return Status::ResourceExhausted("page full");
   }
   heap_top_ -= len;
-  std::memcpy(data_.data() + heap_top_, data, len);
+  std::memcpy(frame_ + heap_top_, data, len);
   slots_.push_back(Slot{heap_top_, len});
   ++live_;
   return num_slots_++;
@@ -36,7 +68,7 @@ Result<uint32_t> Page::Insert(const uint8_t* data, uint32_t len) {
 const uint8_t* Page::Get(uint32_t slot, uint32_t* len) const {
   if (slot >= num_slots_ || slots_[slot].len == 0) return nullptr;
   if (len) *len = slots_[slot].len;
-  return data_.data() + slots_[slot].off;
+  return frame_ + slots_[slot].off;
 }
 
 Status Page::Update(uint32_t slot, const uint8_t* data, uint32_t len) {
@@ -44,7 +76,7 @@ Status Page::Update(uint32_t slot, const uint8_t* data, uint32_t len) {
     return Status::NotFound("no such slot");
   if (slots_[slot].len != len)
     return Status::InvalidArgument("update must preserve record size");
-  std::memcpy(data_.data() + slots_[slot].off, data, len);
+  std::memcpy(frame_ + slots_[slot].off, data, len);
   return Status::OK();
 }
 

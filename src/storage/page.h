@@ -2,6 +2,10 @@
 // (see Schema) but the slot directory keeps the page format general.
 //
 // Layout:  [header][slot directory ...] ... free ... [records grow down]
+//
+// Frames are allocated from a mem::Arena when one is supplied, so a page
+// physically lives on the hardware island that owns its partition (paper
+// §II-B); without an arena the frame comes from the global heap.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +14,10 @@
 #include <vector>
 
 #include "util/status.h"
+
+namespace atrapos::mem {
+class Arena;
+}  // namespace atrapos::mem
 
 namespace atrapos::storage {
 
@@ -32,7 +40,12 @@ struct Rid {
 /// A single slotted page. Not thread-safe; callers latch externally.
 class Page {
  public:
-  Page();
+  /// Allocates the frame from `arena` when given, else from the heap.
+  explicit Page(mem::Arena* arena = nullptr);
+  ~Page();
+
+  Page(const Page&) = delete;
+  Page& operator=(const Page&) = delete;
 
   /// Inserts a record; returns the slot index or ResourceExhausted when the
   /// page cannot fit it.
@@ -47,6 +60,11 @@ class Page {
   /// Deletes the record (slot becomes reusable tombstone).
   Status Delete(uint32_t slot);
 
+  /// Moves the frame into `arena` (copying its contents and freeing the old
+  /// frame) — the physical half of migrating a partition to a new island.
+  void Reseat(mem::Arena* arena);
+
+  mem::Arena* arena() const { return arena_; }
   uint32_t num_slots() const { return num_slots_; }
   uint32_t live_records() const { return live_; }
   uint32_t free_space() const;
@@ -56,9 +74,12 @@ class Page {
     uint32_t off = 0;
     uint32_t len = 0;  // 0 => tombstone
   };
-  // In-memory representation: the slot directory and heap area are kept in
-  // one contiguous buffer, mirroring the on-disk layout of Shore-MT pages.
-  std::vector<uint8_t> data_;
+  void FreeFrame();
+
+  // The 8 KiB frame holds the record heap, mirroring the on-disk layout of
+  // Shore-MT pages; the slot directory is kept aside as plain metadata.
+  mem::Arena* arena_ = nullptr;
+  uint8_t* frame_ = nullptr;
   std::vector<Slot> slots_;
   uint32_t num_slots_ = 0;
   uint32_t live_ = 0;

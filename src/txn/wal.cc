@@ -48,8 +48,16 @@ uint64_t WriteAheadLog::num_records() const {
 std::vector<LogRecord> WriteAheadLog::Read(Lsn from, Lsn to) const {
   std::lock_guard lk(mu_);
   std::vector<LogRecord> out;
-  for (const auto& r : records_)
-    if (r.lsn >= from && r.lsn <= to) out.push_back(r);
+  if (from > to || records_.empty()) return out;
+  // LSNs are dense starting at 1 (record with LSN l sits at index l-1), so
+  // a range read is direct indexing — after clamping both ends into the
+  // valid range so out-of-range requests cannot index past the buffer.
+  Lsn lo = from < 1 ? 1 : from;
+  Lsn hi = to > next_lsn_ - 1 ? next_lsn_ - 1 : to;
+  if (lo > hi) return out;
+  out.reserve(static_cast<size_t>(hi - lo + 1));
+  for (Lsn l = lo; l <= hi; ++l)
+    out.push_back(records_[static_cast<size_t>(l - 1)]);
   return out;
 }
 

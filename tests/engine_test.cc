@@ -28,7 +28,7 @@ std::unique_ptr<storage::Table> MicroTable(uint64_t rows,
 }
 
 TEST(DatabaseTest, CommitReadBack) {
-  Database db({.numa_aware_state = true, .num_sockets = 2});
+  Database db({.topo = hw::Topology::Cube(1, 1)});
   int t = db.AddTable(MicroTable(100));
   auto txn = db.Begin();
   storage::Tuple row;
@@ -94,7 +94,7 @@ TEST(DatabaseTest, RunTransactionRetries) {
 }
 
 TEST(DatabaseTest, ConcurrentIncrementsAreSerializable) {
-  Database db({.numa_aware_state = true, .num_sockets = 2});
+  Database db({.topo = hw::Topology::Cube(1, 1)});
   int t = db.AddTable(MicroTable(4));
   constexpr int kThreads = 4, kIncr = 50;
   std::vector<std::thread> threads;
@@ -124,7 +124,7 @@ TEST(DatabaseTest, ConcurrentIncrementsAreSerializable) {
 }
 
 TEST(DatabaseTest, CheckpointSeesActiveTransactions) {
-  Database db({.numa_aware_state = true, .num_sockets = 2});
+  Database db({.topo = hw::Topology::Cube(1, 1)});
   (void)db.AddTable(MicroTable(10));
   auto txn = db.Begin();
   EXPECT_EQ(db.Checkpoint(), 1u);
@@ -218,6 +218,95 @@ TEST(PartitionedExecutorTest, RepartitionPreservesDataUnderLoad) {
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(db.table(0)->index().num_partitions(), 4u);
   EXPECT_EQ(db.table(0)->num_rows(), rows);
+}
+
+// ---- Island placement (src/mem/) -----------------------------------------
+
+TEST(IslandPlacementTest, PartitionStateLandsOnOwnerIslandArena) {
+  auto topo = hw::Topology::Cube(1, 2);  // sockets {0,1}, cores {0,1},{2,3}
+  Database db({.topo = topo});
+  uint64_t rows = 2000;
+  (void)db.AddTable(MicroTable(rows, {0, rows / 2}));
+
+  core::Scheme s;
+  core::TableScheme ts;
+  ts.boundaries = {0, rows / 2};
+  ts.placement = {0, 2};  // partition 0 on socket 0, partition 1 on socket 1
+  s.tables.push_back(ts);
+  PartitionedExecutor exec(&db, topo, s);
+
+  auto& index = db.table(0)->index();
+  ASSERT_NE(index.partition_arena(0), nullptr);
+  ASSERT_NE(index.partition_arena(1), nullptr);
+  EXPECT_EQ(index.partition_arena(0)->home_socket(), 0);
+  EXPECT_EQ(index.partition_arena(1)->home_socket(), 1);
+  // The heap follows the first partition's owner island.
+  ASSERT_NE(db.table(0)->heap().arena(), nullptr);
+  EXPECT_EQ(db.table(0)->heap().arena()->home_socket(), 0);
+  // Both islands hold resident bytes for their partition's subtree.
+  EXPECT_GT(db.memory().stats().resident_bytes(0), 0);
+  EXPECT_GT(db.memory().stats().resident_bytes(1), 0);
+}
+
+TEST(IslandPlacementTest, CentralPolicyPlacesEverythingOnOneIsland) {
+  auto topo = hw::Topology::Cube(1, 2);
+  Database db({.topo = topo,
+               .mem = {.policy = mem::PlacementPolicy::kCentral,
+                       .central_socket = 1}});
+  uint64_t rows = 1000;
+  (void)db.AddTable(MicroTable(rows, {0, rows / 2}));
+  core::Scheme s;
+  core::TableScheme ts;
+  ts.boundaries = {0, rows / 2};
+  ts.placement = {0, 2};
+  s.tables.push_back(ts);
+  PartitionedExecutor exec(&db, topo, s);
+
+  auto& index = db.table(0)->index();
+  EXPECT_EQ(index.partition_arena(0)->home_socket(), 1);
+  EXPECT_EQ(index.partition_arena(1)->home_socket(), 1);
+  EXPECT_EQ(db.memory().stats().resident_bytes(0), 0);
+  EXPECT_GT(db.memory().stats().resident_bytes(1), 0);
+}
+
+TEST(IslandPlacementTest, RepartitionMigratesMovedSubtreesToNewOwner) {
+  auto topo = hw::Topology::Cube(1, 2);
+  Database db({.topo = topo});
+  uint64_t rows = 2000;
+  (void)db.AddTable(MicroTable(rows, {0, rows / 2}));
+  core::Scheme s;
+  core::TableScheme ts;
+  ts.boundaries = {0, rows / 2};
+  ts.placement = {0, 2};  // partition 1 owned by socket 1
+  s.tables.push_back(ts);
+  PartitionedExecutor exec(&db, topo, s);
+  ASSERT_GT(db.memory().stats().resident_bytes(1), 0);
+
+  // Move everything to socket 0: partition 1's subtree must physically
+  // migrate off island 1 (asserted via AllocStats resident bytes).
+  core::Scheme target;
+  core::TableScheme tt;
+  tt.boundaries = {0, rows / 4, rows / 2};
+  tt.placement = {0, 1, 1};  // all cores of socket 0
+  target.tables.push_back(tt);
+  auto applied = exec.Repartition(target);
+  ASSERT_TRUE(applied.ok());
+
+  auto& index = db.table(0)->index();
+  ASSERT_EQ(index.num_partitions(), 3u);
+  for (size_t p = 0; p < 3; ++p) {
+    ASSERT_NE(index.partition_arena(p), nullptr);
+    EXPECT_EQ(index.partition_arena(p)->home_socket(), 0);
+  }
+  EXPECT_EQ(db.memory().stats().resident_bytes(1), 0);
+  EXPECT_GT(db.memory().stats().resident_bytes(0), 0);
+  // Data survived the migration.
+  EXPECT_EQ(db.table(0)->num_rows(), rows);
+  auto txn = db.Begin();
+  storage::Tuple row;
+  ASSERT_TRUE(db.Read(&txn, 0, rows - 1, &row).ok());
+  EXPECT_EQ(row.GetInt(1), 100);
+  ASSERT_TRUE(db.Commit(&txn).ok());
 }
 
 TEST(AdaptiveManagerTest, RepartitionsUnderSkewedLoad) {

@@ -16,7 +16,7 @@ class TatpProcsTest : public ::testing::Test {
 
   void SetUp() override {
     db_ = std::make_unique<engine::Database>(
-        engine::Database::Options{.numa_aware_state = true, .num_sockets = 2});
+        engine::Database::Options{.topo = hw::Topology::Cube(1, 1)});
     for (auto& t : BuildTatpTables(kSubs, {0, kSubs / 2}))
       db_->AddTable(std::move(t));
     procs_ = std::make_unique<TatpProcedures>(db_.get(), kSubs);
