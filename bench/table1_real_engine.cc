@@ -122,16 +122,15 @@ int main(int argc, char** argv) {
         Rng rng(static_cast<uint64_t>(s) + 17);
         uint64_t n = 0;
         while (!stop.load(std::memory_order_relaxed)) {
-          std::vector<engine::PartitionedExecutor::Action> actions;
-          actions.reserve(static_cast<size_t>(txn_reads));
+          engine::ActionGraph g;
           for (int i = 0; i < txn_reads; ++i) {
             uint64_t k = rng.Uniform(rows);
-            actions.push_back({s, k, [k](storage::Table* t) {
-                                 storage::Tuple row;
-                                 (void)t->Read(k, &row);
-                               }});
+            g.Add(s, k, [k](storage::Table* t, engine::ActionCtx&) {
+              storage::Tuple row;
+              return t->Read(k, &row);
+            });
           }
-          exec.Execute(std::move(actions));
+          (void)exec.SubmitAndWait(std::move(g));
           ++n;
         }
         committed[static_cast<size_t>(s)] = n;

@@ -1,0 +1,154 @@
+// TATP on the real-thread partitioned engine, submitted as routed
+// ActionGraphs (workload::TatpActionGraphs) with pipelined asynchronous
+// Submit — the functional counterpart of the simulator's fig08 TATP bars.
+//
+// Each client thread keeps `--depth` transactions in flight (depth 1
+// reproduces the old blocking one-at-a-time submission); the table shows
+// how pipelining fills the partition workers from far fewer client
+// threads. The adaptive manager runs throughout: class counts are
+// populated by the executor's completion path, and under the skewed
+// workload (--hot_pct of traffic on the first 10% of subscribers) the
+// monitor + cost model split the hot range online.
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "bench/bench_common.h"
+#include "engine/adaptive_manager.h"
+#include "engine/database.h"
+#include "engine/partitioned_executor.h"
+#include "util/rng.h"
+#include "workload/tatp.h"
+#include "workload/tatp_graphs.h"
+
+using namespace atrapos;
+using namespace atrapos::bench;
+
+namespace {
+
+core::Scheme TatpScheme(uint64_t subscribers, int partitions) {
+  core::Scheme scheme;
+  for (int t = 0; t < 4; ++t) {
+    uint64_t factor = t == 0 ? 1 : (t == 3 ? 32 : 4);
+    core::TableScheme ts;
+    for (int p = 0; p < partitions; ++p) {
+      ts.boundaries.push_back(subscribers * factor *
+                              static_cast<uint64_t>(p) /
+                              static_cast<uint64_t>(partitions));
+      ts.placement.push_back(p);
+    }
+    scheme.tables.push_back(ts);
+  }
+  return scheme;
+}
+
+struct RunResult {
+  double tps = 0;
+  uint64_t repartitions = 0;
+  uint64_t completed = 0;
+};
+
+RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
+                  int clients, size_t depth, double duration, double hot_pct,
+                  uint64_t seed) {
+  engine::Database db({.topo = topo});
+  std::vector<uint64_t> bounds;
+  for (int p = 0; p < topo.num_cores(); ++p)
+    bounds.push_back(subscribers * static_cast<uint64_t>(p) /
+                     static_cast<uint64_t>(topo.num_cores()));
+  for (auto& t : workload::BuildTatpTables(subscribers, bounds, seed))
+    db.AddTable(std::move(t));
+  engine::PartitionedExecutor exec(&db, topo,
+                                   TatpScheme(subscribers, topo.num_cores()));
+  auto spec = workload::TatpSpec(subscribers);
+  engine::AdaptiveManager::Options mopt;
+  mopt.controller.initial_interval_s = 0.1;
+  mopt.controller.max_interval_s = 0.5;
+  engine::AdaptiveManager mgr(&exec, &topo, &spec, mopt);
+  mgr.Start();
+
+  workload::TatpActionGraphs graphs(subscribers);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> done{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(seed * 31 + static_cast<uint64_t>(c));
+      std::deque<engine::TxnFuture> window;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Skew: hot_pct% of transactions (every class) target the first
+        // 10% of subscribers.
+        uint64_t s_id = rng.Chance(hot_pct / 100.0)
+                            ? rng.Uniform(subscribers / 10)
+                            : rng.Uniform(subscribers);
+        auto f = exec.Submit(graphs.Mix(rng, s_id));
+        if (!f.ok()) continue;
+        window.push_back(f.take());
+        while (window.size() >= depth) {
+          (void)window.front().Wait();
+          window.pop_front();
+          done.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      while (!window.empty()) {
+        (void)window.front().Wait();
+        window.pop_front();
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(duration * 1000)));
+  stop = true;
+  for (auto& t : threads) t.join();
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  mgr.Stop();
+  RunResult out;
+  out.tps = static_cast<double>(done.load()) / secs;
+  out.repartitions = mgr.repartitions();
+  out.completed = mgr.completed_transactions();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t subscribers =
+      static_cast<uint64_t>(flags.GetInt("subscribers", 20000));
+  int cores = static_cast<int>(flags.GetInt("cores", 4));
+  int clients = static_cast<int>(flags.GetInt("clients", 1));
+  double duration = flags.GetDouble("duration", 0.5);
+  double hot_pct = flags.GetDouble("hot_pct", 60);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  hw::Topology topo = hw::Topology::SingleSocket(cores);
+  PrintHeader("tatp_real_engine",
+              "TATP as routed ActionGraphs on the partitioned executor "
+              "(async Submit, completion-path class accounting)");
+  std::printf("%llu subscribers, %d partitions/table, %d client thread(s), "
+              "%.0f%% hot traffic, %.1fs per row\n\n",
+              static_cast<unsigned long long>(subscribers), cores, clients,
+              hot_pct, duration);
+
+  TablePrinter tp({"Depth", "TPS", "Repartitions", "Completed"});
+  for (size_t depth : {size_t{1}, size_t{8}, size_t{32}}) {
+    RunResult r = RunOnce(topo, subscribers, clients, depth, duration,
+                          hot_pct, seed);
+    tp.AddRow({TablePrinter::Int(static_cast<long long>(depth)),
+               TablePrinter::Int(static_cast<long long>(r.tps)),
+               TablePrinter::Int(static_cast<long long>(r.repartitions)),
+               TablePrinter::Int(static_cast<long long>(r.completed))});
+  }
+  tp.Print();
+  std::printf(
+      "\nDepth = transactions each client keeps in flight (1 = the old\n"
+      "blocking submission). Higher depth keeps partition workers busy\n"
+      "without extra client threads; Repartitions > 0 shows the adaptive\n"
+      "manager acting on completion-path class counts under skew.\n");
+  return 0;
+}

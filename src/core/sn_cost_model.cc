@@ -7,7 +7,7 @@
 namespace atrapos::core {
 
 void SharedNothingCostModel::ClassSpanProbabilities(const Scheme& s,
-                                                    const WorkloadStats& w,
+                                                    const WorkloadStats& /*w*/,
                                                     int cls, double* p_multi,
                                                     double* p_multi_near) const {
   const hw::Topology& topo = model_.topology();

@@ -1,0 +1,27 @@
+#include "engine/action_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace atrapos::engine {
+
+Status ActionGraph::MatchesClass(const core::TxnClass& cls) const {
+  std::set<int> want;
+  for (const auto& a : cls.actions) want.insert(a.table);
+  std::set<int> have;
+  for (const auto& stage : stages_)
+    for (const auto& a : stage) have.insert(a.table);
+  if (want == have) return Status::OK();
+  auto render = [](const std::set<int>& s) {
+    std::string out = "{";
+    for (int t : s) out += std::to_string(t) + ",";
+    out += "}";
+    return out;
+  };
+  return Status::InvalidArgument("graph touches tables " + render(have) +
+                                 " but class '" + cls.name + "' declares " +
+                                 render(want));
+}
+
+}  // namespace atrapos::engine

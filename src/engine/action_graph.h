@@ -1,0 +1,136 @@
+// Transaction flow graphs for the real-thread engine (paper §V-A, Fig. 7).
+//
+// An ActionGraph is the executable counterpart of core::flow_graph's static
+// TxnClass description: a staged DAG of typed actions separated by
+// rendezvous points (RVPs). Every action targets one (table, key) — the
+// executor routes it to the worker owning that partition — runs exactly
+// once on that worker, and returns a Status plus an optional payload.
+// Stage k+1 is enqueued only after every action of stages 0..k completed
+// successfully; the first failing Status aborts the transaction at the RVP
+// and cancels all downstream stages (abort-at-RVP).
+//
+// Payloads are the data exchanged at rendezvous points: each action owns
+// one slot (its Add() id) on a per-transaction board, writes it with
+// ActionCtx::Emit, and downstream stages read upstream slots with
+// ActionCtx::In. The RVP barrier provides the happens-before edge, so no
+// locking is needed as long as actions only write their own slot.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/flow_graph.h"
+#include "util/status.h"
+
+namespace atrapos::storage {
+class Table;
+}  // namespace atrapos::storage
+
+namespace atrapos::engine {
+
+class PartitionedExecutor;
+
+/// Per-action view of the transaction's payload board, handed to the
+/// action function by the executor.
+class ActionCtx {
+ public:
+  ActionCtx(size_t self, std::vector<std::any>* payloads)
+      : self_(self), payloads_(payloads) {}
+
+  /// This action's id (== its payload slot).
+  size_t id() const { return self_; }
+
+  /// Publishes this action's payload for downstream stages (and for the
+  /// TxnFuture holder).
+  template <typename T>
+  void Emit(T value) {
+    (*payloads_)[self_] = std::move(value);
+  }
+
+  /// Reads the payload emitted by action `id` of an *earlier* stage (the
+  /// RVP barrier orders the write). Returns nullptr if that action emitted
+  /// nothing or a different type.
+  template <typename T>
+  const T* In(size_t id) const {
+    return std::any_cast<T>(&(*payloads_)[id]);
+  }
+
+ private:
+  size_t self_;
+  std::vector<std::any>* payloads_;
+};
+
+class ActionGraph {
+ public:
+  /// The work of one action. Receives the owning table (safe to access
+  /// without latches: the partition worker serializes all actions on its
+  /// range) and the payload context. A non-OK return aborts the
+  /// transaction at the next RVP.
+  using Fn = std::function<Status(storage::Table*, ActionCtx&)>;
+
+  /// Runs on the worker completing the last action, after every stage
+  /// succeeded: joins the payloads into the transaction's final Status
+  /// (e.g. "did any probe match"). Optional.
+  using Finalizer = std::function<Status(std::vector<std::any>& payloads)>;
+
+  static constexpr int kNoClass = -1;
+
+  /// `txn_class` indexes the transaction's class in the workload's
+  /// core::WorkloadSpec; the executor's completion path reports it to the
+  /// registered listener (AdaptiveManager), so drivers never hand-count.
+  explicit ActionGraph(int txn_class = kNoClass) : txn_class_(txn_class) {
+    stages_.emplace_back();
+  }
+
+  /// Appends an action to the current stage; returns its id (payload slot).
+  size_t Add(int table, uint64_t key, Fn fn) {
+    stages_.back().push_back(
+        Action{table, key, num_actions_, std::move(fn)});
+    return num_actions_++;
+  }
+
+  /// Rendezvous point: seals the current stage. Actions added afterwards
+  /// form the next stage and run only once every earlier action succeeded.
+  void Rvp() {
+    if (!stages_.back().empty()) stages_.emplace_back();
+  }
+
+  void SetFinalizer(Finalizer f) { finalizer_ = std::move(f); }
+
+  size_t num_actions() const { return num_actions_; }
+  size_t num_stages() const {
+    return stages_.size() - (stages_.back().empty() ? 1 : 0);
+  }
+  bool empty() const { return num_actions_ == 0; }
+  int txn_class() const { return txn_class_; }
+
+  /// Flow-graph conformance check against the static class description
+  /// (core::flow_graph): the graph must touch exactly the set of tables
+  /// the class declares, so one workload description can drive both the
+  /// simulated engines (which consume the TxnClass directly) and the real
+  /// engine (which runs this graph). Repetition counts may differ — a
+  /// class action with rows > 1 or repeat bounds expands into a variable
+  /// number of routed probes.
+  Status MatchesClass(const core::TxnClass& cls) const;
+
+ private:
+  friend class PartitionedExecutor;
+
+  struct Action {
+    int table;
+    uint64_t key;
+    size_t id;  ///< payload slot
+    Fn fn;
+  };
+
+  std::vector<std::vector<Action>> stages_;  ///< never empty; last may be open
+  Finalizer finalizer_;
+  int txn_class_;
+  size_t num_actions_ = 0;
+};
+
+}  // namespace atrapos::engine

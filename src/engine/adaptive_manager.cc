@@ -23,12 +23,27 @@ AdaptiveManager::~AdaptiveManager() { Stop(); }
 
 void AdaptiveManager::Start() {
   if (!stop_.exchange(false)) return;  // already running
+  exec_->SetCompletionListener(this);
   thread_ = std::thread([this] { Loop(); });
 }
 
 void AdaptiveManager::Stop() {
   if (stop_.exchange(true)) return;
+  // Unregistering blocks only until in-flight *listener calls* return —
+  // not until the executor is idle — so Stop() is safe to call while
+  // clients still keep the submission pipeline full.
+  exec_->SetCompletionListener(nullptr);
   if (thread_.joinable()) thread_.join();
+}
+
+void AdaptiveManager::OnTxnComplete(int txn_class, const Status& status) {
+  (void)status;  // aborted graphs loaded the partitions too — count them
+  if (txn_class < 0 ||
+      static_cast<size_t>(txn_class) >= class_counts_.size())
+    return;
+  class_counts_[static_cast<size_t>(txn_class)].fetch_add(
+      1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void AdaptiveManager::Loop() {
@@ -46,7 +61,7 @@ void AdaptiveManager::Loop() {
     }
     if (stop_.load(std::memory_order_relaxed)) return;
 
-    uint64_t cur = committed_.load(std::memory_order_relaxed);
+    uint64_t cur = completed_.load(std::memory_order_relaxed);
     double tps = static_cast<double>(cur - last_committed) / interval;
     last_committed = cur;
 

@@ -1,6 +1,11 @@
 // The real-thread ATraPos adaptive daemon: monitoring thread + adaptive
 // interval controller + cost-model search + online repartitioning, glued to
 // a PartitionedExecutor. Mirrors simengine/dora.cc's MonitorThread.
+//
+// Workload class counts are populated from the executor's completion path:
+// Start() registers the manager as the executor's TxnCompletionListener, so
+// every submitted ActionGraph carrying a txn_class is counted when it
+// completes — drivers no longer hand-report transactions.
 #pragma once
 
 #include <atomic>
@@ -13,7 +18,7 @@
 
 namespace atrapos::engine {
 
-class AdaptiveManager {
+class AdaptiveManager : public PartitionedExecutor::TxnCompletionListener {
  public:
   struct Options {
     core::AdaptiveController::Options controller;
@@ -23,21 +28,26 @@ class AdaptiveManager {
 
   AdaptiveManager(PartitionedExecutor* exec, const hw::Topology* topo,
                   const core::WorkloadSpec* spec, Options opt);
-  ~AdaptiveManager();
+  ~AdaptiveManager() override;
 
-  /// Starts/stops the monitoring thread.
+  /// Starts the monitoring thread and registers for transaction
+  /// completions; Stop() unregisters (waiting only for in-flight listener
+  /// calls, not for the executor to go idle) and joins.
   void Start();
   void Stop();
 
-  /// Workload drivers report each executed transaction here.
-  void ReportTransaction(int cls) {
-    class_counts_[static_cast<size_t>(cls)].fetch_add(
-        1, std::memory_order_relaxed);
-    committed_.fetch_add(1, std::memory_order_relaxed);
-  }
+  /// Completion path (invoked by the executor on a worker thread). Every
+  /// completion counts toward its class — aborted graphs loaded the
+  /// partitions just like committed ones, and the monitor recorded their
+  /// actions, so counting both keeps class weights consistent with the
+  /// measured per-partition load.
+  void OnTxnComplete(int txn_class, const Status& status) override;
 
   uint64_t repartitions() const {
     return repartitions_.load(std::memory_order_relaxed);
+  }
+  uint64_t completed_transactions() const {
+    return completed_.load(std::memory_order_relaxed);
   }
   double current_interval_s() const {
     return interval_s_.load(std::memory_order_relaxed);
@@ -52,7 +62,7 @@ class AdaptiveManager {
   Options opt_;
   core::AdaptiveController controller_;
   std::vector<std::atomic<uint64_t>> class_counts_;
-  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> repartitions_{0};
   std::atomic<double> interval_s_{1.0};
   std::atomic<bool> stop_{true};

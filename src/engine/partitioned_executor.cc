@@ -15,7 +15,13 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
   StartWorkers();
 }
 
-PartitionedExecutor::~PartitionedExecutor() { StopWorkers(); }
+PartitionedExecutor::~PartitionedExecutor() {
+  // In-flight graphs must finish before workers stop: a worker reaching an
+  // RVP enqueues the next stage onto sibling workers, which only drain
+  // their queues while alive.
+  Drain();
+  StopWorkers();
+}
 
 void PartitionedExecutor::PlacePartitions() {
   mem::IslandAllocator& alloc = db_->memory();
@@ -94,36 +100,87 @@ void PartitionedExecutor::StopWorkers() {
 
 PartitionedExecutor::Partition* PartitionedExecutor::Route(int table,
                                                            uint64_t key) {
+  auto& tp = parts_[static_cast<size_t>(table)];
   const core::TableScheme& ts = scheme_.tables[static_cast<size_t>(table)];
   size_t p = ts.PartitionOf(key);
-  return parts_[static_cast<size_t>(table)][p].get();
+  // Clamp to the nearest materialized partition: PartitionOf already maps
+  // keys below the first boundary to partition 0 and keys past the last
+  // fence to the final slot, but a scheme may carry more boundaries than
+  // the executor materialized workers for.
+  if (p >= tp.size()) p = tp.size() - 1;
+  return tp[p].get();
 }
 
-void PartitionedExecutor::Execute(std::vector<Action> actions) {
+Result<TxnFuture> PartitionedExecutor::Submit(ActionGraph graph) {
   std::shared_lock gate(scheme_mu_);
-  struct Join {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
-  };
-  auto join = std::make_shared<Join>();
-  join->remaining = actions.size();
+  if (graph.empty())
+    return Status::InvalidArgument("empty action graph");
+  for (const auto& stage : graph.stages_) {
+    for (const auto& a : stage) {
+      if (a.table < 0 ||
+          static_cast<size_t>(a.table) >= scheme_.tables.size() ||
+          static_cast<size_t>(a.table) >= db_->num_tables() ||
+          parts_[static_cast<size_t>(a.table)].empty()) {
+        return Status::InvalidArgument("unknown table id " +
+                                       std::to_string(a.table));
+      }
+    }
+  }
+  auto st = std::make_shared<internal::TxnState>(std::move(graph));
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  EnqueueStage(st, 0);
+  return TxnFuture(st);
+}
 
-  for (auto& a : actions) {
+Status PartitionedExecutor::SubmitAndWait(ActionGraph graph) {
+  auto f = Submit(std::move(graph));
+  if (!f.ok()) return f.status();
+  return f.value().Wait();
+}
+
+void PartitionedExecutor::EnqueueStage(
+    const std::shared_ptr<internal::TxnState>& st, size_t idx) {
+  auto& stage = st->graph.stages_[idx];
+  st->next_stage = idx + 1;
+  st->stage_remaining.store(stage.size(), std::memory_order_relaxed);
+  for (auto& a : stage) {
     Partition* part = Route(a.table, a.key);
     storage::Table* table = db_->table(a.table);
-    auto fn = std::move(a.fn);
-    uint64_t key = a.key;
-    auto work = [part, table, fn = std::move(fn), key, join, this] {
+    ActionGraph::Action* act = &a;  // stable: the graph lives in *st
+    auto work = [this, st, act, part, table] {
       auto start = std::chrono::steady_clock::now();
-      fn(table);
+      ActionCtx ctx(act->id, &st->payloads);
+      Status s = act->fn ? act->fn(table, ctx) : Status::OK();
       auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-      part->monitor->RecordAction(key, static_cast<double>(us) + 1.0);
+      part->monitor->RecordAction(act->key, static_cast<double>(us) + 1.0);
       executed_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard jlk(join->mu);
-      if (--join->remaining == 0) join->cv.notify_all();
+      if (!s.ok()) {
+        std::lock_guard lk(st->mu);
+        if (st->first_error.ok()) st->first_error = std::move(s);
+        st->failed.store(true, std::memory_order_release);
+      }
+      // The last action of a stage advances the graph: abort at the RVP on
+      // the first failure, enqueue the next stage, or finalize.
+      if (st->stage_remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (st->failed.load(std::memory_order_acquire)) {
+          Status err;
+          {
+            std::lock_guard lk(st->mu);
+            err = st->first_error;
+          }
+          CompleteTxn(st, std::move(err));
+        } else if (st->next_stage < st->graph.stages_.size() &&
+                   !st->graph.stages_[st->next_stage].empty()) {
+          EnqueueStage(st, st->next_stage);
+        } else {
+          Status fin = st->graph.finalizer_
+                           ? st->graph.finalizer_(st->payloads)
+                           : Status::OK();
+          CompleteTxn(st, std::move(fin));
+        }
+      }
     };
     {
       std::lock_guard lk(part->mu);
@@ -131,8 +188,54 @@ void PartitionedExecutor::Execute(std::vector<Action> actions) {
     }
     part->cv.notify_one();
   }
-  std::unique_lock jlk(join->mu);
-  join->cv.wait(jlk, [&] { return join->remaining == 0; });
+}
+
+void PartitionedExecutor::CompleteTxn(
+    const std::shared_ptr<internal::TxnState>& st, Status s) {
+  if (st->completed.exchange(true)) return;  // exactly once
+  // Listener first: once Wait() returns, the workload class has been
+  // reported (AdaptiveManager's counts are populated from here). The
+  // active-call count must be raised *before* loading the pointer so
+  // SetCompletionListener(nullptr) either sees this call in flight or this
+  // load sees the cleared pointer (seq_cst on both sides).
+  listener_active_.fetch_add(1, std::memory_order_seq_cst);
+  if (auto* l = listener_.load(std::memory_order_seq_cst))
+    l->OnTxnComplete(st->graph.txn_class(), s);
+  if (listener_active_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    std::lock_guard lk(listener_mu_);
+    listener_cv_.notify_all();
+  }
+  std::function<void(const Status&)> cb;
+  {
+    std::lock_guard lk(st->mu);
+    st->done = true;
+    st->status = s;
+    cb = std::move(st->callback);
+  }
+  st->cv.notify_all();
+  if (cb) cb(s);
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lk(inflight_mu_);
+    inflight_cv_.notify_all();
+  }
+}
+
+void PartitionedExecutor::SetCompletionListener(TxnCompletionListener* l) {
+  listener_.store(l, std::memory_order_seq_cst);
+  if (l != nullptr) return;
+  // Quiesce only the listener calls (not the whole executor): a client may
+  // legitimately keep the pipeline full while the listener unregisters.
+  std::unique_lock lk(listener_mu_);
+  listener_cv_.wait(lk, [this] {
+    return listener_active_.load(std::memory_order_seq_cst) == 0;
+  });
+}
+
+void PartitionedExecutor::Drain() {
+  std::unique_lock lk(inflight_mu_);
+  inflight_cv_.wait(lk, [this] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 core::Scheme PartitionedExecutor::scheme() const {
@@ -157,9 +260,13 @@ core::WorkloadStats PartitionedExecutor::HarvestStats(
 
 Result<size_t> PartitionedExecutor::Repartition(const core::Scheme& target) {
   // Pause intake: regular actions and repartitioning never interleave
-  // (paper §V-D). Waiting Execute() calls resume under the new scheme.
+  // (paper §V-D). Waiting Submit() calls resume under the new scheme.
   std::unique_lock gate(scheme_mu_);
-  StopWorkers();  // drains queues: workers exit only when empty
+  // In-flight graphs advance stages without the scheme gate; wait them out
+  // before touching routing state. No new graph can enter: Submit
+  // increments the in-flight count under the shared gate we now hold.
+  Drain();
+  StopWorkers();  // queues are empty: every in-flight graph completed
   auto plan = core::PlanRepartition(scheme_, target);
   for (size_t t = 0; t < scheme_.tables.size(); ++t) {
     Status s = core::ApplyToTree(&db_->table(static_cast<int>(t))->index(),

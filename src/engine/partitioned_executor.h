@@ -1,11 +1,21 @@
 // Real-thread data-oriented (DORA/PLP-style) executor: one worker thread
 // per logical partition, each owning its subtree of the multi-rooted
-// B-trees; transactions are decomposed into actions routed to the owning
-// workers. Includes the ATraPos monitoring hooks and online repartitioning.
+// B-trees; transactions are submitted as ActionGraphs — staged DAGs of
+// actions separated by rendezvous points — whose actions are routed to the
+// owning workers. Includes the ATraPos monitoring hooks and online
+// repartitioning.
 //
 // This is the functional counterpart of simengine/dora.cc: same core logic
 // (scheme, monitors, search, repartition planning), real threads and real
 // data. The examples and integration tests run on it.
+//
+// Submission is asynchronous: Submit enqueues the graph's first stage and
+// returns a TxnFuture, so a single client thread can keep many
+// transactions in flight (the scale lever the simulator's
+// drivers_per_core knob models). Actions enqueued to the same partition
+// run in submission order; stages of one graph are separated by RVP
+// barriers; the first failing action aborts the graph at its RVP and
+// cancels all downstream stages.
 #pragma once
 
 #include <atomic>
@@ -20,7 +30,9 @@
 
 #include "core/monitor.h"
 #include "core/scheme.h"
+#include "engine/action_graph.h"
 #include "engine/database.h"
+#include "engine/txn_future.h"
 #include "hw/topology.h"
 #include "util/status.h"
 
@@ -28,13 +40,14 @@ namespace atrapos::engine {
 
 class PartitionedExecutor {
  public:
-  /// One routed action: runs on the worker owning (table, key).
-  struct Action {
-    int table = 0;
-    uint64_t key = 0;
-    /// The work itself; receives the owning table. Runs exactly once, on
-    /// the partition's worker thread.
-    std::function<void(storage::Table*)> fn;
+  /// Observes every transaction completion (success or abort) on the
+  /// completing worker thread. AdaptiveManager registers itself here so
+  /// workload class counts flow from the completion path instead of from
+  /// hand-reporting drivers.
+  class TxnCompletionListener {
+   public:
+    virtual ~TxnCompletionListener() = default;
+    virtual void OnTxnComplete(int txn_class, const Status& status) = 0;
   };
 
   PartitionedExecutor(Database* db, const hw::Topology& topo,
@@ -44,9 +57,26 @@ class PartitionedExecutor {
   PartitionedExecutor(const PartitionedExecutor&) = delete;
   PartitionedExecutor& operator=(const PartitionedExecutor&) = delete;
 
-  /// Executes all actions of one transaction (blocking until every action
-  /// completed). Actions on the same partition run in submission order.
-  void Execute(std::vector<Action> actions);
+  /// Submits one transaction graph for pipelined execution and returns its
+  /// completion future. Enqueues only the first stage; later stages are
+  /// enqueued by workers as each RVP is reached. Returns InvalidArgument
+  /// (instead of crashing) when an action names a table the scheme or the
+  /// database does not know, or an empty graph; keys outside every
+  /// partition's [lo, hi) range clamp to the nearest partition.
+  Result<TxnFuture> Submit(ActionGraph graph);
+
+  /// Convenience: Submit + Wait (the old blocking Execute behavior).
+  Status SubmitAndWait(ActionGraph graph);
+
+  /// Blocks until no submitted graph is in flight.
+  void Drain();
+
+  /// Registers (or clears, with nullptr) the completion listener.
+  /// Clearing blocks until every in-flight *listener call* returned (not
+  /// until the executor is idle), so the previous listener can be
+  /// destroyed safely immediately afterwards even while clients keep the
+  /// submission pipeline full.
+  void SetCompletionListener(TxnCompletionListener* l);
 
   /// Current scheme (copy).
   core::Scheme scheme() const;
@@ -56,11 +86,11 @@ class PartitionedExecutor {
   core::WorkloadStats HarvestStats(std::vector<double> class_counts,
                                    double window_seconds);
 
-  /// Applies a new scheme: pauses intake, drains workers, applies
-  /// split/merge actions to every table's multi-rooted B-tree, migrates
-  /// moved subtrees to their new owner island's arena, and restarts
-  /// workers under the new routing. Returns the number of repartitioning
-  /// actions applied.
+  /// Applies a new scheme: pauses intake, waits for in-flight graphs,
+  /// drains workers, applies split/merge actions to every table's
+  /// multi-rooted B-tree, migrates moved subtrees to their new owner
+  /// island's arena, and restarts workers under the new routing. Returns
+  /// the number of repartitioning actions applied.
   Result<size_t> Repartition(const core::Scheme& target);
 
   uint64_t executed_actions() const {
@@ -86,14 +116,35 @@ class PartitionedExecutor {
   /// the database's placement policy selects for its owning island; called
   /// with workers stopped. Subtrees whose owner changed are migrated.
   void PlacePartitions();
+  /// Routing: clamps out-of-range keys to the nearest partition. The table
+  /// id must have been validated (see Submit).
   Partition* Route(int table, uint64_t key);
+  /// Enqueues stage `idx` of `st`. Stage 0 is enqueued by Submit under the
+  /// scheme gate; later stages by workers, which is safe without the gate
+  /// because Repartition waits for in-flight graphs before mutating the
+  /// scheme.
+  void EnqueueStage(const std::shared_ptr<internal::TxnState>& st,
+                    size_t idx);
+  /// Exactly-once completion: listener, client-visible status, callback,
+  /// in-flight accounting — in that order.
+  void CompleteTxn(const std::shared_ptr<internal::TxnState>& st, Status s);
 
   Database* db_;
   const hw::Topology* topo_;
-  mutable std::shared_mutex scheme_mu_;  // shared: Execute; unique: Repartition
+  mutable std::shared_mutex scheme_mu_;  // shared: Submit; unique: Repartition
   core::Scheme scheme_;
   std::vector<std::vector<std::unique_ptr<Partition>>> parts_;
   std::atomic<uint64_t> executed_{0};
+  // Hot-path counters are lock-free; the mutex/cv pairs exist only for
+  // the (rare) waiters: Drain/Repartition on inflight_, listener
+  // unregistration on listener_active_.
+  std::atomic<TxnCompletionListener*> listener_{nullptr};
+  std::atomic<int> listener_active_{0};
+  std::mutex listener_mu_;
+  std::condition_variable listener_cv_;
+  std::atomic<uint64_t> inflight_{0};
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
 };
 
 }  // namespace atrapos::engine

@@ -1,0 +1,126 @@
+// TxnFuture: the completion handle PartitionedExecutor::Submit returns.
+//
+// Submission is pipelined: Submit enqueues the graph's first stage and
+// returns immediately, so one client thread can keep many transactions in
+// flight. The future completes exactly once — when the last stage's last
+// action (and the finalizer, if any) finished, or when an action failed
+// and the abort-at-RVP path cancelled the downstream stages — with the
+// first failing Status. Completion callbacks and the executor's
+// TxnCompletionListener run on the worker thread that completed the graph,
+// strictly before Wait() returns.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "engine/action_graph.h"
+#include "util/status.h"
+
+namespace atrapos::engine {
+
+namespace internal {
+
+/// Shared state of one in-flight transaction graph; owned jointly by the
+/// executor's queued work items and the client's TxnFuture.
+struct TxnState {
+  explicit TxnState(ActionGraph g)
+      : graph(std::move(g)), payloads(graph.num_actions()) {}
+
+  ActionGraph graph;
+  std::vector<std::any> payloads;  ///< one slot per action
+
+  // Stage progress — touched only by the executor/workers.
+  std::atomic<size_t> stage_remaining{0};
+  std::atomic<bool> failed{false};
+  size_t next_stage = 0;
+
+  std::atomic<bool> completed{false};  ///< exactly-once completion guard
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;                 // guarded by mu
+  Status status;                     // guarded by mu until done
+  Status first_error;                // guarded by mu
+  std::function<void(const Status&)> callback;  // guarded by mu
+};
+
+}  // namespace internal
+
+class TxnFuture {
+ public:
+  /// A default-constructed future is invalid: Done() is false, Wait() and
+  /// status() return InvalidArgument immediately, payload() is nullptr,
+  /// and OnComplete fires at once with the error.
+  TxnFuture() = default;
+
+  /// False for a default-constructed handle.
+  bool valid() const { return state_ != nullptr; }
+
+  bool Done() const {
+    if (!state_) return false;
+    std::lock_guard lk(state_->mu);
+    return state_->done;
+  }
+
+  /// Blocks until the transaction completed; returns its final Status.
+  Status Wait() {
+    if (!state_) return InvalidFuture();
+    std::unique_lock lk(state_->mu);
+    state_->cv.wait(lk, [this] { return state_->done; });
+    return state_->status;
+  }
+
+  /// Final status; only meaningful once Done().
+  Status status() const {
+    if (!state_) return InvalidFuture();
+    std::lock_guard lk(state_->mu);
+    return state_->status;
+  }
+
+  /// Payload emitted by action `id` (its Add() return value). Only
+  /// meaningful once Done(); nullptr if the action emitted nothing or a
+  /// different type.
+  template <typename T>
+  const T* payload(size_t id) const {
+    if (!state_ || id >= state_->payloads.size()) return nullptr;
+    return std::any_cast<T>(&state_->payloads[id]);
+  }
+
+  /// Registers a completion callback (at most one). Runs on the completing
+  /// worker thread, or immediately on the caller if already done.
+  void OnComplete(std::function<void(const Status&)> cb) {
+    if (!state_) {
+      cb(InvalidFuture());
+      return;
+    }
+    Status s;
+    {
+      std::lock_guard lk(state_->mu);
+      if (!state_->done) {
+        state_->callback = std::move(cb);
+        return;
+      }
+      s = state_->status;
+    }
+    cb(s);
+  }
+
+ private:
+  friend class PartitionedExecutor;
+  explicit TxnFuture(std::shared_ptr<internal::TxnState> s)
+      : state_(std::move(s)) {}
+
+  static Status InvalidFuture() {
+    return Status::InvalidArgument("invalid (default-constructed) TxnFuture");
+  }
+
+  std::shared_ptr<internal::TxnState> state_;
+};
+
+}  // namespace atrapos::engine

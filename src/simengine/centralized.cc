@@ -15,7 +15,7 @@ using core::OpType;
 
 /// Shared state of the centralized instance.
 struct Shared {
-  Shared(sim::Machine* m, const core::WorkloadSpec* spec)
+  Shared(sim::Machine* m, const core::WorkloadSpec* /*spec*/)
       : txn_list(m, 0),
         volume_lock(m, 0),
         table_lock_mutex(m, 0, /*spin_wait=*/true),

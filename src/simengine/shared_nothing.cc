@@ -62,7 +62,7 @@ sim::Tick WorkFor(const sim::CostParams& p, OpType op) {
 /// `dist` marks rows belonging to a distributed transaction (extra lock
 /// bookkeeping). Accounts breakdown slices.
 sim::Task ServeLoop(sim::Machine& m, sim::Ctx ctx, Cluster& cl, Instance& inst,
-                    const SharedNothingOptions& opt, OpType op) {
+                    const SharedNothingOptions& /*opt*/, OpType op) {
   const sim::CostParams& p = m.params();
   while (m.running()) {
     auto msg = co_await inst.req->Recv(ctx);

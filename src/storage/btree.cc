@@ -103,14 +103,26 @@ void BPlusTree::MigrateTo(mem::Arena* arena) {
   BulkLoad(std::move(all));
 }
 
+// Every node touched by a descent charges its size to the island the node
+// lives on (requesting socket = calling thread, serving socket = arena
+// home) — the index-traversal share of the paper's Table I QPI/IMC traffic
+// signal. Nodes on the global heap (no arena) are unplaced and charge
+// nothing.
+void BPlusTree::ChargeNodeTouch(const Node* n) {
+  if (n->owner)
+    n->owner->RecordAccess(n->leaf ? sizeof(Leaf) : sizeof(Internal));
+}
+
 BPlusTree::Leaf* BPlusTree::FindLeaf(uint64_t key) const {
   Node* n = root_;
+  ChargeNodeTouch(n);
   while (!n->leaf) {
     auto* in = static_cast<Internal*>(n);
     size_t i = static_cast<size_t>(
         std::upper_bound(in->keys.begin(), in->keys.end(), key) -
         in->keys.begin());
     n = in->children[i];
+    ChargeNodeTouch(n);
   }
   return static_cast<Leaf*>(n);
 }

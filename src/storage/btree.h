@@ -10,7 +10,9 @@
 // Nodes are allocated from a mem::Arena when one is attached, placing the
 // subtree on its partition's hardware island (paper §II-B); each node
 // remembers the arena it came from, so a tree can hold a mix while it is
-// being migrated.
+// being migrated. Descents charge every node they touch to the node's
+// island (mem::AllocStats), so index traversals contribute to the measured
+// remote-traffic ratio alongside heap record accesses.
 #pragma once
 
 #include <cstdint>
@@ -83,7 +85,10 @@ class BPlusTree {
   struct Leaf;
   struct Internal;
 
+  /// Root-to-leaf descent; charges every node touched to its arena's
+  /// island in mem::AllocStats (index-access traffic accounting).
   Leaf* FindLeaf(uint64_t key) const;
+  static void ChargeNodeTouch(const Node* n);
   void InsertIntoParent(Node* left, uint64_t key, Node* right);
   Leaf* NewLeaf();
   Internal* NewInternal();

@@ -35,6 +35,13 @@ enum TatpTxn : int {
   kDelCallFwd = 6,
 };
 
+// Column indices of the four tables (see BuildTatpTables schemas); shared
+// by the Database-backed procedures and the ActionGraph builders.
+enum SubCol : int { kSubId = 0, kSubNbr, kBit1, kHex1, kByte2, kMscLoc, kVlrLoc };
+enum AiCol : int { kAiSId = 0, kAiType, kAiData1, kAiData2, kAiData3, kAiData4 };
+enum SfCol : int { kSfSId = 0, kSfType, kSfActive, kSfErr, kSfDataA, kSfDataB };
+enum CfCol : int { kCfSId = 0, kCfType, kCfStart, kCfEnd, kCfNumber };
+
 /// The TATP workload spec with the standard mix and `subscribers` rows.
 core::WorkloadSpec TatpSpec(uint64_t subscribers = 800000);
 

@@ -1,0 +1,192 @@
+#include "workload/tatp_graphs.h"
+
+#include <vector>
+
+#include "storage/table.h"
+
+namespace atrapos::workload {
+
+using engine::ActionCtx;
+using engine::ActionGraph;
+using storage::Table;
+using storage::Tuple;
+
+ActionGraph TatpActionGraphs::GetSubscriberData(
+    uint64_t s_id, std::shared_ptr<Tuple> out) const {
+  ActionGraph g(kGetSubData);
+  g.Add(kSubscriber, s_id, [s_id, out](Table* t, ActionCtx& ctx) {
+    Tuple row;
+    ATRAPOS_RETURN_NOT_OK(t->Read(s_id, &row));
+    if (out) *out = row;
+    ctx.Emit(std::move(row));
+    return Status::OK();
+  });
+  return g;
+}
+
+ActionGraph TatpActionGraphs::GetAccessData(
+    uint64_t s_id, uint64_t ai_type, std::shared_ptr<int64_t> data1) const {
+  ActionGraph g(kGetAccData);
+  uint64_t key = TatpEncodeAiKey(s_id, ai_type);
+  g.Add(kAccessInfo, key, [key, data1](Table* t, ActionCtx& ctx) {
+    Tuple row;
+    ATRAPOS_RETURN_NOT_OK(t->Read(key, &row));
+    int64_t d1 = row.GetInt(kAiData1);
+    if (data1) *data1 = d1;
+    ctx.Emit(d1);
+    return Status::OK();
+  });
+  return g;
+}
+
+ActionGraph TatpActionGraphs::GetNewDestination(
+    uint64_t s_id, uint64_t sf_type, uint64_t start_time, uint64_t end_time,
+    std::shared_ptr<std::string> numberx) const {
+  ActionGraph g(kGetNewDest);
+  uint64_t sf_key = TatpEncodeSfKey(s_id, sf_type);
+  g.Add(kSpecialFacility, sf_key, [sf_key](Table* t, ActionCtx&) {
+    Tuple sf;
+    ATRAPOS_RETURN_NOT_OK(t->Read(sf_key, &sf));
+    if (sf.GetInt(kSfActive) == 0) return Status::NotFound("inactive SF");
+    return Status::OK();
+  });
+  g.Rvp();
+  // CallForwarding windows start at multiples of 8; probe every covering
+  // candidate at or before start_time. Each probe routes by its own key —
+  // a repartitioning fence may fall between two windows of one subscriber.
+  // A miss is not an error: the RVP join (finalizer) decides.
+  std::vector<size_t> probes;
+  for (uint64_t start = 0; start <= start_time; start += 8) {
+    uint64_t cf_key = TatpEncodeCfKey(s_id, sf_type, start);
+    probes.push_back(
+        g.Add(kCallForwarding, cf_key, [cf_key](Table* t, ActionCtx& ctx) {
+          Tuple cf;
+          Status s = t->Read(cf_key, &cf);
+          if (s.code() == StatusCode::kNotFound) return Status::OK();
+          ATRAPOS_RETURN_NOT_OK(s);
+          ctx.Emit(std::move(cf));
+          return Status::OK();
+        }));
+  }
+  g.SetFinalizer([probes, start_time, end_time,
+                  numberx](std::vector<std::any>& payloads) {
+    for (size_t id : probes) {
+      const auto* cf = std::any_cast<Tuple>(&payloads[id]);
+      if (!cf) continue;
+      if (static_cast<uint64_t>(cf->GetInt(kCfStart)) <= start_time &&
+          static_cast<uint64_t>(cf->GetInt(kCfEnd)) > end_time) {
+        if (numberx) *numberx = cf->GetString(kCfNumber);
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("no matching forwarding window");
+  });
+  return g;
+}
+
+ActionGraph TatpActionGraphs::UpdateSubscriberData(uint64_t s_id, int64_t bit,
+                                                   uint64_t sf_type,
+                                                   int64_t data_a) const {
+  ActionGraph g(kUpdSubData);
+  g.Add(kSubscriber, s_id, [s_id, bit](Table* t, ActionCtx&) {
+    Tuple sub;
+    ATRAPOS_RETURN_NOT_OK(t->Read(s_id, &sub));
+    sub.SetInt(kBit1, bit);
+    return t->Update(s_id, sub);
+  });
+  uint64_t sf_key = TatpEncodeSfKey(s_id, sf_type);
+  g.Add(kSpecialFacility, sf_key, [sf_key, data_a](Table* t, ActionCtx&) {
+    Tuple sf;
+    ATRAPOS_RETURN_NOT_OK(t->Read(sf_key, &sf));
+    sf.SetInt(kSfDataA, data_a);
+    return t->Update(sf_key, sf);
+  });
+  return g;
+}
+
+ActionGraph TatpActionGraphs::UpdateLocation(uint64_t s_id,
+                                             int64_t vlr_location) const {
+  ActionGraph g(kUpdLocation);
+  g.Add(kSubscriber, s_id, [s_id, vlr_location](Table* t, ActionCtx&) {
+    Tuple sub;
+    ATRAPOS_RETURN_NOT_OK(t->Read(s_id, &sub));
+    sub.SetInt(kVlrLoc, vlr_location);
+    return t->Update(s_id, sub);
+  });
+  return g;
+}
+
+ActionGraph TatpActionGraphs::InsertCallForwarding(uint64_t s_id,
+                                                   uint64_t sf_type,
+                                                   uint64_t start_time,
+                                                   uint64_t end_time,
+                                                   std::string numberx) const {
+  ActionGraph g(kInsCallFwd);
+  // Spec: the subscriber and an SF row are read first; either miss aborts
+  // at the RVP and the insert never runs.
+  g.Add(kSubscriber, s_id, [s_id](Table* t, ActionCtx&) {
+    Tuple sub;
+    return t->Read(s_id, &sub);
+  });
+  uint64_t sf_key = TatpEncodeSfKey(s_id, sf_type);
+  g.Add(kSpecialFacility, sf_key, [sf_key](Table* t, ActionCtx&) {
+    Tuple sf;
+    return t->Read(sf_key, &sf);
+  });
+  g.Rvp();
+  uint64_t cf_key = TatpEncodeCfKey(s_id, sf_type, start_time);
+  g.Add(kCallForwarding, cf_key,
+        [s_id, sf_type, start_time, end_time, cf_key,
+         numberx = std::move(numberx)](Table* t, ActionCtx&) {
+          Tuple cf(&t->schema());
+          cf.SetInt(kCfSId, static_cast<int64_t>(s_id));
+          cf.SetInt(kCfType, static_cast<int64_t>(sf_type));
+          cf.SetInt(kCfStart, static_cast<int64_t>(start_time));
+          cf.SetInt(kCfEnd, static_cast<int64_t>(end_time));
+          cf.SetString(kCfNumber, numberx);
+          return t->Insert(cf_key, cf);
+        });
+  return g;
+}
+
+ActionGraph TatpActionGraphs::DeleteCallForwarding(uint64_t s_id,
+                                                   uint64_t sf_type,
+                                                   uint64_t start_time) const {
+  ActionGraph g(kDelCallFwd);
+  g.Add(kSubscriber, s_id, [s_id](Table* t, ActionCtx&) {
+    Tuple sub;
+    return t->Read(s_id, &sub);
+  });
+  g.Rvp();
+  uint64_t cf_key = TatpEncodeCfKey(s_id, sf_type, start_time);
+  g.Add(kCallForwarding, cf_key,
+        [cf_key](Table* t, ActionCtx&) { return t->Delete(cf_key); });
+  return g;
+}
+
+ActionGraph TatpActionGraphs::Mix(Rng& rng) const {
+  return Mix(rng, rng.Uniform(subscribers_));
+}
+
+ActionGraph TatpActionGraphs::Mix(Rng& rng, uint64_t s_id) const {
+  uint64_t sf_type = rng.Uniform(4);
+  int draw = static_cast<int>(rng.Uniform(100));
+  // Standard mix: 35 / 10 / 35 / 2 / 14 / 2 / 2.
+  if (draw < 35) return GetSubscriberData(s_id);
+  if (draw < 45)
+    return GetNewDestination(s_id, sf_type, rng.Uniform(3) * 8, 1);
+  if (draw < 80) return GetAccessData(s_id, rng.Uniform(4));
+  if (draw < 82)
+    return UpdateSubscriberData(s_id, static_cast<int64_t>(rng.Uniform(2)),
+                                sf_type,
+                                static_cast<int64_t>(rng.Uniform(256)));
+  if (draw < 96)
+    return UpdateLocation(s_id,
+                          static_cast<int64_t>(rng.Next() % (1ULL << 31)));
+  if (draw < 98)
+    return InsertCallForwarding(s_id, sf_type, rng.Uniform(4) * 8,
+                                rng.Uniform(24) + 8, "555-0199");
+  return DeleteCallForwarding(s_id, sf_type, rng.Uniform(4) * 8);
+}
+
+}  // namespace atrapos::workload

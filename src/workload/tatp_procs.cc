@@ -2,14 +2,6 @@
 
 namespace atrapos::workload {
 
-namespace {
-/// Column indices (see BuildTatpTables schemas).
-enum SubCol { kSubId = 0, kSubNbr, kBit1, kHex1, kByte2, kMscLoc, kVlrLoc };
-enum AiCol { kAiSId = 0, kAiType, kAiData1, kAiData2, kAiData3, kAiData4 };
-enum SfCol { kSfSId = 0, kSfType, kSfActive, kSfErr, kSfDataA, kSfDataB };
-enum CfCol { kCfSId = 0, kCfType, kCfStart, kCfEnd, kCfNumber };
-}  // namespace
-
 Status TatpProcedures::GetSubscriberData(uint64_t s_id, storage::Tuple* out) {
   return db_->RunTransaction([&](engine::Database::Txn* txn) {
     return db_->Read(txn, kSubscriber, s_id, out);

@@ -149,15 +149,16 @@ TEST(PartitionedExecutorTest, RoutesActionsToOwningPartition) {
   PartitionedExecutor exec(&db, topo, TwoPartitionScheme(rows));
 
   std::atomic<int64_t> sum{0};
-  std::vector<PartitionedExecutor::Action> actions;
+  ActionGraph g;
   for (uint64_t k : {10ULL, 600ULL, 900ULL}) {
-    actions.push_back({0, k, [k, &sum](storage::Table* t) {
-                         storage::Tuple row;
-                         ASSERT_TRUE(t->Read(k, &row).ok());
-                         sum += row.GetInt(1);
-                       }});
+    g.Add(0, k, [k, &sum](storage::Table* t, ActionCtx&) {
+      storage::Tuple row;
+      ATRAPOS_RETURN_NOT_OK(t->Read(k, &row));
+      sum += row.GetInt(1);
+      return Status::OK();
+    });
   }
-  exec.Execute(std::move(actions));
+  ASSERT_TRUE(exec.SubmitAndWait(std::move(g)).ok());
   EXPECT_EQ(sum.load(), 300);
   EXPECT_EQ(exec.executed_actions(), 3u);
 }
@@ -170,8 +171,10 @@ TEST(PartitionedExecutorTest, HarvestStatsReflectsLoad) {
   PartitionedExecutor exec(&db, topo, TwoPartitionScheme(rows));
   // Hammer the low half only.
   for (int i = 0; i < 20; ++i) {
-    exec.Execute({{0, static_cast<uint64_t>(i * 7 % 500),
-                   [](storage::Table*) {}}});
+    ActionGraph g;
+    g.Add(0, static_cast<uint64_t>(i * 7 % 500),
+          [](storage::Table*, ActionCtx&) { return Status::OK(); });
+    ASSERT_TRUE(exec.SubmitAndWait(std::move(g)).ok());
   }
   auto stats = exec.HarvestStats({20.0}, 1.0);
   ASSERT_EQ(stats.tables.size(), 1u);
@@ -197,11 +200,13 @@ TEST(PartitionedExecutorTest, RepartitionPreservesDataUnderLoad) {
     Rng rng(3);
     while (!stop) {
       uint64_t k = rng.Uniform(rows);
-      exec.Execute({{0, k, [k, &errors](storage::Table* t) {
-                       storage::Tuple row;
-                       if (!t->Read(k, &row).ok() || row.GetInt(1) != 100)
-                         ++errors;
-                     }}});
+      ActionGraph g;
+      g.Add(0, k, [k, &errors](storage::Table* t, ActionCtx&) {
+        storage::Tuple row;
+        if (!t->Read(k, &row).ok() || row.GetInt(1) != 100) ++errors;
+        return Status::OK();
+      });
+      if (!exec.SubmitAndWait(std::move(g)).ok()) ++errors;
     }
   });
   // Repartition to 4 partitions mid-load.
@@ -328,17 +333,21 @@ TEST(AdaptiveManagerTest, RepartitionsUnderSkewedLoad) {
   AdaptiveManager mgr(&exec, &topo, &spec, mopt);
   mgr.Start();
 
-  // Skewed load: 90% of reads hit the first 10% of keys.
+  // Skewed load: 90% of reads hit the first 10% of keys. Class counts are
+  // populated by the executor's completion path (txn_class 0), not by
+  // hand-reporting.
   Rng rng(5);
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
   while (std::chrono::steady_clock::now() < deadline) {
     uint64_t k = rng.Chance(0.9) ? rng.Uniform(rows / 10) : rng.Uniform(rows);
-    exec.Execute({{0, k, [](storage::Table*) {}}});
-    mgr.ReportTransaction(0);
+    ActionGraph g(/*txn_class=*/0);
+    g.Add(0, k, [](storage::Table*, ActionCtx&) { return Status::OK(); });
+    ASSERT_TRUE(exec.SubmitAndWait(std::move(g)).ok());
     if (mgr.repartitions() > 0) break;
   }
   mgr.Stop();
   EXPECT_GE(mgr.repartitions(), 1u);
+  EXPECT_GT(mgr.completed_transactions(), 0u);
   // All rows still present after repartitioning.
   EXPECT_EQ(db.table(0)->num_rows(), rows);
 }

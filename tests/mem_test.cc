@@ -226,5 +226,54 @@ TEST(AccessAccountingTest, HeapReadsChargeRequestingSocket) {
   EXPECT_GT(alloc.stats().AccessRemoteRatio(), 0.0);
 }
 
+TEST(AccessAccountingTest, BTreeDescentChargesNodeTouches) {
+  auto topo = hw::Topology::Cube(1, 2);
+  IslandAllocator alloc(topo);
+  // Two trees, same shape: one homed on the reader's island, one remote.
+  storage::BPlusTree local_tree(alloc.arena(0));
+  storage::BPlusTree remote_tree(alloc.arena(1));
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_TRUE(local_tree.Insert(k, k).ok());
+    ASSERT_TRUE(remote_tree.Insert(k, k).ok());
+  }
+  alloc.stats().Reset();
+
+  hw::BindCurrentThread(topo, topo.first_core(0));  // reader on island 0
+  for (uint64_t k = 0; k < 5000; k += 7) {
+    ASSERT_TRUE(local_tree.Get(k).has_value());
+  }
+  double local_only = alloc.stats().AccessRemoteRatio();
+  EXPECT_EQ(local_only, 0.0);
+  EXPECT_GT(alloc.stats().LocalAccessBytes(), 0u);  // descents were charged
+
+  // The same lookups against the remotely-placed subtree raise the
+  // remote-traffic ratio: index descents now count toward the QPI/IMC
+  // analogue, not just heap record accesses.
+  for (uint64_t k = 0; k < 5000; k += 7) {
+    ASSERT_TRUE(remote_tree.Get(k).has_value());
+  }
+  hw::ResetPlacement();
+  EXPECT_GT(alloc.stats().AccessRemoteRatio(), local_only);
+  EXPECT_GT(alloc.stats().RemoteAccessBytes(), 0u);
+}
+
+TEST(AccessAccountingTest, MultiRootedDescentFollowsPartitionPlacement) {
+  auto topo = hw::Topology::Cube(1, 2);
+  IslandAllocator alloc(topo);
+  storage::MultiRootedBTree mrb({0, 1000});
+  mrb.SetPartitionArena(0, alloc.arena(0));
+  mrb.SetPartitionArena(1, alloc.arena(1));
+  for (uint64_t k = 0; k < 2000; ++k) ASSERT_TRUE(mrb.Insert(k, k).ok());
+  alloc.stats().Reset();
+
+  hw::BindCurrentThread(topo, topo.first_core(0));
+  for (uint64_t k = 0; k < 1000; k += 3) ASSERT_TRUE(mrb.Get(k).has_value());
+  EXPECT_EQ(alloc.stats().RemoteAccessBytes(), 0u);  // partition 0 is local
+  for (uint64_t k = 1000; k < 2000; k += 3)
+    ASSERT_TRUE(mrb.Get(k).has_value());
+  hw::ResetPlacement();
+  EXPECT_GT(alloc.stats().RemoteAccessBytes(), 0u);  // partition 1 is not
+}
+
 }  // namespace
 }  // namespace atrapos::mem
