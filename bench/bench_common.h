@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "hw/topology.h"
 #include "sim/cost_params.h"
@@ -32,5 +33,83 @@ inline void PrintHeader(const std::string& title, const std::string& paper) {
   std::printf("reproduces: %s\n", paper.c_str());
   std::printf("(deterministic simulation; compare shapes, not absolutes)\n\n");
 }
+
+/// Append-only JSON value builder for the BENCH_*.json perf-trajectory
+/// files the real-engine benches emit with --json=<path> (schema
+/// "BENCH_submission"): numbers, strings, nested objects, and arrays —
+/// just enough to write machine-comparable TPS/traffic rows without a
+/// JSON dependency.
+class JsonValue {
+ public:
+  static JsonValue Object() { return JsonValue(true); }
+  static JsonValue Array() { return JsonValue(false); }
+
+  JsonValue& Add(const std::string& key, double v) {
+    return AddRaw(key, Num(v));
+  }
+  JsonValue& Add(const std::string& key, long long v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonValue& Add(const std::string& key, const std::string& v) {
+    return AddRaw(key, Quote(v));
+  }
+  JsonValue& Add(const std::string& key, const JsonValue& v) {
+    return AddRaw(key, v.Dump());
+  }
+  JsonValue& Push(const JsonValue& v) { return AddRaw("", v.Dump()); }
+
+  std::string Dump() const {
+    std::string out(1, object_ ? '{' : '[');
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += items_[i];
+    }
+    out += object_ ? '}' : ']';
+    return out;
+  }
+
+  /// Writes the value to `path`; returns false (with a message on stderr)
+  /// on I/O failure.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string s = Dump();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  explicit JsonValue(bool object) : object_(object) {}
+
+  JsonValue& AddRaw(const std::string& key, std::string value) {
+    items_.push_back(object_ ? Quote(key) + ":" + std::move(value)
+                             : std::move(value));
+    return *this;
+  }
+
+  static std::string Num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  bool object_;
+  std::vector<std::string> items_;
+};
 
 }  // namespace atrapos::bench

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   double duration = flags.GetDouble("duration", 0.4);
   uint32_t emulate_ns =
       static_cast<uint32_t>(flags.GetInt("emulate_ns", 5000));
+  std::string json_path = flags.GetString("json", "");
 
   hw::Topology topo = [&] {
     switch (sockets) {
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   header.push_back("TotalTPS");
   header.push_back("RemoteRatio");
   TablePrinter tp(header);
+  JsonValue json_rows = JsonValue::Array();
 
   for (mem::PlacementPolicy pol : policies) {
     engine::Database db({.topo = topo,
@@ -147,21 +149,44 @@ int main(int argc, char** argv) {
 
     const mem::AllocStats& stats = db.memory().stats();
     std::vector<std::string> row = {mem::ToString(pol)};
+    JsonValue socket_tps = JsonValue::Array();
     uint64_t total = 0;
     for (int s = 0; s < topo.num_sockets(); ++s) {
       uint64_t c = committed[static_cast<size_t>(s)];
       total += c;
-      row.push_back(TablePrinter::Int(
-          static_cast<long long>(static_cast<double>(c) / secs)));
+      double tps = static_cast<double>(c) / secs;
+      row.push_back(TablePrinter::Int(static_cast<long long>(tps)));
+      socket_tps.Push(JsonValue::Object().Add("tps", tps));
     }
-    row.push_back(TablePrinter::Int(
-        static_cast<long long>(static_cast<double>(total) / secs)));
+    double total_tps = static_cast<double>(total) / secs;
+    row.push_back(TablePrinter::Int(static_cast<long long>(total_tps)));
     row.push_back(FmtRatio(stats.AccessRemoteRatio()));
     tp.AddRow(row);
+    json_rows.Push(JsonValue::Object()
+                       .Add("policy", std::string(mem::ToString(pol)))
+                       .Add("tps", total_tps)
+                       .Add("remote_ratio", stats.AccessRemoteRatio())
+                       .Add("per_socket", socket_tps));
   }
   tp.Print();
   std::printf(
       "\nRemoteRatio = remote/local access bytes measured by mem::AllocStats"
       "\n(the software analogue of the paper's QPI/IMC ratio).\n");
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Add("bench", std::string("table1_real_engine"))
+        .Add("schema", std::string("BENCH_submission"))
+        .Add("config",
+             JsonValue::Object()
+                 .Add("sockets", static_cast<long long>(topo.num_sockets()))
+                 .Add("cores", static_cast<long long>(cores))
+                 .Add("rows", static_cast<long long>(rows))
+                 .Add("txn_reads", static_cast<long long>(txn_reads))
+                 .Add("emulate_ns", static_cast<long long>(emulate_ns))
+                 .Add("duration_s", duration))
+        .Add("rows", json_rows);
+    if (!doc.WriteTo(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

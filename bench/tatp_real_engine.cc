@@ -3,12 +3,23 @@
 // Submit — the functional counterpart of the simulator's fig08 TATP bars.
 //
 // Each client thread keeps `--depth` transactions in flight (depth 1
-// reproduces the old blocking one-at-a-time submission); the table shows
-// how pipelining fills the partition workers from far fewer client
-// threads. The adaptive manager runs throughout: class counts are
-// populated by the executor's completion path, and under the skewed
-// workload (--hot_pct of traffic on the first 10% of subscribers) the
-// monitor + cost model split the hot range online.
+// reproduces the old blocking one-at-a-time submission) and submits them
+// `batch` graphs at a time: batch 1 uses Submit (one publish wave per
+// transaction), batch > 1 uses SubmitBatch, which groups all stage-0
+// actions by destination partition and pays one inbox enqueue + at most
+// one wake per partition for the whole batch. The sweep shows both levers:
+// pipelining fills the partition workers from far fewer client threads,
+// batching cuts the per-transaction submission cost on top. The adaptive
+// manager runs throughout: class counts are populated by the executor's
+// completion path, and under the skewed workload (--hot_pct of traffic on
+// the first 10% of subscribers) the monitor + cost model split the hot
+// range online.
+//
+// --json=<path> writes a BENCH_submission.json perf trajectory (TPS per
+// depth/batch point plus the measured remote-traffic ratio) so runs are
+// machine-comparable across commits; --min_tps=<n> makes the binary exit
+// nonzero when any point measured below it (the CI bench smoke check);
+// --quick trims the sweep for CI.
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -45,13 +56,14 @@ core::Scheme TatpScheme(uint64_t subscribers, int partitions) {
 
 struct RunResult {
   double tps = 0;
+  double remote_ratio = 0;
   uint64_t repartitions = 0;
   uint64_t completed = 0;
 };
 
 RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
-                  int clients, size_t depth, double duration, double hot_pct,
-                  uint64_t seed) {
+                  int clients, size_t depth, size_t batch, double duration,
+                  double hot_pct, uint64_t seed) {
   engine::Database db({.topo = topo});
   std::vector<uint64_t> bounds;
   for (int p = 0; p < topo.num_cores(); ++p)
@@ -67,6 +79,7 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
   mopt.controller.max_interval_s = 0.5;
   engine::AdaptiveManager mgr(&exec, &topo, &spec, mopt);
   mgr.Start();
+  db.memory().stats().Reset();  // measure steady state, not the load
 
   workload::TatpActionGraphs graphs(subscribers);
   std::atomic<bool> stop{false};
@@ -76,15 +89,26 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
     threads.emplace_back([&, c] {
       Rng rng(seed * 31 + static_cast<uint64_t>(c));
       std::deque<engine::TxnFuture> window;
-      while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<engine::ActionGraph> wave;
+      auto draw_sid = [&] {
         // Skew: hot_pct% of transactions (every class) target the first
         // 10% of subscribers.
-        uint64_t s_id = rng.Chance(hot_pct / 100.0)
-                            ? rng.Uniform(subscribers / 10)
-                            : rng.Uniform(subscribers);
-        auto f = exec.Submit(graphs.Mix(rng, s_id));
-        if (!f.ok()) continue;
-        window.push_back(f.take());
+        return rng.Chance(hot_pct / 100.0) ? rng.Uniform(subscribers / 10)
+                                           : rng.Uniform(subscribers);
+      };
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (batch <= 1) {
+          auto f = exec.Submit(graphs.Mix(rng, draw_sid()));
+          if (!f.ok()) continue;
+          window.push_back(f.take());
+        } else {
+          wave.clear();
+          for (size_t i = 0; i < batch; ++i)
+            wave.push_back(graphs.Mix(rng, draw_sid()));
+          auto fs = exec.SubmitBatch(wave);
+          if (!fs.ok()) continue;
+          for (auto& f : fs.value()) window.push_back(std::move(f));
+        }
         while (window.size() >= depth) {
           (void)window.front().Wait();
           window.pop_front();
@@ -109,6 +133,7 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
   mgr.Stop();
   RunResult out;
   out.tps = static_cast<double>(done.load()) / secs;
+  out.remote_ratio = db.memory().stats().AccessRemoteRatio();
   out.repartitions = mgr.repartitions();
   out.completed = mgr.completed_transactions();
   return out;
@@ -125,30 +150,76 @@ int main(int argc, char** argv) {
   double duration = flags.GetDouble("duration", 0.5);
   double hot_pct = flags.GetDouble("hot_pct", 60);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  bool quick = flags.GetBool("quick", false);
+  double min_tps = flags.GetDouble("min_tps", 0);
+  std::string json_path = flags.GetString("json", "");
 
   hw::Topology topo = hw::Topology::SingleSocket(cores);
   PrintHeader("tatp_real_engine",
               "TATP as routed ActionGraphs on the partitioned executor "
-              "(async Submit, completion-path class accounting)");
+              "(async Submit/SubmitBatch, completion-path class accounting)");
   std::printf("%llu subscribers, %d partitions/table, %d client thread(s), "
               "%.0f%% hot traffic, %.1fs per row\n\n",
               static_cast<unsigned long long>(subscribers), cores, clients,
               hot_pct, duration);
 
-  TablePrinter tp({"Depth", "TPS", "Repartitions", "Completed"});
-  for (size_t depth : {size_t{1}, size_t{8}, size_t{32}}) {
-    RunResult r = RunOnce(topo, subscribers, clients, depth, duration,
+  // (depth, batch) sweep: batch 1 is the per-transaction Submit path,
+  // batch > 1 submits whole waves through SubmitBatch.
+  std::vector<std::pair<size_t, size_t>> points =
+      quick ? std::vector<std::pair<size_t, size_t>>{{1, 1}, {32, 1}, {32, 32}}
+            : std::vector<std::pair<size_t, size_t>>{
+                  {1, 1}, {8, 1}, {32, 1}, {8, 8}, {32, 8}, {32, 32}};
+
+  TablePrinter tp({"Depth", "Batch", "TPS", "Repartitions", "Completed"});
+  JsonValue rows = JsonValue::Array();
+  bool below_min = false;
+  for (auto [depth, batch] : points) {
+    RunResult r = RunOnce(topo, subscribers, clients, depth, batch, duration,
                           hot_pct, seed);
     tp.AddRow({TablePrinter::Int(static_cast<long long>(depth)),
+               TablePrinter::Int(static_cast<long long>(batch)),
                TablePrinter::Int(static_cast<long long>(r.tps)),
                TablePrinter::Int(static_cast<long long>(r.repartitions)),
                TablePrinter::Int(static_cast<long long>(r.completed))});
+    rows.Push(JsonValue::Object()
+                  .Add("depth", static_cast<long long>(depth))
+                  .Add("batch", static_cast<long long>(batch))
+                  .Add("tps", r.tps)
+                  .Add("remote_ratio", r.remote_ratio)
+                  .Add("repartitions", static_cast<long long>(r.repartitions))
+                  .Add("completed", static_cast<long long>(r.completed)));
+    if (min_tps > 0 && r.tps < min_tps) below_min = true;
   }
   tp.Print();
   std::printf(
       "\nDepth = transactions each client keeps in flight (1 = the old\n"
-      "blocking submission). Higher depth keeps partition workers busy\n"
-      "without extra client threads; Repartitions > 0 shows the adaptive\n"
-      "manager acting on completion-path class counts under skew.\n");
+      "blocking submission); Batch = transactions per SubmitBatch wave\n"
+      "(1 = per-transaction Submit). Higher depth keeps partition workers\n"
+      "busy without extra client threads; higher batch amortizes the\n"
+      "enqueue + wake cost per partition; Repartitions > 0 shows the\n"
+      "adaptive manager acting on completion-path class counts under "
+      "skew.\n");
+
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Add("bench", std::string("tatp_real_engine"))
+        .Add("schema", std::string("BENCH_submission"))
+        .Add("config", JsonValue::Object()
+                           .Add("subscribers",
+                                static_cast<long long>(subscribers))
+                           .Add("cores", static_cast<long long>(cores))
+                           .Add("clients", static_cast<long long>(clients))
+                           .Add("hot_pct", hot_pct)
+                           .Add("duration_s", duration)
+                           .Add("seed", static_cast<long long>(seed)))
+        .Add("rows", rows);
+    if (!doc.WriteTo(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (below_min) {
+    std::fprintf(stderr, "FAIL: at least one point below --min_tps=%g\n",
+                 min_tps);
+    return 2;
+  }
   return 0;
 }

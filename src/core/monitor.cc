@@ -16,6 +16,17 @@ PartitionMonitor::PartitionMonitor(uint64_t start_key, uint64_t end_key,
   Reset();
 }
 
+void PartitionMonitor::RecordBatch(BatchTally* tally, double cost_per_action) {
+  assert(tally->monitor_ == this);
+  double per = ClampCost(cost_per_action);
+  for (size_t i = 0; i < tally->counts_.size(); ++i) {
+    if (tally->counts_[i] == 0) continue;
+    cost_[i].fetch_add(per * static_cast<double>(tally->counts_[i]),
+                       std::memory_order_relaxed);
+    tally->counts_[i] = 0;
+  }
+}
+
 double PartitionMonitor::TotalCost() const {
   double t = 0;
   for (const auto& c : cost_) t += c.load(std::memory_order_relaxed);

@@ -28,13 +28,45 @@ constexpr int kDefaultSubPartitions = 10;
 /// the discarded trace.
 class PartitionMonitor {
  public:
+  /// Floor for a recorded per-action cost: a sub-partition that executed
+  /// actions must never show zero cost (the scheme search would treat it
+  /// as idle), but measured microseconds are otherwise recorded honestly —
+  /// this replaces the executor's old hidden `us + 1.0` fudge.
+  static constexpr double kMinActionCost = 1e-3;
+
   PartitionMonitor(uint64_t start_key, uint64_t end_key,
                    int num_subs = kDefaultSubPartitions);
 
-  /// Records `cost` units of work for the action that touched `key`.
+  /// Records `cost` units of work for the action that touched `key`,
+  /// clamped up to kMinActionCost.
   void RecordAction(uint64_t key, double cost) {
-    cost_[SubOf(key)].fetch_add(cost, std::memory_order_relaxed);
+    cost_[SubOf(key)].fetch_add(ClampCost(cost), std::memory_order_relaxed);
   }
+
+  /// Thread-local tally of one drained batch: the worker counts which
+  /// sub-partitions its actions touched (plain increments, no atomics, no
+  /// clock reads), then flushes once per batch with RecordBatch. Bound to
+  /// the monitor it was created from.
+  class BatchTally {
+   public:
+    explicit BatchTally(const PartitionMonitor& m)
+        : monitor_(&m), counts_(m.cost_.size(), 0) {}
+
+    void Touch(uint64_t key) { ++counts_[monitor_->SubOf(key)]; }
+
+   private:
+    friend class PartitionMonitor;
+    const PartitionMonitor* monitor_;
+    std::vector<uint64_t> counts_;
+  };
+
+  /// Flushes a batch tally: every touched sub-partition gets
+  /// `count * max(cost_per_action, kMinActionCost)` in one fetch_add —
+  /// monitoring cost scales with batches and touched bins, not actions.
+  /// Clears the tally for reuse. The tally must have been created from
+  /// this monitor.
+  void RecordBatch(BatchTally* tally, double cost_per_action);
+
   /// Records one synchronization-point participation for `key`.
   void RecordSync(uint64_t key) {
     syncs_[SubOf(key)].fetch_add(1, std::memory_order_relaxed);
@@ -59,6 +91,10 @@ class PartitionMonitor {
   void Reset();
 
  private:
+  static double ClampCost(double cost) {
+    return cost > kMinActionCost ? cost : kMinActionCost;
+  }
+
   size_t SubOf(uint64_t key) const {
     if (key <= start_) return 0;
     if (key >= end_) return cost_.size() - 1;

@@ -79,6 +79,17 @@ class ActionGraph {
 
   static constexpr int kNoClass = -1;
 
+  /// One routed unit of work. The executor's submission path publishes
+  /// pointers to these (grouped by destination partition) into the MPSC
+  /// partition inboxes as lightweight POD tasks: the graph owns the only
+  /// std::function, so enqueueing copies pointers, never closures.
+  struct Action {
+    int table;
+    uint64_t key;
+    size_t id;  ///< payload slot
+    Fn fn;
+  };
+
   /// `txn_class` indexes the transaction's class in the workload's
   /// core::WorkloadSpec; the executor's completion path reports it to the
   /// registered listener (AdaptiveManager), so drivers never hand-count.
@@ -119,13 +130,6 @@ class ActionGraph {
 
  private:
   friend class PartitionedExecutor;
-
-  struct Action {
-    int table;
-    uint64_t key;
-    size_t id;  ///< payload slot
-    Fn fn;
-  };
 
   std::vector<std::vector<Action>> stages_;  ///< never empty; last may be open
   Finalizer finalizer_;

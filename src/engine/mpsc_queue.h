@@ -1,0 +1,102 @@
+// Chunked multi-producer/single-consumer inbox for the partitioned
+// executor's submission fast path (ROADMAP: "Batched per-partition
+// submission").
+//
+// Producers build chunks of lightweight POD tasks locally and publish each
+// chunk with a single lock-free CAS — one shared-memory operation per
+// *batch*, not per task — onto a Treiber-style stack. The single consumer
+// (the partition's worker thread) grabs the whole stack with one exchange
+// and reverses it, draining an entire batch per wake. Per-producer FIFO
+// order is preserved: a producer's pushes are totally ordered in the
+// stack, and reversing the grabbed chain restores first-pushed-first.
+//
+// This replaces the seed executor's mutex + condition_variable +
+// deque<std::function> per partition, whose per-action lock acquire, wake,
+// and closure allocation were exactly the critical-section bloat "OLTP on
+// Hardware Islands" (Porobic et al., VLDB 2012) measures dominating on
+// multisocket hosts.
+//
+// Memory-ordering note: Push's successful CAS and Empty's default load are
+// seq_cst on purpose. The executor's park/wake protocol is a Dekker pair —
+// producer: publish chunk, then read `parked`; consumer: write `parked`,
+// then re-check Empty() — and both sides must agree on a single total
+// order or a wake can be missed and the consumer sleeps forever.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace atrapos::engine {
+
+template <typename T, size_t kChunkCapacity = 16>
+class MpscChunkQueue {
+ public:
+  /// One batch node. Producers fill `items[0..count)` before publishing;
+  /// after Push the chunk belongs to the queue and must not be touched.
+  struct Chunk {
+    Chunk* next = nullptr;
+    uint32_t count = 0;
+    T items[kChunkCapacity];
+
+    bool full() const { return count == kChunkCapacity; }
+    void Append(T item) { items[count++] = std::move(item); }
+  };
+
+  MpscChunkQueue() = default;
+  ~MpscChunkQueue() {
+    Chunk* c = top_.load(std::memory_order_relaxed);
+    while (c != nullptr) {
+      Chunk* next = c->next;
+      delete c;
+      c = next;
+    }
+  }
+
+  MpscChunkQueue(const MpscChunkQueue&) = delete;
+  MpscChunkQueue& operator=(const MpscChunkQueue&) = delete;
+
+  static Chunk* NewChunk() { return new Chunk(); }
+  static void FreeChunk(Chunk* c) { delete c; }
+
+  /// Publishes one non-empty chunk (any thread, lock-free). Returns true
+  /// when the queue was observed empty. Informational only: the
+  /// executor's wake coalescing keys off its per-partition `parked` flag,
+  /// not this return value.
+  bool Push(Chunk* c) {
+    Chunk* old = top_.load(std::memory_order_relaxed);
+    do {
+      c->next = old;
+    } while (!top_.compare_exchange_weak(old, c, std::memory_order_seq_cst,
+                                         std::memory_order_relaxed));
+    return old == nullptr;
+  }
+
+  /// Consumer only: grabs everything published so far with one exchange
+  /// and returns it as a FIFO chain (walk via Chunk::next, then FreeChunk
+  /// each). Returns nullptr when nothing was pending.
+  Chunk* PopAll() {
+    Chunk* lifo = top_.exchange(nullptr, std::memory_order_acquire);
+    Chunk* fifo = nullptr;
+    while (lifo != nullptr) {
+      Chunk* next = lifo->next;
+      lifo->next = fifo;
+      fifo = lifo;
+      lifo = next;
+    }
+    return fifo;
+  }
+
+  /// Seq_cst by default: the consumer's post-park re-check relies on it
+  /// (see the header comment).
+  bool Empty() const {
+    return top_.load(std::memory_order_seq_cst) == nullptr;
+  }
+
+ private:
+  // Own cache line: partitions are hot on exactly this word.
+  alignas(64) std::atomic<Chunk*> top_{nullptr};
+};
+
+}  // namespace atrapos::engine

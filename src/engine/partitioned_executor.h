@@ -16,15 +16,24 @@
 // run in submission order; stages of one graph are separated by RVP
 // barriers; the first failing action aborts the graph at its RVP and
 // cancels all downstream stages.
+//
+// The submission path is the fast path (paper Table 2: monitoring and
+// coordination must stay ≪2%): every partition owns a lock-free MPSC
+// inbox of POD ActionTasks instead of a mutex + condition_variable +
+// deque<std::function>. Producers — Submit, SubmitBatch, and RVP fan-out
+// alike — group a stage's actions by destination partition and publish
+// each group with a single enqueue plus a single coalesced wake (only a
+// parked worker is notified, tracked by a per-partition `parked` flag).
+// Workers drain a whole batch per wake, take one timestamp per batch, and
+// flush monitoring and the executed-action counter once per batch.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -32,11 +41,22 @@
 #include "core/scheme.h"
 #include "engine/action_graph.h"
 #include "engine/database.h"
+#include "engine/mpsc_queue.h"
 #include "engine/txn_future.h"
 #include "hw/topology.h"
 #include "util/status.h"
 
 namespace atrapos::engine {
+
+/// What a partition inbox carries: pointers only. The graph (and its
+/// std::functions) lives in *st, which TxnState::self keeps alive until
+/// the transaction completes — publishing an action allocates nothing and
+/// copies no closure.
+struct ActionTask {
+  internal::TxnState* st;
+  ActionGraph::Action* act;
+  storage::Table* table;
+};
 
 class PartitionedExecutor {
  public:
@@ -64,6 +84,17 @@ class PartitionedExecutor {
   /// database does not know, or an empty graph; keys outside every
   /// partition's [lo, hi) range clamp to the nearest partition.
   Result<TxnFuture> Submit(ActionGraph graph);
+
+  /// Batched submission: groups the stage-0 actions of *all* graphs by
+  /// destination partition and publishes each group with one enqueue and
+  /// at most one wake — the per-partition submission cost is paid per
+  /// batch, not per transaction. Validation is all-or-nothing: if any
+  /// graph is invalid (unknown table, empty graph), nothing is submitted
+  /// and the error is returned. On success the graphs are consumed
+  /// (moved from). Futures are returned in submission order;
+  /// per-partition ordering across the batch follows graph order. An empty
+  /// span yields an empty vector.
+  Result<std::vector<TxnFuture>> SubmitBatch(std::span<ActionGraph> graphs);
 
   /// Convenience: Submit + Wait (the old blocking Execute behavior).
   Status SubmitAndWait(ActionGraph graph);
@@ -93,25 +124,48 @@ class PartitionedExecutor {
   /// the number of repartitioning actions applied.
   Result<size_t> Repartition(const core::Scheme& target);
 
+  /// Actions accepted for execution, counted once per drained batch (a
+  /// worker counts a batch *before* running it and always finishes a
+  /// drained batch, so after Drain() this equals the actions actually
+  /// executed).
   uint64_t executed_actions() const {
     return executed_.load(std::memory_order_relaxed);
   }
 
  private:
+  using TaskQueue = MpscChunkQueue<ActionTask>;
+
   struct Partition {
     int table;
     uint64_t lo, hi;
     hw::CoreId core;
     std::unique_ptr<core::PartitionMonitor> monitor;
+    /// Lock-free MPSC inbox; mu/cv exist only for parking an idle worker.
+    TaskQueue inbox;
+    /// True while the worker is (about to be) blocked on cv. Producers
+    /// claim the wake with exchange(false), so a burst of publishes while
+    /// the worker runs performs zero notifies (wake coalescing).
+    std::atomic<bool> parked{false};
+    std::atomic<bool> stop{false};
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void()>> queue;
-    bool stop = false;
     std::thread worker;
   };
 
+  /// Per-call scratch that buckets one publish wave's tasks by destination
+  /// partition, so each partition sees one inbox push (chain of chunks for
+  /// oversized groups) and at most one wake.
+  class Publisher;
+
   void StartWorkers();
   void StopWorkers();
+  void WorkerLoop(Partition* p);
+  /// Runs one task; the stage's last finisher advances the graph (abort at
+  /// RVP, next-stage fan-out, or completion).
+  void RunAction(const ActionTask& task);
+  /// Notifies p's worker iff it is parked (producer side of the Dekker
+  /// pair documented in mpsc_queue.h).
+  void Wake(Partition* p);
   /// Places every partition's subtree (and each table's heap) on the arena
   /// the database's placement policy selects for its owning island; called
   /// with workers stopped. Subtrees whose owner changed are migrated.
@@ -119,15 +173,17 @@ class PartitionedExecutor {
   /// Routing: clamps out-of-range keys to the nearest partition. The table
   /// id must have been validated (see Submit).
   Partition* Route(int table, uint64_t key);
-  /// Enqueues stage `idx` of `st`. Stage 0 is enqueued by Submit under the
-  /// scheme gate; later stages by workers, which is safe without the gate
-  /// because Repartition waits for in-flight graphs before mutating the
-  /// scheme.
-  void EnqueueStage(const std::shared_ptr<internal::TxnState>& st,
-                    size_t idx);
+  /// InvalidArgument when the graph is empty or names an unknown table.
+  Status ValidateGraph(const ActionGraph& graph) const;
+  /// Buckets stage `idx` of *st into `pub`. Stage 0 is staged by
+  /// Submit/SubmitBatch under the scheme gate; later stages by workers,
+  /// which is safe without the gate because Repartition waits for
+  /// in-flight graphs before mutating the scheme.
+  void EnqueueStage(internal::TxnState* st, size_t idx, Publisher* pub);
   /// Exactly-once completion: listener, client-visible status, callback,
-  /// in-flight accounting — in that order.
-  void CompleteTxn(const std::shared_ptr<internal::TxnState>& st, Status s);
+  /// in-flight accounting — in that order. Releases the executor's
+  /// keep-alive reference (TxnState::self).
+  void CompleteTxn(internal::TxnState* st, Status s);
 
   Database* db_;
   const hw::Topology* topo_;

@@ -41,11 +41,25 @@ struct TxnState {
   std::atomic<bool> failed{false};
   size_t next_stage = 0;
 
+  /// Executor-side keep-alive: set by Submit before the first stage is
+  /// published, released by the worker that completes the transaction.
+  /// Queued ActionTasks carry only a raw TxnState* — this single reference
+  /// replaces a shared_ptr copy (two atomic refcount ops) per action. The
+  /// inbox publish/drain pair orders the write against every reader, and
+  /// only the unique stage-finishing worker moves it out.
+  std::shared_ptr<TxnState> self;
+
   std::atomic<bool> completed{false};  ///< exactly-once completion guard
   std::mutex mu;
   std::condition_variable cv;
+  // Completion publishes in two steps so the callback runs strictly
+  // before Wait() returns: `completing` flips (with the final status)
+  // before the worker invokes the callback, `done` only after it
+  // returned. OnComplete racing completion sees `completing` and runs the
+  // callback itself.
+  bool completing = false;           // guarded by mu
   bool done = false;                 // guarded by mu
-  Status status;                     // guarded by mu until done
+  Status status;                     // guarded by mu; valid once completing
   Status first_error;                // guarded by mu
   std::function<void(const Status&)> callback;  // guarded by mu
 };
@@ -93,7 +107,8 @@ class TxnFuture {
   }
 
   /// Registers a completion callback (at most one). Runs on the completing
-  /// worker thread, or immediately on the caller if already done.
+  /// worker thread strictly before Wait() returns, or immediately on the
+  /// caller when registration races with (or follows) completion.
   void OnComplete(std::function<void(const Status&)> cb) {
     if (!state_) {
       cb(InvalidFuture());
@@ -102,11 +117,11 @@ class TxnFuture {
     Status s;
     {
       std::lock_guard lk(state_->mu);
-      if (!state_->done) {
+      if (!state_->completing) {
         state_->callback = std::move(cb);
         return;
       }
-      s = state_->status;
+      s = state_->status;  // completion already consumed the callback slot
     }
     cb(s);
   }

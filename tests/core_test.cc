@@ -222,6 +222,40 @@ TEST(MonitorTest, BinsActionsBySubPartition) {
   EXPECT_EQ(pm.sub_syncs(5), 0u);
 }
 
+TEST(MonitorTest, RecordsHonestCostButClampsZero) {
+  PartitionMonitor pm(0, 1000, 10);
+  // Measured microseconds are recorded as-is (no hidden +1 fudge)...
+  pm.RecordAction(50, 5.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(0), 5.0);
+  // ...but a sub-partition that executed actions never shows zero cost:
+  // zero or negative costs clamp up to kMinActionCost.
+  pm.RecordAction(150, 0.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(1), PartitionMonitor::kMinActionCost);
+  pm.RecordAction(250, -3.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(2), PartitionMonitor::kMinActionCost);
+  EXPECT_GT(pm.TotalCost(), 5.0);
+}
+
+TEST(MonitorTest, RecordBatchFlushesTallyPerSubPartition) {
+  PartitionMonitor pm(0, 1000, 10);
+  PartitionMonitor::BatchTally tally(pm);
+  tally.Touch(10);   // sub 0
+  tally.Touch(20);   // sub 0
+  tally.Touch(950);  // sub 9
+  pm.RecordBatch(&tally, 2.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(0), 4.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(5), 0.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(9), 2.0);
+  // The flush cleared the tally: a second flush adds nothing.
+  pm.RecordBatch(&tally, 100.0);
+  EXPECT_DOUBLE_EQ(pm.TotalCost(), 6.0);
+  // Batch averages clamp like single actions do.
+  tally.Touch(10);
+  pm.RecordBatch(&tally, 0.0);
+  EXPECT_DOUBLE_EQ(pm.sub_cost(0),
+                   4.0 + PartitionMonitor::kMinActionCost);
+}
+
 TEST(MonitorTest, SubStartsSpanRange) {
   PartitionMonitor pm(0, 10000, 10);
   EXPECT_EQ(pm.sub_start(0), 0u);
