@@ -15,6 +15,16 @@
 // the first 10% of subscribers) the monitor + cost model split the hot
 // range online.
 //
+// --durability={off,async,group} switches the src/log/ subsystem on:
+// async logs records and commit markers but acks at marker append; group
+// defers each TxnFuture until the markers are durable on every shard the
+// transaction touched (asynchronous acks — workers never block).
+// --log_shards=0 (default) places one log shard per partition on its
+// owner island; --log_shards=1 runs the retired centralized WAL protocol
+// (per-record appends under one mutex, commit blocking in the flush
+// window under group) — the Fig. 4 logging-contention baseline the
+// per-partition design is measured against.
+//
 // --json=<path> writes a BENCH_submission.json perf trajectory (TPS per
 // depth/batch point plus the measured remote-traffic ratio) so runs are
 // machine-comparable across commits; --min_tps=<n> makes the binary exit
@@ -59,11 +69,14 @@ struct RunResult {
   double remote_ratio = 0;
   uint64_t repartitions = 0;
   uint64_t completed = 0;
+  uint64_t log_records = 0;
+  uint64_t durable_epoch = 0;
 };
 
 RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
                   int clients, size_t depth, size_t batch, double duration,
-                  double hot_pct, uint64_t seed) {
+                  double hot_pct, uint64_t seed,
+                  engine::PartitionedExecutor::Options exec_opt) {
   engine::Database db({.topo = topo});
   std::vector<uint64_t> bounds;
   for (int p = 0; p < topo.num_cores(); ++p)
@@ -72,7 +85,8 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
   for (auto& t : workload::BuildTatpTables(subscribers, bounds, seed))
     db.AddTable(std::move(t));
   engine::PartitionedExecutor exec(&db, topo,
-                                   TatpScheme(subscribers, topo.num_cores()));
+                                   TatpScheme(subscribers, topo.num_cores()),
+                                   exec_opt);
   auto spec = workload::TatpSpec(subscribers);
   engine::AdaptiveManager::Options mopt;
   mopt.controller.initial_interval_s = 0.1;
@@ -136,7 +150,29 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
   out.remote_ratio = db.memory().stats().AccessRemoteRatio();
   out.repartitions = mgr.repartitions();
   out.completed = mgr.completed_transactions();
+  if (log::LogManager* lm = exec.log_manager()) {
+    out.log_records = lm->num_records();
+    out.durable_epoch = lm->durable_epoch();
+  }
   return out;
+}
+
+bool ParseDurability(const std::string& name,
+                     engine::DurabilityMode* out) {
+  if (name == "off") *out = engine::DurabilityMode::kOff;
+  else if (name == "async") *out = engine::DurabilityMode::kAsync;
+  else if (name == "group") *out = engine::DurabilityMode::kGroup;
+  else return false;
+  return true;
+}
+
+const char* ToString(engine::DurabilityMode m) {
+  switch (m) {
+    case engine::DurabilityMode::kOff: return "off";
+    case engine::DurabilityMode::kAsync: return "async";
+    case engine::DurabilityMode::kGroup: return "group";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -153,15 +189,39 @@ int main(int argc, char** argv) {
   bool quick = flags.GetBool("quick", false);
   double min_tps = flags.GetDouble("min_tps", 0);
   std::string json_path = flags.GetString("json", "");
+  std::string durability_name = flags.GetString("durability", "off");
+  int log_shards = static_cast<int>(flags.GetInt("log_shards", 0));
+  uint64_t flush_us =
+      static_cast<uint64_t>(flags.GetInt("log_flush_interval_us", 50));
+
+  engine::PartitionedExecutor::Options exec_opt;
+  if (!ParseDurability(durability_name, &exec_opt.durability)) {
+    std::fprintf(stderr, "unknown --durability=%s (off|async|group)\n",
+                 durability_name.c_str());
+    return 1;
+  }
+  if (log_shards != 0 && log_shards != 1) {
+    std::fprintf(stderr,
+                 "--log_shards=%d unsupported (0 = per-partition, "
+                 "1 = centralized)\n",
+                 log_shards);
+    return 1;
+  }
+  exec_opt.log_shards = log_shards;
+  exec_opt.log_flush_interval_us = flush_us;
 
   hw::Topology topo = hw::Topology::SingleSocket(cores);
   PrintHeader("tatp_real_engine",
               "TATP as routed ActionGraphs on the partitioned executor "
               "(async Submit/SubmitBatch, completion-path class accounting)");
   std::printf("%llu subscribers, %d partitions/table, %d client thread(s), "
-              "%.0f%% hot traffic, %.1fs per row\n\n",
+              "%.0f%% hot traffic, %.1fs per row, durability=%s (%s)\n\n",
               static_cast<unsigned long long>(subscribers), cores, clients,
-              hot_pct, duration);
+              hot_pct, duration, ToString(exec_opt.durability),
+              exec_opt.durability == engine::DurabilityMode::kOff
+                  ? "no logging"
+                  : (log_shards == 1 ? "1 centralized shard"
+                                     : "per-partition shards"));
 
   // (depth, batch) sweep: batch 1 is the per-transaction Submit path,
   // batch > 1 submits whole waves through SubmitBatch.
@@ -170,24 +230,29 @@ int main(int argc, char** argv) {
             : std::vector<std::pair<size_t, size_t>>{
                   {1, 1}, {8, 1}, {32, 1}, {8, 8}, {32, 8}, {32, 32}};
 
-  TablePrinter tp({"Depth", "Batch", "TPS", "Repartitions", "Completed"});
+  TablePrinter tp({"Depth", "Batch", "TPS", "Repartitions", "Completed",
+                   "LogRecords"});
   JsonValue rows = JsonValue::Array();
   bool below_min = false;
   for (auto [depth, batch] : points) {
     RunResult r = RunOnce(topo, subscribers, clients, depth, batch, duration,
-                          hot_pct, seed);
+                          hot_pct, seed, exec_opt);
     tp.AddRow({TablePrinter::Int(static_cast<long long>(depth)),
                TablePrinter::Int(static_cast<long long>(batch)),
                TablePrinter::Int(static_cast<long long>(r.tps)),
                TablePrinter::Int(static_cast<long long>(r.repartitions)),
-               TablePrinter::Int(static_cast<long long>(r.completed))});
+               TablePrinter::Int(static_cast<long long>(r.completed)),
+               TablePrinter::Int(static_cast<long long>(r.log_records))});
     rows.Push(JsonValue::Object()
                   .Add("depth", static_cast<long long>(depth))
                   .Add("batch", static_cast<long long>(batch))
                   .Add("tps", r.tps)
                   .Add("remote_ratio", r.remote_ratio)
                   .Add("repartitions", static_cast<long long>(r.repartitions))
-                  .Add("completed", static_cast<long long>(r.completed)));
+                  .Add("completed", static_cast<long long>(r.completed))
+                  .Add("log_records", static_cast<long long>(r.log_records))
+                  .Add("durable_epoch",
+                       static_cast<long long>(r.durable_epoch)));
     if (min_tps > 0 && r.tps < min_tps) below_min = true;
   }
   tp.Print();
@@ -211,7 +276,11 @@ int main(int argc, char** argv) {
                            .Add("clients", static_cast<long long>(clients))
                            .Add("hot_pct", hot_pct)
                            .Add("duration_s", duration)
-                           .Add("seed", static_cast<long long>(seed)))
+                           .Add("seed", static_cast<long long>(seed))
+                           .Add("durability",
+                                std::string(ToString(exec_opt.durability)))
+                           .Add("log_shards",
+                                static_cast<long long>(log_shards)))
         .Add("rows", rows);
     if (!doc.WriteTo(json_path)) return 1;
     std::printf("wrote %s\n", json_path.c_str());

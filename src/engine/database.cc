@@ -9,8 +9,13 @@ namespace atrapos::engine {
 Database::Database(Options opt)
     : opt_(std::move(opt)),
       mem_(opt_.topo, opt_.mem),
-      wal_(opt_.wal_flush_interval_us),
+      wal_(log::LogManager::Options{
+          .flush_interval_us = opt_.wal_flush_interval_us}),
       volume_lock_(num_sockets()) {
+  // The shared-everything transaction API keeps the centralized 1-shard
+  // log (the retired WriteAheadLog protocol); its buffer chunks come from
+  // socket 0's arena like any other centralized structure.
+  wal_.EnsureCentralShard(mem_.arena(0));
   if (opt_.partitioned_state) {
     txn_list_ = std::make_unique<txn::PartitionedTxnList>(num_sockets());
   } else {

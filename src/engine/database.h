@@ -4,8 +4,12 @@
 // figures run on the deterministic simulated engines instead (DESIGN.md §1).
 //
 // Concurrency control: strict two-phase locking with wait-die; durability:
-// WAL with group commit; system state: the active-transaction list in
-// either flavor (centralized or per-socket — paper §IV).
+// the log subsystem's centralized 1-shard configuration (the retired
+// txn::WriteAheadLog's group-commit protocol behind the same interface —
+// per-record appends, blocking Commit); system state: the
+// active-transaction list in either flavor (centralized or per-socket —
+// paper §IV). The partitioned executor runs its own per-partition log
+// shards instead (see src/log/ and PartitionedExecutor::Options).
 #pragma once
 
 #include <atomic>
@@ -14,12 +18,12 @@
 #include <vector>
 
 #include "hw/topology.h"
+#include "log/log_manager.h"
 #include "mem/island_allocator.h"
 #include "storage/table.h"
 #include "sync/partitioned_rwlock.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_list.h"
-#include "txn/wal.h"
 #include "util/status.h"
 
 namespace atrapos::engine {
@@ -92,7 +96,10 @@ class Database {
                         int max_retries = 10);
 
   uint64_t active_transactions() const { return txn_list_->ActiveCount(); }
-  txn::WriteAheadLog& wal() { return wal_; }
+  /// The database's write-ahead log: a log::LogManager in the centralized
+  /// 1-shard configuration, preserving the retired WAL's interface
+  /// (Append / Commit / WaitDurable / durable_lsn / num_records).
+  log::LogManager& wal() { return wal_; }
 
   /// The island-aware allocator owning one arena per socket; the executor
   /// uses it to place partition state, benchmarks read its AllocStats.
@@ -111,7 +118,7 @@ class Database {
   mem::IslandAllocator mem_;
   std::vector<std::unique_ptr<storage::Table>> tables_;
   txn::LockManager locks_;
-  txn::WriteAheadLog wal_;
+  log::LogManager wal_;
   std::unique_ptr<txn::ActiveTxnList> txn_list_;
   sync::PartitionedRWLock volume_lock_;
   std::atomic<txn::TxnId> next_txn_{1};

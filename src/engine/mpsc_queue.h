@@ -26,7 +26,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <new>
+#include <type_traits>
 #include <utility>
+
+#include "mem/chunk_pool.h"
 
 namespace atrapos::engine {
 
@@ -49,7 +53,7 @@ class MpscChunkQueue {
     Chunk* c = top_.load(std::memory_order_relaxed);
     while (c != nullptr) {
       Chunk* next = c->next;
-      delete c;
+      ReleaseChunk(c);
       c = next;
     }
   }
@@ -59,6 +63,31 @@ class MpscChunkQueue {
 
   static Chunk* NewChunk() { return new Chunk(); }
   static void FreeChunk(Chunk* c) { delete c; }
+
+  /// Backs chunk allocation with a per-partition freelist (ROADMAP "inbox
+  /// chunk pooling") so publishing allocates nothing in steady state. Set
+  /// before first use; the pool must outlive the queue. Pool-backed
+  /// chunks require a trivially-destructible T (the pool recycles raw
+  /// blocks) and a pool payload large enough to hold a Chunk.
+  void SetPool(mem::ChunkPool* pool) { pool_ = pool; }
+  mem::ChunkPool* pool() const { return pool_; }
+
+  /// Pool-aware chunk allocation (any thread; lock-free once warm).
+  Chunk* AllocChunk() {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "pooled chunks are recycled without running destructors");
+    if (pool_ == nullptr) return NewChunk();
+    return ::new (pool_->Get()) Chunk();
+  }
+
+  /// Returns a chunk obtained from AllocChunk (any thread).
+  void ReleaseChunk(Chunk* c) {
+    if (pool_ == nullptr) {
+      FreeChunk(c);
+      return;
+    }
+    pool_->Put(c);
+  }
 
   /// Publishes one non-empty chunk (any thread, lock-free). Returns true
   /// when the queue was observed empty. Informational only: the
@@ -97,6 +126,7 @@ class MpscChunkQueue {
  private:
   // Own cache line: partitions are hot on exactly this word.
   alignas(64) std::atomic<Chunk*> top_{nullptr};
+  mem::ChunkPool* pool_ = nullptr;
 };
 
 }  // namespace atrapos::engine

@@ -1,18 +1,92 @@
 #include "engine/partitioned_executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
 
 #include "core/repartitioner.h"
 #include "hw/binding.h"
+#include "log/shard_writer.h"
 
 namespace atrapos::engine {
 
-/// Buckets one publish wave (a graph stage, or a whole SubmitBatch's
-/// stage-0 actions) by destination partition. PublishAll then performs one
-/// inbox push per chunk — one per partition for groups of up to a chunk's
-/// capacity — and at most one wake per partition, regardless of how many
-/// actions the wave carried.
+// One partition pool serves both the inbox chunks and the log shard's
+// buffers (ROADMAP "inbox chunk pooling").
+static_assert(sizeof(MpscChunkQueue<ActionTask>::Chunk) <=
+                  mem::kPartitionChunkBytes,
+              "partition chunk pool must fit an inbox chunk");
+
+namespace {
+
+/// Thread-local mutation observer a durability-enabled worker installs for
+/// its lifetime: every successful insert/update/delete on this thread
+/// becomes a staged log record carrying the after-image, and the
+/// transaction's touched-partition bit is set for the commit protocol.
+class WorkerLogObserver : public storage::MutationObserver {
+ public:
+  WorkerLogObserver(log::ShardWriter* writer, size_t seq)
+      : writer_(writer), seq_(seq) {}
+
+  /// The transaction whose action is currently running on this worker.
+  void set_txn(internal::TxnState* st) { st_ = st; }
+
+  void OnInsert(storage::TableId table, uint64_t key,
+                const storage::Tuple& row) override {
+    Log(txn::LogType::kInsert, table, key, &row);
+  }
+  void OnUpdate(storage::TableId table, uint64_t key,
+                const storage::Tuple& row) override {
+    Log(txn::LogType::kUpdate, table, key, &row);
+  }
+  void OnDelete(storage::TableId table, uint64_t key) override {
+    Log(txn::LogType::kDelete, table, key, nullptr);
+  }
+
+ private:
+  void Log(txn::LogType type, storage::TableId table, uint64_t key,
+           const storage::Tuple* row) {
+    if (st_ == nullptr) return;  // mutation outside an action (e.g. load)
+    st_->touched[seq_ >> 6].fetch_or(uint64_t{1} << (seq_ & 63),
+                                     std::memory_order_relaxed);
+    writer_->Add(st_->txn_id, type, static_cast<uint32_t>(table), key,
+                 row != nullptr ? row->data() : nullptr,
+                 row != nullptr ? row->size() : 0);
+  }
+
+  log::ShardWriter* const writer_;
+  const size_t seq_;
+  internal::TxnState* st_ = nullptr;
+};
+
+}  // namespace
+
+/// log::LogManager commit ack: the cookie is the TxnState whose markers
+/// reached the configured durability point; completion was deferred in
+/// FinishTxn and runs here (flusher thread in group mode, the appending
+/// worker in async mode). pending_status is ordered by the marker-publish
+/// / ticket-atomics chain.
+class PartitionedExecutor::CommitAckSink : public log::LogManager::CommitSink {
+ public:
+  explicit CommitAckSink(PartitionedExecutor* ex) : ex_(ex) {}
+  void OnCommitAcked(uint64_t /*epoch*/, void* cookie) override {
+    auto* st = static_cast<internal::TxnState*>(cookie);
+    ex_->CompleteTxn(st, st->pending_status);
+  }
+
+ private:
+  PartitionedExecutor* const ex_;
+};
+
+/// Buckets one publish wave (a graph stage, a whole SubmitBatch's stage-0
+/// actions, or a commit's marker fan-out) by destination partition.
+/// PublishAll then performs one inbox push per chunk — one per partition
+/// for groups of up to a chunk's capacity — and at most one wake per
+/// partition, regardless of how many tasks the wave carried. Chunks come
+/// from the destination partition's pool, so steady-state publishing
+/// allocates nothing.
 class PartitionedExecutor::Publisher {
  public:
   Publisher() { groups_.reserve(8); }
@@ -20,13 +94,14 @@ class PartitionedExecutor::Publisher {
   ~Publisher() {
     // PublishAll always runs on every code path; free defensively anyway.
     for (auto& g : groups_)
-      for (auto* c : g.chunks) TaskQueue::FreeChunk(c);
+      for (auto* c : g.chunks) g.part->inbox.ReleaseChunk(c);
   }
 
   void Add(Partition* p, ActionTask t) {
     for (auto& g : groups_) {
       if (g.part == p) {
-        if (g.chunks.back()->full()) g.chunks.push_back(TaskQueue::NewChunk());
+        if (g.chunks.back()->full())
+          g.chunks.push_back(p->inbox.AllocChunk());
         g.chunks.back()->Append(t);
         return;
       }
@@ -34,7 +109,7 @@ class PartitionedExecutor::Publisher {
     groups_.emplace_back();
     Group& g = groups_.back();
     g.part = p;
-    g.chunks.push_back(TaskQueue::NewChunk());
+    g.chunks.push_back(p->inbox.AllocChunk());
     g.chunks.back()->Append(t);
   }
 
@@ -58,14 +133,29 @@ class PartitionedExecutor::Publisher {
 PartitionedExecutor::PartitionedExecutor(Database* db,
                                          const hw::Topology& topo,
                                          core::Scheme scheme)
-    : db_(db), topo_(&topo), scheme_(std::move(scheme)) {
+    : PartitionedExecutor(db, topo, std::move(scheme), Options{}) {}
+
+PartitionedExecutor::PartitionedExecutor(Database* db,
+                                         const hw::Topology& topo,
+                                         core::Scheme scheme, Options opt)
+    : db_(db), topo_(&topo), opt_(opt), scheme_(std::move(scheme)) {
+  if (opt_.durability != DurabilityMode::kOff) {
+    log::LogManager::Options lopt;
+    lopt.flush_interval_us = opt_.log_flush_interval_us;
+    lopt.start_flusher = !opt_.log_manual_flush;
+    log_ = std::make_unique<log::LogManager>(lopt);
+    ack_sink_ = std::make_unique<CommitAckSink>(this);
+    log_->SetCommitSink(ack_sink_.get());
+  }
   StartWorkers();
 }
 
 PartitionedExecutor::~PartitionedExecutor() {
   // In-flight graphs must finish before workers stop: a worker reaching an
   // RVP enqueues the next stage onto sibling workers, which only drain
-  // their inboxes while alive.
+  // their inboxes while alive — and deferred commits complete only once
+  // their markers are appended (workers) and flushed (LogManager, which
+  // outlives the partitions by member order).
   Drain();
   StopWorkers();
 }
@@ -97,21 +187,60 @@ void PartitionedExecutor::PlacePartitions() {
 void PartitionedExecutor::StartWorkers() {
   PlacePartitions();
   parts_.clear();
+  flat_parts_.clear();
+  const bool centralized = log_ != nullptr && opt_.log_shards == 1;
+  mem::IslandAllocator& alloc = db_->memory();
+  if (log_ != nullptr) {
+    size_t total = 0;
+    for (const auto& ts : scheme_.tables) total += ts.num_partitions();
+    if (total > internal::kMaxLogPartitions) {
+      std::fprintf(stderr,
+                   "PartitionedExecutor: %zu partitions exceed the "
+                   "durability limit of %zu\n",
+                   total, internal::kMaxLogPartitions);
+      std::abort();
+    }
+    if (centralized) {
+      if (central_shard_ == nullptr) {
+        // The centralized shard survives repartitioning — it is the
+        // single scalar-LSN log the paper measures, not partition state.
+        log_->EnsureCentralShard(alloc.arena(0));
+        central_shard_ = log_->ActiveShard(0);
+      }
+    } else if (log_->num_active_shards() > 0) {
+      // Repartition: log shards move with their partitions — seal the old
+      // generation (kept for recovery) and place fresh shards below.
+      log_->BeginGeneration();
+    }
+  }
   parts_.resize(scheme_.tables.size());
+  size_t seq = 0;
   for (size_t t = 0; t < scheme_.tables.size(); ++t) {
     const core::TableScheme& ts = scheme_.tables[t];
     uint64_t rows = db_->table(static_cast<int>(t))->num_rows();
-    for (size_t p = 0; p < ts.num_partitions(); ++p) {
+    for (size_t p = 0; p < ts.num_partitions(); ++p, ++seq) {
       auto part = std::make_unique<Partition>();
       part->table = static_cast<int>(t);
       part->lo = ts.boundaries[p];
       part->hi = p + 1 < ts.num_partitions() ? ts.boundaries[p + 1]
                                              : std::max(rows, part->lo + 1);
       part->core = ts.placement[p];
+      part->seq = seq;
       part->monitor =
           std::make_unique<core::PartitionMonitor>(part->lo, part->hi);
+      hw::SocketId owner = topo_->socket_of(ts.placement[p]);
+      mem::Arena* arena = alloc.arena(alloc.ResolveSeq(owner, seq));
+      part->pool =
+          std::make_shared<mem::ChunkPool>(mem::kPartitionChunkBytes, arena);
+      part->inbox.SetPool(part->pool.get());
+      if (log_ != nullptr) {
+        part->shard = centralized
+                          ? central_shard_
+                          : log_->shard(log_->AddShard(part->pool, arena));
+      }
       Partition* raw = part.get();
       part->worker = std::thread([this, raw] { WorkerLoop(raw); });
+      flat_parts_.push_back(raw);
       parts_[t].push_back(std::move(part));
     }
   }
@@ -120,12 +249,26 @@ void PartitionedExecutor::StartWorkers() {
 void PartitionedExecutor::WorkerLoop(Partition* p) {
   hw::BindCurrentThread(*topo_, p->core);
   core::PartitionMonitor::BatchTally tally(*p->monitor);
+  // Durability: this worker stages its drained batch's records (and the
+  // commit markers routed to it) and appends them to its shard with one
+  // reservation per batch; the centralized configuration appends per
+  // record instead (the retired WAL's protocol).
+  std::optional<log::ShardWriter> writer;
+  std::optional<WorkerLogObserver> observer;
+  if (log_ != nullptr) {
+    writer.emplace(log_.get(), p->shard, /*immediate=*/opt_.log_shards == 1);
+    observer.emplace(&*writer, p->seq);
+    storage::SetThreadMutationObserver(&*observer);
+  }
   for (;;) {
     TaskQueue::Chunk* chain = p->inbox.PopAll();
     if (chain == nullptr) {
       // Callers stop workers only after Drain(), so an empty grab with
       // stop set means no task can ever arrive again.
-      if (p->stop.load(std::memory_order_acquire)) return;
+      if (p->stop.load(std::memory_order_acquire)) {
+        if (observer) storage::SetThreadMutationObserver(nullptr);
+        return;
+      }
       // Park protocol (consumer side of the Dekker pair, see
       // mpsc_queue.h): declare intent, re-check inbox and stop with
       // seq_cst, only then sleep. Producers that published before the
@@ -147,10 +290,19 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
     // Count the batch *before* running it: a completion a client observed
     // then can never precede its action's executed_ credit, so after
     // Drain() the counter equals the actions actually executed.
+    // Commit-marker tasks (act == nullptr) are not actions — they only
+    // exist when durability is on, so the off path keeps the cheap
+    // per-chunk count.
     uint64_t n = 0;
-    for (TaskQueue::Chunk* c = chain; c != nullptr; c = c->next)
-      n += c->count;
-    executed_.fetch_add(n, std::memory_order_relaxed);
+    if (log_ == nullptr) {
+      for (TaskQueue::Chunk* c = chain; c != nullptr; c = c->next)
+        n += c->count;
+    } else {
+      for (TaskQueue::Chunk* c = chain; c != nullptr; c = c->next)
+        for (uint32_t i = 0; i < c->count; ++i)
+          if (c->items[i].act != nullptr) ++n;
+    }
+    if (n > 0) executed_.fetch_add(n, std::memory_order_relaxed);
     // One timestamp pair and one monitor flush per drained batch: each
     // action is charged the batch-average microseconds (clamped by the
     // monitor so bins never look idle), keeping monitoring cost per-batch
@@ -160,15 +312,28 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
       TaskQueue::Chunk* c = chain;
       chain = chain->next;
       for (uint32_t i = 0; i < c->count; ++i) {
-        tally.Touch(c->items[i].act->key);
-        RunAction(c->items[i]);
+        const ActionTask& task = c->items[i];
+        if (task.act == nullptr) {
+          // This partition's commit marker for task.st: staged behind the
+          // transaction's data records in this worker's append order, so
+          // the shard's LSN order encodes write-ahead.
+          writer->AddCommitMarker(task.st->txn_id, task.st->commit_epoch,
+                                  task.st->marker_expected, task.st->ticket);
+          continue;
+        }
+        if (observer) observer->set_txn(task.st);
+        tally.Touch(task.act->key);
+        RunAction(task);
       }
-      TaskQueue::FreeChunk(c);
+      p->inbox.ReleaseChunk(c);
     }
-    double us = std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    p->monitor->RecordBatch(&tally, us / static_cast<double>(n));
+    if (writer) writer->Flush();  // one shard reservation for the batch
+    if (n > 0) {
+      double us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+      p->monitor->RecordBatch(&tally, us / static_cast<double>(n));
+    }
   }
 }
 
@@ -236,6 +401,8 @@ Result<TxnFuture> PartitionedExecutor::Submit(ActionGraph graph) {
   if (!v.ok()) return v;
   auto st = std::make_shared<internal::TxnState>(std::move(graph));
   st->self = st;
+  if (log_ != nullptr)
+    st->txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   inflight_.fetch_add(1, std::memory_order_relaxed);
   Publisher pub;
   EnqueueStage(st.get(), 0, &pub);
@@ -257,6 +424,8 @@ Result<std::vector<TxnFuture>> PartitionedExecutor::SubmitBatch(
   for (ActionGraph& g : graphs) {
     auto st = std::make_shared<internal::TxnState>(std::move(g));
     st->self = st;
+    if (log_ != nullptr)
+      st->txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     inflight_.fetch_add(1, std::memory_order_relaxed);
     EnqueueStage(st.get(), 0, &pub);
     futures.emplace_back(TxnFuture(st));
@@ -305,7 +474,7 @@ void PartitionedExecutor::RunAction(const ActionTask& task) {
       std::lock_guard lk(st->mu);
       err = st->first_error;
     }
-    CompleteTxn(st, std::move(err));
+    FinishTxn(st, std::move(err));
   } else if (st->next_stage < st->graph.stages_.size() &&
              !st->graph.stages_[st->next_stage].empty()) {
     Publisher pub;
@@ -314,15 +483,101 @@ void PartitionedExecutor::RunAction(const ActionTask& task) {
   } else {
     Status fin = st->graph.finalizer_ ? st->graph.finalizer_(st->payloads)
                                       : Status::OK();
-    CompleteTxn(st, std::move(fin));
+    FinishTxn(st, std::move(fin));
   }
+}
+
+namespace {
+/// Calls fn(seq) for every partition whose worker logged data records for
+/// this transaction. The stage-completion release/acquire pair ordered
+/// every bit before this read.
+template <typename Fn>
+void ForEachTouchedPartition(const internal::TxnState* st, Fn fn) {
+  for (size_t w = 0; w < std::size(st->touched); ++w) {
+    uint64_t bits = st->touched[w].load(std::memory_order_relaxed);
+    while (bits != 0) {
+      fn(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+}
+}  // namespace
+
+void PartitionedExecutor::FinishTxn(internal::TxnState* st, Status s) {
+  if (log_ == nullptr) {
+    CompleteTxn(st, std::move(s));
+    return;
+  }
+  int expected = 0;
+  for (const auto& word : st->touched)
+    expected += std::popcount(word.load(std::memory_order_relaxed));
+  if (expected == 0) {
+    // Read-only commit: nothing to force — real group commit skips the
+    // log entirely here too.
+    CompleteTxn(st, std::move(s));
+    return;
+  }
+  if (!s.ok()) {
+    // Abort markers decide the transaction at recovery (its data records
+    // are discarded, wherever the crash cut fell) and need no durability
+    // ack. Appended directly: order against still-buffered data records
+    // does not matter for an abort decision.
+    log::PendingRecord r;
+    r.txn = st->txn_id;
+    r.type = txn::LogType::kAbort;
+    if (opt_.log_shards == 1) {
+      // All partitions share the central shard; one record decides.
+      central_shard_->AppendOne(r, nullptr, nullptr);
+    } else {
+      ForEachTouchedPartition(st, [&](size_t seq) {
+        flat_parts_[seq]->shard->AppendOne(r, nullptr, nullptr);
+      });
+    }
+    CompleteTxn(st, std::move(s));
+    return;
+  }
+  if (opt_.log_shards == 1) {
+    // Centralized compat — the retired WriteAheadLog's commit: one marker
+    // in the single shard (all data records already hit it per-record),
+    // and under kGroup the completing worker blocks in the group-commit
+    // window, exactly the stall the per-partition design eliminates.
+    log::CommitTicket* ticket = log_->BeginCommit(1, nullptr, false);
+    log::PendingRecord r;
+    r.txn = st->txn_id;
+    r.type = txn::LogType::kCommit;
+    r.epoch = ticket->epoch;
+    r.marker_expected = 1;
+    r.ticket = ticket;
+    txn::Lsn lsn = central_shard_->AppendOne(r, nullptr, nullptr);
+    if (opt_.durability == DurabilityMode::kGroup)
+      central_shard_->WaitDurable(lsn);
+    CompleteTxn(st, std::move(s));
+    return;
+  }
+  // Per-partition commit: one marker per touched partition, routed
+  // through that partition's inbox so its owning worker appends it after
+  // the transaction's data records. Completion is deferred to the commit
+  // ack — append-fired in async mode, durable-fired (flusher) in group
+  // mode. Workers never block on a flush window.
+  st->pending_status = std::move(s);
+  log::CommitTicket* ticket = log_->BeginCommit(
+      expected, st, /*fire_on_append=*/opt_.durability == DurabilityMode::kAsync);
+  st->ticket = ticket;
+  st->commit_epoch = ticket->epoch;
+  st->marker_expected = static_cast<uint16_t>(expected);
+  Publisher pub;
+  ForEachTouchedPartition(st, [&](size_t seq) {
+    pub.Add(flat_parts_[seq], ActionTask{st, nullptr, nullptr});
+  });
+  pub.PublishAll(this);
 }
 
 void PartitionedExecutor::CompleteTxn(internal::TxnState* st, Status s) {
   // Take over the executor's keep-alive reference: *st stays alive through
   // this call even if the client already dropped its future, and dies with
-  // `keep` otherwise. Only the unique stage-finishing worker reaches here,
-  // so the move is unsynchronized by design.
+  // `keep` otherwise. Only the unique stage-finishing worker (or, for a
+  // deferred durable commit, the unique ack) reaches here, so the move is
+  // unsynchronized by design.
   std::shared_ptr<internal::TxnState> keep = std::move(st->self);
   if (st->completed.exchange(true)) return;  // exactly once
   // Listener first: once Wait() returns, the workload class has been
@@ -404,6 +659,7 @@ Result<size_t> PartitionedExecutor::Repartition(const core::Scheme& target) {
   // In-flight graphs advance stages without the scheme gate; wait them out
   // before touching routing state. No new graph can enter: Submit
   // increments the in-flight count under the shared gate we now hold.
+  // (Deferred durable commits count as in flight, so shards quiesce too.)
   Drain();
   StopWorkers();  // inboxes are empty: every in-flight graph completed
   auto plan = core::PlanRepartition(scheme_, target);

@@ -25,7 +25,19 @@
 // each group with a single enqueue plus a single coalesced wake (only a
 // parked worker is notified, tracked by a per-partition `parked` flag).
 // Workers drain a whole batch per wake, take one timestamp per batch, and
-// flush monitoring and the executed-action counter once per batch.
+// flush monitoring and the executed-action counter once per batch. Inbox
+// chunks come from a per-partition pool (mem::ChunkPool), so steady-state
+// submission allocates nothing.
+//
+// Durability (Options::durability, src/log/): each partition owns a log
+// shard on its island; workers stage their batch's after-images and
+// append them with one reservation per batch, commit markers fan out
+// through the partition inboxes, and TxnFuture completion is deferred
+// until the transaction's markers reach the configured durability point
+// (asynchronous acks — workers never block in a flush window, and the
+// OnComplete-before-Wait ordering guarantee is preserved on the deferred
+// path). Repartition() seals the shard generation and places fresh shards
+// with the new partitions; log::Recover replays all generations.
 #pragma once
 
 #include <atomic>
@@ -44,6 +56,8 @@
 #include "engine/mpsc_queue.h"
 #include "engine/txn_future.h"
 #include "hw/topology.h"
+#include "log/log_manager.h"
+#include "mem/chunk_pool.h"
 #include "util/status.h"
 
 namespace atrapos::engine {
@@ -51,15 +65,42 @@ namespace atrapos::engine {
 /// What a partition inbox carries: pointers only. The graph (and its
 /// std::functions) lives in *st, which TxnState::self keeps alive until
 /// the transaction completes — publishing an action allocates nothing and
-/// copies no closure.
+/// copies no closure. A task with `act == nullptr` is a commit marker:
+/// the receiving worker appends st's commit record to its own shard,
+/// which — because the worker serializes its shard's appends — lands
+/// after every data record the transaction wrote there (the write-ahead
+/// invariant, kept without any cross-shard lock).
 struct ActionTask {
   internal::TxnState* st;
   ActionGraph::Action* act;
   storage::Table* table;
 };
 
+/// How submitted transactions are made durable (see src/log/).
+enum class DurabilityMode {
+  kOff,    ///< no logging (the seed behavior)
+  kAsync,  ///< log + commit markers; ack when the markers are appended
+  kGroup,  ///< ack deferred until the markers are durable on every shard
+};
+
 class PartitionedExecutor {
  public:
+  struct Options {
+    DurabilityMode durability = DurabilityMode::kOff;
+    /// 0 = one log shard per partition, placed on the owner island and
+    /// reassigned with it on Repartition. 1 = a single centralized shard
+    /// running the retired txn::WriteAheadLog protocol (per-record
+    /// appends under one mutex; under kGroup the completing worker blocks
+    /// in the flush window like the old Commit did) — the baseline the
+    /// paper's Fig. 4 logging slice measures against.
+    int log_shards = 0;
+    uint64_t log_flush_interval_us = 50;
+    /// Tests: no background flusher — drive group commit with
+    /// log_manager()->FlushAll() for deterministic durable points. kGroup
+    /// commits only ack on an explicit flush then.
+    bool log_manual_flush = false;
+  };
+
   /// Observes every transaction completion (success or abort) on the
   /// completing worker thread. AdaptiveManager registers itself here so
   /// workload class counts flow from the completion path instead of from
@@ -71,7 +112,9 @@ class PartitionedExecutor {
   };
 
   PartitionedExecutor(Database* db, const hw::Topology& topo,
-                      core::Scheme scheme);
+                      core::Scheme scheme);  // default Options
+  PartitionedExecutor(Database* db, const hw::Topology& topo,
+                      core::Scheme scheme, Options opt);
   ~PartitionedExecutor();
 
   PartitionedExecutor(const PartitionedExecutor&) = delete;
@@ -127,10 +170,16 @@ class PartitionedExecutor {
   /// Actions accepted for execution, counted once per drained batch (a
   /// worker counts a batch *before* running it and always finishes a
   /// drained batch, so after Drain() this equals the actions actually
-  /// executed).
+  /// executed). Commit-marker tasks are not actions and are not counted.
   uint64_t executed_actions() const {
     return executed_.load(std::memory_order_relaxed);
   }
+
+  /// The durability subsystem, or nullptr when durability is kOff.
+  /// Exposes the distributed durable point and SnapshotDurable() for
+  /// log::Recover.
+  log::LogManager* log_manager() { return log_ ? log_.get() : nullptr; }
+  DurabilityMode durability() const { return opt_.durability; }
 
  private:
   using TaskQueue = MpscChunkQueue<ActionTask>;
@@ -139,7 +188,14 @@ class PartitionedExecutor {
     int table;
     uint64_t lo, hi;
     hw::CoreId core;
+    size_t seq;  ///< global partition index (touched-bitmask bit, shard id)
     std::unique_ptr<core::PartitionMonitor> monitor;
+    /// Backs the inbox chunks and this partition's log-shard buffers from
+    /// the owner island's arena; shared so a sealed shard outlives the
+    /// partition after Repartition.
+    std::shared_ptr<mem::ChunkPool> pool;
+    /// This partition's log shard (nullptr when durability is off).
+    log::LogShard* shard = nullptr;
     /// Lock-free MPSC inbox; mu/cv exist only for parking an idle worker.
     TaskQueue inbox;
     /// True while the worker is (about to be) blocked on cv. Producers
@@ -184,9 +240,27 @@ class PartitionedExecutor {
   /// in-flight accounting — in that order. Releases the executor's
   /// keep-alive reference (TxnState::self).
   void CompleteTxn(internal::TxnState* st, Status s);
+  /// Durability-aware epilogue of RunAction: completes immediately when
+  /// nothing was logged (or durability is off / the transaction failed,
+  /// after appending abort markers), otherwise runs the commit protocol —
+  /// publish one marker per touched partition and defer CompleteTxn to
+  /// the commit ack (per-partition shards), or append the single marker
+  /// and optionally block in the flush window (centralized compat).
+  void FinishTxn(internal::TxnState* st, Status s);
+
+  /// log::LogManager ack: cookie is the TxnState whose commit markers
+  /// reached the configured durability point.
+  class CommitAckSink;
 
   Database* db_;
   const hw::Topology* topo_;
+  Options opt_;
+  std::unique_ptr<CommitAckSink> ack_sink_;
+  std::unique_ptr<log::LogManager> log_;
+  log::LogShard* central_shard_ = nullptr;  ///< log_shards == 1 fast path
+  std::atomic<uint64_t> next_txn_id_{0};
+  /// Partitions flattened by seq — marker publishing indexes it.
+  std::vector<Partition*> flat_parts_;
   mutable std::shared_mutex scheme_mu_;  // shared: Submit; unique: Repartition
   core::Scheme scheme_;
   std::vector<std::vector<std::unique_ptr<Partition>>> parts_;

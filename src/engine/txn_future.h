@@ -23,9 +23,17 @@
 #include "engine/action_graph.h"
 #include "util/status.h"
 
+namespace atrapos::log {
+struct CommitTicket;
+}  // namespace atrapos::log
+
 namespace atrapos::engine {
 
 namespace internal {
+
+/// Most partitions a durability-enabled executor supports (the touched-set
+/// bitmask below is fixed-size so TxnState stays allocation-free).
+inline constexpr size_t kMaxLogPartitions = 256;
 
 /// Shared state of one in-flight transaction graph; owned jointly by the
 /// executor's queued work items and the client's TxnFuture.
@@ -48,6 +56,22 @@ struct TxnState {
   /// inbox publish/drain pair orders the write against every reader, and
   /// only the unique stage-finishing worker moves it out.
   std::shared_ptr<TxnState> self;
+
+  // ---- durability (set only when the executor logs; see src/log/) -------
+  /// Engine-assigned transaction id for log records (0 when logging is off).
+  uint64_t txn_id = 0;
+  /// Bitmask of partition seqs whose workers logged data records for this
+  /// transaction; the completing worker publishes one commit marker per
+  /// set bit (the action-completion release/acquire pair orders the bits).
+  std::atomic<uint64_t> touched[kMaxLogPartitions / 64] = {};
+  /// Commit metadata the marker-staging workers read; written by the
+  /// completing worker before the marker tasks are published.
+  uint64_t commit_epoch = 0;
+  uint16_t marker_expected = 0;
+  log::CommitTicket* ticket = nullptr;
+  /// Final status held until the commit ack defers CompleteTxn (group and
+  /// async durability); ordered by the marker publish/ticket atomics.
+  Status pending_status;
 
   std::atomic<bool> completed{false};  ///< exactly-once completion guard
   std::mutex mu;

@@ -1,0 +1,228 @@
+#include "log/log_manager.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace atrapos::log {
+
+LogManager::LogManager() : LogManager(Options{}) {}
+
+LogManager::LogManager(Options opt) : opt_(opt) {
+  if (opt_.start_flusher) flusher_ = std::thread([this] { FlusherLoop(); });
+}
+
+LogManager::~LogManager() {
+  Stop();
+  // Markers appended after Stop() can never become durable; drop their
+  // occurrences' references without acking or advancing the watermark.
+  std::lock_guard lk(shards_mu_);
+  for (auto& s : shards_) {
+    for (CommitTicket* t : s->TakeUnsettledWaiters()) ReleaseCommitTicket(t);
+  }
+}
+
+int LogManager::AddShard(std::shared_ptr<mem::ChunkPool> pool,
+                         mem::Arena* arena) {
+  if (pool == nullptr)
+    pool = std::make_shared<mem::ChunkPool>(opt_.chunk_payload_bytes, arena);
+  std::lock_guard lk(shards_mu_);
+  int id = static_cast<int>(shards_.size());
+  shards_.push_back(
+      std::make_unique<LogShard>(id, generation_, std::move(pool), arena));
+  active_.push_back(shards_.back().get());
+  return id;
+}
+
+void LogManager::BeginGeneration() {
+  std::vector<CommitTicket*> fired;
+  {
+    std::lock_guard lk(shards_mu_);
+    for (LogShard* s : active_) s->Seal(&fired);
+    active_.clear();
+    ++generation_;
+  }
+  SettleDurable(fired);
+}
+
+LogShard* LogManager::ActiveShard(size_t seq) {
+  std::lock_guard lk(shards_mu_);
+  if (active_.empty()) return nullptr;
+  return active_[seq < active_.size() ? seq : 0];
+}
+
+LogShard* LogManager::shard(int id) {
+  std::lock_guard lk(shards_mu_);
+  if (id < 0 || static_cast<size_t>(id) >= shards_.size()) return nullptr;
+  return shards_[static_cast<size_t>(id)].get();
+}
+
+size_t LogManager::num_shards() const {
+  std::lock_guard lk(shards_mu_);
+  return shards_.size();
+}
+
+size_t LogManager::num_active_shards() const {
+  std::lock_guard lk(shards_mu_);
+  return active_.size();
+}
+
+int LogManager::generation() const {
+  std::lock_guard lk(shards_mu_);
+  return generation_;
+}
+
+CommitTicket* LogManager::BeginCommit(int expected, void* cookie,
+                                      bool fire_on_append) {
+  uint64_t epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return new CommitTicket(expected, epoch, cookie, fire_on_append);
+}
+
+void LogManager::OnMarkersAppended(std::span<CommitTicket* const> tickets) {
+  CommitSink* sink = sink_.load(std::memory_order_acquire);
+  for (CommitTicket* t : tickets) {
+    // Only append-fired (async) tickets reach here (see AppendBatch); the
+    // append-side reference keeps *t alive against a racing flusher.
+    if (t->cookie != nullptr && sink != nullptr)
+      sink->OnCommitAcked(t->epoch, t->cookie);
+    ReleaseCommitTicket(t);
+  }
+}
+
+void LogManager::SettleDurable(const std::vector<CommitTicket*>& tickets) {
+  CommitSink* sink = sink_.load(std::memory_order_acquire);
+  for (CommitTicket* t : tickets) {
+    if (t->remaining_durable.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last marker of this commit just became durable. Watermark first,
+      // so an acked client observes a durable epoch covering its commit.
+      MarkEpochDurable(t->epoch);
+      if (!t->fire_on_append && t->cookie != nullptr && sink != nullptr)
+        sink->OnCommitAcked(t->epoch, t->cookie);
+    }
+    ReleaseCommitTicket(t);  // one reference per settled occurrence
+  }
+}
+
+void LogManager::MarkEpochDurable(uint64_t epoch) {
+  std::lock_guard lk(epoch_mu_);
+  uint64_t mark = durable_epoch_.load(std::memory_order_relaxed);
+  if (epoch != mark + 1) {
+    durable_out_of_order_.push_back(epoch);
+    std::push_heap(durable_out_of_order_.begin(), durable_out_of_order_.end(),
+                   std::greater<>());
+    return;
+  }
+  mark = epoch;
+  while (!durable_out_of_order_.empty() &&
+         durable_out_of_order_.front() == mark + 1) {
+    std::pop_heap(durable_out_of_order_.begin(), durable_out_of_order_.end(),
+                  std::greater<>());
+    durable_out_of_order_.pop_back();
+    ++mark;
+  }
+  durable_epoch_.store(mark, std::memory_order_release);
+}
+
+void LogManager::FlushAll() {
+  std::vector<CommitTicket*> fired;
+  {
+    std::lock_guard lk(shards_mu_);
+    // Active shards only: Seal() already performed a sealed shard's final
+    // flush and settled its waiters, and its durable point can never
+    // advance — scanning old generations would make the flusher's
+    // per-window work grow with every repartition.
+    for (LogShard* s : active_) s->Flush(&fired);
+  }
+  SettleDurable(fired);
+}
+
+void LogManager::FlusherLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    FlushAll();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(opt_.flush_interval_us));
+  }
+}
+
+void LogManager::Stop() {
+  if (stopped_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (flusher_.joinable()) flusher_.join();
+  // Final group commit: everything appended so far becomes durable and
+  // every settled waiter is acked, so no committer hangs at shutdown.
+  FlushAll();
+  stopped_.store(true, std::memory_order_release);
+  std::lock_guard lk(shards_mu_);
+  for (auto& s : shards_) s->MarkStopped();
+}
+
+DurablePoint LogManager::durable_point() const {
+  DurablePoint p;
+  std::lock_guard lk(shards_mu_);
+  p.shard_lsns.reserve(shards_.size());
+  for (const auto& s : shards_) p.shard_lsns.push_back(s->durable_lsn());
+  p.epoch = durable_epoch_.load(std::memory_order_acquire);
+  return p;
+}
+
+std::vector<ShardSnapshot> LogManager::SnapshotDurable() const {
+  std::lock_guard lk(shards_mu_);
+  std::vector<ShardSnapshot> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) out.push_back(s->SnapshotDurable());
+  return out;
+}
+
+// ---- centralized compat -----------------------------------------------------
+
+void LogManager::EnsureCentralShard(mem::Arena* arena) {
+  {
+    std::lock_guard lk(shards_mu_);
+    if (!shards_.empty()) return;
+  }
+  AddShard(nullptr, arena);
+}
+
+Lsn LogManager::Append(TxnId txn, LogType type, uint64_t a, uint64_t b) {
+  LogShard* s = ActiveShard(0);
+  if (s == nullptr) return 0;
+  PendingRecord r;
+  r.txn = txn;
+  r.type = type;
+  r.table = static_cast<uint32_t>(a);
+  r.key = b;
+  return s->AppendOne(r, nullptr, nullptr);
+}
+
+Lsn LogManager::Commit(TxnId txn) {
+  LogShard* s = ActiveShard(0);
+  if (s == nullptr) return 0;
+  CommitTicket* t = BeginCommit(1, nullptr, false);
+  PendingRecord r;
+  r.txn = txn;
+  r.type = LogType::kCommit;
+  r.epoch = t->epoch;
+  r.marker_expected = 1;
+  r.ticket = t;
+  Lsn lsn = s->AppendOne(r, nullptr, nullptr);
+  Lsn durable = s->WaitDurable(lsn);
+  return durable >= lsn ? lsn : durable;
+}
+
+Lsn LogManager::WaitDurable(Lsn lsn) {
+  LogShard* s = ActiveShard(0);
+  return s == nullptr ? 0 : s->WaitDurable(lsn);
+}
+
+Lsn LogManager::durable_lsn() const {
+  std::lock_guard lk(shards_mu_);
+  return shards_.empty() ? 0 : shards_.front()->durable_lsn();
+}
+
+uint64_t LogManager::num_records() const {
+  std::lock_guard lk(shards_mu_);
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->num_records();
+  return n;
+}
+
+}  // namespace atrapos::log

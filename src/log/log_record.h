@@ -1,0 +1,130 @@
+// Record and commit-protocol types of the island-partitioned durability
+// subsystem (src/log/).
+//
+// The subsystem replaces the single mutex-serialized txn::WriteAheadLog —
+// the last centralized structure in the engine, whose contention the paper
+// measures as the logging slice of Fig. 4 — with one LogShard per
+// partition, placed on the owning island. Shard records are self-contained
+// for recovery: data records carry the after-image of the row, commit
+// markers carry the transaction's commit epoch and the number of
+// partitions it touched, so replay can decide transaction fate without any
+// central LSN.
+//
+// Commit protocol (Aether-style consolidated group commit, asynchronous
+// acks): the completing worker draws a global commit epoch, then publishes
+// one commit marker per touched partition *through that partition's
+// inbox*, so every marker is appended by the shard's owning worker after
+// the transaction's data records (per-shard LSN order encodes the
+// write-ahead invariant). A CommitTicket counts markers across shards; the
+// transaction is acknowledged when the ticket fires — at marker append
+// (async mode) or when every marker is durable (group mode). Workers never
+// block on a flush window.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "txn/wal.h"
+
+namespace atrapos::log {
+
+using txn::LogType;
+using txn::Lsn;
+using txn::TxnId;
+
+/// One commit's cross-shard completion state. Created by
+/// LogManager::BeginCommit; each appended marker decrements
+/// `remaining_append`, each flushed marker decrements `remaining_durable`.
+/// The ack fires at append-zero (fire_on_append, async mode) or
+/// durable-zero (group mode and the blocking compat path); the ticket is
+/// freed — and its epoch folded into the durable-epoch watermark — at
+/// durable-zero, which always happens last.
+struct CommitTicket {
+  std::atomic<int> remaining_append;
+  std::atomic<int> remaining_durable;
+  /// Lifetime: one reference per marker occurrence (released when the
+  /// flusher settles it — or the manager's destructor reclaims it) plus
+  /// one for the append-side ack path, so neither side can free the
+  /// ticket under the other.
+  std::atomic<int> remaining_release;
+  uint64_t epoch;
+  void* cookie;        ///< opaque ack payload (engine: TxnState*); may be null
+  bool fire_on_append; ///< async commit: ack when appended, not when durable
+
+  CommitTicket(int expected, uint64_t e, void* c, bool on_append)
+      : remaining_append(expected),
+        remaining_durable(expected),
+        remaining_release(expected + 1),
+        epoch(e),
+        cookie(c),
+        fire_on_append(on_append) {}
+};
+
+/// Drops one reference; frees the ticket on the last. Returns true when
+/// it was freed.
+inline bool ReleaseCommitTicket(CommitTicket* t) {
+  if (t->remaining_release.fetch_sub(1, std::memory_order_acq_rel) != 1)
+    return false;
+  delete t;
+  return true;
+}
+
+/// A staged record, owned by a ShardWriter until its batch is appended.
+/// Image bytes live in the writer's side buffer (`image_offset` indexes
+/// it) so staging a record never allocates.
+struct PendingRecord {
+  TxnId txn = 0;
+  LogType type = LogType::kBegin;
+  uint32_t table = 0;
+  uint64_t key = 0;
+  uint64_t epoch = 0;             ///< commit markers only
+  uint16_t marker_expected = 0;   ///< commit markers: #touched partitions
+  uint32_t image_offset = 0;
+  uint32_t image_size = 0;
+  CommitTicket* ticket = nullptr; ///< commit markers only; may be null
+};
+
+/// On-"disk" record header, memcpy'd into a shard's chunk buffer and
+/// followed by `image_size` bytes of after-image.
+struct RecordHeader {
+  Lsn lsn = 0;
+  TxnId txn = 0;
+  uint64_t key = 0;
+  uint64_t epoch = 0;
+  uint32_t table = 0;
+  uint16_t type = 0;
+  uint16_t marker_expected = 0;
+  uint32_t image_size = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(RecordHeader) == 48, "keep the wire format stable");
+
+/// A parsed record, as recovery sees it.
+struct RecoveredRecord {
+  Lsn lsn = 0;
+  TxnId txn = 0;
+  LogType type = LogType::kBegin;
+  uint32_t table = 0;
+  uint64_t key = 0;
+  uint64_t epoch = 0;
+  uint32_t marker_expected = 0;
+  std::vector<uint8_t> image;
+};
+
+/// The durable prefix of one shard — what a crash would leave on disk.
+struct ShardSnapshot {
+  int shard_id = 0;
+  int generation = 0;  ///< repartition seals a generation; replay merges
+  std::vector<RecoveredRecord> records;
+};
+
+/// Distributed durable point: per-shard durable LSNs plus the commit-epoch
+/// watermark (every transaction with epoch <= `epoch` is durable on every
+/// shard it touched). Replaces the retired WAL's single scalar LSN.
+struct DurablePoint {
+  std::vector<Lsn> shard_lsns;  ///< indexed by stable shard id
+  uint64_t epoch = 0;
+};
+
+}  // namespace atrapos::log

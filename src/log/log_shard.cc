@@ -1,0 +1,203 @@
+#include "log/log_shard.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "mem/arena.h"
+
+namespace atrapos::log {
+
+LogShard::LogShard(int id, int generation,
+                   std::shared_ptr<mem::ChunkPool> pool, mem::Arena* arena)
+    : id_(id), generation_(generation), pool_(std::move(pool)),
+      arena_(arena) {}
+
+LogShard::~LogShard() {
+  for (Buf& b : bufs_) pool_->Put(b.data);
+}
+
+void LogShard::WriteLocked(const RecordHeader& h, const uint8_t* image) {
+  size_t need = sizeof(RecordHeader) + h.image_size;
+  size_t cap = pool_->payload_bytes();
+  if (need > cap) {
+    // Records never span chunks; every workload's fixed-width tuples are
+    // far below a chunk, so an oversized image is a programming error.
+    std::fprintf(stderr, "LogShard: record of %zu bytes exceeds chunk %zu\n",
+                 need, cap);
+    std::abort();
+  }
+  if (bufs_.empty() || cap - bufs_.back().used < need) {
+    bufs_.push_back(Buf{static_cast<uint8_t*>(pool_->Get()), 0});
+  }
+  Buf& buf = bufs_.back();
+  std::memcpy(buf.data + buf.used, &h, sizeof(h));
+  if (h.image_size > 0)
+    std::memcpy(buf.data + buf.used + sizeof(h), image, h.image_size);
+  buf.used += static_cast<uint32_t>(need);
+  bytes_logged_.fetch_add(need, std::memory_order_relaxed);
+}
+
+Lsn LogShard::AppendBatch(const PendingRecord* recs, size_t n,
+                          const uint8_t* images,
+                          std::vector<CommitTicket*>* append_fired) {
+  if (append_fired != nullptr) append_fired->clear();
+  if (n == 0) return 0;
+  Lsn first;
+  uint64_t bytes = 0;
+  {
+    std::lock_guard lk(mu_);
+    assert(!sealed_ && "append to a sealed shard");
+    first = next_lsn_;
+    for (size_t i = 0; i < n; ++i) {
+      const PendingRecord& r = recs[i];
+      RecordHeader h;
+      h.lsn = next_lsn_++;
+      h.txn = r.txn;
+      h.key = r.key;
+      h.epoch = r.epoch;
+      h.table = r.table;
+      h.type = static_cast<uint16_t>(r.type);
+      h.marker_expected = r.marker_expected;
+      h.image_size = r.image_size;
+      WriteLocked(h, images + r.image_offset);
+      bytes += sizeof(RecordHeader) + r.image_size;
+      if (r.ticket != nullptr) {
+        waiters_.emplace_back(h.lsn, r.ticket);
+        if (r.ticket->remaining_append.fetch_sub(
+                1, std::memory_order_acq_rel) == 1) {
+          // Last marker appended. The append-side reference either rides
+          // out to the caller (async tickets fire their ack outside the
+          // lock via OnMarkersAppended, which releases it) or is dropped
+          // here, where the ticket is still safely alive.
+          if (r.ticket->fire_on_append && append_fired != nullptr) {
+            append_fired->push_back(r.ticket);
+          } else {
+            ReleaseCommitTicket(r.ticket);
+          }
+        }
+      }
+    }
+  }
+  num_records_.fetch_add(n, std::memory_order_relaxed);
+  // Log traffic shows up in the island traffic matrix like any other
+  // partition-state access: local for per-partition shards, cross-island
+  // for the centralized configuration.
+  if (arena_ != nullptr) arena_->RecordAccess(bytes);
+  return first;
+}
+
+Lsn LogShard::AppendOne(const PendingRecord& rec, const uint8_t* image,
+                        std::vector<CommitTicket*>* append_fired) {
+  PendingRecord r = rec;
+  r.image_offset = 0;
+  return AppendBatch(&r, 1, image, append_fired);
+}
+
+void LogShard::Flush(std::vector<CommitTicket*>* durable_fired) {
+  Lsn tail;
+  bool advanced = false;
+  {
+    std::lock_guard lk(mu_);
+    tail = next_lsn_ - 1;
+    if (tail > durable_lsn_.load(std::memory_order_relaxed)) {
+      // The "flush": with a memory-mapped log disk this is a memcpy plus
+      // fence; the group-commit window batches whatever accumulated.
+      durable_lsn_.store(tail, std::memory_order_release);
+      advanced = true;
+    }
+    while (waiters_head_ < waiters_.size() &&
+           waiters_[waiters_head_].first <= tail) {
+      if (durable_fired != nullptr)
+        durable_fired->push_back(waiters_[waiters_head_].second);
+      ++waiters_head_;
+    }
+    if (waiters_head_ == waiters_.size() && waiters_head_ > 0) {
+      waiters_.clear();
+      waiters_head_ = 0;
+    }
+  }
+  if (advanced) flushed_cv_.notify_all();
+}
+
+Lsn LogShard::WaitDurable(Lsn lsn) {
+  Lsn durable = durable_lsn_.load(std::memory_order_acquire);
+  if (durable >= lsn) return durable;
+  std::unique_lock lk(mu_);
+  flushed_cv_.wait(lk, [&] {
+    return durable_lsn_.load(std::memory_order_acquire) >= lsn ||
+           stopped_.load(std::memory_order_acquire);
+  });
+  return durable_lsn_.load(std::memory_order_acquire);
+}
+
+void LogShard::Seal(std::vector<CommitTicket*>* durable_fired) {
+  Flush(durable_fired);
+  std::lock_guard lk(mu_);
+  sealed_ = true;
+}
+
+void LogShard::MarkStopped() {
+  {
+    // Under mu_ so a WaitDurable between predicate check and sleep cannot
+    // miss the wake.
+    std::lock_guard lk(mu_);
+    stopped_.store(true, std::memory_order_release);
+  }
+  flushed_cv_.notify_all();
+}
+
+std::vector<CommitTicket*> LogShard::TakeUnsettledWaiters() {
+  std::lock_guard lk(mu_);
+  std::vector<CommitTicket*> out;
+  out.reserve(waiters_.size() - waiters_head_);
+  for (size_t i = waiters_head_; i < waiters_.size(); ++i)
+    out.push_back(waiters_[i].second);
+  waiters_.clear();
+  waiters_head_ = 0;
+  return out;
+}
+
+bool LogShard::sealed() const {
+  std::lock_guard lk(mu_);
+  return sealed_;
+}
+
+Lsn LogShard::tail_lsn() const {
+  std::lock_guard lk(mu_);
+  return next_lsn_ - 1;
+}
+
+ShardSnapshot LogShard::SnapshotDurable() const {
+  ShardSnapshot snap;
+  snap.shard_id = id_;
+  snap.generation = generation_;
+  Lsn durable = durable_lsn_.load(std::memory_order_acquire);
+  std::lock_guard lk(mu_);
+  for (const Buf& b : bufs_) {
+    uint32_t off = 0;
+    while (off + sizeof(RecordHeader) <= b.used) {
+      RecordHeader h;
+      std::memcpy(&h, b.data + off, sizeof(h));
+      if (h.lsn == 0 || h.lsn > durable) return snap;  // crash cut
+      RecoveredRecord r;
+      r.lsn = h.lsn;
+      r.txn = h.txn;
+      r.type = static_cast<LogType>(h.type);
+      r.table = h.table;
+      r.key = h.key;
+      r.epoch = h.epoch;
+      r.marker_expected = h.marker_expected;
+      if (h.image_size > 0) {
+        const uint8_t* img = b.data + off + sizeof(h);
+        r.image.assign(img, img + h.image_size);
+      }
+      snap.records.push_back(std::move(r));
+      off += sizeof(h) + h.image_size;
+    }
+  }
+  return snap;
+}
+
+}  // namespace atrapos::log

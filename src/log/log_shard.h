@@ -1,0 +1,134 @@
+// One partition's write-ahead log shard.
+//
+// The buffer is a chain of fixed-size chunks drawn from the partition's
+// ChunkPool (arena-backed on the owner island, charged to mem::AllocStats
+// like B-tree nodes), standing in for a memory-mapped log disk. Inserts
+// are lock-minimized in the spirit of mpsc_queue.h: a worker stages the
+// records of a whole drained batch locally (ShardWriter) and appends them
+// with ONE mutex acquisition — one LSN-range reservation per batch, not
+// per record. The centralized 1-shard configuration keeps the retired
+// txn::WriteAheadLog's per-record appends (ShardWriter immediate mode),
+// which is exactly the contention the paper's Fig. 4 logging slice
+// measures.
+//
+// Durability is per shard: a group-commit flusher (LogManager) advances
+// `durable_lsn` and collects the commit tickets of markers that just
+// became durable. Blocking waiters (the compat path) sleep on a cv; after
+// Stop() the durable LSN is frozen and WaitDurable returns it immediately
+// instead of hanging.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "log/log_record.h"
+#include "mem/chunk_pool.h"
+
+namespace atrapos::mem {
+class Arena;
+}  // namespace atrapos::mem
+
+namespace atrapos::log {
+
+class LogShard {
+ public:
+  /// `pool` backs the chunk chain (shared with the partition's inbox so a
+  /// sealed shard keeps its blocks alive after the partition is gone);
+  /// `arena` — when non-null — charges append traffic to the owner island.
+  LogShard(int id, int generation, std::shared_ptr<mem::ChunkPool> pool,
+           mem::Arena* arena);
+  ~LogShard();
+
+  LogShard(const LogShard&) = delete;
+  LogShard& operator=(const LogShard&) = delete;
+
+  /// Appends `n` staged records under one lock acquisition (one LSN-range
+  /// reservation per drained batch). `images` is the writer's side buffer
+  /// the records' image offsets index into. Commit markers decrement their
+  /// ticket's `remaining_append`; tickets that hit zero are pushed onto
+  /// `append_fired` (cleared first) for the caller to ack OUTSIDE the
+  /// lock. Returns the first LSN of the batch (0 when n == 0).
+  Lsn AppendBatch(const PendingRecord* recs, size_t n, const uint8_t* images,
+                  std::vector<CommitTicket*>* append_fired);
+
+  /// Single-record convenience: the per-record append path of the
+  /// centralized configuration and the abort markers.
+  Lsn AppendOne(const PendingRecord& rec, const uint8_t* image,
+                std::vector<CommitTicket*>* append_fired);
+
+  /// Group commit: advances the durable LSN to the current tail, wakes
+  /// blocking waiters, and appends (never clears) the tickets of commit
+  /// markers that just became durable to `durable_fired` for the flusher
+  /// to settle outside the lock.
+  void Flush(std::vector<CommitTicket*>* durable_fired);
+
+  /// Blocks until `lsn` is durable and returns the durable LSN then —
+  /// or, once the shard is stopped, returns the frozen durable LSN
+  /// immediately (a stopped shard's durable point can never advance).
+  Lsn WaitDurable(Lsn lsn);
+
+  /// Final flush + no further appends (asserted). Sealed shards stay
+  /// readable for recovery; Repartition seals a generation's shards when
+  /// their partitions are reassigned.
+  void Seal(std::vector<CommitTicket*>* durable_fired);
+
+  /// Marks the shard stopped (durable LSN frozen) and wakes waiters.
+  void MarkStopped();
+
+  /// Drains the not-yet-durable commit tickets (markers appended after the
+  /// final flush); the manager's destructor reclaims them.
+  std::vector<CommitTicket*> TakeUnsettledWaiters();
+
+  /// The durable prefix as recovery would see it after a crash: every
+  /// record with LSN <= durable_lsn, parsed out of the chunk chain.
+  ShardSnapshot SnapshotDurable() const;
+
+  int id() const { return id_; }
+  int generation() const { return generation_; }
+  bool sealed() const;
+  Lsn durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  Lsn tail_lsn() const;
+  uint64_t num_records() const {
+    return num_records_.load(std::memory_order_relaxed);
+  }
+  /// Bytes appended so far (headers + images).
+  uint64_t bytes_logged() const {
+    return bytes_logged_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buf {
+    uint8_t* data = nullptr;
+    uint32_t used = 0;
+  };
+
+  /// Copies one record into the chunk chain; caller holds mu_.
+  void WriteLocked(const RecordHeader& h, const uint8_t* image);
+
+  const int id_;
+  const int generation_;
+  const std::shared_ptr<mem::ChunkPool> pool_;
+  mem::Arena* const arena_;
+
+  mutable std::mutex mu_;
+  std::condition_variable flushed_cv_;
+  std::vector<Buf> bufs_;           // the chunk chain (the "disk")
+  Lsn next_lsn_ = 1;                // guarded by mu_
+  bool sealed_ = false;             // guarded by mu_
+  /// Commit markers awaiting durability, in LSN order (appended in LSN
+  /// order under mu_; Flush pops the durable prefix).
+  std::vector<std::pair<Lsn, CommitTicket*>> waiters_;
+  size_t waiters_head_ = 0;
+
+  std::atomic<Lsn> durable_lsn_{0};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> num_records_{0};
+  std::atomic<uint64_t> bytes_logged_{0};
+};
+
+}  // namespace atrapos::log

@@ -1,0 +1,160 @@
+#include "log/recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "storage/table.h"
+
+namespace atrapos::log {
+
+namespace {
+
+enum class Fate { kCommitted, kAborted, kUndecided, kEpochTruncated,
+                  kPoisoned };
+
+bool IsData(LogType t) {
+  return t == LogType::kInsert || t == LogType::kUpdate ||
+         t == LogType::kDelete;
+}
+
+struct TxnInfo {
+  uint32_t markers_found = 0;
+  uint32_t markers_expected = 0;
+  bool has_abort = false;
+  bool has_data = false;
+  uint64_t epoch = 0;
+  Fate fate = Fate::kUndecided;
+};
+
+void ApplyRecord(const RecoveredRecord& r,
+                 const std::vector<storage::Table*>& tables,
+                 RecoveryReport* report) {
+  if (r.table >= tables.size() || tables[r.table] == nullptr) return;
+  storage::Table* t = tables[r.table];
+  if (r.type == LogType::kDelete) {
+    (void)t->Delete(r.key);  // delete-on-missing: no-op
+    ++report->records_applied;
+    return;
+  }
+  if (r.image.empty() || r.image.size() != t->schema().record_size()) {
+    ++report->records_without_image;
+    return;
+  }
+  storage::Tuple row(&t->schema(), r.image.data());
+  Status s = r.type == LogType::kInsert ? t->Insert(r.key, row)
+                                        : t->Update(r.key, row);
+  if (!s.ok()) {
+    // The other mutation flavor: replay of a committed subset can land an
+    // insert on a surviving row (or an update on a vacated key).
+    s = r.type == LogType::kInsert ? t->Update(r.key, row)
+                                   : t->Insert(r.key, row);
+  }
+  if (s.ok()) ++report->records_applied;
+}
+
+}  // namespace
+
+RecoveryReport Recover(const std::vector<ShardSnapshot>& shards,
+                       const std::vector<storage::Table*>& tables,
+                       const RecoveryOptions& opt) {
+  RecoveryReport report;
+
+  // Group shards by generation; generations replay in order (a generation
+  // seals — fully durable, every transaction decided — before the next
+  // one opens, so cross-generation precedence needs no closure).
+  std::map<int, std::vector<const ShardSnapshot*>> gens;
+  for (const ShardSnapshot& s : shards) gens[s.generation].push_back(&s);
+
+  for (auto& [gen, gshards] : gens) {
+    (void)gen;
+    // Pass 1: transaction fate from the markers.
+    std::unordered_map<TxnId, TxnInfo> txns;
+    for (const ShardSnapshot* s : gshards) {
+      for (const RecoveredRecord& r : s->records) {
+        TxnInfo& info = txns[r.txn];
+        if (r.type == LogType::kCommit && r.marker_expected > 0) {
+          ++info.markers_found;
+          info.markers_expected =
+              std::max(info.markers_expected, r.marker_expected);
+          info.epoch = std::max(info.epoch, r.epoch);
+        } else if (r.type == LogType::kAbort) {
+          info.has_abort = true;
+        } else if (IsData(r.type)) {
+          info.has_data = true;
+        }
+      }
+    }
+    for (auto& [id, info] : txns) {
+      (void)id;
+      if (info.has_abort) {
+        info.fate = Fate::kAborted;
+      } else if (info.markers_expected > 0 &&
+                 info.markers_found >= info.markers_expected) {
+        info.fate = info.epoch <= opt.max_epoch ? Fate::kCommitted
+                                                : Fate::kEpochTruncated;
+      } else {
+        info.fate = Fate::kUndecided;  // includes torn commits
+      }
+    }
+
+    // Pass 2: close the committed set under per-shard precedence (see
+    // header). Iterate to a fixpoint: poisoning in one shard can exclude a
+    // transaction whose records poison another shard.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const ShardSnapshot* s : gshards) {
+        bool poisoned = false;
+        for (const RecoveredRecord& r : s->records) {
+          if (!IsData(r.type)) continue;
+          TxnInfo& info = txns[r.txn];
+          if (poisoned && info.fate == Fate::kCommitted) {
+            info.fate = Fate::kPoisoned;
+            changed = true;
+          }
+          if (info.fate == Fate::kUndecided ||
+              info.fate == Fate::kEpochTruncated ||
+              info.fate == Fate::kPoisoned) {
+            poisoned = true;
+          }
+        }
+      }
+    }
+
+    // Pass 3: replay committed data records in per-shard LSN order (each
+    // key lives in exactly one shard of its generation).
+    for (const ShardSnapshot* s : gshards) {
+      for (const RecoveredRecord& r : s->records) {
+        if (!IsData(r.type)) continue;
+        if (txns[r.txn].fate != Fate::kCommitted) continue;
+        ApplyRecord(r, tables, &report);
+      }
+    }
+
+    for (const auto& [id, info] : txns) {
+      switch (info.fate) {
+        case Fate::kCommitted:
+          if (info.has_data) {
+            report.applied.emplace_back(id, info.epoch);
+            report.max_epoch_applied =
+                std::max(report.max_epoch_applied, info.epoch);
+          }
+          break;
+        case Fate::kAborted: ++report.txns_aborted; break;
+        case Fate::kUndecided:
+          if (info.has_data || info.markers_found > 0)
+            ++report.txns_undecided;
+          break;
+        case Fate::kEpochTruncated: ++report.txns_epoch_truncated; break;
+        case Fate::kPoisoned: ++report.txns_poisoned; break;
+      }
+    }
+  }
+
+  std::sort(report.applied.begin(), report.applied.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return report;
+}
+
+}  // namespace atrapos::log

@@ -1,0 +1,133 @@
+#include "mem/chunk_pool.h"
+
+#include <cstring>
+
+#include "mem/arena.h"
+
+namespace atrapos::mem {
+
+namespace {
+size_t RoundUp16(size_t n) { return (n + 15) & ~size_t{15}; }
+}  // namespace
+
+ChunkPool::ChunkPool(size_t payload_bytes, Arena* arena,
+                     size_t blocks_per_slab)
+    : payload_bytes_(RoundUp16(payload_bytes)),
+      block_bytes_(kHeaderBytes + payload_bytes_),
+      blocks_per_slab_(blocks_per_slab == 0 ? 1 : blocks_per_slab),
+      arena_(arena) {}
+
+ChunkPool::~ChunkPool() {
+  for (size_t i = 0; i < num_slabs_; ++i) {
+    uint8_t* slab = slabs_[i].load(std::memory_order_relaxed);
+    if (arena_ != nullptr) {
+      arena_->Deallocate(slab, blocks_per_slab_ * block_bytes_);
+    } else {
+      ::operator delete[](slab, std::align_val_t{16});
+    }
+  }
+}
+
+uint8_t* ChunkPool::BlockAt(uint32_t index) const {
+  uint8_t* slab =
+      slabs_[index / blocks_per_slab_].load(std::memory_order_acquire);
+  return slab + static_cast<size_t>(index % blocks_per_slab_) * block_bytes_;
+}
+
+void ChunkPool::PushFree(uint32_t index) {
+  std::atomic<uint32_t>* next = NextOf(BlockAt(index));
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    next->store(static_cast<uint32_t>(head), std::memory_order_relaxed);
+    uint64_t tag = (head >> 32) + 1;
+    uint64_t want = (tag << 32) | (static_cast<uint64_t>(index) + 1);
+    if (head_.compare_exchange_weak(head, want, std::memory_order_release,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+uint32_t ChunkPool::PopFree() {
+  uint64_t head = head_.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t idx_plus1 = static_cast<uint32_t>(head);
+    if (idx_plus1 == 0) return 0;
+    // The tag CAS makes a stale `next` harmless: if another thread popped
+    // and reused this block meanwhile, the tag moved and we retry.
+    uint32_t next =
+        NextOf(BlockAt(idx_plus1 - 1))->load(std::memory_order_relaxed);
+    uint64_t tag = (head >> 32) + 1;
+    uint64_t want = (tag << 32) | next;
+    if (head_.compare_exchange_weak(head, want, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      return idx_plus1;
+    }
+  }
+}
+
+void* ChunkPool::Get() {
+  uint32_t got = PopFree();
+  if (got == 0) {
+    std::lock_guard lk(grow_mu_);
+    // Another grower may have refilled the list while we waited.
+    got = PopFree();
+    if (got == 0) {
+      if (num_slabs_ >= kMaxSlabs) {
+        // Slab table full (an unbounded consumer such as a long-running
+        // log shard outgrew the pooled working set): serve one-off
+        // blocks directly. They bypass the freelist — Put frees them —
+        // so the pool keeps working, just without recycling the excess.
+        uint8_t* block =
+            arena_ != nullptr
+                ? static_cast<uint8_t*>(arena_->Allocate(block_bytes_))
+                : static_cast<uint8_t*>(
+                      ::operator new[](block_bytes_, std::align_val_t{16}));
+        std::memcpy(block + sizeof(std::atomic<uint32_t>), &kOverflowIndex,
+                    sizeof(kOverflowIndex));
+        overflow_allocs_.fetch_add(1, std::memory_order_relaxed);
+        blocks_out_.fetch_add(1, std::memory_order_relaxed);
+        return block + kHeaderBytes;
+      }
+      size_t slab_bytes = blocks_per_slab_ * block_bytes_;
+      uint8_t* slab =
+          arena_ != nullptr
+              ? static_cast<uint8_t*>(arena_->Allocate(slab_bytes))
+              : static_cast<uint8_t*>(
+                    ::operator new[](slab_bytes, std::align_val_t{16}));
+      uint32_t base = static_cast<uint32_t>(num_slabs_ * blocks_per_slab_);
+      for (size_t b = 0; b < blocks_per_slab_; ++b) {
+        uint8_t* block = slab + b * block_bytes_;
+        *reinterpret_cast<uint32_t*>(block + sizeof(std::atomic<uint32_t>)) =
+            base + static_cast<uint32_t>(b);
+      }
+      slabs_[num_slabs_].store(slab, std::memory_order_release);
+      ++num_slabs_;
+      slab_allocs_.fetch_add(1, std::memory_order_relaxed);
+      // Keep block 0 for the caller; the rest feed the freelist.
+      for (size_t b = 1; b < blocks_per_slab_; ++b)
+        PushFree(base + static_cast<uint32_t>(b));
+      got = base + 1;
+    }
+  }
+  blocks_out_.fetch_add(1, std::memory_order_relaxed);
+  return BlockAt(got - 1) + kHeaderBytes;
+}
+
+void ChunkPool::Put(void* payload) {
+  uint8_t* block = static_cast<uint8_t*>(payload) - kHeaderBytes;
+  uint32_t index = *reinterpret_cast<uint32_t*>(
+      block + sizeof(std::atomic<uint32_t>));
+  blocks_out_.fetch_sub(1, std::memory_order_relaxed);
+  if (index == kOverflowIndex) {
+    if (arena_ != nullptr) {
+      arena_->Deallocate(block, block_bytes_);
+    } else {
+      ::operator delete[](block, std::align_val_t{16});
+    }
+    return;
+  }
+  PushFree(index);
+}
+
+}  // namespace atrapos::mem

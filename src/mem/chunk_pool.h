@@ -1,0 +1,108 @@
+// Per-partition block freelist (ROADMAP: "Inbox chunk pooling").
+//
+// The submission fast path publishes one MpscChunkQueue chunk per partition
+// per wave, and the log subsystem fills one buffer chunk per shard flush
+// batch — both previously hit the global heap for every chunk. A ChunkPool
+// hands out fixed-size blocks from a lock-free freelist so both paths
+// allocate nothing in steady state: blocks are carved from slabs (drawn
+// from the owning partition's island arena, so they are placed — and
+// charged to AllocStats — like B-tree nodes) and recycled forever.
+//
+// Concurrency: Get/Put are lock-free (any thread). The freelist is a
+// Treiber stack over 32-bit block indices packed with a 32-bit ABA tag into
+// one 64-bit head, so a stale pop can never re-link a block that was
+// reused in the meantime. The per-block `next` link is a std::atomic so
+// the benign read of a just-popped block's link is a race-free atomic
+// load. Slab growth (the only allocation) takes a mutex and is amortized
+// away after warm-up.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace atrapos::mem {
+
+class Arena;
+
+/// Default payload size shared by the executor's inbox chunks and the log
+/// shards' buffer chunks, so one per-partition pool serves both.
+inline constexpr size_t kPartitionChunkBytes = 4096;
+
+class ChunkPool {
+ public:
+  /// `payload_bytes`: usable bytes per block handed to callers. `arena`:
+  /// backs the slabs (island placement + accounting); nullptr falls back
+  /// to the heap.
+  explicit ChunkPool(size_t payload_bytes = kPartitionChunkBytes,
+                     Arena* arena = nullptr, size_t blocks_per_slab = 64);
+  ~ChunkPool();
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  /// A 16-byte-aligned block of payload_bytes(). Lock-free except when the
+  /// freelist is empty (slab carve under mutex). Never nullptr. Once the
+  /// slab table is full (the freelist can no longer grow), blocks come
+  /// straight from the arena/heap instead — unbounded consumers like a
+  /// long-running log shard degrade to plain allocation rather than
+  /// crashing, while the pooled working set keeps recycling.
+  void* Get();
+
+  /// Recycles a block previously returned by Get (lock-free, any thread).
+  void Put(void* payload);
+
+  size_t payload_bytes() const { return payload_bytes_; }
+  /// Slabs carved so far — flat across identical workloads once warm, the
+  /// signal the "allocates nothing steady-state" tests assert on.
+  uint64_t slab_allocs() const {
+    return slab_allocs_.load(std::memory_order_relaxed);
+  }
+  /// Blocks currently handed out (Get minus Put).
+  int64_t blocks_out() const {
+    return blocks_out_.load(std::memory_order_relaxed);
+  }
+  /// Blocks served outside the freelist after the slab table filled.
+  uint64_t overflow_allocs() const {
+    return overflow_allocs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Block layout: 16-byte header {atomic<uint32_t> next_plus1; uint32_t
+  // self_index; 8 bytes pad} followed by the payload. `next_plus1` is live
+  // only while the block sits in the freelist; `self_index` is written once
+  // at carve time and lets Put map payload -> index without a lookup.
+  // Overflow blocks carry kOverflowIndex so Put frees them directly.
+  static constexpr size_t kHeaderBytes = 16;
+  static constexpr size_t kMaxSlabs = 1024;
+  static constexpr uint32_t kOverflowIndex = UINT32_MAX;
+
+  std::atomic<uint32_t>* NextOf(uint8_t* block) const {
+    return reinterpret_cast<std::atomic<uint32_t>*>(block);
+  }
+  uint8_t* BlockAt(uint32_t index) const;
+  void PushFree(uint32_t index);
+  uint32_t PopFree();  ///< returns index+1, 0 when empty
+
+  const size_t payload_bytes_;
+  const size_t block_bytes_;  ///< header + payload, 16-aligned
+  const size_t blocks_per_slab_;
+  Arena* const arena_;
+
+  /// head packs {32-bit ABA tag, 32-bit index+1 (0 = empty)}.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> slab_allocs_{0};
+  std::atomic<int64_t> blocks_out_{0};
+  std::atomic<uint64_t> overflow_allocs_{0};
+
+  std::mutex grow_mu_;
+  // Fixed-capacity slab table: entries are written once (release) before
+  // any index pointing into them is published, so BlockAt never races a
+  // vector reallocation.
+  std::atomic<uint8_t*> slabs_[kMaxSlabs] = {};
+  size_t num_slabs_ = 0;  // guarded by grow_mu_
+};
+
+}  // namespace atrapos::mem

@@ -2,6 +2,13 @@
 
 namespace atrapos::storage {
 
+namespace {
+thread_local MutationObserver* t_observer = nullptr;
+}  // namespace
+
+void SetThreadMutationObserver(MutationObserver* obs) { t_observer = obs; }
+MutationObserver* ThreadMutationObserver() { return t_observer; }
+
 Table::Table(TableId id, std::string name, Schema schema,
              std::vector<uint64_t> boundaries)
     : id_(id),
@@ -18,6 +25,7 @@ Status Table::Insert(uint64_t key, const Tuple& row) {
     (void)heap_.Delete(rid.value());
     return s;
   }
+  if (t_observer != nullptr) t_observer->OnInsert(id_, key, row);
   return Status::OK();
 }
 
@@ -31,14 +39,19 @@ Status Table::Read(uint64_t key, Tuple* out) const {
 Status Table::Update(uint64_t key, const Tuple& row) {
   auto rid = index_.Get(key);
   if (!rid) return Status::NotFound("no such key");
-  return heap_.Update(Rid::Decode(*rid), row.data(), row.size());
+  ATRAPOS_RETURN_NOT_OK(heap_.Update(Rid::Decode(*rid), row.data(),
+                                     row.size()));
+  if (t_observer != nullptr) t_observer->OnUpdate(id_, key, row);
+  return Status::OK();
 }
 
 Status Table::Delete(uint64_t key) {
   auto rid = index_.Get(key);
   if (!rid) return Status::NotFound("no such key");
   ATRAPOS_RETURN_NOT_OK(heap_.Delete(Rid::Decode(*rid)));
-  return index_.Delete(key);
+  ATRAPOS_RETURN_NOT_OK(index_.Delete(key));
+  if (t_observer != nullptr) t_observer->OnDelete(id_, key);
+  return Status::OK();
 }
 
 }  // namespace atrapos::storage

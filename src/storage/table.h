@@ -15,6 +15,23 @@ namespace atrapos::storage {
 
 using TableId = int32_t;
 
+/// Observes successful mutations on the calling thread. The durability
+/// subsystem registers one per partition worker (thread-local, so the
+/// storage layer needs no per-table wiring and pays one branch when no
+/// observer is installed) and turns every insert/update/delete into a log
+/// record carrying the after-image.
+class MutationObserver {
+ public:
+  virtual ~MutationObserver() = default;
+  virtual void OnInsert(TableId table, uint64_t key, const Tuple& row) = 0;
+  virtual void OnUpdate(TableId table, uint64_t key, const Tuple& row) = 0;
+  virtual void OnDelete(TableId table, uint64_t key) = 0;
+};
+
+/// Installs `obs` for the calling thread (nullptr uninstalls).
+void SetThreadMutationObserver(MutationObserver* obs);
+MutationObserver* ThreadMutationObserver();
+
 class Table {
  public:
   Table(TableId id, std::string name, Schema schema,

@@ -8,9 +8,18 @@ WriteAheadLog::WriteAheadLog(uint64_t flush_interval_us)
     : flush_interval_us_(flush_interval_us),
       flusher_([this] { FlusherLoop(); }) {}
 
-WriteAheadLog::~WriteAheadLog() {
+WriteAheadLog::~WriteAheadLog() { Stop(); }
+
+void WriteAheadLog::Stop() {
   stop_.store(true, std::memory_order_release);
-  flusher_.join();
+  if (flusher_.joinable()) flusher_.join();
+  {
+    // Under mu_ so a WaitDurable between its predicate check and its sleep
+    // cannot miss the wake (the store would otherwise race that window).
+    std::lock_guard lk(mu_);
+    stopped_.store(true, std::memory_order_release);
+  }
+  flushed_cv_.notify_all();
 }
 
 Lsn WriteAheadLog::Append(TxnId txn, LogType type, uint64_t a, uint64_t b) {
@@ -20,19 +29,25 @@ Lsn WriteAheadLog::Append(TxnId txn, LogType type, uint64_t a, uint64_t b) {
   return lsn;
 }
 
-void WriteAheadLog::WaitDurable(Lsn lsn) {
-  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+Lsn WriteAheadLog::WaitDurable(Lsn lsn) {
+  Lsn durable = durable_lsn_.load(std::memory_order_acquire);
+  if (durable >= lsn) return durable;
   std::unique_lock lk(mu_);
+  // `stopped_` (not `stop_`): during shutdown the final flush still runs;
+  // only once it is done is the durable LSN frozen and waiting pointless.
   flushed_cv_.wait(lk, [&] {
     return durable_lsn_.load(std::memory_order_acquire) >= lsn ||
-           stop_.load(std::memory_order_acquire);
+           stopped_.load(std::memory_order_acquire);
   });
+  return durable_lsn_.load(std::memory_order_acquire);
 }
 
 Lsn WriteAheadLog::Commit(TxnId txn) {
   Lsn lsn = Append(txn, LogType::kCommit);
-  WaitDurable(lsn);
-  return lsn;
+  Lsn durable = WaitDurable(lsn);
+  // Post-stop the commit record can never become durable; report the last
+  // durable LSN instead of an LSN we cannot vouch for.
+  return durable >= lsn ? lsn : durable;
 }
 
 Lsn WriteAheadLog::tail_lsn() const {

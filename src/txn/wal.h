@@ -6,6 +6,11 @@
 // effect behind Fig. 8). A background flusher makes commits durable in
 // batches (group commit, as in Aether). Storage is an in-memory buffer,
 // matching the paper's memory-mapped log disks.
+//
+// This class is retained as the reference mutex-per-record implementation
+// (and for the contention comparison); the engine's durability now lives
+// in log::LogManager, whose 1-shard centralized configuration preserves
+// these semantics behind the same interface (see src/log/).
 #pragma once
 
 #include <atomic>
@@ -55,11 +60,22 @@ class WriteAheadLog {
   /// mutex).
   Lsn Append(TxnId txn, LogType type, uint64_t a = 0, uint64_t b = 0);
 
-  /// Blocks until `lsn` is durable (group commit).
-  void WaitDurable(Lsn lsn);
+  /// Blocks until `lsn` is durable (group commit) and returns the durable
+  /// LSN at that point. Once the flusher has been stopped the durable LSN
+  /// can never advance, so a post-stop waiter returns the last durable LSN
+  /// immediately instead of hanging on a flush that will never come.
+  Lsn WaitDurable(Lsn lsn);
 
-  /// Appends a commit record and waits for it to become durable.
+  /// Appends a commit record and waits for it to become durable. Returns
+  /// the commit record's LSN — or, after Stop(), the last durable LSN
+  /// (the commit record is appended but will never be flushed).
   Lsn Commit(TxnId txn);
+
+  /// Stops the background flusher after one final flush of everything
+  /// appended so far, and wakes every waiter. Idempotent; also called by
+  /// the destructor. Append stays legal afterwards but new records never
+  /// become durable.
+  void Stop();
 
   Lsn durable_lsn() const { return durable_lsn_.load(std::memory_order_acquire); }
   Lsn tail_lsn() const;
@@ -78,6 +94,7 @@ class WriteAheadLog {
   std::atomic<Lsn> durable_lsn_{0};
   uint64_t flush_interval_us_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> stopped_{false};  ///< final flush done, flusher joined
   std::thread flusher_;
 };
 

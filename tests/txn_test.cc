@@ -136,6 +136,30 @@ TEST(WalTest, ConcurrentAppendersAllDurable) {
   EXPECT_EQ(lsns.size(), recs.size());
 }
 
+TEST(WalTest, PostStopWaitersReturnLastDurableImmediately) {
+  WriteAheadLog wal(10);
+  wal.Append(1, LogType::kBegin);
+  Lsn committed = wal.Commit(1);  // lsn 2, durable
+  wal.Stop();
+  Lsn frozen = wal.durable_lsn();
+  EXPECT_GE(frozen, committed);
+  // Appends after Stop() are legal but can never become durable; waiters
+  // must return the last durable LSN immediately instead of hanging.
+  Lsn tail = wal.Append(2, LogType::kUpdate, 7, 8);
+  EXPECT_GT(tail, frozen);
+  EXPECT_EQ(wal.WaitDurable(tail), frozen);
+  EXPECT_EQ(wal.Commit(2), frozen);
+  EXPECT_EQ(wal.durable_lsn(), frozen);
+}
+
+TEST(WalTest, StopIsIdempotentAndStopsTheFlusher) {
+  WriteAheadLog wal(10);
+  wal.Append(1, LogType::kBegin);
+  wal.Stop();
+  wal.Stop();  // second stop is a no-op
+  EXPECT_EQ(wal.durable_lsn(), 1u);  // final flush covered the append
+}
+
 TEST(TxnListTest, CentralizedAddRemoveTraverse) {
   CentralizedTxnList list;
   TxnNode* a = list.Add(1, 0);
