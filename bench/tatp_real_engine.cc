@@ -39,6 +39,7 @@
 #include "engine/adaptive_manager.h"
 #include "engine/database.h"
 #include "engine/partitioned_executor.h"
+#include "log/recovery.h"
 #include "util/rng.h"
 #include "workload/tatp.h"
 #include "workload/tatp_graphs.h"
@@ -69,8 +70,16 @@ struct RunResult {
   double remote_ratio = 0;
   uint64_t repartitions = 0;
   uint64_t completed = 0;
+  uint64_t committed = 0;  ///< futures that resolved OK (TATP misses abort)
   uint64_t log_records = 0;
+  uint64_t log_bytes = 0;
   uint64_t durable_epoch = 0;
+
+  double log_bytes_per_commit() const {
+    return committed > 0
+               ? static_cast<double>(log_bytes) / static_cast<double>(committed)
+               : 0.0;
+  }
 };
 
 RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
@@ -98,6 +107,7 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
   workload::TatpActionGraphs graphs(subscribers);
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> done{0};
+  std::atomic<uint64_t> committed{0};
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
@@ -124,13 +134,15 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
           for (auto& f : fs.value()) window.push_back(std::move(f));
         }
         while (window.size() >= depth) {
-          (void)window.front().Wait();
+          if (window.front().Wait().ok())
+            committed.fetch_add(1, std::memory_order_relaxed);
           window.pop_front();
           done.fetch_add(1, std::memory_order_relaxed);
         }
       }
       while (!window.empty()) {
-        (void)window.front().Wait();
+        if (window.front().Wait().ok())
+          committed.fetch_add(1, std::memory_order_relaxed);
         window.pop_front();
         done.fetch_add(1, std::memory_order_relaxed);
       }
@@ -150,11 +162,118 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
   out.remote_ratio = db.memory().stats().AccessRemoteRatio();
   out.repartitions = mgr.repartitions();
   out.completed = mgr.completed_transactions();
+  out.committed = committed.load();
   if (log::LogManager* lm = exec.log_manager()) {
     out.log_records = lm->num_records();
+    out.log_bytes = lm->bytes_logged();
     out.durable_epoch = lm->durable_epoch();
   }
   return out;
+}
+
+/// Simulated-crash recovery smoke (CI): run TATP under group commit, take
+/// a mid-run crash cut and a complete post-drain cut, recover both into
+/// fresh copies of the load, and assert the TATP sum invariant — the
+/// recovered Subscriber vlr_location sum (and CallForwarding row count)
+/// of the complete cut equals the live tables', and every cut replays
+/// without image-less or unresolvable records. Returns false on any
+/// violation.
+bool RunRecoveryCheck(const hw::Topology& topo, uint64_t subscribers,
+                      uint64_t seed,
+                      engine::PartitionedExecutor::Options exec_opt) {
+  std::vector<uint64_t> bounds;
+  for (int p = 0; p < topo.num_cores(); ++p)
+    bounds.push_back(subscribers * static_cast<uint64_t>(p) /
+                     static_cast<uint64_t>(topo.num_cores()));
+  engine::Database db({.topo = topo});
+  for (auto& t : workload::BuildTatpTables(subscribers, bounds, seed))
+    db.AddTable(std::move(t));
+  engine::PartitionedExecutor exec(
+      &db, topo, TatpScheme(subscribers, topo.num_cores()), exec_opt);
+
+  workload::TatpActionGraphs graphs(subscribers);
+  Rng rng(seed);
+  std::deque<engine::TxnFuture> window;
+  std::vector<log::ShardSnapshot> mid_cut;
+  constexpr int kTxns = 4000;
+  for (int i = 0; i < kTxns; ++i) {
+    // Snapshot first so a failed Submit at the halfway iteration cannot
+    // silently skip the mid-run crash cut.
+    if (i == kTxns / 2) mid_cut = exec.log_manager()->SnapshotDurable();
+    auto f = exec.Submit(graphs.Mix(rng));
+    if (!f.ok()) continue;
+    window.push_back(f.take());
+    while (window.size() >= 32) {
+      (void)window.front().Wait();
+      window.pop_front();
+    }
+  }
+  while (!window.empty()) {
+    (void)window.front().Wait();
+    window.pop_front();
+  }
+  exec.Drain();
+  exec.log_manager()->FlushAll();
+  auto final_cut = exec.log_manager()->SnapshotDurable();
+
+  auto sum_vlr = [&](storage::Table* t) {
+    long long sum = 0;
+    for (uint64_t s = 0; s < subscribers; ++s) {
+      storage::Tuple row;
+      if (t->Read(s, &row).ok()) sum += row.GetInt(workload::kVlrLoc);
+    }
+    return sum;
+  };
+
+  bool ok = true;
+  if (mid_cut.empty() || final_cut.empty()) {
+    std::fprintf(stderr, "recovery_check: a crash cut is empty — the "
+                         "property was never exercised\n");
+    ok = false;
+  }
+  for (const auto* cut : {&mid_cut, &final_cut}) {
+    auto fresh = workload::BuildTatpTables(subscribers, bounds, seed);
+    std::vector<storage::Table*> raw;
+    for (auto& t : fresh) raw.push_back(t.get());
+    log::RecoveryReport report = log::Recover(*cut, raw);
+    if (report.records_without_image != 0 || report.records_diff_missed != 0) {
+      std::fprintf(stderr,
+                   "recovery_check: %llu image-less / %llu unresolvable "
+                   "records in a cut\n",
+                   static_cast<unsigned long long>(report.records_without_image),
+                   static_cast<unsigned long long>(report.records_diff_missed));
+      ok = false;
+    }
+    if (cut == &final_cut) {
+      if (report.txns_undecided != 0 || report.txns_poisoned != 0) {
+        std::fprintf(stderr,
+                     "recovery_check: complete cut left %llu undecided / "
+                     "%llu poisoned txns\n",
+                     static_cast<unsigned long long>(report.txns_undecided),
+                     static_cast<unsigned long long>(report.txns_poisoned));
+        ok = false;
+      }
+      long long live = sum_vlr(db.table(workload::kSubscriber));
+      long long rec = sum_vlr(raw[workload::kSubscriber]);
+      if (live != rec) {
+        std::fprintf(stderr,
+                     "recovery_check: vlr_location sum %lld (live) != %lld "
+                     "(recovered)\n",
+                     live, rec);
+        ok = false;
+      }
+      if (db.table(workload::kCallForwarding)->num_rows() !=
+          raw[workload::kCallForwarding]->num_rows()) {
+        std::fprintf(stderr, "recovery_check: CallForwarding row count "
+                             "diverged after recovery\n");
+        ok = false;
+      }
+    }
+  }
+  std::printf("recovery_check: %s (mid-run + complete crash cuts, "
+              "%zu + %zu shard snapshots)\n",
+              ok ? "OK" : "FAILED", mid_cut.size(), final_cut.size());
+  return ok;
 }
 
 bool ParseDurability(const std::string& name,
@@ -164,6 +283,17 @@ bool ParseDurability(const std::string& name,
   else if (name == "group") *out = engine::DurabilityMode::kGroup;
   else return false;
   return true;
+}
+
+bool ParseWire(const std::string& name, log::WireFormat* out) {
+  if (name == "diff") *out = log::WireFormat::kCompactDiffV2;
+  else if (name == "afterimage") *out = log::WireFormat::kAfterImageV1;
+  else return false;
+  return true;
+}
+
+const char* ToString(log::WireFormat w) {
+  return w == log::WireFormat::kCompactDiffV2 ? "diff" : "afterimage";
 }
 
 const char* ToString(engine::DurabilityMode m) {
@@ -193,11 +323,18 @@ int main(int argc, char** argv) {
   int log_shards = static_cast<int>(flags.GetInt("log_shards", 0));
   uint64_t flush_us =
       static_cast<uint64_t>(flags.GetInt("log_flush_interval_us", 50));
+  std::string wire_name = flags.GetString("log_encoding", "diff");
+  bool recovery_check = flags.GetBool("recovery_check", false);
 
   engine::PartitionedExecutor::Options exec_opt;
   if (!ParseDurability(durability_name, &exec_opt.durability)) {
     std::fprintf(stderr, "unknown --durability=%s (off|async|group)\n",
                  durability_name.c_str());
+    return 1;
+  }
+  if (!ParseWire(wire_name, &exec_opt.log_wire)) {
+    std::fprintf(stderr, "unknown --log_encoding=%s (diff|afterimage)\n",
+                 wire_name.c_str());
     return 1;
   }
   if (log_shards != 0 && log_shards != 1) {
@@ -231,7 +368,7 @@ int main(int argc, char** argv) {
                   {1, 1}, {8, 1}, {32, 1}, {8, 8}, {32, 8}, {32, 32}};
 
   TablePrinter tp({"Depth", "Batch", "TPS", "Repartitions", "Completed",
-                   "LogRecords"});
+                   "LogRecords", "LogB/Commit"});
   JsonValue rows = JsonValue::Array();
   bool below_min = false;
   for (auto [depth, batch] : points) {
@@ -242,7 +379,8 @@ int main(int argc, char** argv) {
                TablePrinter::Int(static_cast<long long>(r.tps)),
                TablePrinter::Int(static_cast<long long>(r.repartitions)),
                TablePrinter::Int(static_cast<long long>(r.completed)),
-               TablePrinter::Int(static_cast<long long>(r.log_records))});
+               TablePrinter::Int(static_cast<long long>(r.log_records)),
+               TablePrinter::Num(r.log_bytes_per_commit(), 1)});
     rows.Push(JsonValue::Object()
                   .Add("depth", static_cast<long long>(depth))
                   .Add("batch", static_cast<long long>(batch))
@@ -250,12 +388,44 @@ int main(int argc, char** argv) {
                   .Add("remote_ratio", r.remote_ratio)
                   .Add("repartitions", static_cast<long long>(r.repartitions))
                   .Add("completed", static_cast<long long>(r.completed))
+                  .Add("committed", static_cast<long long>(r.committed))
                   .Add("log_records", static_cast<long long>(r.log_records))
+                  .Add("log_bytes", static_cast<long long>(r.log_bytes))
+                  .Add("log_bytes_per_commit", r.log_bytes_per_commit())
                   .Add("durable_epoch",
                        static_cast<long long>(r.durable_epoch)));
     if (min_tps > 0 && r.tps < min_tps) below_min = true;
   }
   tp.Print();
+
+  // Encoding A/B at the acceptance point (depth 32, batch 32): same
+  // workload once per wire format, reporting mean log bytes per committed
+  // transaction and the diff-vs-after-image ratio.
+  JsonValue encoding_compare = JsonValue::Object();
+  if (exec_opt.durability != engine::DurabilityMode::kOff) {
+    auto run_wire = [&](log::WireFormat w) {
+      auto o = exec_opt;
+      o.log_wire = w;
+      return RunOnce(topo, subscribers, clients, 32, 32, duration, hot_pct,
+                     seed, o);
+    };
+    RunResult diff = run_wire(log::WireFormat::kCompactDiffV2);
+    RunResult ai = run_wire(log::WireFormat::kAfterImageV1);
+    double ratio = diff.log_bytes_per_commit() > 0
+                       ? ai.log_bytes_per_commit() / diff.log_bytes_per_commit()
+                       : 0.0;
+    std::printf(
+        "\nLog encoding (depth 32, batch 32): diff %.1f B/commit vs "
+        "after-image %.1f B/commit (%.2fx smaller); TPS %.0f vs %.0f\n",
+        diff.log_bytes_per_commit(), ai.log_bytes_per_commit(), ratio,
+        diff.tps, ai.tps);
+    encoding_compare.Add("diff_log_bytes_per_commit",
+                         diff.log_bytes_per_commit())
+        .Add("afterimage_log_bytes_per_commit", ai.log_bytes_per_commit())
+        .Add("log_bytes_ratio", ratio)
+        .Add("diff_tps", diff.tps)
+        .Add("afterimage_tps", ai.tps);
+  }
   std::printf(
       "\nDepth = transactions each client keeps in flight (1 = the old\n"
       "blocking submission); Batch = transactions per SubmitBatch wave\n"
@@ -280,15 +450,26 @@ int main(int argc, char** argv) {
                            .Add("durability",
                                 std::string(ToString(exec_opt.durability)))
                            .Add("log_shards",
-                                static_cast<long long>(log_shards)))
+                                static_cast<long long>(log_shards))
+                           .Add("log_encoding",
+                                std::string(ToString(exec_opt.log_wire))))
         .Add("rows", rows);
+    if (exec_opt.durability != engine::DurabilityMode::kOff)
+      doc.Add("encoding_compare", encoding_compare);
     if (!doc.WriteTo(json_path)) return 1;
     std::printf("wrote %s\n", json_path.c_str());
+  }
+  bool recovery_ok = true;
+  if (recovery_check) {
+    auto o = exec_opt;
+    if (o.durability == engine::DurabilityMode::kOff)
+      o.durability = engine::DurabilityMode::kGroup;
+    recovery_ok = RunRecoveryCheck(topo, subscribers, seed, o);
   }
   if (below_min) {
     std::fprintf(stderr, "FAIL: at least one point below --min_tps=%g\n",
                  min_tps);
     return 2;
   }
-  return 0;
+  return recovery_ok ? 0 : 3;
 }

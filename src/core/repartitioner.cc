@@ -49,27 +49,47 @@ std::vector<RepartitionAction> PlanRepartition(const Scheme& from,
   return plan;
 }
 
-Status ApplyToTree(storage::MultiRootedBTree* tree, int table,
-                   const std::vector<RepartitionAction>& plan) {
-  // Splits first (ascending), then merges (ascending): the plan generator
-  // emits them in that order already, but re-filtering keeps this function
-  // safe for hand-built plans.
+namespace {
+
+/// Shared split-then-merge application. `Target` needs Split(p, key) and
+/// Merge(p); `part_of` maps a fence key to its current partition ordinal.
+/// Splits first (ascending), then merges (ascending): the plan generator
+/// emits them in that order already, but re-filtering keeps this safe for
+/// hand-built plans.
+template <typename Target, typename PartOf>
+Status ApplyPlanImpl(Target* target, int table,
+                     const std::vector<RepartitionAction>& plan,
+                     PartOf part_of) {
   for (const auto& a : plan) {
     if (a.table != table || a.kind != RepartitionAction::Kind::kSplit)
       continue;
-    size_t p = tree->PartitionOf(a.key);
-    ATRAPOS_RETURN_NOT_OK(tree->Split(p, a.key));
+    ATRAPOS_RETURN_NOT_OK(target->Split(part_of(a.key), a.key));
   }
   for (const auto& a : plan) {
     if (a.table != table || a.kind != RepartitionAction::Kind::kMerge)
       continue;
-    size_t p = tree->PartitionOf(a.key);
     // `key` is the fence being removed: partition p starts at key; merge it
     // into its left neighbor.
+    size_t p = part_of(a.key);
     if (p == 0) return Status::InvalidArgument("cannot merge first fence");
-    ATRAPOS_RETURN_NOT_OK(tree->Merge(p - 1));
+    ATRAPOS_RETURN_NOT_OK(target->Merge(p - 1));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status ApplyToTree(storage::MultiRootedBTree* tree, int table,
+                   const std::vector<RepartitionAction>& plan) {
+  return ApplyPlanImpl(tree, table, plan,
+                       [tree](uint64_t k) { return tree->PartitionOf(k); });
+}
+
+Status ApplyToTable(storage::Table* tbl, int table,
+                    const std::vector<RepartitionAction>& plan) {
+  return ApplyPlanImpl(tbl, table, plan, [tbl](uint64_t k) {
+    return tbl->index().PartitionOf(k);
+  });
 }
 
 PlanSummary Summarize(const std::vector<RepartitionAction>& plan) {

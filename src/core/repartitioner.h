@@ -12,6 +12,7 @@
 
 #include "core/scheme.h"
 #include "storage/mrbtree.h"
+#include "storage/table.h"
 #include "util/status.h"
 
 namespace atrapos::core {
@@ -41,6 +42,12 @@ std::vector<RepartitionAction> PlanRepartition(const Scheme& from,
 /// the engine.
 Status ApplyToTree(storage::MultiRootedBTree* tree, int table,
                    const std::vector<RepartitionAction>& plan);
+
+/// Table-level counterpart: splits/merges move the index subtrees AND the
+/// per-partition heap records together (Rids are rewritten for moved
+/// records), so tuple storage follows ownership like subtrees do.
+Status ApplyToTable(storage::Table* tbl, int table,
+                    const std::vector<RepartitionAction>& plan);
 
 /// Counts by kind (diagnostics; Fig. 9 reports cost per action kind).
 struct PlanSummary {

@@ -130,7 +130,9 @@ uint64_t Database::Checkpoint() {
   sync::ExclusiveGuard g(volume_lock_);
   uint64_t n = 0;
   txn_list_->ForEach([&](txn::TxnId) { ++n; });
-  wal_.Append(0, txn::LogType::kCheckpoint, n);
+  // The active-txn count rides in the key slot: the first Append argument
+  // lands in the record's u16 table field on the v2 wire format.
+  wal_.Append(0, txn::LogType::kCheckpoint, 0, n);
   return n;
 }
 

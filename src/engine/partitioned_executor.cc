@@ -23,41 +23,68 @@ namespace {
 
 /// Thread-local mutation observer a durability-enabled worker installs for
 /// its lifetime: every successful insert/update/delete on this thread
-/// becomes a staged log record carrying the after-image, and the
-/// transaction's touched-partition bit is set for the commit protocol.
+/// becomes a staged log record, and the transaction's touched-partition
+/// bit is set for the commit protocol. Against a kCompactDiffV2 shard,
+/// updates are diff-encoded — only the contiguous byte range that changed
+/// (plus the Rid locating it) is logged instead of the full after-image.
 class WorkerLogObserver : public storage::MutationObserver {
  public:
-  WorkerLogObserver(log::ShardWriter* writer, size_t seq)
-      : writer_(writer), seq_(seq) {}
+  WorkerLogObserver(log::ShardWriter* writer, size_t seq, bool diff_updates)
+      : writer_(writer), seq_(seq), diff_updates_(diff_updates) {}
 
   /// The transaction whose action is currently running on this worker.
   void set_txn(internal::TxnState* st) { st_ = st; }
 
-  void OnInsert(storage::TableId table, uint64_t key,
+  void OnInsert(storage::TableId table, uint64_t key, storage::Rid rid,
                 const storage::Tuple& row) override {
-    Log(txn::LogType::kInsert, table, key, &row);
+    if (!Touch()) return;
+    writer_->Add(st_->txn_id, txn::LogType::kInsert,
+                 static_cast<uint32_t>(table), key, rid.Encode(), row.data(),
+                 row.size());
   }
-  void OnUpdate(storage::TableId table, uint64_t key,
-                const storage::Tuple& row) override {
-    Log(txn::LogType::kUpdate, table, key, &row);
+  void OnUpdate(storage::TableId table, uint64_t key, storage::Rid rid,
+                const uint8_t* before, const storage::Tuple& after) override {
+    if (!Touch()) return;
+    if (!diff_updates_) {
+      writer_->Add(st_->txn_id, txn::LogType::kUpdate,
+                   static_cast<uint32_t>(table), key, rid.Encode(),
+                   after.data(), after.size());
+      return;
+    }
+    // Contiguous changed range [lo, hi). An unchanged row still logs a
+    // zero-length diff: the record keeps the transaction in the commit
+    // protocol and replay validates-then-patches nothing.
+    uint32_t n = after.size();
+    const uint8_t* now = after.data();
+    uint32_t lo = 0;
+    while (lo < n && before[lo] == now[lo]) ++lo;
+    uint32_t hi = n;
+    while (hi > lo && before[hi - 1] == now[hi - 1]) --hi;
+    writer_->AddDiff(st_->txn_id, static_cast<uint32_t>(table), key,
+                     rid.Encode(), static_cast<uint16_t>(lo), now + lo,
+                     static_cast<uint16_t>(hi - lo));
   }
-  void OnDelete(storage::TableId table, uint64_t key) override {
-    Log(txn::LogType::kDelete, table, key, nullptr);
+  void OnDelete(storage::TableId table, uint64_t key,
+                storage::Rid rid) override {
+    if (!Touch()) return;
+    writer_->Add(st_->txn_id, txn::LogType::kDelete,
+                 static_cast<uint32_t>(table), key, rid.Encode(), nullptr, 0);
   }
+  bool WantsBeforeImage() const override { return diff_updates_; }
 
  private:
-  void Log(txn::LogType type, storage::TableId table, uint64_t key,
-           const storage::Tuple* row) {
-    if (st_ == nullptr) return;  // mutation outside an action (e.g. load)
+  /// Marks this partition touched; false when the mutation happened
+  /// outside an action (e.g. load).
+  bool Touch() {
+    if (st_ == nullptr) return false;
     st_->touched[seq_ >> 6].fetch_or(uint64_t{1} << (seq_ & 63),
                                      std::memory_order_relaxed);
-    writer_->Add(st_->txn_id, type, static_cast<uint32_t>(table), key,
-                 row != nullptr ? row->data() : nullptr,
-                 row != nullptr ? row->size() : 0);
+    return true;
   }
 
   log::ShardWriter* const writer_;
   const size_t seq_;
+  const bool diff_updates_;
   internal::TxnState* st_ = nullptr;
 };
 
@@ -143,6 +170,7 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
     log::LogManager::Options lopt;
     lopt.flush_interval_us = opt_.log_flush_interval_us;
     lopt.start_flusher = !opt_.log_manual_flush;
+    lopt.wire = opt_.log_wire;
     log_ = std::make_unique<log::LogManager>(lopt);
     ack_sink_ = std::make_unique<CommitAckSink>(this);
     log_->SetCommitSink(ack_sink_.get());
@@ -174,13 +202,11 @@ void PartitionedExecutor::PlacePartitions() {
       mem::Arena* arena = alloc.arena(alloc.ResolveSeq(owner, seq));
       // MigratePartition is a no-op when the subtree already lives there.
       index.MigratePartition(p, arena);
+      // The partition's heap follows the same island: tuple pages migrate
+      // with ownership exactly like subtrees (ROADMAP "Per-partition heap
+      // files" — closed).
+      if (table->heap(p).arena() != arena) table->heap(p).MigrateTo(arena);
     }
-    // One heap per table: it follows the island of the first partition's
-    // owner (finer-grained placement needs per-partition heaps — ROADMAP).
-    // Seq = table index so kInterleaved spreads heaps across islands.
-    hw::SocketId owner0 = topo_->socket_of(ts.placement[0]);
-    mem::Arena* harena = alloc.arena(alloc.ResolveSeq(owner0, t));
-    if (table->heap().arena() != harena) table->heap().MigrateTo(harena);
   }
 }
 
@@ -257,7 +283,8 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
   std::optional<WorkerLogObserver> observer;
   if (log_ != nullptr) {
     writer.emplace(log_.get(), p->shard, /*immediate=*/opt_.log_shards == 1);
-    observer.emplace(&*writer, p->seq);
+    observer.emplace(&*writer, p->seq,
+                     opt_.log_wire == log::WireFormat::kCompactDiffV2);
     storage::SetThreadMutationObserver(&*observer);
   }
   for (;;) {
@@ -664,8 +691,11 @@ Result<size_t> PartitionedExecutor::Repartition(const core::Scheme& target) {
   StopWorkers();  // inboxes are empty: every in-flight graph completed
   auto plan = core::PlanRepartition(scheme_, target);
   for (size_t t = 0; t < scheme_.tables.size(); ++t) {
-    Status s = core::ApplyToTree(&db_->table(static_cast<int>(t))->index(),
-                                 static_cast<int>(t), plan);
+    // Table-level actions: heap records move (and get re-Rid'd) with their
+    // index subtrees, so the new owner island receives *all* the
+    // partition's state when PlacePartitions runs in StartWorkers.
+    Status s = core::ApplyToTable(db_->table(static_cast<int>(t)),
+                                  static_cast<int>(t), plan);
     if (!s.ok()) {
       // Restart workers under the old scheme before reporting failure.
       StartWorkers();

@@ -95,6 +95,11 @@ class PartitionedExecutor {
     /// paper's Fig. 4 logging slice measures against.
     int log_shards = 0;
     uint64_t log_flush_interval_us = 50;
+    /// Log record serialization: kCompactDiffV2 (default) writes compact
+    /// headers and diff-encodes updates as (Rid, changed-range) records;
+    /// kAfterImageV1 keeps the PR 4 full after-image encoding — the
+    /// baseline the log-bytes/txn comparison is measured against.
+    log::WireFormat log_wire = log::WireFormat::kCompactDiffV2;
     /// Tests: no background flusher — drive group commit with
     /// log_manager()->FlushAll() for deterministic durable points. kGroup
     /// commits only ack on an explicit flush then.

@@ -27,8 +27,9 @@ int LogManager::AddShard(std::shared_ptr<mem::ChunkPool> pool,
     pool = std::make_shared<mem::ChunkPool>(opt_.chunk_payload_bytes, arena);
   std::lock_guard lk(shards_mu_);
   int id = static_cast<int>(shards_.size());
-  shards_.push_back(
-      std::make_unique<LogShard>(id, generation_, std::move(pool), arena));
+  shards_.push_back(std::make_unique<LogShard>(id, generation_,
+                                               std::move(pool), arena,
+                                               opt_.wire));
   active_.push_back(shards_.back().get());
   return id;
 }
@@ -222,6 +223,13 @@ uint64_t LogManager::num_records() const {
   std::lock_guard lk(shards_mu_);
   uint64_t n = 0;
   for (const auto& s : shards_) n += s->num_records();
+  return n;
+}
+
+uint64_t LogManager::bytes_logged() const {
+  std::lock_guard lk(shards_mu_);
+  uint64_t n = 0;
+  for (const auto& s : shards_) n += s->bytes_logged();
   return n;
 }
 

@@ -43,6 +43,10 @@ class LogManager {
     bool start_flusher = true;
     /// Chunk payload for shards the manager creates its own pool for.
     size_t chunk_payload_bytes = mem::kPartitionChunkBytes;
+    /// Serialization of every shard this manager creates. kCompactDiffV2
+    /// (default) writes the slim Rid+diff records; kAfterImageV1 keeps the
+    /// PR 4 after-image encoding for the log-bytes comparison.
+    WireFormat wire = WireFormat::kCompactDiffV2;
   };
 
   /// Receives commit acks. Group mode: called on the flusher thread once
@@ -139,6 +143,8 @@ class LogManager {
   Lsn WaitDurable(Lsn lsn);
   Lsn durable_lsn() const;         ///< central shard's durable LSN
   uint64_t num_records() const;    ///< summed over all shards
+  uint64_t bytes_logged() const;   ///< headers + payloads, all shards
+  WireFormat wire() const { return opt_.wire; }
 
  private:
   void FlusherLoop();

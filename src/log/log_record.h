@@ -70,22 +70,44 @@ inline bool ReleaseCommitTicket(CommitTicket* t) {
   return true;
 }
 
+/// How a shard serializes its records (versioned wire format).
+///
+/// kAfterImageV1 is the PR 4 encoding kept byte-identical for the
+/// log-bytes comparison: one 48-byte header per record, data records
+/// followed by the full after-image of the row.
+///
+/// kCompactDiffV2 is the slimmed encoding the partition-bit Rids enable
+/// (Aether-style log slimming): 32-byte data headers carrying the Rid and
+/// a (diff offset, len) describing the payload — updates log only the
+/// bytes that changed — and 24-byte commit/abort markers. LSNs are
+/// implicit (records are parsed back in append order), which is what a
+/// per-shard sequential log gives for free.
+enum class WireFormat : uint8_t {
+  kAfterImageV1 = 1,
+  kCompactDiffV2 = 2,
+};
+
 /// A staged record, owned by a ShardWriter until its batch is appended.
 /// Image bytes live in the writer's side buffer (`image_offset` indexes
-/// it) so staging a record never allocates.
+/// it) so staging a record never allocates. For diff-encoded updates the
+/// side-buffer bytes are the changed range and `diff_offset` locates it
+/// within the record (`is_diff` set); otherwise they are the full image.
 struct PendingRecord {
   TxnId txn = 0;
   LogType type = LogType::kBegin;
   uint32_t table = 0;
   uint64_t key = 0;
+  uint64_t rid = 0;               ///< encoded Rid (0 when not applicable)
   uint64_t epoch = 0;             ///< commit markers only
   uint16_t marker_expected = 0;   ///< commit markers: #touched partitions
+  uint16_t diff_offset = 0;       ///< diff records: byte offset in the row
+  bool is_diff = false;           ///< image bytes are a partial-row diff
   uint32_t image_offset = 0;
   uint32_t image_size = 0;
   CommitTicket* ticket = nullptr; ///< commit markers only; may be null
 };
 
-/// On-"disk" record header, memcpy'd into a shard's chunk buffer and
+/// On-"disk" v1 record header, memcpy'd into a shard's chunk buffer and
 /// followed by `image_size` bytes of after-image.
 struct RecordHeader {
   Lsn lsn = 0;
@@ -98,7 +120,40 @@ struct RecordHeader {
   uint32_t image_size = 0;
   uint32_t pad = 0;
 };
-static_assert(sizeof(RecordHeader) == 48, "keep the wire format stable");
+static_assert(sizeof(RecordHeader) == 48, "keep the v1 wire format stable");
+
+/// v2 record flags.
+inline constexpr uint8_t kRecFlagDiff = 0x1;  ///< payload is a partial diff
+
+/// v2 data-record header (insert/update/delete and the key-only compat
+/// records), followed by `image_size` payload bytes.
+struct DataHeaderV2 {
+  uint8_t type = 0;
+  uint8_t flags = 0;
+  uint16_t table = 0;
+  uint16_t diff_offset = 0;
+  uint16_t image_size = 0;
+  TxnId txn = 0;
+  uint64_t key = 0;
+  uint64_t rid = 0;
+};
+static_assert(sizeof(DataHeaderV2) == 32, "keep the v2 wire format stable");
+
+/// v2 commit/abort marker (no payload).
+struct MarkerHeaderV2 {
+  uint8_t type = 0;
+  uint8_t flags = 0;
+  uint16_t marker_expected = 0;
+  uint32_t pad = 0;
+  TxnId txn = 0;
+  uint64_t epoch = 0;
+};
+static_assert(sizeof(MarkerHeaderV2) == 24, "keep the v2 wire format stable");
+
+/// True for the record types serialized as v2 markers.
+inline bool IsMarkerType(LogType t) {
+  return t == LogType::kCommit || t == LogType::kAbort;
+}
 
 /// A parsed record, as recovery sees it.
 struct RecoveredRecord {
@@ -107,8 +162,11 @@ struct RecoveredRecord {
   LogType type = LogType::kBegin;
   uint32_t table = 0;
   uint64_t key = 0;
+  uint64_t rid = 0;               ///< encoded Rid; 0 when not logged
   uint64_t epoch = 0;
   uint32_t marker_expected = 0;
+  uint16_t diff_offset = 0;
+  bool is_diff = false;           ///< `image` is a partial-row diff
   std::vector<uint8_t> image;
 };
 

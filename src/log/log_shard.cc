@@ -10,16 +10,24 @@
 namespace atrapos::log {
 
 LogShard::LogShard(int id, int generation,
-                   std::shared_ptr<mem::ChunkPool> pool, mem::Arena* arena)
-    : id_(id), generation_(generation), pool_(std::move(pool)),
+                   std::shared_ptr<mem::ChunkPool> pool, mem::Arena* arena,
+                   WireFormat wire)
+    : id_(id), generation_(generation), wire_(wire), pool_(std::move(pool)),
       arena_(arena) {}
 
 LogShard::~LogShard() {
   for (Buf& b : bufs_) pool_->Put(b.data);
 }
 
-void LogShard::WriteLocked(const RecordHeader& h, const uint8_t* image) {
-  size_t need = sizeof(RecordHeader) + h.image_size;
+size_t LogShard::WireSize(const PendingRecord& r) const {
+  if (wire_ == WireFormat::kAfterImageV1)
+    return sizeof(RecordHeader) + r.image_size;
+  return (IsMarkerType(r.type) ? sizeof(MarkerHeaderV2)
+                               : sizeof(DataHeaderV2)) +
+         r.image_size;
+}
+
+uint8_t* LogShard::ReserveLocked(size_t need) {
   size_t cap = pool_->payload_bytes();
   if (need > cap) {
     // Records never span chunks; every workload's fixed-width tuples are
@@ -31,11 +39,67 @@ void LogShard::WriteLocked(const RecordHeader& h, const uint8_t* image) {
   if (bufs_.empty() || cap - bufs_.back().used < need) {
     bufs_.push_back(Buf{static_cast<uint8_t*>(pool_->Get()), 0});
   }
-  Buf& buf = bufs_.back();
-  std::memcpy(buf.data + buf.used, &h, sizeof(h));
-  if (h.image_size > 0)
-    std::memcpy(buf.data + buf.used + sizeof(h), image, h.image_size);
-  buf.used += static_cast<uint32_t>(need);
+  uint8_t* p = bufs_.back().data + bufs_.back().used;
+  bufs_.back().used += static_cast<uint32_t>(need);
+  return p;
+}
+
+void LogShard::WriteLocked(const PendingRecord& r, Lsn lsn,
+                           const uint8_t* image) {
+  size_t need = WireSize(r);
+  uint8_t* p = ReserveLocked(need);
+  if (wire_ == WireFormat::kAfterImageV1) {
+    // Diff payloads require the v2 headers that carry (rid, offset); a
+    // diff staged against a v1 shard would serialize as a corrupt
+    // partial after-image and silently vanish at recovery — fail loudly
+    // (release builds included, like the u16 guards below).
+    if (r.is_diff) {
+      std::fprintf(stderr, "LogShard: diff record staged against a v1 "
+                           "after-image shard\n");
+      std::abort();
+    }
+    RecordHeader h;
+    h.lsn = lsn;
+    h.txn = r.txn;
+    h.key = r.key;
+    h.epoch = r.epoch;
+    h.table = r.table;
+    h.type = static_cast<uint16_t>(r.type);
+    h.marker_expected = r.marker_expected;
+    h.image_size = r.image_size;
+    std::memcpy(p, &h, sizeof(h));
+    p += sizeof(h);
+  } else if (IsMarkerType(r.type)) {
+    MarkerHeaderV2 h;
+    h.type = static_cast<uint8_t>(r.type);
+    h.marker_expected = r.marker_expected;
+    h.txn = r.txn;
+    h.epoch = r.epoch;
+    std::memcpy(p, &h, sizeof(h));
+    p += sizeof(h);
+  } else {
+    // v2 narrows table and payload size to u16; a value that does not fit
+    // must fail loudly (like oversized records), not truncate silently.
+    if (r.table > UINT16_MAX || r.image_size > UINT16_MAX) {
+      std::fprintf(stderr,
+                   "LogShard: record (table=%u, image=%u B) exceeds the v2 "
+                   "u16 wire fields\n",
+                   r.table, r.image_size);
+      std::abort();
+    }
+    DataHeaderV2 h;
+    h.type = static_cast<uint8_t>(r.type);
+    h.flags = r.is_diff ? kRecFlagDiff : 0;
+    h.table = static_cast<uint16_t>(r.table);
+    h.diff_offset = r.diff_offset;
+    h.image_size = static_cast<uint16_t>(r.image_size);
+    h.txn = r.txn;
+    h.key = r.key;
+    h.rid = r.rid;
+    std::memcpy(p, &h, sizeof(h));
+    p += sizeof(h);
+  }
+  if (r.image_size > 0) std::memcpy(p, image, r.image_size);
   bytes_logged_.fetch_add(need, std::memory_order_relaxed);
 }
 
@@ -52,19 +116,11 @@ Lsn LogShard::AppendBatch(const PendingRecord* recs, size_t n,
     first = next_lsn_;
     for (size_t i = 0; i < n; ++i) {
       const PendingRecord& r = recs[i];
-      RecordHeader h;
-      h.lsn = next_lsn_++;
-      h.txn = r.txn;
-      h.key = r.key;
-      h.epoch = r.epoch;
-      h.table = r.table;
-      h.type = static_cast<uint16_t>(r.type);
-      h.marker_expected = r.marker_expected;
-      h.image_size = r.image_size;
-      WriteLocked(h, images + r.image_offset);
-      bytes += sizeof(RecordHeader) + r.image_size;
+      Lsn lsn = next_lsn_++;
+      WriteLocked(r, lsn, images + r.image_offset);
+      bytes += WireSize(r);
       if (r.ticket != nullptr) {
-        waiters_.emplace_back(h.lsn, r.ticket);
+        waiters_.emplace_back(lsn, r.ticket);
         if (r.ticket->remaining_append.fetch_sub(
                 1, std::memory_order_acq_rel) == 1) {
           // Last marker appended. The append-side reference either rides
@@ -175,26 +231,64 @@ ShardSnapshot LogShard::SnapshotDurable() const {
   snap.generation = generation_;
   Lsn durable = durable_lsn_.load(std::memory_order_acquire);
   std::lock_guard lk(mu_);
+  // v2 LSNs are implicit: records were written in LSN order starting at 1,
+  // so the parse position IS the LSN (what a sequential log disk encodes
+  // by construction).
+  Lsn next = 1;
   for (const Buf& b : bufs_) {
     uint32_t off = 0;
-    while (off + sizeof(RecordHeader) <= b.used) {
-      RecordHeader h;
-      std::memcpy(&h, b.data + off, sizeof(h));
-      if (h.lsn == 0 || h.lsn > durable) return snap;  // crash cut
+    while (off < b.used) {
       RecoveredRecord r;
-      r.lsn = h.lsn;
-      r.txn = h.txn;
-      r.type = static_cast<LogType>(h.type);
-      r.table = h.table;
-      r.key = h.key;
-      r.epoch = h.epoch;
-      r.marker_expected = h.marker_expected;
-      if (h.image_size > 0) {
-        const uint8_t* img = b.data + off + sizeof(h);
-        r.image.assign(img, img + h.image_size);
+      uint32_t image_size = 0;
+      size_t header = 0;
+      if (wire_ == WireFormat::kAfterImageV1) {
+        if (off + sizeof(RecordHeader) > b.used) break;
+        RecordHeader h;
+        std::memcpy(&h, b.data + off, sizeof(h));
+        if (h.lsn == 0 || h.lsn > durable) return snap;  // crash cut
+        r.lsn = h.lsn;
+        r.txn = h.txn;
+        r.type = static_cast<LogType>(h.type);
+        r.table = h.table;
+        r.key = h.key;
+        r.epoch = h.epoch;
+        r.marker_expected = h.marker_expected;
+        image_size = h.image_size;
+        header = sizeof(h);
+      } else if (IsMarkerType(static_cast<LogType>(b.data[off]))) {
+        if (off + sizeof(MarkerHeaderV2) > b.used) break;
+        if (next > durable) return snap;  // crash cut
+        MarkerHeaderV2 h;
+        std::memcpy(&h, b.data + off, sizeof(h));
+        r.lsn = next;
+        r.txn = h.txn;
+        r.type = static_cast<LogType>(h.type);
+        r.epoch = h.epoch;
+        r.marker_expected = h.marker_expected;
+        header = sizeof(h);
+      } else {
+        if (off + sizeof(DataHeaderV2) > b.used) break;
+        if (next > durable) return snap;  // crash cut
+        DataHeaderV2 h;
+        std::memcpy(&h, b.data + off, sizeof(h));
+        r.lsn = next;
+        r.txn = h.txn;
+        r.type = static_cast<LogType>(h.type);
+        r.table = h.table;
+        r.key = h.key;
+        r.rid = h.rid;
+        r.diff_offset = h.diff_offset;
+        r.is_diff = (h.flags & kRecFlagDiff) != 0;
+        image_size = h.image_size;
+        header = sizeof(h);
+      }
+      ++next;
+      if (image_size > 0) {
+        const uint8_t* img = b.data + off + header;
+        r.image.assign(img, img + image_size);
       }
       snap.records.push_back(std::move(r));
-      off += sizeof(h) + h.image_size;
+      off += static_cast<uint32_t>(header + image_size);
     }
   }
   return snap;

@@ -37,6 +37,23 @@ void ApplyRecord(const RecoveredRecord& r,
     ++report->records_applied;
     return;
   }
+  if (r.is_diff) {
+    // In-place replay: the diff patches the row's bytes directly in the
+    // heap — no re-insert through the index, no full-tuple rebuild. The
+    // row's Rid is resolved through the recovery table's index rather
+    // than trusted from the record: logged Rids go stale the moment a
+    // repartition generation re-homes the row, while the key stays
+    // authoritative across generations.
+    Status s = t->ApplyDiff(r.key, r.diff_offset, r.image.data(),
+                            static_cast<uint32_t>(r.image.size()));
+    if (s.ok()) {
+      ++report->records_applied;
+      ++report->records_diff_applied;
+    } else {
+      ++report->records_diff_missed;
+    }
+    return;
+  }
   if (r.image.empty() || r.image.size() != t->schema().record_size()) {
     ++report->records_without_image;
     return;

@@ -7,9 +7,14 @@
 // transactions across shards), ABORTED when an abort marker is present,
 // and UNDECIDED otherwise (in flight at the crash).
 //
-// Replay applies the after-images of committed transactions in per-shard
+// Replay applies the data records of committed transactions in per-shard
 // LSN order (each key lives in exactly one shard of its generation, so
-// per-shard order is per-key order). Because partition workers execute
+// per-shard order is per-key order). After-image records go through the
+// table's insert/update path; diff-encoded records (kCompactDiffV2) are
+// applied IN PLACE — the key resolves the row's current Rid through the
+// index (the logged Rid goes stale across repartition generations) and
+// the changed byte range is patched directly in the heap, with no
+// re-insert and no full-tuple rebuild. Because partition workers execute
 // without 2PL, a transaction may have observed the writes of an earlier
 // transaction on the same partition whose commit did not survive the
 // crash; including it would smuggle the lost write back in through the
@@ -63,6 +68,11 @@ struct RecoveryReport {
   /// Data records skipped because they carried no after-image (the
   /// centralized compat path logs keys only, like the retired WAL).
   uint64_t records_without_image = 0;
+  /// Diff records applied in place (subset of records_applied).
+  uint64_t records_diff_applied = 0;
+  /// Diff records whose key did not resolve (the row's creating insert was
+  /// excluded) or whose range did not fit — skipped, not fatal.
+  uint64_t records_diff_missed = 0;
   uint64_t txns_undecided = 0;      ///< in flight at the crash
   uint64_t txns_epoch_truncated = 0;///< committed, epoch > max_epoch
   uint64_t txns_poisoned = 0;       ///< excluded by precedence closure

@@ -36,15 +36,37 @@ class ShardWriter {
 
   /// Stages one data record (after-image copied into the side buffer).
   void Add(TxnId txn, LogType type, uint32_t table, uint64_t key,
-           const uint8_t* image, uint32_t image_size) {
+           uint64_t rid, const uint8_t* image, uint32_t image_size) {
     PendingRecord r;
     r.txn = txn;
     r.type = type;
     r.table = table;
     r.key = key;
+    r.rid = rid;
     r.image_offset = static_cast<uint32_t>(images_.size());
     r.image_size = image_size;
     if (image_size > 0) images_.insert(images_.end(), image, image + image_size);
+    pending_.push_back(r);
+    if (immediate_) Flush();
+  }
+
+  /// Stages a diff-encoded update: only the `len` changed bytes at
+  /// `offset` within the row are copied (len 0 is a valid no-op update —
+  /// the record still decides commit protocol membership). Requires a
+  /// kCompactDiffV2 shard.
+  void AddDiff(TxnId txn, uint32_t table, uint64_t key, uint64_t rid,
+               uint16_t offset, const uint8_t* bytes, uint16_t len) {
+    PendingRecord r;
+    r.txn = txn;
+    r.type = LogType::kUpdate;
+    r.table = table;
+    r.key = key;
+    r.rid = rid;
+    r.is_diff = true;
+    r.diff_offset = offset;
+    r.image_offset = static_cast<uint32_t>(images_.size());
+    r.image_size = len;
+    if (len > 0) images_.insert(images_.end(), bytes, bytes + len);
     pending_.push_back(r);
     if (immediate_) Flush();
   }

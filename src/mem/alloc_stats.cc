@@ -9,6 +9,7 @@ AllocStats::AllocStats(const hw::Topology& topo)
       n_(topo.num_sockets()),
       alloc_(static_cast<size_t>(n_) * n_),
       access_(static_cast<size_t>(n_) * n_),
+      migrate_(static_cast<size_t>(n_) * n_),
       freed_(static_cast<size_t>(n_)) {
   Reset();
 }
@@ -28,12 +29,25 @@ void AllocStats::RecordAccess(hw::SocketId from, hw::SocketId to,
   access_[Idx(from, to)].fetch_add(bytes, std::memory_order_relaxed);
 }
 
+void AllocStats::RecordMigration(hw::SocketId from, hw::SocketId to,
+                                 uint64_t bytes) {
+  migrate_[Idx(from, to)].fetch_add(bytes, std::memory_order_relaxed);
+}
+
 uint64_t AllocStats::alloc_bytes(hw::SocketId from, hw::SocketId to) const {
   return alloc_[Idx(from, to)].load(std::memory_order_relaxed);
 }
 
 uint64_t AllocStats::access_bytes(hw::SocketId from, hw::SocketId to) const {
   return access_[Idx(from, to)].load(std::memory_order_relaxed);
+}
+
+uint64_t AllocStats::migrated_bytes() const {
+  return SumIf(migrate_, true) + SumIf(migrate_, false);
+}
+
+uint64_t AllocStats::cross_island_migrated_bytes() const {
+  return SumIf(migrate_, false);
 }
 
 int64_t AllocStats::resident_bytes(hw::SocketId s) const {
@@ -79,6 +93,7 @@ double AllocStats::AllocRemoteRatio() const {
 void AllocStats::Reset() {
   for (auto& a : alloc_) a.store(0, std::memory_order_relaxed);
   for (auto& a : access_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : migrate_) a.store(0, std::memory_order_relaxed);
   for (auto& a : freed_) a.store(0, std::memory_order_relaxed);
 }
 

@@ -34,11 +34,20 @@ class AllocStats {
   /// Charges `bytes` of memory traffic from a thread on `from` touching
   /// memory homed on `to`.
   void RecordAccess(hw::SocketId from, hw::SocketId to, uint64_t bytes);
+  /// Charges `bytes` physically copied from island `from` to island `to`
+  /// by a partition migration (heap pages / B-tree nodes reseated on
+  /// Repartition). Kept apart from RecordAccess so steady-state traffic
+  /// ratios are not polluted by one-off repartitioning cost (Fig. 9).
+  void RecordMigration(hw::SocketId from, hw::SocketId to, uint64_t bytes);
 
   // ---- Reading ------------------------------------------------------------
 
   uint64_t alloc_bytes(hw::SocketId from, hw::SocketId to) const;
   uint64_t access_bytes(hw::SocketId from, hw::SocketId to) const;
+  /// Total bytes moved by partition migrations (all island pairs).
+  uint64_t migrated_bytes() const;
+  /// Migration bytes that actually crossed islands (from != to).
+  uint64_t cross_island_migrated_bytes() const;
   /// Net bytes currently resident on socket `s` (allocs minus frees).
   int64_t resident_bytes(hw::SocketId s) const;
 
@@ -82,6 +91,7 @@ class AllocStats {
   int n_;
   std::vector<std::atomic<uint64_t>> alloc_;   // n x n, row = requesting
   std::vector<std::atomic<uint64_t>> access_;  // n x n
+  std::vector<std::atomic<uint64_t>> migrate_; // n x n, row = old island
   std::vector<std::atomic<uint64_t>> freed_;   // per serving socket
 };
 

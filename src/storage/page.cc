@@ -31,6 +31,14 @@ void Page::Reseat(mem::Arena* arena) {
   uint8_t* nf = arena ? static_cast<uint8_t*>(arena->Allocate(kPageSize))
                       : new uint8_t[kPageSize];
   std::memcpy(nf, frame_, kPageSize);
+  // The frame copy is interconnect traffic of the migration itself —
+  // charged separately from steady-state accesses so repartition cost is
+  // visible in the stats (paper Fig. 9).
+  if (arena != nullptr && arena->stats() != nullptr) {
+    arena->stats()->RecordMigration(
+        arena_ != nullptr ? arena_->home_socket() : arena->home_socket(),
+        arena->home_socket(), kPageSize);
+  }
   FreeFrame();
   arena_ = arena;
   frame_ = nf;
@@ -77,6 +85,16 @@ Status Page::Update(uint32_t slot, const uint8_t* data, uint32_t len) {
   if (slots_[slot].len != len)
     return Status::InvalidArgument("update must preserve record size");
   std::memcpy(frame_ + slots_[slot].off, data, len);
+  return Status::OK();
+}
+
+Status Page::UpdateRange(uint32_t slot, uint32_t offset, const uint8_t* data,
+                         uint32_t len) {
+  if (slot >= num_slots_ || slots_[slot].len == 0)
+    return Status::NotFound("no such slot");
+  if (static_cast<uint64_t>(offset) + len > slots_[slot].len)
+    return Status::InvalidArgument("delta range exceeds record");
+  if (len > 0) std::memcpy(frame_ + slots_[slot].off + offset, data, len);
   return Status::OK();
 }
 

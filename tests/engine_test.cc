@@ -245,9 +245,11 @@ TEST(IslandPlacementTest, PartitionStateLandsOnOwnerIslandArena) {
   ASSERT_NE(index.partition_arena(1), nullptr);
   EXPECT_EQ(index.partition_arena(0)->home_socket(), 0);
   EXPECT_EQ(index.partition_arena(1)->home_socket(), 1);
-  // The heap follows the first partition's owner island.
-  ASSERT_NE(db.table(0)->heap().arena(), nullptr);
-  EXPECT_EQ(db.table(0)->heap().arena()->home_socket(), 0);
+  // Each partition's heap follows its own owner island, like its subtree.
+  ASSERT_NE(db.table(0)->heap(0).arena(), nullptr);
+  ASSERT_NE(db.table(0)->heap(1).arena(), nullptr);
+  EXPECT_EQ(db.table(0)->heap(0).arena()->home_socket(), 0);
+  EXPECT_EQ(db.table(0)->heap(1).arena()->home_socket(), 1);
   // Both islands hold resident bytes for their partition's subtree.
   EXPECT_GT(db.memory().stats().resident_bytes(0), 0);
   EXPECT_GT(db.memory().stats().resident_bytes(1), 0);

@@ -1,0 +1,298 @@
+// Property tests of the per-partition heap split (ISSUE 5 satellite):
+//
+//  (a) randomized inserts/updates/deletes interleaved with Split / Merge /
+//      Repartition keep every surviving key readable with identical bytes
+//      (Rids are rewritten when records move heaps, never dangled);
+//  (b) each partition's heap pages are charged to its owner island and
+//      migration re-homes them (no cross-island residency left behind);
+//  (c) Rid encode/decode round-trips across the full partition/page/slot
+//      range including boundary values, and pre-partition encodings fail.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/partitioned_executor.h"
+#include "mem/island_allocator.h"
+#include "storage/table.h"
+#include "util/rng.h"
+#include "workload/micro.h"
+
+namespace atrapos {
+namespace {
+
+using storage::HeapFile;
+using storage::Rid;
+using storage::Table;
+using storage::Tuple;
+
+// ---- (c) Rid encoding -------------------------------------------------------
+
+TEST(RidEncodingTest, RoundTripsAcrossFullRangeIncludingBoundaries) {
+  const uint32_t parts[] = {0, 1, 7, Rid::kMaxPartition - 1,
+                            Rid::kMaxPartition};
+  const uint32_t pages[] = {0, 1, 255, Rid::kMaxPage - 1, Rid::kMaxPage};
+  const uint32_t slots[] = {0, 1, 63, Rid::kMaxSlot - 1, Rid::kMaxSlot};
+  for (uint32_t p : parts) {
+    for (uint32_t g : pages) {
+      for (uint32_t s : slots) {
+        Rid rid{p, g, s};
+        uint64_t enc = rid.Encode();
+        auto dec = Rid::TryDecode(enc);
+        ASSERT_TRUE(dec.has_value());
+        EXPECT_EQ(*dec, rid);
+        EXPECT_EQ(Rid::Decode(enc), rid);
+      }
+    }
+  }
+}
+
+TEST(RidEncodingTest, RandomizedRoundTrip) {
+  Rng rng(1234);
+  for (int i = 0; i < 100000; ++i) {
+    Rid rid{static_cast<uint32_t>(rng.Uniform(Rid::kMaxPartition + 1)),
+            static_cast<uint32_t>(rng.Uniform(Rid::kMaxPage + 1)),
+            static_cast<uint32_t>(rng.Uniform(Rid::kMaxSlot + 1))};
+    auto dec = Rid::TryDecode(rid.Encode());
+    ASSERT_TRUE(dec.has_value());
+    ASSERT_EQ(*dec, rid);
+  }
+}
+
+TEST(RidEncodingTest, PrePartitionEncodingsFailLoudly) {
+  // The old layout was page<<32|slot with no version tag: version bits 00.
+  EXPECT_FALSE(Rid::TryDecode(0).has_value());
+  EXPECT_FALSE(Rid::TryDecode((uint64_t{17} << 32) | 42).has_value());
+  EXPECT_FALSE(Rid::TryDecode(UINT32_MAX).has_value());
+  // Wrong version tags (00, 10, 11) all fail.
+  EXPECT_FALSE(Rid::TryDecode(uint64_t{2} << 62).has_value());
+  EXPECT_FALSE(Rid::TryDecode(uint64_t{3} << 62).has_value());
+  // Death: Decode aborts instead of fabricating a triple.
+  EXPECT_DEATH(Rid::Decode((uint64_t{17} << 32) | 42), "version tag");
+}
+
+// ---- (a) storage-level randomized property test ----------------------------
+
+std::vector<uint8_t> RowBytes(const storage::Schema& s, uint64_t key,
+                              uint64_t payload) {
+  Tuple t(&s);
+  t.SetInt(0, static_cast<int64_t>(key));
+  t.SetInt(1, static_cast<int64_t>(payload));
+  t.SetInt(9, static_cast<int64_t>(payload ^ 0xABCDEF));
+  return std::vector<uint8_t>(t.data(), t.data() + t.size());
+}
+
+/// Every shadow key resolves through index -> Rid -> heap to identical
+/// bytes, and its Rid's partition bits name the owning partition's heap.
+void CheckTableMatchesShadow(
+    const Table& tbl, const std::map<uint64_t, std::vector<uint8_t>>& shadow) {
+  ASSERT_EQ(tbl.num_rows(), shadow.size());
+  ASSERT_EQ(tbl.num_heap_records(), shadow.size());
+  for (const auto& [key, bytes] : shadow) {
+    Tuple out;
+    ASSERT_TRUE(tbl.Read(key, &out).ok()) << "key " << key;
+    ASSERT_EQ(std::vector<uint8_t>(out.data(), out.data() + out.size()),
+              bytes)
+        << "key " << key << " bytes diverged";
+    auto enc = tbl.index().Get(key);
+    ASSERT_TRUE(enc.has_value());
+    auto rid = Rid::TryDecode(*enc);
+    ASSERT_TRUE(rid.has_value()) << "stale encoding for key " << key;
+    size_t p = tbl.index().PartitionOf(key);
+    EXPECT_EQ(rid->partition, tbl.heap(p).heap_id())
+        << "key " << key << " lives in the wrong partition's heap";
+  }
+}
+
+TEST(HeapPartitionPropertyTest, CrudInterleavedWithRepartitionKeepsBytes) {
+  constexpr uint64_t kKeySpace = 4096;
+  storage::Schema schema = workload::MicroTableSchema();
+  Table tbl(0, "prop", schema, {0, 1024, 2048, 3072});
+  std::map<uint64_t, std::vector<uint8_t>> shadow;
+  Rng rng(20260731);
+
+  auto random_boundaries = [&] {
+    std::vector<uint64_t> b = {0};
+    size_t parts = 1 + rng.Uniform(6);
+    for (int tries = 0; b.size() < parts + 1 && tries < 64; ++tries) {
+      uint64_t f = 1 + rng.Uniform(kKeySpace - 1);
+      if (f > b.back()) b.push_back(f);
+    }
+    return b;
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    // A burst of random CRUD against the shadow map.
+    for (int i = 0; i < 400; ++i) {
+      uint64_t key = rng.Uniform(kKeySpace);
+      uint64_t payload = rng.Next();
+      switch (rng.Uniform(4)) {
+        case 0:  // insert
+          if (!shadow.count(key)) {
+            Tuple row(&schema, RowBytes(schema, key, payload).data());
+            ASSERT_TRUE(tbl.Insert(key, row).ok());
+            shadow[key] = RowBytes(schema, key, payload);
+          }
+          break;
+        case 1:  // update
+          if (shadow.count(key)) {
+            Tuple row(&schema, RowBytes(schema, key, payload).data());
+            ASSERT_TRUE(tbl.Update(key, row).ok());
+            shadow[key] = RowBytes(schema, key, payload);
+          } else {
+            EXPECT_FALSE(tbl.Update(key, Tuple(&schema)).ok());
+          }
+          break;
+        case 2:  // delete
+          if (shadow.count(key)) {
+            ASSERT_TRUE(tbl.Delete(key).ok());
+            shadow.erase(key);
+          } else {
+            EXPECT_FALSE(tbl.Delete(key).ok());
+          }
+          break;
+        default: {  // read
+          Tuple out;
+          EXPECT_EQ(tbl.Read(key, &out).ok(), shadow.count(key) > 0);
+        }
+      }
+    }
+    // One repartitioning action: split, merge, or full repartition.
+    switch (rng.Uniform(3)) {
+      case 0: {
+        size_t p = rng.Uniform(tbl.num_partitions());
+        uint64_t start = tbl.index().partition_start(p);
+        uint64_t end = p + 1 < tbl.num_partitions()
+                           ? tbl.index().partition_start(p + 1)
+                           : kKeySpace;
+        if (end - start > 1) {
+          uint64_t at = start + 1 + rng.Uniform(end - start - 1);
+          ASSERT_TRUE(tbl.Split(p, at).ok());
+        }
+        break;
+      }
+      case 1:
+        if (tbl.num_partitions() > 1) {
+          size_t p = rng.Uniform(tbl.num_partitions() - 1);
+          ASSERT_TRUE(tbl.Merge(p).ok());
+        }
+        break;
+      default:
+        tbl.Repartition(random_boundaries());
+    }
+    CheckTableMatchesShadow(tbl, shadow);
+  }
+  EXPECT_GT(shadow.size(), 0u);
+}
+
+TEST(HeapPartitionPropertyTest, RepartitionReusesHeapsForUnmovedRecords) {
+  storage::Schema schema = workload::MicroTableSchema();
+  Table tbl(0, "reuse", schema, {0, 100, 200});
+  for (uint64_t k = 0; k < 300; ++k) {
+    Tuple row(&schema, RowBytes(schema, k, k).data());
+    ASSERT_TRUE(tbl.Insert(k, row).ok());
+  }
+  std::map<uint64_t, uint64_t> rids_before;
+  for (uint64_t k = 0; k < 300; ++k) rids_before[k] = *tbl.index().Get(k);
+
+  // Identical boundaries: nothing moves, every Rid survives verbatim.
+  tbl.Repartition({0, 100, 200});
+  for (uint64_t k = 0; k < 300; ++k)
+    EXPECT_EQ(*tbl.index().Get(k), rids_before[k]) << "key " << k;
+
+  // Dropping the last fence: partitions 0 and 1 keep their heaps (and
+  // Rids); only the absorbed range [200, 300) is re-homed.
+  tbl.Repartition({0, 100});
+  for (uint64_t k = 0; k < 200; ++k)
+    EXPECT_EQ(*tbl.index().Get(k), rids_before[k]) << "key " << k;
+  for (uint64_t k = 200; k < 300; ++k) {
+    auto rid = Rid::TryDecode(*tbl.index().Get(k));
+    ASSERT_TRUE(rid.has_value());
+    EXPECT_EQ(rid->partition, tbl.heap(1).heap_id());
+  }
+}
+
+// ---- (b) island residency of partition heaps -------------------------------
+
+TEST(HeapPartitionIslandTest, HeapPagesChargeOwnerIslandAndMigrateCleanly) {
+  auto topo = hw::Topology::Cube(1, 2);  // 2 sockets
+  mem::IslandAllocator alloc(topo);
+  storage::Schema schema = workload::MicroTableSchema();
+  Table tbl(0, "isl", schema, {0, 500});
+  // Place both partition heaps on island 0, then load.
+  tbl.heap(0).SetArena(alloc.arena(0));
+  tbl.heap(1).SetArena(alloc.arena(0));
+  for (uint64_t k = 0; k < 1000; ++k) {
+    Tuple row(&schema, RowBytes(schema, k, k * 3).data());
+    ASSERT_TRUE(tbl.Insert(k, row).ok());
+  }
+  ASSERT_GT(alloc.arena(0)->bytes_in_use(), 0u);
+  EXPECT_EQ(alloc.arena(1)->bytes_in_use(), 0u);
+  uint64_t heap1_pages = tbl.heap(1).num_pages();
+  ASSERT_GT(heap1_pages, 0u);
+
+  // Partition 1 is handed to island 1: its heap pages must follow, and the
+  // migration is accounted as cross-island migration traffic.
+  tbl.heap(1).MigrateTo(alloc.arena(1));
+  EXPECT_EQ(tbl.heap(1).arena()->home_socket(), 1);
+  EXPECT_GE(alloc.arena(1)->bytes_in_use(),
+            heap1_pages * uint64_t{storage::kPageSize});
+  EXPECT_GE(alloc.stats().cross_island_migrated_bytes(),
+            heap1_pages * uint64_t{storage::kPageSize});
+  // Island 0 got partition 1's page bytes back (partition 0 stays).
+  EXPECT_GE(alloc.stats().resident_bytes(1),
+            static_cast<int64_t>(heap1_pages * storage::kPageSize));
+
+  // Accesses to migrated records are now charged to island 1 as server.
+  alloc.stats().Reset();
+  Tuple out;
+  ASSERT_TRUE(tbl.Read(750, &out).ok());
+  EXPECT_GT(alloc.stats().access_bytes(0, 1) +
+                alloc.stats().access_bytes(1, 1),
+            0u);
+  EXPECT_EQ(alloc.stats().access_bytes(0, 0), 0u);
+}
+
+TEST(HeapPartitionIslandTest, ExecutorRepartitionReHomesHeapWithOwnership) {
+  auto topo = hw::Topology::Cube(1, 2);  // sockets {0,1}, cores {0,1},{2,3}
+  engine::Database db({.topo = topo});
+  uint64_t rows = 2000;
+  auto t = std::make_unique<Table>(0, "T", workload::MicroTableSchema(),
+                                   std::vector<uint64_t>{0, rows / 2});
+  for (uint64_t k = 0; k < rows; ++k) {
+    Tuple row(&t->schema());
+    row.SetInt(0, static_cast<int64_t>(k));
+    row.SetInt(1, 100);
+    ASSERT_TRUE(t->Insert(k, row).ok());
+  }
+  (void)db.AddTable(std::move(t));
+
+  core::Scheme s;
+  core::TableScheme ts;
+  ts.boundaries = {0, rows / 2};
+  ts.placement = {0, 2};  // partition 1 owned by socket 1
+  s.tables.push_back(ts);
+  engine::PartitionedExecutor exec(&db, topo, s);
+  EXPECT_EQ(db.table(0)->heap(0).arena()->home_socket(), 0);
+  EXPECT_EQ(db.table(0)->heap(1).arena()->home_socket(), 1);
+
+  // Flip ownership: both partitions move to the other socket. Heap pages
+  // must land on the new owner islands with the subtrees.
+  core::Scheme flipped = s;
+  flipped.tables[0].placement = {2, 0};
+  ASSERT_TRUE(exec.Repartition(flipped).ok());
+  EXPECT_EQ(db.table(0)->heap(0).arena()->home_socket(), 1);
+  EXPECT_EQ(db.table(0)->heap(1).arena()->home_socket(), 0);
+  EXPECT_GT(db.memory().stats().cross_island_migrated_bytes(), 0u);
+
+  // All data still reachable under the new layout.
+  for (uint64_t k = 0; k < rows; k += 97) {
+    Tuple out;
+    ASSERT_TRUE(db.table(0)->Read(k, &out).ok());
+    EXPECT_EQ(out.GetInt(1), 100);
+  }
+}
+
+}  // namespace
+}  // namespace atrapos

@@ -238,6 +238,134 @@ TEST(LogRecoveryPropertyTest, PrefixByEpochReplaysAreSerialPrefixes) {
   }
 }
 
+// Updates are diff-encoded by default (kCompactDiffV2): the records that
+// reach recovery carry (Rid, changed-range) payloads, and replay patches
+// the bytes in place. The crash cuts above already run on this encoding;
+// this test pins it explicitly and checks the after-image baseline format
+// (kAfterImageV1) recovers identically.
+TEST(LogRecoveryPropertyTest, DiffAndAfterImageEncodingsRecoverIdentically) {
+  uint64_t bytes_v2 = 0, bytes_v1 = 0;
+  for (log::WireFormat wire :
+       {log::WireFormat::kCompactDiffV2, log::WireFormat::kAfterImageV1}) {
+    hw::Topology topo = hw::Topology::SingleSocket(kPartitions);
+    Database db({.topo = topo});
+    db.AddTable(FreshTable());
+    PartitionedExecutor::Options opt;
+    opt.durability = DurabilityMode::kGroup;
+    opt.log_flush_interval_us = 20;
+    opt.log_wire = wire;
+    PartitionedExecutor exec(&db, topo, OneTableScheme(), opt);
+
+    constexpr int kTxns = 400;
+    TransferLog transfers;
+    Rng rng(3);
+    for (int i = 0; i < kTxns; ++i) {
+      uint64_t a = rng.Uniform(kKeys);
+      uint64_t b = (a + kKeys / kPartitions) % kKeys;
+      transfers.by_txn.emplace_back(a, b);
+      ASSERT_TRUE(exec.SubmitAndWait(Transfer(a, b)).ok());
+    }
+    exec.Drain();
+    exec.log_manager()->FlushAll();
+    auto cut = exec.log_manager()->SnapshotDurable();
+
+    auto fresh = FreshTable();
+    log::RecoveryReport report = log::Recover(cut, {fresh.get()});
+    EXPECT_EQ(report.applied.size(), static_cast<size_t>(kTxns));
+    EXPECT_EQ(report.records_diff_missed, 0u);
+    if (wire == log::WireFormat::kCompactDiffV2) {
+      // Every transfer logged two diff-encoded updates, replayed in place.
+      EXPECT_EQ(report.records_diff_applied,
+                static_cast<uint64_t>(2 * kTxns));
+    } else {
+      EXPECT_EQ(report.records_diff_applied, 0u);
+    }
+    CheckRecoveredState(*fresh, report, transfers);
+
+    (wire == log::WireFormat::kCompactDiffV2 ? bytes_v2 : bytes_v1) =
+        exec.log_manager()->bytes_logged();
+  }
+  // The diff encoding is the point: same workload, same recovered state,
+  // at least 2x fewer log bytes than the after-image encoding (the ISSUE 5
+  // acceptance bar, measured here on an update-only transfer mix).
+  ASSERT_GT(bytes_v1, 0u);
+  ASSERT_GT(bytes_v2, 0u);
+  EXPECT_GE(bytes_v1, 2 * bytes_v2)
+      << "v1=" << bytes_v1 << " v2=" << bytes_v2;
+}
+
+// Crash cuts spanning a repartition generation boundary, with transactions
+// updating the same keys (and therefore the same logical rows, under
+// different Rids) in both generations. Replay must merge generations in
+// order and resolve each diff through the key — the logged Rid of
+// generation 0 is stale by generation 1 — and still equal the serial
+// application of exactly the reported commit set.
+TEST(LogRecoveryPropertyTest, DiffReplayAcrossRepartitionGenerations) {
+  hw::Topology topo = hw::Topology::SingleSocket(kPartitions);
+  Database db({.topo = topo});
+  db.AddTable(FreshTable());
+  PartitionedExecutor::Options opt;
+  opt.durability = DurabilityMode::kGroup;
+  opt.log_flush_interval_us = 20;
+  PartitionedExecutor exec(&db, topo, OneTableScheme(), opt);
+
+  constexpr int kTxnsPerPhase = 400;
+  TransferLog transfers;
+  Rng rng(17);
+  std::vector<std::vector<log::ShardSnapshot>> cuts;
+  // Phase schemes: 4 partitions -> 2 -> 3; every boundary change re-homes
+  // heap records and reassigns log shards (new generation).
+  std::vector<core::Scheme> phases;
+  for (int parts : {2, 3}) {
+    core::Scheme s;
+    core::TableScheme ts;
+    ts.boundaries = Bounds(kKeys, parts);
+    for (int p = 0; p < parts; ++p) ts.placement.push_back(p);
+    s.tables.push_back(ts);
+    phases.push_back(s);
+  }
+  int txn = 0;
+  for (size_t phase = 0; phase <= phases.size(); ++phase) {
+    for (int i = 0; i < kTxnsPerPhase; ++i, ++txn) {
+      uint64_t a = rng.Uniform(kKeys);
+      uint64_t b = (a + kKeys / kPartitions) % kKeys;
+      transfers.by_txn.emplace_back(a, b);
+      ASSERT_TRUE(exec.SubmitAndWait(Transfer(a, b)).ok());
+      if (i % 100 == 50)
+        cuts.push_back(exec.log_manager()->SnapshotDurable());
+    }
+    if (phase < phases.size())
+      ASSERT_TRUE(exec.Repartition(phases[phase]).ok());
+  }
+  exec.Drain();
+  exec.log_manager()->FlushAll();
+  cuts.push_back(exec.log_manager()->SnapshotDurable());
+  EXPECT_EQ(exec.log_manager()->generation(), 2);
+
+  uint64_t diff_applied = 0;
+  for (const auto& cut : cuts) {
+    auto fresh = FreshTable();
+    log::RecoveryReport report = log::Recover(cut, {fresh.get()});
+    EXPECT_EQ(report.records_without_image, 0u);
+    EXPECT_EQ(report.records_diff_missed, 0u);
+    CheckRecoveredState(*fresh, report, transfers);
+    diff_applied += report.records_diff_applied;
+  }
+  EXPECT_GT(diff_applied, 0u);
+
+  // The complete multi-generation log replays every transaction.
+  auto fresh = FreshTable();
+  log::RecoveryReport report = log::Recover(cuts.back(), {fresh.get()});
+  EXPECT_EQ(report.applied.size(), transfers.by_txn.size());
+  EXPECT_EQ(report.txns_undecided, 0u);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    Tuple live, rec;
+    ASSERT_TRUE(db.table(0)->Read(k, &live).ok());
+    ASSERT_TRUE(fresh->Read(k, &rec).ok());
+    EXPECT_EQ(live.GetInt(1), rec.GetInt(1)) << "key " << k;
+  }
+}
+
 // A TATP mid-run crash: recovery must replay without torn transactions,
 // and a post-drain cut must rebuild exactly the live tables (TATP's
 // aborts never write, so live state == committed state).

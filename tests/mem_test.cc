@@ -183,7 +183,7 @@ TEST(MigrationTest, MultiRootedBTreePerPartitionArenas) {
 TEST(MigrationTest, HeapFileMigrateReseatsAllPages) {
   auto topo = hw::Topology::Cube(1, 2);
   IslandAllocator alloc(topo);
-  storage::HeapFile heap(alloc.arena(0));
+  storage::HeapFile heap(0, alloc.arena(0));
   std::vector<storage::Rid> rids;
   uint8_t row[100];
   for (uint32_t i = 0; i < 1000; ++i) {
@@ -210,7 +210,7 @@ TEST(MigrationTest, HeapFileMigrateReseatsAllPages) {
 TEST(AccessAccountingTest, HeapReadsChargeRequestingSocket) {
   auto topo = hw::Topology::Cube(1, 2);
   IslandAllocator alloc(topo);
-  storage::HeapFile heap(alloc.arena(1));  // heap lives on island 1
+  storage::HeapFile heap(0, alloc.arena(1));  // heap lives on island 1
   uint8_t row[64] = {7};
   auto rid = heap.Insert(row, sizeof(row));
   ASSERT_TRUE(rid.ok());

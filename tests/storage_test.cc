@@ -126,6 +126,66 @@ TEST(HeapFileTest, InsertReadAcrossPages) {
   }
 }
 
+// Regression (ISSUE 5 satellite): a stale or corrupt Rid — out-of-range
+// page, vacated slot, or another heap's partition bits — must come back as
+// NotFound from every HeapFile entry point, never as UB.
+TEST(HeapFileTest, StaleRidsReturnNotFoundNotUB) {
+  HeapFile hf(/*heap_id=*/3);
+  Schema s = MicroSchema();
+  Tuple t(&s);
+  t.SetInt(0, 42);
+  auto r = hf.Insert(t.data(), t.size());
+  ASSERT_TRUE(r.ok());
+  Rid good = r.value();
+  uint8_t buf[512];
+
+  Rid bad_page = good;
+  bad_page.page = 1000;  // far past pages_.size()
+  EXPECT_EQ(hf.Read(bad_page, buf, t.size()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(hf.Update(bad_page, t.data(), t.size()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hf.ApplyDelta(bad_page, 0, buf, 1).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hf.Delete(bad_page).code(), StatusCode::kNotFound);
+
+  Rid bad_slot = good;
+  bad_slot.slot = 9999;
+  EXPECT_EQ(hf.Read(bad_slot, buf, t.size()).code(), StatusCode::kNotFound);
+  EXPECT_EQ(hf.Update(bad_slot, t.data(), t.size()).code(),
+            StatusCode::kNotFound);
+
+  Rid wrong_heap = good;
+  wrong_heap.partition = 7;  // Rid from another partition's heap
+  EXPECT_EQ(hf.Read(wrong_heap, buf, t.size()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hf.Update(wrong_heap, t.data(), t.size()).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(hf.Delete(wrong_heap).code(), StatusCode::kNotFound);
+
+  // The good Rid still works, and carries the heap's id.
+  EXPECT_EQ(good.partition, 3u);
+  EXPECT_TRUE(hf.Read(good, buf, t.size()).ok());
+}
+
+TEST(HeapFileTest, ApplyDeltaPatchesRangeAndValidatesBounds) {
+  HeapFile hf;
+  uint8_t rec[64];
+  std::fill(rec, rec + 64, 0x11);
+  auto r = hf.Insert(rec, 64);
+  ASSERT_TRUE(r.ok());
+  uint8_t patch[4] = {0xAA, 0xBB, 0xCC, 0xDD};
+  ASSERT_TRUE(hf.ApplyDelta(r.value(), 60, patch, 4).ok());
+  uint8_t out[64];
+  ASSERT_TRUE(hf.Read(r.value(), out, 64).ok());
+  EXPECT_EQ(out[59], 0x11);
+  EXPECT_EQ(out[60], 0xAA);
+  EXPECT_EQ(out[63], 0xDD);
+  // Range past the record is rejected, len 0 is a validated no-op.
+  EXPECT_EQ(hf.ApplyDelta(r.value(), 61, patch, 4).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(hf.ApplyDelta(r.value(), 64, patch, 0).ok());
+}
+
 TEST(BTreeTest, InsertGetSequential) {
   BPlusTree bt;
   for (uint64_t k = 0; k < 10000; ++k)
@@ -355,9 +415,9 @@ TEST(TableTest, DuplicateKeyRejectedAndHeapRolledBack) {
   Tuple t(&tbl.schema());
   t.SetInt(0, 1);
   ASSERT_TRUE(tbl.Insert(7, t).ok());
-  uint64_t heap_before = tbl.heap().num_records();
+  uint64_t heap_before = tbl.num_heap_records();
   EXPECT_EQ(tbl.Insert(7, t).code(), StatusCode::kAlreadyExists);
-  EXPECT_EQ(tbl.heap().num_records(), heap_before);
+  EXPECT_EQ(tbl.num_heap_records(), heap_before);
 }
 
 }  // namespace
