@@ -1,48 +1,317 @@
 // Table II: throughput of ATraPos with monitoring disabled vs enabled for
 // TATP transactions; the paper reports at most 3.32% overhead (GetSubData,
 // the shortest transaction, is the worst case).
+//
+// Two modes:
+//   default      — the deterministic simulator sweep (DoraOptions.monitoring),
+//                  the original Table II shape.
+//   --real       — the same question asked of the real-thread engine: TATP
+//                  ActionGraphs at --depth/--batch with the obs registry
+//                  (src/obs/) fully off, metrics-on/tracing-off (the
+//                  production configuration), and metrics+tracing. Each
+//                  configuration runs --reps times and the best rep is kept
+//                  (CI machines are noisy; overhead is a property of the
+//                  fastest run, not the median scheduler hiccup).
+//                  --max_overhead_pct=<p> exits 2 when the metrics-on
+//                  configuration loses more than p% TPS vs metrics-off;
+//                  --trace_out=<path> dumps a chrome://tracing JSON from the
+//                  tracing rep; --json=<path> writes the measured rows.
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <functional>
+
 #include "bench/bench_common.h"
+#include "engine/database.h"
+#include "engine/partitioned_executor.h"
+#include "util/rng.h"
 #include "workload/tatp.h"
+#include "workload/tatp_graphs.h"
 
 using namespace atrapos;
 using namespace atrapos::bench;
 using namespace atrapos::simengine;
 
+namespace {
+
+core::Scheme TatpScheme(uint64_t subscribers, int partitions) {
+  core::Scheme scheme;
+  for (int t = 0; t < 4; ++t) {
+    uint64_t factor = t == 0 ? 1 : (t == 3 ? 32 : 4);
+    core::TableScheme ts;
+    for (int p = 0; p < partitions; ++p) {
+      ts.boundaries.push_back(subscribers * factor *
+                              static_cast<uint64_t>(p) /
+                              static_cast<uint64_t>(partitions));
+      ts.placement.push_back(p);
+    }
+    scheme.tables.push_back(ts);
+  }
+  return scheme;
+}
+
+struct RealResult {
+  double tps = 0;
+  uint64_t commit_p50_us = 0;
+  uint64_t commit_p95_us = 0;
+  uint64_t commit_p99_us = 0;
+  uint64_t trace_recorded = 0;
+  uint64_t trace_dropped = 0;
+};
+
+/// One TATP measurement on the real partitioned executor. No adaptive
+/// manager and no durability: the run isolates the cost the registry and
+/// tracer add to the submit → drain → complete path itself.
+RealResult RunReal(const hw::Topology& topo, uint64_t subscribers,
+                   size_t depth, size_t batch, double duration, uint64_t seed,
+                   bool metrics, bool trace, const std::string& trace_out) {
+  engine::Database::Options dopt;
+  dopt.topo = topo;
+  dopt.obs.metrics = metrics;
+  dopt.obs.trace = trace;
+  engine::Database db(dopt);
+  std::vector<uint64_t> bounds;
+  for (int p = 0; p < topo.num_cores(); ++p)
+    bounds.push_back(subscribers * static_cast<uint64_t>(p) /
+                     static_cast<uint64_t>(topo.num_cores()));
+  for (auto& t : workload::BuildTatpTables(subscribers, bounds, seed))
+    db.AddTable(std::move(t));
+  engine::PartitionedExecutor exec(&db, topo,
+                                   TatpScheme(subscribers, topo.num_cores()));
+
+  workload::TatpActionGraphs graphs(subscribers);
+  Rng rng(seed);
+  std::deque<engine::TxnFuture> window;
+  std::vector<engine::ActionGraph> wave;
+  uint64_t done = 0;
+  auto start = std::chrono::steady_clock::now();
+  auto deadline = start + std::chrono::duration<double>(duration);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (batch <= 1) {
+      auto f = exec.Submit(graphs.Mix(rng));
+      if (!f.ok()) continue;
+      window.push_back(f.take());
+    } else {
+      wave.clear();
+      for (size_t i = 0; i < batch; ++i) wave.push_back(graphs.Mix(rng));
+      auto fs = exec.SubmitBatch(wave);
+      if (!fs.ok()) continue;
+      for (auto& f : fs.value()) window.push_back(std::move(f));
+    }
+    while (window.size() >= depth) {
+      (void)window.front().Wait();
+      window.pop_front();
+      ++done;
+    }
+  }
+  while (!window.empty()) {
+    (void)window.front().Wait();
+    window.pop_front();
+    ++done;
+  }
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RealResult out;
+  out.tps = static_cast<double>(done) / secs;
+  obs::StatsSnapshot snap = db.StatsSnapshot();
+  const obs::Histogram& lat = snap.hist(obs::HistId::kCommitLatencyUs);
+  out.commit_p50_us = lat.Quantile(0.5);
+  out.commit_p95_us = lat.Quantile(0.95);
+  out.commit_p99_us = lat.Quantile(0.99);
+  out.trace_recorded = snap.trace_events_recorded;
+  out.trace_dropped = snap.trace_events_dropped;
+  if (trace && !trace_out.empty() && db.DumpTrace(trace_out))
+    std::printf("wrote trace %s (%llu events recorded, %llu dropped)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(out.trace_recorded),
+                static_cast<unsigned long long>(out.trace_dropped));
+  return out;
+}
+
+/// Runs every configuration `reps` times, interleaved (off, on, trace,
+/// off, on, trace, ...) so frequency scaling and cache warm-up hit all
+/// configurations equally instead of penalizing whichever ran first.
+/// Returns one row per round per configuration: rounds[i][c].
+std::vector<std::vector<RealResult>> RunRounds(
+    int reps, const std::vector<std::function<RealResult(bool)>>& runs) {
+  std::vector<std::vector<RealResult>> rounds;
+  for (int i = 0; i < reps; ++i) {
+    rounds.emplace_back();
+    for (const auto& run : runs)
+      rounds.back().push_back(run(/*last_round=*/i + 1 == reps));
+  }
+  return rounds;
+}
+
+/// Median of the per-round TPS ratios config[c] / config[0]. Pairing each
+/// configuration against the baseline measured in the *same* round
+/// cancels the machine's slow drift (thermal/frequency/noisy neighbors),
+/// and the median discards rounds where one side hit a scheduler hiccup —
+/// overhead inferred from unpaired best-of reps flaps wildly on shared CI
+/// runners.
+double MedianRatioVsBaseline(const std::vector<std::vector<RealResult>>& r,
+                             size_t c) {
+  std::vector<double> ratios;
+  for (const auto& round : r)
+    if (round[0].tps > 0) ratios.push_back(round[c].tps / round[0].tps);
+  if (ratios.empty()) return 1.0;
+  std::sort(ratios.begin(), ratios.end());
+  size_t n = ratios.size();
+  return n % 2 == 1 ? ratios[n / 2]
+                    : (ratios[n / 2 - 1] + ratios[n / 2]) / 2.0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   double duration = flags.GetDouble("duration", 0.006);
+  bool real = flags.GetBool("real", false);
   PrintHeader("table2_monitoring_overhead",
               "Table II — ATraPos monitoring overhead (TATP)");
 
-  hw::Topology topo = TopoFor(8);
-  TablePrinter tp({"Workload", "No monitoring (TPS)", "Monitoring (TPS)",
-                   "Overhead (%)"});
+  if (!real) {
+    hw::Topology topo = TopoFor(8);
+    TablePrinter tp({"Workload", "No monitoring (TPS)", "Monitoring (TPS)",
+                     "Overhead (%)"});
 
-  struct Entry {
-    std::string name;
-    core::WorkloadSpec spec;
-  };
-  std::vector<Entry> entries;
-  entries.push_back({"GetSubData",
-                     workload::TatpSingleTxnSpec(workload::kGetSubData)});
-  entries.push_back({"GetNewDest",
-                     workload::TatpSingleTxnSpec(workload::kGetNewDest)});
-  entries.push_back({"UpdSubData",
-                     workload::TatpSingleTxnSpec(workload::kUpdSubData)});
-  entries.push_back({"TATP-Mix", workload::TatpSpec()});
+    struct Entry {
+      std::string name;
+      core::WorkloadSpec spec;
+    };
+    std::vector<Entry> entries;
+    entries.push_back({"GetSubData",
+                       workload::TatpSingleTxnSpec(workload::kGetSubData)});
+    entries.push_back({"GetNewDest",
+                       workload::TatpSingleTxnSpec(workload::kGetNewDest)});
+    entries.push_back({"UpdSubData",
+                       workload::TatpSingleTxnSpec(workload::kUpdSubData)});
+    entries.push_back({"TATP-Mix", workload::TatpSpec()});
 
-  for (auto& e : entries) {
-    DoraOptions off;
-    off.run.duration_s = duration;
-    RunMetrics roff = RunAtrapos(topo, sim::CostParams{}, e.spec, off);
-    DoraOptions on = off;
-    on.monitoring = true;
-    RunMetrics ron = RunAtrapos(topo, sim::CostParams{}, e.spec, on);
-    double overhead = roff.tps > 0 ? (1.0 - ron.tps / roff.tps) * 100.0 : 0;
-    tp.AddRow({e.name, TablePrinter::Num(roff.tps, 1),
-               TablePrinter::Num(ron.tps, 1),
-               TablePrinter::Num(overhead, 2)});
+    for (auto& e : entries) {
+      DoraOptions off;
+      off.run.duration_s = duration;
+      RunMetrics roff = RunAtrapos(topo, sim::CostParams{}, e.spec, off);
+      DoraOptions on = off;
+      on.monitoring = true;
+      RunMetrics ron = RunAtrapos(topo, sim::CostParams{}, e.spec, on);
+      double overhead = roff.tps > 0 ? (1.0 - ron.tps / roff.tps) * 100.0 : 0;
+      tp.AddRow({e.name, TablePrinter::Num(roff.tps, 1),
+                 TablePrinter::Num(ron.tps, 1),
+                 TablePrinter::Num(overhead, 2)});
+    }
+    tp.Print();
+    return 0;
   }
+
+  // ---- real-engine mode -----------------------------------------------
+  uint64_t subscribers =
+      static_cast<uint64_t>(flags.GetInt("subscribers", 20000));
+  int cores = static_cast<int>(flags.GetInt("cores", 4));
+  size_t depth = static_cast<size_t>(flags.GetInt("depth", 32));
+  size_t batch = static_cast<size_t>(flags.GetInt("batch", 32));
+  double real_duration = flags.GetDouble("real_duration", 0.5);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  int reps = static_cast<int>(flags.GetInt("reps", 3));
+  double max_overhead_pct = flags.GetDouble("max_overhead_pct", 0);
+  std::string trace_out = flags.GetString("trace_out", "");
+  std::string json_path = flags.GetString("json", "");
+
+  hw::Topology topo = hw::Topology::SingleSocket(cores);
+  std::printf("real engine: %llu subscribers, %d partitions, depth %zu, "
+              "batch %zu, %.1fs x %d reps (best kept)\n\n",
+              static_cast<unsigned long long>(subscribers), cores, depth,
+              batch, real_duration, reps);
+
+  // Warm-up run (discarded): first-touch page faults, frequency ramp.
+  (void)RunReal(topo, subscribers, depth, batch, real_duration, seed,
+                /*metrics=*/false, /*trace=*/false, "");
+  std::vector<std::vector<RealResult>> rounds = RunRounds(
+      reps,
+      {[&](bool) {
+         return RunReal(topo, subscribers, depth, batch, real_duration, seed,
+                        /*metrics=*/false, /*trace=*/false, "");
+       },
+       [&](bool) {
+         return RunReal(topo, subscribers, depth, batch, real_duration, seed,
+                        /*metrics=*/true, /*trace=*/false, "");
+       },
+       [&](bool last_round) {
+         // The chrome://tracing dump rides on the final round only.
+         return RunReal(topo, subscribers, depth, batch, real_duration, seed,
+                        /*metrics=*/true, /*trace=*/true,
+                        last_round ? trace_out : std::string());
+       }});
+  // Table rows show each configuration's best rep; the overhead verdict
+  // uses the median same-round ratio vs the obs-off baseline.
+  auto best_of = [&](size_t c) {
+    RealResult best;
+    for (const auto& round : rounds)
+      if (round[c].tps > best.tps) best = round[c];
+    return best;
+  };
+  RealResult off = best_of(0);
+  RealResult on = best_of(1);
+  RealResult tr = best_of(2);
+  double on_overhead = (1.0 - MedianRatioVsBaseline(rounds, 1)) * 100.0;
+  double tr_overhead = (1.0 - MedianRatioVsBaseline(rounds, 2)) * 100.0;
+  TablePrinter tp({"Config", "TPS", "Overhead (%)", "P50us", "P95us",
+                   "P99us"});
+  tp.AddRow({"obs off", TablePrinter::Num(off.tps, 0),
+             TablePrinter::Num(0.0, 2), "-", "-", "-"});
+  tp.AddRow({"metrics on", TablePrinter::Num(on.tps, 0),
+             TablePrinter::Num(on_overhead, 2),
+             TablePrinter::Int(static_cast<long long>(on.commit_p50_us)),
+             TablePrinter::Int(static_cast<long long>(on.commit_p95_us)),
+             TablePrinter::Int(static_cast<long long>(on.commit_p99_us))});
+  tp.AddRow({"metrics+trace", TablePrinter::Num(tr.tps, 0),
+             TablePrinter::Num(tr_overhead, 2),
+             TablePrinter::Int(static_cast<long long>(tr.commit_p50_us)),
+             TablePrinter::Int(static_cast<long long>(tr.commit_p95_us)),
+             TablePrinter::Int(static_cast<long long>(tr.commit_p99_us))});
   tp.Print();
+  std::printf("\nTPS = best rep per configuration; Overhead = median of the "
+              "per-round paired\nratios vs obs-off. Paper budget: <= 3.32%% "
+              "(Table II worst case). The\nmetrics-on row is the production "
+              "configuration.\n");
+
+  if (!json_path.empty()) {
+    JsonValue doc = JsonValue::Object();
+    doc.Add("bench", std::string("table2_monitoring_overhead"))
+        .Add("schema", std::string("BENCH_submission"))
+        .Add("config",
+             JsonValue::Object()
+                 .Add("subscribers", static_cast<long long>(subscribers))
+                 .Add("cores", static_cast<long long>(cores))
+                 .Add("depth", static_cast<long long>(depth))
+                 .Add("batch", static_cast<long long>(batch))
+                 .Add("duration_s", real_duration)
+                 .Add("reps", static_cast<long long>(reps))
+                 .Add("seed", static_cast<long long>(seed)))
+        .Add("off_tps", off.tps)
+        .Add("metrics_tps", on.tps)
+        .Add("metrics_overhead_pct", on_overhead)
+        .Add("trace_tps", tr.tps)
+        .Add("trace_overhead_pct", tr_overhead)
+        .Add("commit_p50_us", static_cast<long long>(on.commit_p50_us))
+        .Add("commit_p95_us", static_cast<long long>(on.commit_p95_us))
+        .Add("commit_p99_us", static_cast<long long>(on.commit_p99_us))
+        .Add("trace_events_recorded",
+             static_cast<long long>(tr.trace_recorded))
+        .Add("trace_events_dropped",
+             static_cast<long long>(tr.trace_dropped));
+    if (!doc.WriteTo(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (max_overhead_pct > 0 && on_overhead > max_overhead_pct) {
+    std::fprintf(stderr,
+                 "FAIL: metrics-on overhead %.2f%% exceeds "
+                 "--max_overhead_pct=%g\n",
+                 on_overhead, max_overhead_pct);
+    return 2;
+  }
   return 0;
 }

@@ -74,6 +74,11 @@ struct RunResult {
   uint64_t log_records = 0;
   uint64_t log_bytes = 0;
   uint64_t durable_epoch = 0;
+  // Commit latency (submit → completion ack) from the obs registry's
+  // merged histogram, in microseconds.
+  uint64_t commit_p50_us = 0;
+  uint64_t commit_p95_us = 0;
+  uint64_t commit_p99_us = 0;
 
   double log_bytes_per_commit() const {
     return committed > 0
@@ -85,8 +90,12 @@ struct RunResult {
 RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
                   int clients, size_t depth, size_t batch, double duration,
                   double hot_pct, uint64_t seed,
-                  engine::PartitionedExecutor::Options exec_opt) {
-  engine::Database db({.topo = topo});
+                  engine::PartitionedExecutor::Options exec_opt,
+                  const std::string& trace_path = "") {
+  engine::Database::Options dopt;
+  dopt.topo = topo;
+  dopt.obs.trace = !trace_path.empty();
+  engine::Database db(dopt);
   std::vector<uint64_t> bounds;
   for (int p = 0; p < topo.num_cores(); ++p)
     bounds.push_back(subscribers * static_cast<uint64_t>(p) /
@@ -168,6 +177,16 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
     out.log_bytes = lm->bytes_logged();
     out.durable_epoch = lm->durable_epoch();
   }
+  obs::StatsSnapshot snap = db.StatsSnapshot();
+  const obs::Histogram& lat = snap.hist(obs::HistId::kCommitLatencyUs);
+  out.commit_p50_us = lat.Quantile(0.5);
+  out.commit_p95_us = lat.Quantile(0.95);
+  out.commit_p99_us = lat.Quantile(0.99);
+  if (!trace_path.empty() && db.DumpTrace(trace_path))
+    std::printf("wrote trace %s (%llu events recorded, %llu dropped)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(snap.trace_events_recorded),
+                static_cast<unsigned long long>(snap.trace_events_dropped));
   return out;
 }
 
@@ -325,6 +344,9 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("log_flush_interval_us", 50));
   std::string wire_name = flags.GetString("log_encoding", "diff");
   bool recovery_check = flags.GetBool("recovery_check", false);
+  // --trace=<path>: re-run the last sweep point with txn lifecycle tracing
+  // enabled and dump a chrome://tracing-loadable JSON there.
+  std::string trace_path = flags.GetString("trace", "");
 
   engine::PartitionedExecutor::Options exec_opt;
   if (!ParseDurability(durability_name, &exec_opt.durability)) {
@@ -367,16 +389,24 @@ int main(int argc, char** argv) {
             : std::vector<std::pair<size_t, size_t>>{
                   {1, 1}, {8, 1}, {32, 1}, {8, 8}, {32, 8}, {32, 32}};
 
-  TablePrinter tp({"Depth", "Batch", "TPS", "Repartitions", "Completed",
-                   "LogRecords", "LogB/Commit"});
+  TablePrinter tp({"Depth", "Batch", "TPS", "P50us", "P95us", "P99us",
+                   "Repartitions", "Completed", "LogRecords", "LogB/Commit"});
   JsonValue rows = JsonValue::Array();
   bool below_min = false;
-  for (auto [depth, batch] : points) {
+  for (size_t i = 0; i < points.size(); ++i) {
+    auto [depth, batch] = points[i];
+    // Tracing rides on the last sweep point only, so the earlier rows
+    // stay comparable run-to-run.
+    const std::string tpath =
+        i + 1 == points.size() ? trace_path : std::string();
     RunResult r = RunOnce(topo, subscribers, clients, depth, batch, duration,
-                          hot_pct, seed, exec_opt);
+                          hot_pct, seed, exec_opt, tpath);
     tp.AddRow({TablePrinter::Int(static_cast<long long>(depth)),
                TablePrinter::Int(static_cast<long long>(batch)),
                TablePrinter::Int(static_cast<long long>(r.tps)),
+               TablePrinter::Int(static_cast<long long>(r.commit_p50_us)),
+               TablePrinter::Int(static_cast<long long>(r.commit_p95_us)),
+               TablePrinter::Int(static_cast<long long>(r.commit_p99_us)),
                TablePrinter::Int(static_cast<long long>(r.repartitions)),
                TablePrinter::Int(static_cast<long long>(r.completed)),
                TablePrinter::Int(static_cast<long long>(r.log_records)),
@@ -385,6 +415,12 @@ int main(int argc, char** argv) {
                   .Add("depth", static_cast<long long>(depth))
                   .Add("batch", static_cast<long long>(batch))
                   .Add("tps", r.tps)
+                  .Add("commit_p50_us",
+                       static_cast<long long>(r.commit_p50_us))
+                  .Add("commit_p95_us",
+                       static_cast<long long>(r.commit_p95_us))
+                  .Add("commit_p99_us",
+                       static_cast<long long>(r.commit_p99_us))
                   .Add("remote_ratio", r.remote_ratio)
                   .Add("repartitions", static_cast<long long>(r.repartitions))
                   .Add("completed", static_cast<long long>(r.completed))

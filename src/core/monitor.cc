@@ -21,21 +21,20 @@ void PartitionMonitor::RecordBatch(BatchTally* tally, double cost_per_action) {
   double per = ClampCost(cost_per_action);
   for (size_t i = 0; i < tally->counts_.size(); ++i) {
     if (tally->counts_[i] == 0) continue;
-    cost_[i].fetch_add(per * static_cast<double>(tally->counts_[i]),
-                       std::memory_order_relaxed);
+    cost_.Add(i, per * static_cast<double>(tally->counts_[i]));
     tally->counts_[i] = 0;
   }
 }
 
 double PartitionMonitor::TotalCost() const {
   double t = 0;
-  for (const auto& c : cost_) t += c.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < cost_.size(); ++i) t += cost_.Read(i);
   return t;
 }
 
 void PartitionMonitor::Reset() {
-  for (auto& c : cost_) c.store(0.0, std::memory_order_relaxed);
-  for (auto& s : syncs_) s.store(0, std::memory_order_relaxed);
+  cost_.Reset();
+  syncs_.Reset();
 }
 
 MonitorAggregator::MonitorAggregator(size_t num_tables, size_t num_classes)

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/stats.h"
+#include "obs/histogram.h"
 
 namespace atrapos::core {
 
@@ -21,11 +22,14 @@ constexpr int kDefaultSubPartitions = 10;
 
 /// Per-partition trace arrays. One worker writes each array
 /// (data-oriented execution) while the harvest thread reads and resets it
-/// concurrently; the bins are relaxed atomics and writers use fetch_add,
-/// so no update can tear or resurrect a pre-reset total (plain doubles
-/// were a data race). The only remaining imprecision is benign: an action
-/// recorded between the harvester's read and its Reset is dropped with
-/// the discarded trace.
+/// concurrently. The bins delegate to obs::AtomicDoubleBins /
+/// obs::AtomicCountBins (the registry's shared cell implementation):
+/// writers fetch_add with release ordering and the harvest reads with
+/// acquire, so a harvest that observed a batch's completion also observes
+/// that batch's cost updates — the all-relaxed bins this replaces could
+/// legally return stale costs on another core. The only remaining
+/// imprecision is benign: an action recorded between the harvester's read
+/// and its Reset is dropped with the discarded trace.
 class PartitionMonitor {
  public:
   /// Floor for a recorded per-action cost: a sub-partition that executed
@@ -40,7 +44,7 @@ class PartitionMonitor {
   /// Records `cost` units of work for the action that touched `key`,
   /// clamped up to kMinActionCost.
   void RecordAction(uint64_t key, double cost) {
-    cost_[SubOf(key)].fetch_add(ClampCost(cost), std::memory_order_relaxed);
+    cost_.Add(SubOf(key), ClampCost(cost));
   }
 
   /// Thread-local tally of one drained batch: the worker counts which
@@ -68,9 +72,7 @@ class PartitionMonitor {
   void RecordBatch(BatchTally* tally, double cost_per_action);
 
   /// Records one synchronization-point participation for `key`.
-  void RecordSync(uint64_t key) {
-    syncs_[SubOf(key)].fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordSync(uint64_t key) { syncs_.Add(SubOf(key)); }
 
   uint64_t start_key() const { return start_; }
   uint64_t end_key() const { return end_; }
@@ -79,12 +81,9 @@ class PartitionMonitor {
   uint64_t sub_start(size_t i) const {
     return start_ + span_ * i / cost_.size();
   }
-  double sub_cost(size_t i) const {
-    return cost_[i].load(std::memory_order_relaxed);
-  }
-  uint64_t sub_syncs(size_t i) const {
-    return syncs_[i].load(std::memory_order_relaxed);
-  }
+  // Snapshot reads: acquire-paired with the recorders' release adds.
+  double sub_cost(size_t i) const { return cost_.Read(i); }
+  uint64_t sub_syncs(size_t i) const { return syncs_.Read(i); }
   double TotalCost() const;
 
   /// Clears the arrays (after every aggregation — traces are discarded).
@@ -102,8 +101,8 @@ class PartitionMonitor {
   }
 
   uint64_t start_, end_, span_;
-  std::vector<std::atomic<double>> cost_;
-  std::vector<std::atomic<uint64_t>> syncs_;
+  obs::AtomicDoubleBins cost_;
+  obs::AtomicCountBins syncs_;
 };
 
 /// Builds a WorkloadStats from harvested partition monitors.

@@ -98,6 +98,9 @@ void AdaptiveManager::Loop() {
     auto applied = exec_->Repartition(target);
     if (applied.ok() && applied.value() > 0) {
       repartitions_.fetch_add(1, std::memory_order_relaxed);
+      exec_->registry()->Count(obs::CounterId::kRepartitions);
+      exec_->registry()->Trace(obs::SpanId::kRepartition,
+                               obs::TracePhase::kInstant, 0, applied.value());
       controller_.OnRepartitioned();
     } else {
       controller_.OnEvaluatedNoChange();

@@ -8,9 +8,11 @@ namespace atrapos::engine {
 
 Database::Database(Options opt)
     : opt_(std::move(opt)),
+      obs_(std::make_unique<obs::Registry>(opt_.obs)),
       mem_(opt_.topo, opt_.mem),
       wal_(log::LogManager::Options{
-          .flush_interval_us = opt_.wal_flush_interval_us}),
+          .flush_interval_us = opt_.wal_flush_interval_us,
+          .registry = obs_.get()}),
       volume_lock_(num_sockets()) {
   // The shared-everything transaction API keeps the centralized 1-shard
   // log (the retired WriteAheadLog protocol); its buffer chunks come from
@@ -21,6 +23,15 @@ Database::Database(Options opt)
   } else {
     txn_list_ = std::make_unique<txn::CentralizedTxnList>();
   }
+}
+
+obs::StatsSnapshot Database::StatsSnapshot() {
+  obs::StatsSnapshot s = obs_->Snapshot();
+  const mem::AllocStats& ms = mem_.stats();
+  s.remote_traffic_ratio = ms.AccessRemoteRatio();
+  s.alloc_remote_ratio = ms.AllocRemoteRatio();
+  s.migrated_bytes = ms.migrated_bytes();
+  return s;
 }
 
 int Database::AddTable(std::unique_ptr<storage::Table> table) {

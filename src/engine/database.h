@@ -20,6 +20,7 @@
 #include "hw/topology.h"
 #include "log/log_manager.h"
 #include "mem/island_allocator.h"
+#include "obs/registry.h"
 #include "storage/table.h"
 #include "sync/partitioned_rwlock.h"
 #include "txn/lock_manager.h"
@@ -44,6 +45,10 @@ class Database {
     bool partitioned_state = true;
     MemoryOptions mem;
     uint64_t wal_flush_interval_us = 50;
+    /// Observability: per-worker metrics registry (on by default) and
+    /// transaction lifecycle tracing (off by default; near-zero cost when
+    /// off). See obs/registry.h.
+    obs::Registry::Options obs;
   };
 
   explicit Database(Options opt);
@@ -105,6 +110,25 @@ class Database {
   /// uses it to place partition state, benchmarks read its AllocStats.
   mem::IslandAllocator& memory() { return mem_; }
   const mem::IslandAllocator& memory() const { return mem_; }
+
+  /// The unified observability registry every layer records into
+  /// (executor stage latencies and queue depths, log flush latencies and
+  /// durable lag, adaptive repartition instants). See obs/registry.h.
+  obs::Registry& observability() { return *obs_; }
+  const obs::Registry& observability() const { return *obs_; }
+
+  /// Merged point-in-time metrics: counters/histograms from every worker
+  /// shard, queue depths and log totals from the registered executor/log
+  /// sources, and the memory subsystem's remote-traffic ratio and
+  /// migration bytes. Safe concurrently with a live run.
+  obs::StatsSnapshot StatsSnapshot();
+
+  /// Writes the collected transaction lifecycle trace as
+  /// chrome://tracing-loadable JSON. Exact when the executor is drained;
+  /// best-effort around live ring wrap points.
+  bool DumpTrace(const std::string& path) const {
+    return obs_->DumpChromeTrace(path);
+  }
   const hw::Topology& topology() const { return opt_.topo; }
   int num_sockets() const { return opt_.topo.num_sockets(); }
 
@@ -115,6 +139,9 @@ class Database {
 
  private:
   Options opt_;
+  /// First member: the registry outlives every subsystem that records
+  /// into it during destruction.
+  std::unique_ptr<obs::Registry> obs_;
   mem::IslandAllocator mem_;
   std::vector<std::unique_ptr<storage::Table>> tables_;
   txn::LockManager locks_;

@@ -58,6 +58,7 @@
 #include "hw/topology.h"
 #include "log/log_manager.h"
 #include "mem/chunk_pool.h"
+#include "obs/registry.h"
 #include "util/status.h"
 
 namespace atrapos::engine {
@@ -186,6 +187,10 @@ class PartitionedExecutor {
   log::LogManager* log_manager() { return log_ ? log_.get() : nullptr; }
   DurabilityMode durability() const { return opt_.durability; }
 
+  /// The database's observability registry this executor records into
+  /// (never null). AdaptiveManager uses it for repartition instants.
+  obs::Registry* registry() const { return obs_; }
+
  private:
   using TaskQueue = MpscChunkQueue<ActionTask>;
 
@@ -203,6 +208,10 @@ class PartitionedExecutor {
     log::LogShard* shard = nullptr;
     /// Lock-free MPSC inbox; mu/cv exist only for parking an idle worker.
     TaskQueue inbox;
+    /// Tasks published but not yet drained (producers add before Push,
+    /// the worker subtracts after PopAll — never negative). Snapshot-time
+    /// queue depth; per-partition because several producers feed one inbox.
+    std::atomic<int64_t> pending{0};
     /// True while the worker is (about to be) blocked on cv. Producers
     /// claim the wake with exchange(false), so a burst of publishes while
     /// the worker runs performs zero notifies (wake coalescing).
@@ -260,6 +269,9 @@ class PartitionedExecutor {
   Database* db_;
   const hw::Topology* topo_;
   Options opt_;
+  /// The database's registry (owned by Database, outlives the executor).
+  obs::Registry* obs_;
+  int obs_source_ = -1;  ///< AddSource id of the queue-depth/log source
   std::unique_ptr<CommitAckSink> ack_sink_;
   std::unique_ptr<log::LogManager> log_;
   log::LogShard* central_shard_ = nullptr;  ///< log_shards == 1 fast path

@@ -58,8 +58,13 @@ struct TxnState {
   std::shared_ptr<TxnState> self;
 
   // ---- durability (set only when the executor logs; see src/log/) -------
-  /// Engine-assigned transaction id for log records (0 when logging is off).
+  /// Engine-assigned transaction id for log records and trace events
+  /// (0 when both logging and tracing are off).
   uint64_t txn_id = 0;
+  /// Submit timestamp (registry clock) for the commit-latency histogram
+  /// and the transaction's async trace span; 0 when metrics and tracing
+  /// are both off at submit time.
+  uint64_t submit_ts_ns = 0;
   /// Bitmask of partition seqs whose workers logged data records for this
   /// transaction; the completing worker publishes one commit marker per
   /// set bit (the action-completion release/acquire pair orders the bits).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/registry.h"
+
 namespace atrapos::log {
 
 LogManager::LogManager() : LogManager(Options{}) {}
@@ -124,6 +126,10 @@ void LogManager::MarkEpochDurable(uint64_t epoch) {
 }
 
 void LogManager::FlushAll() {
+  obs::Registry* reg = opt_.registry;
+  const bool rec =
+      reg != nullptr && (reg->metrics_enabled() || reg->trace_enabled());
+  const uint64_t t0 = rec ? reg->NowNs() : 0;
   std::vector<CommitTicket*> fired;
   {
     std::lock_guard lk(shards_mu_);
@@ -134,6 +140,16 @@ void LogManager::FlushAll() {
     for (LogShard* s : active_) s->Flush(&fired);
   }
   SettleDurable(fired);
+  if (rec) {
+    const uint64_t dt = reg->NowNs() - t0;
+    reg->Count(obs::CounterId::kLogFlushes);
+    reg->RecordLatency(obs::HistId::kLogFlushUs, dt / 1000);
+    const uint64_t last = last_epoch();
+    const uint64_t durable = durable_epoch();
+    reg->SetGauge(obs::GaugeId::kDurableLagEpochs,
+                  static_cast<int64_t>(last > durable ? last - durable : 0));
+    reg->Trace(obs::SpanId::kLogFlush, obs::TracePhase::kComplete, 0, dt);
+  }
 }
 
 void LogManager::FlusherLoop() {

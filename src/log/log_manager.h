@@ -32,6 +32,10 @@
 #include "log/log_record.h"
 #include "log/log_shard.h"
 
+namespace atrapos::obs {
+class Registry;
+}  // namespace atrapos::obs
+
 namespace atrapos::log {
 
 class LogManager {
@@ -47,6 +51,10 @@ class LogManager {
     /// (default) writes the slim Rid+diff records; kAfterImageV1 keeps the
     /// PR 4 after-image encoding for the log-bytes comparison.
     WireFormat wire = WireFormat::kCompactDiffV2;
+    /// Observability registry for flush latency, flush count, and the
+    /// durable-lag gauge (nullptr = no recording). Must outlive the
+    /// manager; the executor passes its database's registry.
+    obs::Registry* registry = nullptr;
   };
 
   /// Receives commit acks. Group mode: called on the flusher thread once

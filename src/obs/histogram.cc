@@ -1,0 +1,132 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace atrapos::obs {
+
+int BucketOf(uint64_t v) {
+  int b = v == 0 ? 0 : 64 - std::countl_zero(v);
+  return b >= kHistogramBuckets ? kHistogramBuckets - 1 : b;
+}
+
+uint64_t BucketLo(int b) { return b == 0 ? 0 : (uint64_t{1} << (b - 1)); }
+
+uint64_t BucketHi(int b) { return b == 0 ? 1 : (uint64_t{1} << b); }
+
+void Histogram::Add(uint64_t v) {
+  if (total_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++total_;
+  sum_ += static_cast<double>(v);
+  ++buckets_[static_cast<size_t>(BucketOf(v))];
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (total_ == 0) return 0;
+  auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+  if (target >= total_) target = total_ - 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    uint64_t n = buckets_[static_cast<size_t>(b)];
+    if (seen + n > target) {
+      uint64_t lo = BucketLo(b);
+      uint64_t hi = BucketHi(b);
+      double frac = n == 0 ? 0.0
+                           : static_cast<double>(target - seen) /
+                                 static_cast<double>(n);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += n;
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+  for (int b = 0; b < kHistogramBuckets; ++b)
+    buckets_[static_cast<size_t>(b)] += other.buckets_[static_cast<size_t>(b)];
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  total_ = min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << total_ << " mean=" << mean() << " p50=" << Quantile(0.5)
+     << " p99=" << Quantile(0.99) << " max=" << max();
+  return os.str();
+}
+
+void AtomicHistogram::Record(uint64_t v) {
+  buckets_[static_cast<size_t>(BucketOf(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  // min/max update only on a new extreme — zero steady-state cost.
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  // The release publish the snapshot's acquire load pairs with: every bin
+  // write above happens-before a snapshot that observed this count.
+  total_.fetch_add(1, std::memory_order_release);
+}
+
+void AtomicHistogram::MergeInto(Histogram* out) const {
+  uint64_t total = total_.load(std::memory_order_acquire);
+  if (total == 0) return;
+  Histogram h;
+  h.total_ = total;
+  h.sum_ = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  h.min_ = min_.load(std::memory_order_relaxed);
+  h.max_ = max_.load(std::memory_order_relaxed);
+  uint64_t binned = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    h.buckets_[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    binned += h.buckets_[static_cast<size_t>(b)];
+  }
+  // Bins are written before the count publishes, so a concurrent snapshot
+  // can observe bin increments whose count publish it missed — take the
+  // larger so quantile mass is never dropped mid-flight.
+  if (binned > h.total_) h.total_ = binned;
+  if (h.min_ > h.max_) h.min_ = h.max_;  // racing first Record
+  out->Merge(h);
+}
+
+Histogram AtomicHistogram::Snapshot() const {
+  Histogram out;
+  MergeInto(&out);
+  return out;
+}
+
+void AtomicHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_release);
+}
+
+}  // namespace atrapos::obs

@@ -1,0 +1,144 @@
+// Log-bucketed latency histograms — the single binning implementation the
+// whole engine shares (paper §V-D: monitoring must be budgeted into every
+// transaction, so the write side is one relaxed fetch_add per observation).
+//
+// Two flavors over the same power-of-two bucket layout:
+//
+//  - Histogram: plain counters. The single-writer/snapshot form — merged
+//    views, bench reporting, and the former util::stats histogram (which
+//    is now an alias of this class; the duplicate binning logic is gone).
+//  - AtomicHistogram: one relaxed-atomic bin array per writer shard
+//    (obs::Registry gives every worker its own), written with
+//    release-ordered fetch_add on the hot path and read with acquire loads
+//    at snapshot time, so a snapshot observes every observation that
+//    happened-before it (the visibility-ordering fix PartitionMonitor's
+//    bins needed). Snapshot() merges into a plain Histogram.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atrapos::obs {
+
+/// Power-of-two bucket boundaries: bucket 0 holds v == 0 and v == 1 lands
+/// in bucket 1; bucket b (b >= 1) covers [2^(b-1), 2^b).
+inline constexpr int kHistogramBuckets = 64;
+
+int BucketOf(uint64_t v);
+/// Inclusive lower bound of bucket `b`.
+uint64_t BucketLo(int b);
+/// Exclusive upper bound of bucket `b`.
+uint64_t BucketHi(int b);
+
+/// Fixed-bucket histogram with power-of-two bucket boundaries, suitable
+/// for latency distributions. Records values in [0, 2^63). Not
+/// thread-safe — this is the merged/snapshot form (see AtomicHistogram).
+class Histogram {
+ public:
+  void Add(uint64_t v);
+  uint64_t count() const { return total_; }
+  /// Approximate quantile (q in [0,1]) assuming uniform density in-bucket.
+  uint64_t Quantile(double q) const;
+  uint64_t min() const { return total_ ? min_ : 0; }
+  uint64_t max() const { return total_ ? max_ : 0; }
+  double mean() const {
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+  }
+  uint64_t bucket(int b) const { return buckets_[static_cast<size_t>(b)]; }
+  void Merge(const Histogram& other);
+  void Reset();
+  std::string ToString() const;
+
+ private:
+  friend class AtomicHistogram;
+  std::array<uint64_t, kHistogramBuckets> buckets_{};
+  uint64_t total_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Concurrent histogram: any number of writers Record() with one
+/// release-ordered fetch_add per bin touch; Snapshot() pairs with acquire
+/// loads, so every Record that happened-before the snapshot is visible in
+/// it. Between concurrent snapshots, counts are monotonically
+/// non-decreasing (bins only grow; Reset is only legal quiescent).
+class AtomicHistogram {
+ public:
+  AtomicHistogram() = default;
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  void Record(uint64_t v);
+
+  /// Merged plain view. Safe concurrently with writers: acquire-paired
+  /// with Record's release adds; a racing Record may or may not be
+  /// included, but never torn and never lost by a later snapshot.
+  Histogram Snapshot() const;
+
+  /// Folds this histogram into `out` (same acquire semantics).
+  void MergeInto(Histogram* out) const;
+
+  uint64_t count() const { return total_.load(std::memory_order_acquire); }
+
+  /// Quiescent-only (writers stopped), like PartitionMonitor::Reset.
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// A release-add / acquire-read atomic double cell array: the bin storage
+/// PartitionMonitor delegates to. fetch_add(release) on the write side and
+/// acquire loads on the snapshot side form the visibility pair the old
+/// all-relaxed bins lacked (a harvest could miss a cost update whose
+/// action completion it had already observed).
+class AtomicDoubleBins {
+ public:
+  explicit AtomicDoubleBins(size_t n) : bins_(n) {
+    for (auto& b : bins_) b.store(0.0, std::memory_order_relaxed);
+  }
+  size_t size() const { return bins_.size(); }
+  void Add(size_t i, double v) {
+    bins_[i].fetch_add(v, std::memory_order_release);
+  }
+  double Read(size_t i) const {
+    return bins_[i].load(std::memory_order_acquire);
+  }
+  void Reset() {
+    for (auto& b : bins_) b.store(0.0, std::memory_order_release);
+  }
+
+ private:
+  std::vector<std::atomic<double>> bins_;
+};
+
+/// Same pairing for integer bins.
+class AtomicCountBins {
+ public:
+  explicit AtomicCountBins(size_t n) : bins_(n) {
+    for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  }
+  size_t size() const { return bins_.size(); }
+  void Add(size_t i, uint64_t v = 1) {
+    bins_[i].fetch_add(v, std::memory_order_release);
+  }
+  uint64_t Read(size_t i) const {
+    return bins_[i].load(std::memory_order_acquire);
+  }
+  void Reset() {
+    for (auto& b : bins_) b.store(0, std::memory_order_release);
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> bins_;
+};
+
+}  // namespace atrapos::obs

@@ -1,0 +1,237 @@
+#include "obs/registry.h"
+
+#include <sstream>
+
+namespace atrapos::obs {
+
+const char* CounterName(CounterId c) {
+  switch (c) {
+    case CounterId::kTxnSubmitted: return "txn_submitted";
+    case CounterId::kTxnCommitted: return "txn_committed";
+    case CounterId::kTxnAborted: return "txn_aborted";
+    case CounterId::kBatchesDrained: return "batches_drained";
+    case CounterId::kCommitMarkersAppended: return "commit_markers_appended";
+    case CounterId::kDurableAcks: return "durable_acks";
+    case CounterId::kLogFlushes: return "log_flushes";
+    case CounterId::kRepartitions: return "repartitions";
+    case CounterId::kCount: break;
+  }
+  return "?";
+}
+
+const char* GaugeName(GaugeId g) {
+  switch (g) {
+    case GaugeId::kQueueDepthTotal: return "queue_depth_total";
+    case GaugeId::kDurableLagEpochs: return "durable_lag_epochs";
+    case GaugeId::kCount: break;
+  }
+  return "?";
+}
+
+const char* HistName(HistId h) {
+  switch (h) {
+    case HistId::kCommitLatencyUs: return "commit_latency_us";
+    case HistId::kDrainBatchUs: return "drain_batch_us";
+    case HistId::kDrainBatchSize: return "drain_batch_size";
+    case HistId::kActionAvgUs: return "action_avg_us";
+    case HistId::kSubmitPublishUs: return "submit_publish_us";
+    case HistId::kLogFlushUs: return "log_flush_us";
+    case HistId::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+/// Monotonically increasing registry ids so a thread's cached shard can
+/// never be mistaken for one belonging to a registry reallocated at the
+/// same address.
+std::atomic<uint64_t> g_next_registry_id{1};
+}  // namespace
+
+Registry::Registry(Options opt)
+    : opt_(opt),
+      id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()),
+      metrics_on_(opt.metrics),
+      trace_on_(false) {
+  for (auto& g : gauges_) g.store(0, std::memory_order_relaxed);
+  if (opt_.max_shards == 0) opt_.max_shards = 1;
+  if (opt.trace) SetTraceEnabled(true);
+}
+
+Registry::~Registry() = default;
+
+Registry::Shard& Registry::Local() {
+  thread_local uint64_t cached_id = 0;
+  thread_local Shard* cached = nullptr;
+  if (cached_id != id_ || cached == nullptr) {
+    cached = &AssignShard();
+    cached_id = id_;
+  }
+  return *cached;
+}
+
+Registry::Shard& Registry::AssignShard() {
+  std::lock_guard lk(mu_);
+  size_t idx = next_shard_++;
+  if (idx >= shards_.size() && shards_.size() < opt_.max_shards) {
+    shards_.push_back(std::make_unique<Shard>());
+    if (trace_on_.load(std::memory_order_relaxed)) {
+      rings_.push_back(std::make_unique<TraceRing>(opt_.trace_capacity));
+      shards_.back()->ring.store(rings_.back().get(),
+                                 std::memory_order_release);
+    }
+    return *shards_.back();
+  }
+  return *shards_[idx % shards_.size()];
+}
+
+void Registry::SetTraceEnabled(bool on) {
+  std::lock_guard lk(mu_);
+  if (on) {
+    // Late ring allocation: shards assigned while tracing was off get
+    // their ring now; shards assigned later get one in AssignShard.
+    for (auto& s : shards_) {
+      if (s->ring.load(std::memory_order_relaxed) == nullptr) {
+        rings_.push_back(std::make_unique<TraceRing>(opt_.trace_capacity));
+        s->ring.store(rings_.back().get(), std::memory_order_release);
+      }
+    }
+  }
+  trace_on_.store(on, std::memory_order_release);
+}
+
+void Registry::TraceSlow(SpanId span, TracePhase phase, uint64_t txn,
+                         uint64_t arg) {
+  TraceRing* ring = Local().ring.load(std::memory_order_acquire);
+  if (ring == nullptr) return;  // shard predates enable; next enable fixes it
+  ring->Record(NowNs(), span, phase, txn, arg);
+}
+
+int Registry::AddSource(Source src) {
+  std::lock_guard lk(mu_);
+  int id = next_source_++;
+  sources_.emplace_back(id, std::move(src));
+  return id;
+}
+
+void Registry::RemoveSource(int id) {
+  std::unique_lock lk(mu_);
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i].first == id) {
+      sources_.erase(sources_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  // A concurrent Snapshot may have copied the source before the erase;
+  // wait until every in-flight source pass finished so the caller can
+  // free whatever the source captured.
+  sources_cv_.wait(lk, [this] { return sources_running_ == 0; });
+}
+
+size_t Registry::num_shards() const {
+  std::lock_guard lk(mu_);
+  return shards_.size();
+}
+
+StatsSnapshot Registry::Snapshot() {
+  StatsSnapshot out;
+  out.seq = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  out.uptime_ns = NowNs();
+  std::vector<std::pair<int, Source>> sources;
+  {
+    std::lock_guard lk(mu_);
+    for (const auto& s : shards_) {
+      for (size_t c = 0; c < kNumCounters; ++c)
+        out.counters[c] += s->counters[c].load(std::memory_order_acquire);
+      for (size_t h = 0; h < kNumHists; ++h)
+        s->hists[h].MergeInto(&out.hists[h]);
+      if (TraceRing* r = s->ring.load(std::memory_order_acquire)) {
+        out.trace_events_recorded += r->recorded();
+        out.trace_events_dropped += r->dropped();
+      }
+    }
+    sources = sources_;
+    ++sources_running_;
+  }
+  for (size_t g = 0; g < kNumGauges; ++g)
+    out.gauges[g] = gauges_[g].load(std::memory_order_acquire);
+  // Sources run outside mu_: they take their own subsystem locks (e.g.
+  // the executor's scheme gate) and must not nest under the shard mutex.
+  for (auto& [id, src] : sources) src(out);
+  {
+    std::lock_guard lk(mu_);
+    --sources_running_;
+  }
+  sources_cv_.notify_all();
+  return out;
+}
+
+std::vector<TraceEvent> Registry::CollectTrace() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard lk(mu_);
+  uint16_t shard = 0;
+  for (const auto& s : shards_) {
+    if (TraceRing* r = s->ring.load(std::memory_order_acquire))
+      r->Collect(shard, &out);
+    ++shard;
+  }
+  return out;
+}
+
+bool Registry::DumpChromeTrace(const std::string& path) const {
+  return WriteChromeTrace(path, CollectTrace());
+}
+
+std::string StatsSnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  for (size_t c = 0; c < kNumCounters; ++c) {
+    const char* n = CounterName(static_cast<CounterId>(c));
+    os << "# TYPE atrapos_" << n << " counter\n";
+    os << "atrapos_" << n << " " << counters[c] << "\n";
+  }
+  for (size_t g = 0; g < kNumGauges; ++g) {
+    const char* n = GaugeName(static_cast<GaugeId>(g));
+    os << "# TYPE atrapos_" << n << " gauge\n";
+    os << "atrapos_" << n << " " << gauges[g] << "\n";
+  }
+  for (size_t h = 0; h < kNumHists; ++h) {
+    const char* n = HistName(static_cast<HistId>(h));
+    const Histogram& hist = hists[h];
+    os << "# TYPE atrapos_" << n << " summary\n";
+    for (double q : {0.5, 0.95, 0.99}) {
+      os << "atrapos_" << n << "{quantile=\"" << q << "\"} "
+         << hist.Quantile(q) << "\n";
+    }
+    os << "atrapos_" << n << "_sum "
+       << static_cast<uint64_t>(hist.mean() * static_cast<double>(hist.count()))
+       << "\n";
+    os << "atrapos_" << n << "_count " << hist.count() << "\n";
+  }
+  os << "# TYPE atrapos_queue_depth gauge\n";
+  for (size_t p = 0; p < queue_depths.size(); ++p) {
+    os << "atrapos_queue_depth{partition=\"" << p << "\"} "
+       << queue_depths[p] << "\n";
+  }
+  os << "# TYPE atrapos_executed_actions counter\n";
+  os << "atrapos_executed_actions " << executed_actions << "\n";
+  os << "# TYPE atrapos_log_records counter\natrapos_log_records "
+     << log_records << "\n";
+  os << "# TYPE atrapos_log_bytes counter\natrapos_log_bytes " << log_bytes
+     << "\n";
+  os << "# TYPE atrapos_durable_epoch gauge\natrapos_durable_epoch "
+     << durable_epoch << "\n";
+  os << "# TYPE atrapos_remote_traffic_ratio gauge\n"
+     << "atrapos_remote_traffic_ratio " << remote_traffic_ratio << "\n";
+  os << "# TYPE atrapos_alloc_remote_ratio gauge\n"
+     << "atrapos_alloc_remote_ratio " << alloc_remote_ratio << "\n";
+  os << "# TYPE atrapos_migrated_bytes counter\natrapos_migrated_bytes "
+     << migrated_bytes << "\n";
+  os << "# TYPE atrapos_trace_events_recorded counter\n"
+     << "atrapos_trace_events_recorded " << trace_events_recorded << "\n";
+  os << "# TYPE atrapos_trace_events_dropped counter\n"
+     << "atrapos_trace_events_dropped " << trace_events_dropped << "\n";
+  return os.str();
+}
+
+}  // namespace atrapos::obs

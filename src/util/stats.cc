@@ -1,8 +1,6 @@
 #include "util/stats.h"
 
-#include <bit>
 #include <cmath>
-#include <sstream>
 
 namespace atrapos {
 
@@ -28,73 +26,6 @@ double StreamingStats::stddev() const { return std::sqrt(variance()); }
 void StreamingStats::Reset() {
   n_ = 0;
   mean_ = m2_ = min_ = max_ = 0.0;
-}
-
-Histogram::Histogram() : buckets_(kBuckets, 0) {}
-
-namespace {
-int BucketOf(uint64_t v) { return v == 0 ? 0 : 64 - std::countl_zero(v); }
-}  // namespace
-
-void Histogram::Add(uint64_t v) {
-  if (total_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  ++total_;
-  sum_ += static_cast<double>(v);
-  int b = BucketOf(v);
-  if (b >= kBuckets) b = kBuckets - 1;
-  ++buckets_[b];
-}
-
-uint64_t Histogram::Quantile(double q) const {
-  if (total_ == 0) return 0;
-  auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
-  if (target >= total_) target = total_ - 1;
-  uint64_t seen = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    if (seen + buckets_[b] > target) {
-      uint64_t lo = b == 0 ? 0 : (1ULL << (b - 1));
-      uint64_t hi = b == 0 ? 1 : (1ULL << b);
-      double frac = buckets_[b] == 0
-                        ? 0.0
-                        : static_cast<double>(target - seen) /
-                              static_cast<double>(buckets_[b]);
-      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
-    }
-    seen += buckets_[b];
-  }
-  return max_;
-}
-
-void Histogram::Merge(const Histogram& other) {
-  if (other.total_ == 0) return;
-  if (total_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
-  }
-  total_ += other.total_;
-  sum_ += other.sum_;
-  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
-}
-
-void Histogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
-  total_ = min_ = max_ = 0;
-  sum_ = 0.0;
-}
-
-std::string Histogram::ToString() const {
-  std::ostringstream os;
-  os << "count=" << total_ << " mean=" << mean() << " p50=" << Quantile(0.5)
-     << " p99=" << Quantile(0.99) << " max=" << max_;
-  return os.str();
 }
 
 void SlidingWindow::Add(double v) {

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace atrapos {
 
 /// Welford streaming mean/variance plus min/max. O(1) per observation.
@@ -30,30 +32,11 @@ class StreamingStats {
   double max_ = 0.0;
 };
 
-/// Fixed-bucket histogram with power-of-two bucket boundaries, suitable for
-/// latency distributions. Records values in [0, 2^63).
-class Histogram {
- public:
-  Histogram();
-  void Add(uint64_t v);
-  uint64_t count() const { return total_; }
-  /// Approximate quantile (q in [0,1]) assuming uniform density in-bucket.
-  uint64_t Quantile(double q) const;
-  uint64_t min() const { return total_ ? min_ : 0; }
-  uint64_t max() const { return total_ ? max_ : 0; }
-  double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
-  void Merge(const Histogram& other);
-  void Reset();
-  std::string ToString() const;
-
- private:
-  static constexpr int kBuckets = 64;
-  std::vector<uint64_t> buckets_;
-  uint64_t total_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
-  double sum_ = 0.0;
-};
+/// Fixed-bucket histogram with power-of-two bucket boundaries. The binning
+/// implementation lives in obs/histogram.h (shared with the concurrent
+/// per-worker registry histograms); this alias keeps the long-standing
+/// util spelling.
+using Histogram = obs::Histogram;
 
 /// Sliding window over the last N observations; the ATraPos adaptive
 /// controller asks "is the current throughput within 10% of the average of

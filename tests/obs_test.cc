@@ -1,0 +1,559 @@
+// Tests of the unified observability subsystem (src/obs/): histogram
+// binning and concurrent merge correctness, registry snapshot
+// monotonicity under concurrent writers and readers, trace-ring wrap
+// semantics, the trace-off zero-allocation guarantee, and the engine
+// integration — Database::StatsSnapshot fields and the span
+// nesting/ordering invariants of a dumped transaction trace.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/partitioned_executor.h"
+#include "obs/histogram.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "workload/micro.h"
+
+// ---- allocation instrumentation (whole test binary) ------------------------
+// Counts every operator-new in the process so the trace-off/metrics-off
+// hot-path test can assert zero allocations across a recording loop.
+
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace atrapos::obs {
+namespace {
+
+using engine::ActionCtx;
+using engine::ActionGraph;
+using engine::Database;
+using engine::DurabilityMode;
+using engine::PartitionedExecutor;
+
+// ---- histogram --------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  EXPECT_EQ(BucketOf(0), 0);
+  EXPECT_EQ(BucketOf(1), 1);
+  EXPECT_EQ(BucketOf(2), 2);
+  EXPECT_EQ(BucketOf(3), 2);
+  EXPECT_EQ(BucketOf(4), 3);
+  for (int b = 1; b < kHistogramBuckets - 1; ++b) {
+    EXPECT_EQ(BucketOf(BucketLo(b)), b) << b;
+    EXPECT_EQ(BucketOf(BucketHi(b) - 1), b) << b;
+  }
+}
+
+TEST(HistogramTest, QuantilesBracketTheData) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(static_cast<double>(h.Quantile(0.5)), 500.0, 260.0);
+  EXPECT_GE(h.Quantile(0.99), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(1.0), 1024u);  // bucket upper bound
+  EXPECT_NEAR(h.mean(), 500.5, 0.01);
+}
+
+TEST(HistogramTest, MergeAddsCountsAndWidensRange) {
+  Histogram a, b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(AtomicHistogramTest, ConcurrentWritersMergeExactlyOnceQuiescent) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  AtomicHistogram h;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i)
+        h.Record(static_cast<uint64_t>(t) * kPerThread + i + 1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  Histogram merged = h.Snapshot();
+  EXPECT_EQ(merged.count(), kThreads * kPerThread);
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), kThreads * kPerThread);
+  uint64_t binned = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) binned += merged.bucket(b);
+  EXPECT_EQ(binned, merged.count());
+}
+
+TEST(AtomicHistogramTest, LiveSnapshotNeverOvercountsOrTears) {
+  AtomicHistogram h;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t v = 1;
+    while (!stop.load(std::memory_order_relaxed)) h.Record(v++ % 4096);
+  });
+  uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    Histogram s = h.Snapshot();
+    // Monotone between snapshots, and never more total than binned mass.
+    EXPECT_GE(s.count(), last);
+    last = s.count();
+  }
+  stop = true;
+  writer.join();
+}
+
+// ---- registry ---------------------------------------------------------------
+
+TEST(RegistryTest, CountersAndHistsMergeAcrossThreads) {
+  Registry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.Count(CounterId::kTxnSubmitted);
+        reg.RecordLatency(HistId::kCommitLatencyUs,
+                          static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  StatsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.counter(CounterId::kTxnSubmitted),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.hist(HistId::kCommitLatencyUs).count(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(RegistryTest, SnapshotsAreMonotoneUnderConcurrentWritersAndReaders) {
+  Registry reg;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        reg.Count(CounterId::kTxnCommitted);
+        reg.RecordLatency(HistId::kDrainBatchUs, 7);
+      }
+    });
+  }
+  // Two concurrent snapshotters each verify their own monotone view
+  // (TSAN-relevant: snapshots race writers and each other by design).
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_count = 0, last_hist = 0, last_seq = 0;
+      for (int i = 0; i < 300; ++i) {
+        StatsSnapshot s = reg.Snapshot();
+        EXPECT_GE(s.counter(CounterId::kTxnCommitted), last_count);
+        EXPECT_GE(s.hist(HistId::kDrainBatchUs).count(), last_hist);
+        EXPECT_GT(s.seq, last_seq);
+        last_count = s.counter(CounterId::kTxnCommitted);
+        last_hist = s.hist(HistId::kDrainBatchUs).count();
+        last_seq = s.seq;
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  stop = true;
+  for (auto& w : writers) w.join();
+}
+
+TEST(RegistryTest, ShardsRoundRobinPastTheCap) {
+  Registry::Options opt;
+  opt.max_shards = 2;
+  Registry reg(opt);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 6; ++t) {
+    ts.emplace_back([&reg] { reg.Count(CounterId::kTxnSubmitted); });
+    ts.back().join();
+  }
+  EXPECT_LE(reg.num_shards(), 2u);
+  EXPECT_EQ(reg.Snapshot().counter(CounterId::kTxnSubmitted), 6u);
+}
+
+TEST(RegistryTest, MetricsOffRecordsNothing) {
+  Registry::Options opt;
+  opt.metrics = false;
+  Registry reg(opt);
+  reg.Count(CounterId::kTxnSubmitted);
+  reg.RecordLatency(HistId::kCommitLatencyUs, 5);
+  StatsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.counter(CounterId::kTxnSubmitted), 0u);
+  EXPECT_EQ(s.hist(HistId::kCommitLatencyUs).count(), 0u);
+}
+
+TEST(RegistryTest, DisabledPathsAllocateNothing) {
+  Registry::Options opt;
+  opt.metrics = false;
+  Registry reg(opt);  // tracing off too
+  // Warm up: thread-local caches, lazy anything.
+  reg.Count(CounterId::kTxnSubmitted);
+  reg.Trace(SpanId::kTxn, TracePhase::kBegin, 1);
+  uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 10000; ++i) {
+    reg.Count(CounterId::kTxnSubmitted);
+    reg.RecordLatency(HistId::kCommitLatencyUs, 5);
+    reg.Trace(SpanId::kTxn, TracePhase::kBegin, 1, 2);
+  }
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), before);
+}
+
+TEST(RegistryTest, GaugesAreLastWriteWins) {
+  Registry reg;
+  reg.SetGauge(GaugeId::kQueueDepthTotal, 42);
+  reg.SetGauge(GaugeId::kQueueDepthTotal, 7);
+  EXPECT_EQ(reg.gauge(GaugeId::kQueueDepthTotal), 7);
+  EXPECT_EQ(reg.Snapshot().gauge(GaugeId::kQueueDepthTotal), 7);
+}
+
+TEST(RegistryTest, PrometheusExpositionNamesEveryMetric) {
+  Registry reg;
+  reg.Count(CounterId::kTxnCommitted, 3);
+  reg.RecordLatency(HistId::kCommitLatencyUs, 100);
+  StatsSnapshot s = reg.Snapshot();
+  std::string text = s.ToPrometheus();
+  EXPECT_NE(text.find("atrapos_txn_committed 3"), std::string::npos);
+  EXPECT_NE(text.find("atrapos_commit_latency_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("atrapos_queue_depth_total"), std::string::npos);
+  EXPECT_NE(text.find("atrapos_remote_traffic_ratio"), std::string::npos);
+}
+
+// ---- trace ring -------------------------------------------------------------
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(0).capacity(), 8u);
+  EXPECT_EQ(TraceRing(9).capacity(), 16u);
+  EXPECT_EQ(TraceRing(64).capacity(), 64u);
+}
+
+TEST(TraceRingTest, WrapKeepsNewestAndCountsDropped) {
+  TraceRing ring(8);
+  for (uint64_t i = 0; i < 20; ++i)
+    ring.Record(/*ts_ns=*/i, SpanId::kAction, TracePhase::kComplete,
+                /*txn=*/i, /*arg=*/i * 2);
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(ring.Collect(/*shard=*/3, &out), 20u);
+  ASSERT_EQ(out.size(), 8u);
+  // Oldest first, newest last; the survivors are the last 8 records.
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].ts_ns, 12 + i);
+    EXPECT_EQ(out[i].txn, 12 + i);
+    EXPECT_EQ(out[i].arg, (12 + i) * 2);
+    EXPECT_EQ(out[i].span, SpanId::kAction);
+    EXPECT_EQ(out[i].phase, TracePhase::kComplete);
+    EXPECT_EQ(out[i].shard, 3);
+  }
+}
+
+TEST(TraceRingTest, ConcurrentCollectWhileWritingIsRaceFree) {
+  TraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed))
+      ring.Record(i, SpanId::kDrain, TracePhase::kInstant, 0, i++);
+  });
+  for (int i = 0; i < 100; ++i) {
+    std::vector<TraceEvent> out;
+    ring.Collect(0, &out);  // best-effort near the wrap point, never a race
+    EXPECT_LE(out.size(), ring.capacity());
+  }
+  stop = true;
+  writer.join();
+}
+
+// ---- engine integration -----------------------------------------------------
+
+std::unique_ptr<storage::Table> MicroTable(uint64_t rows,
+                                           std::vector<uint64_t> bounds) {
+  auto t = std::make_unique<storage::Table>(
+      0, "T", workload::MicroTableSchema(), bounds);
+  for (uint64_t k = 0; k < rows; ++k) {
+    storage::Tuple row(&t->schema());
+    row.SetInt(0, static_cast<int64_t>(k));
+    row.SetInt(1, 100);
+    (void)t->Insert(k, row);
+  }
+  return t;
+}
+
+core::Scheme OneTableScheme(uint64_t rows, size_t parts) {
+  core::Scheme s;
+  core::TableScheme ts;
+  for (size_t p = 0; p < parts; ++p) {
+    ts.boundaries.push_back(rows * p / parts);
+    ts.placement.push_back(static_cast<hw::CoreId>(p));
+  }
+  s.tables.push_back(ts);
+  return s;
+}
+
+ActionGraph AddDelta(int table, uint64_t key, int64_t delta) {
+  ActionGraph g(0);
+  g.Add(table, key, [key, delta](storage::Table* t, ActionCtx&) {
+    storage::Tuple row;
+    ATRAPOS_RETURN_NOT_OK(t->Read(key, &row));
+    row.SetInt(1, row.GetInt(1) + delta);
+    return t->Update(key, row);
+  });
+  return g;
+}
+
+/// Two-stage read-then-write graph: exercises the RVP fan-out so the
+/// trace carries an RVP-resolve instant per stage.
+ActionGraph TwoStageWrite(int table, uint64_t k1, uint64_t k2) {
+  ActionGraph g(0);
+  g.Add(table, k1, [k1](storage::Table* t, ActionCtx&) {
+    storage::Tuple row;
+    return t->Read(k1, &row);
+  });
+  g.Rvp();
+  g.Add(table, k2, [k2](storage::Table* t, ActionCtx&) {
+    storage::Tuple row;
+    ATRAPOS_RETURN_NOT_OK(t->Read(k2, &row));
+    row.SetInt(1, row.GetInt(1) + 1);
+    return t->Update(k2, row);
+  });
+  return g;
+}
+
+TEST(EngineObsTest, StatsSnapshotExposesTheWiredFields) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database db({.topo = topo});
+  uint64_t rows = 64;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  PartitionedExecutor::Options o;
+  o.durability = DurabilityMode::kGroup;
+  {
+    PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2), o);
+    for (uint64_t k = 0; k < rows; ++k)
+      ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, k, 1)).ok());
+    exec.Drain();
+    obs::StatsSnapshot s = db.StatsSnapshot();
+    EXPECT_EQ(s.counter(CounterId::kTxnSubmitted), rows);
+    EXPECT_EQ(s.counter(CounterId::kTxnCommitted), rows);
+    EXPECT_EQ(s.counter(CounterId::kTxnAborted), 0u);
+    // Commit latency is sampled 1-in-4 per completing thread (counters
+    // above stay exact), so the hist holds between rows/4 rounded down
+    // per thread and all of them.
+    EXPECT_GE(s.hist(HistId::kCommitLatencyUs).count(), rows / 8);
+    EXPECT_LE(s.hist(HistId::kCommitLatencyUs).count(), rows);
+    EXPECT_GT(s.counter(CounterId::kBatchesDrained), 0u);
+    EXPECT_EQ(s.counter(CounterId::kCommitMarkersAppended), rows);
+    EXPECT_EQ(s.counter(CounterId::kDurableAcks), rows);
+    EXPECT_GT(s.hist(HistId::kSubmitPublishUs).count(), 0u);
+    // Executor source: one depth per partition, all drained to zero.
+    ASSERT_EQ(s.queue_depths.size(), 2u);
+    EXPECT_EQ(s.queue_depths[0] + s.queue_depths[1], 0u);
+    EXPECT_EQ(s.executed_actions, rows);
+    // Log source: records and bytes flowed, durable point advanced.
+    EXPECT_GT(s.log_records, 0u);
+    EXPECT_GT(s.log_bytes, 0u);
+    EXPECT_GT(s.last_epoch, 0u);
+    EXPECT_GT(s.log_bytes_per_commit(), 0.0);
+    // Memory wire-in (single socket: no remote traffic).
+    EXPECT_GE(s.remote_traffic_ratio, 0.0);
+    EXPECT_LE(s.remote_traffic_ratio, 1.0);
+    // Prometheus serialization carries the wired fields.
+    std::string text = s.ToPrometheus();
+    EXPECT_NE(text.find("atrapos_queue_depth{partition=\"1\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("atrapos_log_bytes"), std::string::npos);
+  }
+}
+
+TEST(EngineObsTest, CommitLatencyQuantilesAreOrdered) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database db({.topo = topo});
+  uint64_t rows = 256;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2));
+  for (uint64_t k = 0; k < rows; ++k)
+    ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, k, 1)).ok());
+  const Histogram& h =
+      db.StatsSnapshot().hists[static_cast<size_t>(HistId::kCommitLatencyUs)];
+  EXPECT_GE(h.count(), rows / 8);  // sampled 1-in-4 per completing thread
+  EXPECT_LE(h.count(), rows);
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.95));
+  EXPECT_LE(h.Quantile(0.95), h.Quantile(0.99));
+  EXPECT_LE(h.min(), h.max());
+}
+
+TEST(EngineObsTest, TraceSpansNestAndOrderPerTransaction) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database::Options dopt;
+  dopt.topo = topo;
+  dopt.obs.trace = true;
+  Database db(dopt);
+  uint64_t rows = 32;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  PartitionedExecutor::Options o;
+  o.durability = DurabilityMode::kGroup;
+  PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2), o);
+  for (uint64_t k = 0; k + 1 < rows; k += 2)
+    ASSERT_TRUE(exec.SubmitAndWait(TwoStageWrite(0, k, k + 1)).ok());
+  exec.Drain();
+
+  std::vector<TraceEvent> events = db.observability().CollectTrace();
+  ASSERT_FALSE(events.empty());
+  uint64_t txns_seen = 0;
+  for (uint64_t txn = 1; txn <= rows / 2; ++txn) {
+    uint64_t begin_ts = 0, end_ts = 0;
+    bool has_begin = false, has_end = false;
+    std::vector<uint64_t> action_ts, rvp_args;
+    uint64_t markers = 0, acks = 0;
+    for (const TraceEvent& e : events) {
+      if (e.txn != txn) continue;
+      switch (e.span) {
+        case SpanId::kTxn:
+          if (e.phase == TracePhase::kBegin) {
+            has_begin = true;
+            begin_ts = e.ts_ns;
+          } else if (e.phase == TracePhase::kEnd) {
+            has_end = true;
+            end_ts = e.ts_ns;
+          }
+          break;
+        case SpanId::kAction:
+          action_ts.push_back(e.ts_ns);
+          break;
+        case SpanId::kRvpResolve:
+          rvp_args.push_back(e.arg);
+          break;
+        case SpanId::kCommitMarker:
+          ++markers;
+          break;
+        case SpanId::kDurableAck:
+          ++acks;
+          break;
+        default:
+          break;
+      }
+    }
+    if (!has_begin) continue;  // ring wrap may have evicted old txns
+    ++txns_seen;
+    ASSERT_TRUE(has_end) << "txn " << txn;
+    EXPECT_LE(begin_ts, end_ts);
+    // Both stages ran, their action spans inside the txn span.
+    EXPECT_EQ(action_ts.size(), 2u);
+    for (uint64_t ts : action_ts) {
+      EXPECT_GE(ts, begin_ts);
+      EXPECT_LE(ts, end_ts);
+    }
+    // One RVP-resolve per stage, in stage order.
+    ASSERT_EQ(rvp_args.size(), 2u);
+    EXPECT_EQ(rvp_args[0], 0u);
+    EXPECT_EQ(rvp_args[1], 1u);
+    // Exactly one partition wrote → one marker, one durable ack, both
+    // strictly before the transaction's end event.
+    EXPECT_EQ(markers, 1u);
+    EXPECT_EQ(acks, 1u);
+  }
+  EXPECT_GT(txns_seen, 0u);
+}
+
+TEST(EngineObsTest, DumpTraceWritesChromeLoadableJson) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database::Options dopt;
+  dopt.topo = topo;
+  dopt.obs.trace = true;
+  Database db(dopt);
+  uint64_t rows = 16;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  {
+    PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2));
+    for (uint64_t k = 0; k < rows; ++k)
+      ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, k, 1)).ok());
+  }
+  std::string path = testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(db.DumpTrace(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string json = buf.str();
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' '))
+    json.pop_back();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);  // txn begin
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);  // txn end
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // action/drain
+  EXPECT_NE(json.find("\"cat\":\"txn\""), std::string::npos);
+}
+
+TEST(EngineObsTest, TracingOffByDefaultAndCheapToToggle) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database db({.topo = topo});
+  uint64_t rows = 16;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2));
+  ASSERT_FALSE(db.observability().trace_enabled());
+  ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, 1, 1)).ok());
+  EXPECT_TRUE(db.observability().CollectTrace().empty());
+  db.observability().SetTraceEnabled(true);
+  ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, 2, 1)).ok());
+  exec.Drain();
+  EXPECT_FALSE(db.observability().CollectTrace().empty());
+}
+
+TEST(EngineObsTest, SnapshotsRaceTheRunningEngineSafely) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database db({.topo = topo});
+  uint64_t rows = 128;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2));
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::StatsSnapshot s = db.StatsSnapshot();
+      EXPECT_GE(s.counter(CounterId::kTxnCommitted), last);
+      last = s.counter(CounterId::kTxnCommitted);
+      EXPECT_EQ(s.queue_depths.size(), 2u);
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    std::vector<ActionGraph> graphs;
+    for (uint64_t k = 0; k < rows; k += 4)
+      graphs.push_back(AddDelta(0, k, 1));
+    auto futures = exec.SubmitBatch(graphs);
+    ASSERT_TRUE(futures.ok());
+    for (auto& f : futures.value()) EXPECT_TRUE(f.Wait().ok());
+  }
+  stop = true;
+  snapshotter.join();
+  obs::StatsSnapshot s = db.StatsSnapshot();
+  EXPECT_EQ(s.counter(CounterId::kTxnCommitted), 20u * (rows / 4));
+}
+
+}  // namespace
+}  // namespace atrapos::obs
