@@ -137,6 +137,35 @@ Status Database::RunTransaction(const std::function<Status(Txn*)>& fn,
   return Status::DeadlockAbort("retries exhausted");
 }
 
+void Database::RegisterDrainable(Drainable* d) {
+  std::lock_guard lk(drain_mu_);
+  drainables_.push_back(d);
+}
+
+void Database::UnregisterDrainable(Drainable* d) {
+  std::lock_guard lk(drain_mu_);
+  for (size_t i = 0; i < drainables_.size(); ++i) {
+    if (drainables_[i] == d) {
+      drainables_.erase(drainables_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void Database::Drain() {
+  // Copy under the lock: Drain() must not hold drain_mu_ across the
+  // potentially long waits (an executor destructor unregisters under it).
+  std::vector<Drainable*> ds;
+  {
+    std::lock_guard lk(drain_mu_);
+    ds = drainables_;
+  }
+  // Seal everything first, then wait: a transaction in flight on executor
+  // A cannot sneak a new submission into already-drained executor B.
+  for (Drainable* d : ds) d->SealIntake();
+  for (Drainable* d : ds) d->Drain();
+}
+
 uint64_t Database::Checkpoint() {
   sync::ExclusiveGuard g(volume_lock_);
   uint64_t n = 0;

@@ -137,6 +137,38 @@ class Database {
   /// number of active transactions observed.
   uint64_t Checkpoint();
 
+  // ---- shutdown ordering ---------------------------------------------------
+  // The safe stop sequence for anything that submits into an executor from
+  // outside (the network tier, background drivers) is:
+  //
+  //   1. stop producing new work (the server stops reading request frames),
+  //   2. Database::Drain() — seals every registered executor's intake
+  //      (further Submit/SubmitBatch return Unavailable) and waits until
+  //      every in-flight TxnFuture has completed,
+  //   3. destroy the submitters, then the executors, then the Database.
+  //
+  // After Drain() returns, no TxnFuture completion callback can fire
+  // anymore: sealing is ordered before the drain wait, and a completion
+  // only exists for a submission that made it past the seal check.
+
+  /// An executor-like component that can seal its intake and wait out its
+  /// in-flight work. PartitionedExecutor registers itself on construction.
+  class Drainable {
+   public:
+    virtual ~Drainable() = default;
+    /// After this returns, new submissions fail with Unavailable.
+    virtual void SealIntake() = 0;
+    /// Blocks until no sealed-before work is in flight.
+    virtual void Drain() = 0;
+  };
+  void RegisterDrainable(Drainable* d);
+  void UnregisterDrainable(Drainable* d);
+
+  /// Seals every registered executor's intake, then waits until all their
+  /// in-flight transactions completed (see the sequence above). Terminal:
+  /// intake stays sealed, so this is a shutdown aid, not a pause.
+  void Drain();
+
  private:
   Options opt_;
   /// First member: the registry outlives every subsystem that records
@@ -149,6 +181,8 @@ class Database {
   std::unique_ptr<txn::ActiveTxnList> txn_list_;
   sync::PartitionedRWLock volume_lock_;
   std::atomic<txn::TxnId> next_txn_{1};
+  std::mutex drain_mu_;
+  std::vector<Drainable*> drainables_;  // guarded by drain_mu_
 };
 
 }  // namespace atrapos::engine

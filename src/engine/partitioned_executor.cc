@@ -177,7 +177,7 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
                                          const hw::Topology& topo,
                                          core::Scheme scheme, Options opt)
     : db_(db),
-      topo_(&topo),
+      topo_(topo),
       opt_(opt),
       obs_(&db->observability()),
       scheme_(std::move(scheme)) {
@@ -192,6 +192,7 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
     log_->SetCommitSink(ack_sink_.get());
   }
   StartWorkers();
+  db_->RegisterDrainable(this);
   // Snapshot-time source: per-partition queue depths and the executor/log
   // totals the registry should not double-count on the hot path. Runs on
   // the snapshotting thread under the shared scheme gate (so flat_parts_
@@ -222,7 +223,10 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
 }
 
 PartitionedExecutor::~PartitionedExecutor() {
-  // Source first: a snapshot racing teardown must not walk dying
+  // Leave the database's drain set before teardown so a concurrent
+  // Database::Drain() cannot reach into a dying executor.
+  db_->UnregisterDrainable(this);
+  // Source next: a snapshot racing teardown must not walk dying
   // partitions (RemoveSource waits out in-flight source calls).
   if (obs_source_ >= 0) obs_->RemoveSource(obs_source_);
   // In-flight graphs must finish before workers stop: a worker reaching an
@@ -244,7 +248,7 @@ void PartitionedExecutor::PlacePartitions() {
     storage::MultiRootedBTree& index = table->index();
     size_t n = std::min(ts.num_partitions(), index.num_partitions());
     for (size_t p = 0; p < n; ++p, ++seq) {
-      hw::SocketId owner = topo_->socket_of(ts.placement[p]);
+      hw::SocketId owner = topo_.socket_of(ts.placement[p]);
       mem::Arena* arena = alloc.arena(alloc.ResolveSeq(owner, seq));
       // MigratePartition is a no-op when the subtree already lives there.
       index.MigratePartition(p, arena);
@@ -300,7 +304,7 @@ void PartitionedExecutor::StartWorkers() {
       part->seq = seq;
       part->monitor =
           std::make_unique<core::PartitionMonitor>(part->lo, part->hi);
-      hw::SocketId owner = topo_->socket_of(ts.placement[p]);
+      hw::SocketId owner = topo_.socket_of(ts.placement[p]);
       mem::Arena* arena = alloc.arena(alloc.ResolveSeq(owner, seq));
       part->pool =
           std::make_shared<mem::ChunkPool>(mem::kPartitionChunkBytes, arena);
@@ -319,7 +323,7 @@ void PartitionedExecutor::StartWorkers() {
 }
 
 void PartitionedExecutor::WorkerLoop(Partition* p) {
-  hw::BindCurrentThread(*topo_, p->core);
+  hw::BindCurrentThread(topo_, p->core);
   core::PartitionMonitor::BatchTally tally(*p->monitor);
   uint64_t drain_tick = 0;  // 1-in-8 sampling stride for the drain hists
   // Durability: this worker stages its drained batch's records (and the
@@ -499,6 +503,8 @@ Status PartitionedExecutor::ValidateGraph(const ActionGraph& graph) const {
 
 Result<TxnFuture> PartitionedExecutor::Submit(ActionGraph graph) {
   std::shared_lock gate(scheme_mu_);
+  if (sealed_.load(std::memory_order_acquire))
+    return Status::Unavailable("executor intake sealed (shutting down)");
   Status v = ValidateGraph(graph);
   if (!v.ok()) return v;
   const bool metrics = obs_->metrics_enabled();
@@ -530,6 +536,8 @@ Result<TxnFuture> PartitionedExecutor::Submit(ActionGraph graph) {
 Result<std::vector<TxnFuture>> PartitionedExecutor::SubmitBatch(
     std::span<ActionGraph> graphs) {
   std::shared_lock gate(scheme_mu_);
+  if (sealed_.load(std::memory_order_acquire))
+    return Status::Unavailable("executor intake sealed (shutting down)");
   // All-or-nothing: validate every graph before publishing anything.
   for (const ActionGraph& g : graphs) {
     Status v = ValidateGraph(g);
@@ -791,6 +799,15 @@ void PartitionedExecutor::Drain() {
   inflight_cv_.wait(lk, [this] {
     return inflight_.load(std::memory_order_acquire) == 0;
   });
+}
+
+void PartitionedExecutor::SealIntake() {
+  // The exclusive gate orders the seal against every Submit/SubmitBatch:
+  // a submission either incremented inflight_ under the shared gate before
+  // we acquired it (Drain will wait it out) or observes sealed_ and
+  // returns Unavailable without creating a future.
+  std::unique_lock gate(scheme_mu_);
+  sealed_.store(true, std::memory_order_release);
 }
 
 core::Scheme PartitionedExecutor::scheme() const {

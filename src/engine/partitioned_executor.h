@@ -84,7 +84,7 @@ enum class DurabilityMode {
   kGroup,  ///< ack deferred until the markers are durable on every shard
 };
 
-class PartitionedExecutor {
+class PartitionedExecutor : public Database::Drainable {
  public:
   struct Options {
     DurabilityMode durability = DurabilityMode::kOff;
@@ -121,7 +121,7 @@ class PartitionedExecutor {
                       core::Scheme scheme);  // default Options
   PartitionedExecutor(Database* db, const hw::Topology& topo,
                       core::Scheme scheme, Options opt);
-  ~PartitionedExecutor();
+  ~PartitionedExecutor() override;
 
   PartitionedExecutor(const PartitionedExecutor&) = delete;
   PartitionedExecutor& operator=(const PartitionedExecutor&) = delete;
@@ -149,7 +149,15 @@ class PartitionedExecutor {
   Status SubmitAndWait(ActionGraph graph);
 
   /// Blocks until no submitted graph is in flight.
-  void Drain();
+  void Drain() override;
+
+  /// Seals intake permanently: Submit/SubmitBatch return Unavailable from
+  /// here on. Part of the documented Database::Drain() shutdown sequence —
+  /// sealing is ordered against every in-flight submission (it takes the
+  /// scheme gate exclusively), so SealIntake(); Drain(); guarantees no
+  /// TxnFuture completion fires afterwards.
+  void SealIntake() override;
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
 
   /// Registers (or clears, with nullptr) the completion listener.
   /// Clearing blocks until every in-flight *listener call* returned (not
@@ -267,7 +275,10 @@ class PartitionedExecutor {
   class CommitAckSink;
 
   Database* db_;
-  const hw::Topology* topo_;
+  // Stored by value: workers read the topology from their own threads
+  // (core binding, socket lookups), so the executor must not depend on the
+  // lifetime of the caller's Topology object.
+  hw::Topology topo_;
   Options opt_;
   /// The database's registry (owned by Database, outlives the executor).
   obs::Registry* obs_;
@@ -292,6 +303,9 @@ class PartitionedExecutor {
   std::atomic<uint64_t> inflight_{0};
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
+  /// Set (under the exclusive scheme gate) by SealIntake; checked by
+  /// Submit/SubmitBatch under the shared gate.
+  std::atomic<bool> sealed_{false};
 };
 
 }  // namespace atrapos::engine

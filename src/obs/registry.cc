@@ -14,6 +14,13 @@ const char* CounterName(CounterId c) {
     case CounterId::kDurableAcks: return "durable_acks";
     case CounterId::kLogFlushes: return "log_flushes";
     case CounterId::kRepartitions: return "repartitions";
+    case CounterId::kNetAccepts: return "net_accepts";
+    case CounterId::kNetFramesIn: return "net_frames_in";
+    case CounterId::kNetFramesOut: return "net_frames_out";
+    case CounterId::kNetBytesIn: return "net_bytes_in";
+    case CounterId::kNetBytesOut: return "net_bytes_out";
+    case CounterId::kNetTxnsShed: return "net_txns_shed";
+    case CounterId::kNetProtocolErrors: return "net_protocol_errors";
     case CounterId::kCount: break;
   }
   return "?";
@@ -23,6 +30,8 @@ const char* GaugeName(GaugeId g) {
   switch (g) {
     case GaugeId::kQueueDepthTotal: return "queue_depth_total";
     case GaugeId::kDurableLagEpochs: return "durable_lag_epochs";
+    case GaugeId::kNetOpenConnections: return "net_open_connections";
+    case GaugeId::kNetInflightTxns: return "net_inflight_txns";
     case GaugeId::kCount: break;
   }
   return "?";
@@ -36,6 +45,7 @@ const char* HistName(HistId h) {
     case HistId::kActionAvgUs: return "action_avg_us";
     case HistId::kSubmitPublishUs: return "submit_publish_us";
     case HistId::kLogFlushUs: return "log_flush_us";
+    case HistId::kWireLatencyUs: return "wire_latency_us";
     case HistId::kCount: break;
   }
   return "?";
@@ -212,6 +222,13 @@ std::string StatsSnapshot::ToPrometheus() const {
   for (size_t p = 0; p < queue_depths.size(); ++p) {
     os << "atrapos_queue_depth{partition=\"" << p << "\"} "
        << queue_depths[p] << "\n";
+  }
+  if (!net_island_accepts.empty()) {
+    os << "# TYPE atrapos_net_island_accepts counter\n";
+    for (size_t i = 0; i < net_island_accepts.size(); ++i) {
+      os << "atrapos_net_island_accepts{island=\"" << i << "\"} "
+         << net_island_accepts[i] << "\n";
+    }
   }
   os << "# TYPE atrapos_executed_actions counter\n";
   os << "atrapos_executed_actions " << executed_actions << "\n";

@@ -55,6 +55,14 @@ enum class CounterId : uint16_t {
   kDurableAcks,           ///< commit acks delivered (group or async)
   kLogFlushes,            ///< group-commit passes over the shards
   kRepartitions,          ///< schemes applied by the adaptive manager
+  // ---- wire tier (src/server/) -------------------------------------------
+  kNetAccepts,            ///< connections accepted across all listeners
+  kNetFramesIn,           ///< request frames decoded off sockets
+  kNetFramesOut,          ///< response frames queued for write
+  kNetBytesIn,            ///< request bytes read off sockets
+  kNetBytesOut,           ///< response bytes written to sockets
+  kNetTxnsShed,           ///< requests shed by admission control (OVERLOADED)
+  kNetProtocolErrors,     ///< malformed/oversized frames, unknown opcodes
   kCount
 };
 const char* CounterName(CounterId c);
@@ -62,6 +70,8 @@ const char* CounterName(CounterId c);
 enum class GaugeId : uint16_t {
   kQueueDepthTotal = 0,  ///< tasks published, not yet drained (all inboxes)
   kDurableLagEpochs,     ///< last commit epoch minus durable epoch watermark
+  kNetOpenConnections,   ///< wire-tier connections currently open
+  kNetInflightTxns,      ///< wire-tier requests submitted, response not queued
   kCount
 };
 const char* GaugeName(GaugeId g);
@@ -73,6 +83,7 @@ enum class HistId : uint16_t {
   kActionAvgUs,          ///< batch-average per-action cost, per batch
   kSubmitPublishUs,      ///< stage-0 bucket + publish wave, per wave
   kLogFlushUs,           ///< one group-commit pass over all active shards
+  kWireLatencyUs,        ///< wire txn: decode/submit → response queued
   kCount
 };
 const char* HistName(HistId h);
@@ -103,6 +114,9 @@ struct StatsSnapshot {
   uint64_t durable_epoch = 0;
   uint64_t last_epoch = 0;
   uint64_t durable_lag_epochs = 0;
+
+  // ---- wire tier (source, when a server::Server is running) --------------
+  std::vector<uint64_t> net_island_accepts;  ///< accepted conns per island
 
   // ---- memory (Database) --------------------------------------------------
   double remote_traffic_ratio = 0.0;  ///< AccessRemoteRatio (QPI/IMC analogue)

@@ -1,0 +1,349 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace atrapos::server {
+
+namespace {
+
+uint32_t ReadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+Client::Client(Options opt) : opt_(std::move(opt)) {
+  if (opt_.batch == 0) opt_.batch = 1;
+  if (opt_.connections < 1) opt_.connections = 1;
+}
+
+Client::~Client() { CloseAll(); }
+
+Client::Conn* Client::conn(int i) {
+  if (i < 0 || static_cast<size_t>(i) >= conns_.size()) return nullptr;
+  return conns_[static_cast<size_t>(i)].get();
+}
+
+uint32_t Client::granted_window(int i) const {
+  if (i < 0 || static_cast<size_t>(i) >= conns_.size()) return 0;
+  return conns_[static_cast<size_t>(i)]->window;
+}
+
+bool Client::alive(int i) const {
+  if (i < 0 || static_cast<size_t>(i) >= conns_.size()) return false;
+  return !conns_[static_cast<size_t>(i)]->dead;
+}
+
+Status Client::Connect() {
+  CloseAll();
+  conns_.clear();
+  for (int i = 0; i < opt_.connections; ++i) {
+    auto c = std::make_unique<Conn>();
+    c->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (c->fd < 0) return Status::Internal("socket: " + std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opt_.port);
+    if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(c->fd);
+      return Status::InvalidArgument("bad host " + opt_.host);
+    }
+    if (::connect(c->fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(c->fd);
+      return Status::Internal("connect: " + std::string(std::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(c->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    c->dead = false;
+    conns_.push_back(std::move(c));
+  }
+  // Handshake: HELLO out, then block in Poll until every HELLO_ACK landed
+  // (DispatchFrames fills window/num_islands_/subscribers_).
+  for (auto& c : conns_) {
+    std::vector<uint8_t> hello;
+    EncodeHello(&hello, opt_.window);
+    ATRAPOS_RETURN_NOT_OK(WriteAll(c.get(), hello.data(), hello.size()));
+  }
+  for (auto& c : conns_) {
+    for (int spin = 0; !c->dead && c->window == 0; ++spin) {
+      if (spin > 100) return Status::Internal("handshake timed out");
+      Poll(100);
+    }
+    if (c->dead || c->window == 0)
+      return Status::Internal("handshake failed (connection closed)");
+  }
+  return Status::OK();
+}
+
+Status Client::WriteAll(Conn* c, const uint8_t* p, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = ::write(c->fd, p + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      c->dead = true;
+      FailPending(c);
+      return Status::Internal("write: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Client::FlushBatch(Conn* c) {
+  if (c->pending_ids.empty()) return Status::OK();
+  std::vector<uint8_t> buf;
+  if (c->pending_ids.size() == 1 && opt_.batch == 1) {
+    EncodeTxn(&buf, c->pending_ids[0], c->pending_reqs[0]);
+  } else {
+    EncodeTxnBatch(&buf, c->pending_ids, c->pending_reqs);
+  }
+  c->pending_ids.clear();
+  c->pending_reqs.clear();
+  return WriteAll(c, buf.data(), buf.size());
+}
+
+Status Client::Submit(int i, const TxnRequest& req, TxnCallback cb) {
+  Conn* c = conn(i);
+  if (!c || c->dead) return Status::InvalidArgument("connection not open");
+  uint64_t id = next_req_id_++;
+  c->txn_cbs.emplace(id, std::move(cb));
+  ++outstanding_;
+  c->pending_ids.push_back(id);
+  c->pending_reqs.push_back(req);
+  // Requests buffered but not yet written don't occupy server window
+  // slots, so batching is free; the window gate runs at flush time.
+  size_t flush_at = opt_.batch;
+  if (opt_.enforce_window && c->window > 0)
+    flush_at = std::min<size_t>(flush_at, c->window);
+  if (c->pending_ids.size() >= flush_at) return GatedFlush(c);
+  return Status::OK();
+}
+
+Status Client::GatedFlush(Conn* c) {
+  if (opt_.enforce_window) {
+    // Closed loop: park in Poll until the whole buffered batch fits in
+    // the window — the server sheds anything beyond it, so a
+    // well-behaved client never sends more than window unacked.
+    auto sent_unacked = [&] {
+      return c->txn_cbs.size() + c->pk_cbs.size() - c->pending_ids.size();
+    };
+    while (!c->dead && sent_unacked() + c->pending_ids.size() > c->window)
+      Poll(-1);
+    if (c->dead) return Status::Unavailable("connection closed");
+  }
+  return FlushBatch(c);
+}
+
+Status Client::PkRead(int i, uint8_t table, uint8_t column,
+                      const std::vector<uint64_t>& keys, PkCallback cb) {
+  Conn* c = conn(i);
+  if (!c || c->dead) return Status::InvalidArgument("connection not open");
+  ATRAPOS_RETURN_NOT_OK(FlushBatch(c));  // preserve submission order
+  uint64_t id = next_req_id_++;
+  c->pk_cbs.emplace(id, std::move(cb));
+  ++outstanding_;
+  std::vector<uint8_t> buf;
+  EncodePkRead(&buf, id, table, column, keys);
+  return WriteAll(c, buf.data(), buf.size());
+}
+
+void Client::FlushAll() {
+  for (auto& c : conns_) {
+    if (!c->dead) GatedFlush(c.get());
+  }
+}
+
+size_t Client::Poll(int timeout_ms) {
+  std::vector<pollfd> fds;
+  std::vector<Conn*> who;
+  for (auto& c : conns_) {
+    if (c->dead) continue;
+    fds.push_back({c->fd, POLLIN, 0});
+    who.push_back(c.get());
+  }
+  if (fds.empty()) return 0;
+  int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n <= 0) return 0;
+  size_t fired = 0;
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+      fired += DrainConn(who[i]);
+  }
+  return fired;
+}
+
+size_t Client::DrainConn(Conn* c) {
+  constexpr size_t kChunk = 64 * 1024;
+  size_t old = c->in.size();
+  c->in.resize(old + kChunk);
+  ssize_t n = ::read(c->fd, c->in.data() + old, kChunk);
+  if (n <= 0) {
+    c->in.resize(old);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) return 0;
+    c->dead = true;
+    size_t fired = DispatchFrames(c);  // acks that landed before the close
+    FailPending(c);
+    return fired;
+  }
+  c->in.resize(old + static_cast<size_t>(n));
+  return DispatchFrames(c);
+}
+
+size_t Client::DispatchFrames(Conn* c) {
+  size_t fired = 0;
+  size_t off = 0;
+  while (c->in.size() - off >= kFrameHeaderBytes) {
+    uint32_t len = ReadLE32(c->in.data() + off);
+    if (c->in.size() - off - kFrameHeaderBytes < len) break;
+    WireReader r(c->in.data() + off + kFrameHeaderBytes, len);
+    off += kFrameHeaderBytes + len;
+    uint8_t op = 0;
+    if (!r.U8(&op)) continue;
+    switch (static_cast<Op>(op)) {
+      case Op::kHelloAck: {
+        uint32_t magic = 0, window = 0;
+        uint16_t version = 0;
+        if (r.U32(&magic) && r.U16(&version) && r.U32(&window) &&
+            r.U16(&num_islands_) && r.U64(&subscribers_) &&
+            magic == kMagic) {
+          c->window = window;
+        }
+        break;
+      }
+      case Op::kTxnAck: {
+        uint64_t id = 0;
+        uint8_t st = 0;
+        if (!r.U64(&id) || !r.U8(&st)) break;
+        auto it = c->txn_cbs.find(id);
+        if (it == c->txn_cbs.end()) break;
+        TxnCallback cb = std::move(it->second);
+        c->txn_cbs.erase(it);
+        --outstanding_;
+        ++fired;
+        if (cb) cb(static_cast<WireStatus>(st));
+        break;
+      }
+      case Op::kPkReadAck: {
+        uint64_t id = 0;
+        uint16_t count = 0;
+        if (!r.U64(&id) || !r.U16(&count)) break;
+        PkRows rows;
+        rows.reserve(count);
+        bool good = true;
+        for (uint16_t k = 0; k < count; ++k) {
+          uint8_t st = 0;
+          int64_t v = 0;
+          if (!r.U8(&st) || !r.I64(&v)) {
+            good = false;
+            break;
+          }
+          rows.emplace_back(static_cast<WireStatus>(st), v);
+        }
+        auto it = c->pk_cbs.find(id);
+        if (!good || it == c->pk_cbs.end()) break;
+        PkCallback cb = std::move(it->second);
+        c->pk_cbs.erase(it);
+        --outstanding_;
+        ++fired;
+        if (cb) cb(rows);
+        break;
+      }
+      case Op::kStatsAck: {
+        uint32_t len32 = 0;
+        if (!r.U32(&len32)) break;
+        c->stats.clear();
+        if (r.Bytes(len32, &c->stats)) c->stats_ready = true;
+        break;
+      }
+      default:
+        break;  // unexpected server frame: ignore
+    }
+  }
+  c->in.erase(c->in.begin(), c->in.begin() + static_cast<ptrdiff_t>(off));
+  return fired;
+}
+
+void Client::FailPending(Conn* c) {
+  auto txn_cbs = std::move(c->txn_cbs);
+  auto pk_cbs = std::move(c->pk_cbs);
+  c->txn_cbs.clear();
+  c->pk_cbs.clear();
+  outstanding_ -= txn_cbs.size() + pk_cbs.size();
+  for (auto& [id, cb] : txn_cbs) {
+    if (cb) cb(WireStatus::kError);
+  }
+  PkRows empty;
+  for (auto& [id, cb] : pk_cbs) {
+    if (cb) cb(empty);
+  }
+}
+
+Result<WireStatus> Client::Call(int i, const TxnRequest& req) {
+  Conn* c = conn(i);
+  if (!c || c->dead) return Status::InvalidArgument("connection not open");
+  WireStatus out = WireStatus::kError;
+  bool done = false;
+  Status s = Submit(i, req, [&](WireStatus ws) {
+    out = ws;
+    done = true;
+  });
+  if (!s.ok()) return s;
+  ATRAPOS_RETURN_NOT_OK(FlushBatch(c));
+  while (!done && !c->dead) Poll(-1);
+  if (!done) return Status::Unavailable("connection closed mid-call");
+  return out;
+}
+
+Result<std::string> Client::QueryStats(int i) {
+  Conn* c = conn(i);
+  if (!c || c->dead) return Status::InvalidArgument("connection not open");
+  c->stats_ready = false;
+  std::vector<uint8_t> buf;
+  EncodeStats(&buf);
+  ATRAPOS_RETURN_NOT_OK(WriteAll(c, buf.data(), buf.size()));
+  while (!c->stats_ready && !c->dead) Poll(-1);
+  if (!c->stats_ready) return Status::Unavailable("connection closed");
+  return c->stats;
+}
+
+Status Client::SendRaw(int i, const void* p, size_t n) {
+  Conn* c = conn(i);
+  if (!c || c->dead) return Status::InvalidArgument("connection not open");
+  return WriteAll(c, static_cast<const uint8_t*>(p), n);
+}
+
+void Client::Kill(int i) {
+  Conn* c = conn(i);
+  if (!c || c->dead) return;
+  c->dead = true;
+  ::close(c->fd);
+  c->fd = -1;
+  FailPending(c);
+}
+
+void Client::CloseAll() {
+  for (auto& c : conns_) {
+    if (c->dead) continue;
+    FlushBatch(c.get());
+    std::vector<uint8_t> bye;
+    EncodeGoodbye(&bye);
+    WriteAll(c.get(), bye.data(), bye.size());
+    c->dead = true;
+    ::close(c->fd);
+    c->fd = -1;
+  }
+  for (auto& c : conns_) FailPending(c.get());
+}
+
+}  // namespace atrapos::server

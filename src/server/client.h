@@ -1,0 +1,134 @@
+// server::Client — the in-process loopback client of the wire tier.
+//
+// A deliberately simple single-threaded multiplexer over N blocking
+// sockets: Submit() buffers transaction requests per connection and flushes
+// them as TXN_BATCH frames once `Options::batch` accumulate (the
+// round-trip-amortization knob the server's wave submission is built for);
+// Poll() reads whatever acks arrived and fires the registered callbacks.
+// Tests and bench/wire_tatp drive it; it is not a production client.
+//
+// Window discipline: with enforce_window (default) Submit blocks in Poll()
+// until a slot frees, implementing a well-behaved closed loop. Disable it
+// to deliberately overrun the server's granted window and observe
+// kOverloaded sheds (the backpressure tests do).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "server/wire_protocol.h"
+#include "util/status.h"
+
+namespace atrapos::server {
+
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    int connections = 1;
+    /// Requested per-connection window (HELLO); the server may grant less.
+    uint32_t window = 64;
+    /// Transactions buffered per connection before a TXN_BATCH frame is
+    /// written. 1 = one TXN frame per request (the unbatched contrast).
+    size_t batch = 1;
+    /// Block in Submit() until a window slot frees. Off = requests go out
+    /// regardless, so the server's admission control does the shedding.
+    bool enforce_window = true;
+  };
+
+  /// Fired by Poll() when the TXN_ACK for a submitted request arrives.
+  using TxnCallback = std::function<void(WireStatus)>;
+  using PkRows = std::vector<std::pair<WireStatus, int64_t>>;
+  using PkCallback = std::function<void(const PkRows&)>;
+
+  explicit Client(Options opt);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and handshakes every connection.
+  Status Connect();
+
+  int connections() const { return static_cast<int>(conns_.size()); }
+  /// The window HELLO_ACK granted connection `conn`.
+  uint32_t granted_window(int conn) const;
+  uint16_t num_islands() const { return num_islands_; }
+  uint64_t subscribers() const { return subscribers_; }
+  /// Requests submitted whose ack has not arrived (all connections).
+  size_t outstanding() const { return outstanding_; }
+  bool alive(int conn) const;
+
+  /// Buffers one transaction on connection `conn`; flushes the batch frame
+  /// once Options::batch accumulated. `cb` fires from Poll().
+  Status Submit(int conn, const TxnRequest& req, TxnCallback cb);
+  /// One batched-pk-read frame (always flushed immediately).
+  Status PkRead(int conn, uint8_t table, uint8_t column,
+                const std::vector<uint64_t>& keys, PkCallback cb);
+
+  /// Writes out every partially-filled batch.
+  void FlushAll();
+
+  /// Reads available acks and fires their callbacks. timeout_ms < 0 blocks
+  /// until at least one connection is readable. Returns callbacks fired.
+  size_t Poll(int timeout_ms);
+
+  /// Synchronous convenience: Submit + flush + Poll until this request's
+  /// ack arrived (callbacks of other in-flight requests fire meanwhile).
+  Result<WireStatus> Call(int conn, const TxnRequest& req);
+
+  /// STATS round trip: the server's Prometheus text exposition.
+  Result<std::string> QueryStats(int conn = 0);
+
+  /// Test hook: writes raw bytes straight to the socket (malformed-frame
+  /// and mid-frame-disconnect tests).
+  Status SendRaw(int conn, const void* p, size_t n);
+  /// Test hook: abrupt close, no GOODBYE (mid-frame disconnect).
+  void Kill(int conn);
+
+  /// GOODBYE on every live connection, then close all sockets. Pending
+  /// callbacks are dropped.
+  void CloseAll();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool dead = true;
+    uint32_t window = 0;
+    std::vector<uint8_t> in;
+    std::vector<uint64_t> pending_ids;
+    std::vector<TxnRequest> pending_reqs;
+    std::unordered_map<uint64_t, TxnCallback> txn_cbs;
+    std::unordered_map<uint64_t, PkCallback> pk_cbs;
+    /// Last STATS_ACK payload (QueryStats consumes it).
+    std::string stats;
+    bool stats_ready = false;
+  };
+
+  Status WriteAll(Conn* c, const uint8_t* p, size_t n);
+  Status FlushBatch(Conn* c);
+  /// FlushBatch behind the window gate: with enforce_window, parks in
+  /// Poll until the buffered batch fits under the granted window.
+  Status GatedFlush(Conn* c);
+  /// Drains one readable socket into c->in and dispatches completed
+  /// frames. Returns callbacks fired; marks the connection dead on EOF
+  /// (pending callbacks fire with kError so no caller hangs).
+  size_t DrainConn(Conn* c);
+  size_t DispatchFrames(Conn* c);
+  void FailPending(Conn* c);
+  Conn* conn(int i);
+
+  Options opt_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  uint16_t num_islands_ = 0;
+  uint64_t subscribers_ = 0;
+  uint64_t next_req_id_ = 1;
+  size_t outstanding_ = 0;
+};
+
+}  // namespace atrapos::server

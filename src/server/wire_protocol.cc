@@ -1,0 +1,282 @@
+#include "server/wire_protocol.h"
+
+#include "workload/tatp.h"
+
+namespace atrapos::server {
+
+const char* WireStatusName(WireStatus s) {
+  switch (s) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kNotFound: return "NotFound";
+    case WireStatus::kAlreadyExists: return "AlreadyExists";
+    case WireStatus::kOverloaded: return "Overloaded";
+    case WireStatus::kShutdown: return "Shutdown";
+    case WireStatus::kError: return "Error";
+  }
+  return "?";
+}
+
+WireStatus ToWireStatus(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kOk: return WireStatus::kOk;
+    case StatusCode::kNotFound: return WireStatus::kNotFound;
+    case StatusCode::kAlreadyExists: return WireStatus::kAlreadyExists;
+    case StatusCode::kUnavailable: return WireStatus::kShutdown;
+    case StatusCode::kResourceExhausted: return WireStatus::kOverloaded;
+    default: return WireStatus::kError;
+  }
+}
+
+TxnRequest DrawTatpMix(Rng& rng, uint64_t subscribers) {
+  using workload::TatpTxn;
+  TxnRequest r;
+  r.s_id = rng.Uniform(subscribers);
+  // Argument draws mirror TatpActionGraphs::Mix exactly, so a wire client
+  // generates the same distribution an in-process driver does.
+  uint64_t sf_type = rng.Uniform(4);
+  r.sf_type = static_cast<uint8_t>(sf_type);
+  int draw = static_cast<int>(rng.Uniform(100));
+  if (draw < 35) {
+    r.txn_class = TatpTxn::kGetSubData;
+  } else if (draw < 45) {
+    r.txn_class = TatpTxn::kGetNewDest;
+    r.start_time = static_cast<uint32_t>(rng.Uniform(3) * 8);
+    r.end_time = 1;
+  } else if (draw < 80) {
+    r.txn_class = TatpTxn::kGetAccData;
+    r.a = static_cast<int64_t>(rng.Uniform(4));
+  } else if (draw < 82) {
+    r.txn_class = TatpTxn::kUpdSubData;
+    r.a = static_cast<int64_t>(rng.Uniform(2));
+    r.b = static_cast<int64_t>(rng.Uniform(256));
+  } else if (draw < 96) {
+    r.txn_class = TatpTxn::kUpdLocation;
+    r.a = static_cast<int64_t>(rng.Next() % (1ULL << 31));
+  } else if (draw < 98) {
+    r.txn_class = TatpTxn::kInsCallFwd;
+    r.start_time = static_cast<uint32_t>(rng.Uniform(4) * 8);
+    r.end_time = static_cast<uint32_t>(rng.Uniform(24) + 8);
+    r.numberx = "555-0199";
+  } else {
+    r.txn_class = TatpTxn::kDelCallFwd;
+    r.start_time = static_cast<uint32_t>(rng.Uniform(4) * 8);
+  }
+  return r;
+}
+
+Result<engine::ActionGraph> BuildGraph(const workload::TatpActionGraphs& g,
+                                       const TxnRequest& req) {
+  using workload::TatpTxn;
+  switch (req.txn_class) {
+    case TatpTxn::kGetSubData:
+      return g.GetSubscriberData(req.s_id);
+    case TatpTxn::kGetNewDest:
+      return g.GetNewDestination(req.s_id, req.sf_type, req.start_time,
+                                 req.end_time);
+    case TatpTxn::kGetAccData:
+      return g.GetAccessData(req.s_id, static_cast<uint64_t>(req.a));
+    case TatpTxn::kUpdSubData:
+      return g.UpdateSubscriberData(req.s_id, req.a, req.sf_type, req.b);
+    case TatpTxn::kUpdLocation:
+      return g.UpdateLocation(req.s_id, req.a);
+    case TatpTxn::kInsCallFwd:
+      return g.InsertCallForwarding(req.s_id, req.sf_type, req.start_time,
+                                    req.end_time, req.numberx);
+    case TatpTxn::kDelCallFwd:
+      return g.DeleteCallForwarding(req.s_id, req.sf_type, req.start_time);
+    default:
+      return Status::InvalidArgument("unknown txn_class " +
+                                     std::to_string(req.txn_class));
+  }
+}
+
+void EncodeHello(std::vector<uint8_t>* out, uint32_t requested_window) {
+  FrameBuilder f(out, Op::kHello);
+  PutU32(out, kMagic);
+  PutU16(out, kVersion);
+  PutU32(out, requested_window);
+  f.End();
+}
+
+void EncodeHelloAck(std::vector<uint8_t>* out, uint32_t granted_window,
+                    uint16_t num_islands, uint64_t subscribers) {
+  FrameBuilder f(out, Op::kHelloAck);
+  PutU32(out, kMagic);
+  PutU16(out, kVersion);
+  PutU32(out, granted_window);
+  PutU16(out, num_islands);
+  PutU64(out, subscribers);
+  f.End();
+}
+
+void EncodeTxnBody(std::vector<uint8_t>* out, const TxnRequest& req) {
+  PutU8(out, req.txn_class);
+  PutU64(out, req.s_id);
+  PutU8(out, req.sf_type);
+  PutU32(out, req.start_time);
+  PutU32(out, req.end_time);
+  PutI64(out, req.a);
+  PutI64(out, req.b);
+  PutU8(out, static_cast<uint8_t>(req.numberx.size() & 0xff));
+  for (char c : req.numberx) PutU8(out, static_cast<uint8_t>(c));
+}
+
+void EncodeTxn(std::vector<uint8_t>* out, uint64_t req_id,
+               const TxnRequest& req) {
+  FrameBuilder f(out, Op::kTxn);
+  PutU64(out, req_id);
+  EncodeTxnBody(out, req);
+  f.End();
+}
+
+void EncodeTxnBatch(std::vector<uint8_t>* out,
+                    const std::vector<uint64_t>& ids,
+                    const std::vector<TxnRequest>& reqs) {
+  FrameBuilder f(out, Op::kTxnBatch);
+  PutU16(out, static_cast<uint16_t>(reqs.size()));
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    PutU64(out, ids[i]);
+    EncodeTxnBody(out, reqs[i]);
+  }
+  f.End();
+}
+
+void EncodeTxnAck(std::vector<uint8_t>* out, uint64_t req_id, WireStatus s) {
+  FrameBuilder f(out, Op::kTxnAck);
+  PutU64(out, req_id);
+  PutU8(out, static_cast<uint8_t>(s));
+  f.End();
+}
+
+void EncodePkRead(std::vector<uint8_t>* out, uint64_t req_id, uint8_t table,
+                  uint8_t column, const std::vector<uint64_t>& keys) {
+  FrameBuilder f(out, Op::kPkRead);
+  PutU64(out, req_id);
+  PutU8(out, table);
+  PutU8(out, column);
+  PutU16(out, static_cast<uint16_t>(keys.size()));
+  for (uint64_t k : keys) PutU64(out, k);
+  f.End();
+}
+
+void EncodePkReadAck(std::vector<uint8_t>* out, uint64_t req_id,
+                     const std::vector<std::pair<WireStatus, int64_t>>& rows) {
+  FrameBuilder f(out, Op::kPkReadAck);
+  PutU64(out, req_id);
+  PutU16(out, static_cast<uint16_t>(rows.size()));
+  for (const auto& [st, v] : rows) {
+    PutU8(out, static_cast<uint8_t>(st));
+    PutI64(out, v);
+  }
+  f.End();
+}
+
+void EncodeStats(std::vector<uint8_t>* out) {
+  FrameBuilder f(out, Op::kStats);
+  f.End();
+}
+
+void EncodeStatsAck(std::vector<uint8_t>* out, const std::string& text) {
+  FrameBuilder f(out, Op::kStatsAck);
+  PutU32(out, static_cast<uint32_t>(text.size()));
+  for (char c : text) PutU8(out, static_cast<uint8_t>(c));
+  f.End();
+}
+
+void EncodeGoodbye(std::vector<uint8_t>* out) {
+  FrameBuilder f(out, Op::kGoodbye);
+  f.End();
+}
+
+namespace {
+
+bool DecodeTxnBody(WireReader* r, TxnRequest* req) {
+  uint8_t nlen = 0;
+  if (!r->U8(&req->txn_class) || !r->U64(&req->s_id) ||
+      !r->U8(&req->sf_type) || !r->U32(&req->start_time) ||
+      !r->U32(&req->end_time) || !r->I64(&req->a) || !r->I64(&req->b) ||
+      !r->U8(&nlen)) {
+    return false;
+  }
+  return r->Bytes(nlen, &req->numberx);
+}
+
+DecodedFrame Bad(std::string why) {
+  DecodedFrame f;
+  f.kind = DecodedFrame::Kind::kBad;
+  f.error = std::move(why);
+  return f;
+}
+
+}  // namespace
+
+DecodedFrame DecodeRequestFrame(const uint8_t* p, size_t n) {
+  WireReader r(p, n);
+  uint8_t op = 0;
+  if (!r.U8(&op)) return Bad("empty frame");
+  DecodedFrame out;
+  switch (static_cast<Op>(op)) {
+    case Op::kHello: {
+      uint32_t magic = 0;
+      uint16_t version = 0;
+      if (!r.U32(&magic) || !r.U16(&version) || !r.U32(&out.requested_window) ||
+          !r.Done()) {
+        return Bad("malformed HELLO");
+      }
+      if (magic != kMagic) return Bad("bad magic");
+      if (version != kVersion) return Bad("unsupported protocol version");
+      out.kind = DecodedFrame::Kind::kHello;
+      return out;
+    }
+    case Op::kTxn: {
+      DecodedTxn t;
+      if (!r.U64(&t.req_id) || !DecodeTxnBody(&r, &t.req) || !r.Done())
+        return Bad("malformed TXN");
+      out.kind = DecodedFrame::Kind::kTxns;
+      out.txns.push_back(std::move(t));
+      return out;
+    }
+    case Op::kTxnBatch: {
+      uint16_t count = 0;
+      if (!r.U16(&count) || count == 0) return Bad("malformed TXN_BATCH");
+      out.txns.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        DecodedTxn t;
+        if (!r.U64(&t.req_id) || !DecodeTxnBody(&r, &t.req))
+          return Bad("truncated TXN_BATCH");
+        out.txns.push_back(std::move(t));
+      }
+      if (!r.Done()) return Bad("trailing bytes in TXN_BATCH");
+      out.kind = DecodedFrame::Kind::kTxns;
+      return out;
+    }
+    case Op::kPkRead: {
+      uint16_t count = 0;
+      if (!r.U64(&out.pk.req_id) || !r.U8(&out.pk.table) ||
+          !r.U8(&out.pk.column) || !r.U16(&count) || count == 0) {
+        return Bad("malformed PK_READ");
+      }
+      out.pk.keys.reserve(count);
+      for (uint16_t i = 0; i < count; ++i) {
+        uint64_t k = 0;
+        if (!r.U64(&k)) return Bad("truncated PK_READ");
+        out.pk.keys.push_back(k);
+      }
+      if (!r.Done()) return Bad("trailing bytes in PK_READ");
+      out.kind = DecodedFrame::Kind::kPkRead;
+      return out;
+    }
+    case Op::kStats:
+      if (!r.Done()) return Bad("trailing bytes in STATS");
+      out.kind = DecodedFrame::Kind::kStats;
+      return out;
+    case Op::kGoodbye:
+      if (!r.Done()) return Bad("trailing bytes in GOODBYE");
+      out.kind = DecodedFrame::Kind::kGoodbye;
+      return out;
+    default:
+      return Bad("unknown opcode " + std::to_string(op));
+  }
+}
+
+}  // namespace atrapos::server

@@ -1,0 +1,248 @@
+// The wire tier's compact binary protocol (ROADMAP "networked transaction
+// service front-end"; the batched-pk-read request form follows RonDB's
+// batchpkread REST tier, the service framing "Towards Transaction as a
+// Service").
+//
+// Every message is one length-prefixed frame:
+//
+//     +----------------+----------------------------------------+
+//     | u32 len (LE)   | payload: u8 opcode + opcode body       |
+//     +----------------+----------------------------------------+
+//
+// `len` counts payload bytes only; a frame longer than the server's
+// max_frame_bytes is a protocol error (connection closed). All integers
+// are little-endian. Opcode bodies:
+//
+//   HELLO       c→s  u32 magic 'ATRP', u16 version, u32 requested_window
+//   HELLO_ACK   s→c  u32 magic, u16 version, u32 granted_window,
+//                    u16 num_islands, u64 subscribers
+//   TXN         c→s  u64 req_id, TxnBody
+//   TXN_BATCH   c→s  u16 count, count × (u64 req_id, TxnBody)
+//   TXN_ACK     s→c  u64 req_id, u8 WireStatus
+//   PK_READ     c→s  u64 req_id, u8 table, u8 column, u16 count,
+//                    count × u64 key          (occupies ONE window slot)
+//   PK_READ_ACK s→c  u64 req_id, u16 count, count × (u8 status, i64 value)
+//   STATS       c→s  (empty)
+//   STATS_ACK   s→c  u32 len, len bytes of Prometheus text
+//   GOODBYE     c→s  (empty; server closes once outstanding drains)
+//
+//   TxnBody: u8 txn_class (workload::TatpTxn), u64 s_id, u8 sf_type,
+//            u32 start_time, u32 end_time, i64 a, i64 b,
+//            u8 nlen, nlen bytes numberx
+//
+// Handshake/window semantics: the first frame on a connection MUST be
+// HELLO. The server grants min(requested_window, Options::max_window) and
+// the client may keep at most that many request frames outstanding
+// (a TXN_BATCH of n transactions consumes n slots, a PK_READ one).
+// Requests beyond the window — and requests arriving while the global
+// in-flight cap is reached — are shed immediately with WireStatus
+// kOverloaded instead of queueing. A draining server answers kShutdown.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/action_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "workload/tatp_graphs.h"
+
+namespace atrapos::server {
+
+inline constexpr uint32_t kMagic = 0x41545250;  // "ATRP"
+inline constexpr uint16_t kVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 4;
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class Op : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kTxn = 3,
+  kTxnBatch = 4,
+  kTxnAck = 5,
+  kPkRead = 6,
+  kPkReadAck = 7,
+  kStats = 8,
+  kStatsAck = 9,
+  kGoodbye = 10,
+};
+
+/// Per-request status on the wire. kOverloaded is admission control's shed
+/// verdict (retry with backoff); kShutdown means the server is draining.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,       ///< spec-conformant TATP miss
+  kAlreadyExists = 2,  ///< spec-conformant TATP duplicate insert
+  kOverloaded = 3,
+  kShutdown = 4,
+  kError = 5,
+};
+const char* WireStatusName(WireStatus s);
+WireStatus ToWireStatus(const Status& s);
+/// The statuses a TATP driver counts as successful execution (mirrors
+/// workload::TatpActionGraphs::CountsAsSuccess).
+inline bool WireCountsAsSuccess(WireStatus s) {
+  return s == WireStatus::kOk || s == WireStatus::kNotFound ||
+         s == WireStatus::kAlreadyExists;
+}
+
+/// One decoded transaction request: a TATP procedure id plus its
+/// arguments, the unit the server translates into an
+/// engine::ActionGraph. Field use per class (unused fields are zero):
+///   kGetSubData:  s_id
+///   kGetNewDest:  s_id, sf_type, start_time, end_time
+///   kGetAccData:  s_id, a = ai_type
+///   kUpdSubData:  s_id, sf_type, a = bit, b = data_a
+///   kUpdLocation: s_id, a = vlr_location
+///   kInsCallFwd:  s_id, sf_type, start_time, end_time, numberx
+///   kDelCallFwd:  s_id, sf_type, start_time
+struct TxnRequest {
+  uint8_t txn_class = 0;
+  uint64_t s_id = 0;
+  uint8_t sf_type = 0;
+  uint32_t start_time = 0;
+  uint32_t end_time = 0;
+  int64_t a = 0;
+  int64_t b = 0;
+  std::string numberx;
+};
+
+/// Draws one request from the standard TATP mix (35/10/35/2/14/2/2),
+/// argument-for-argument the distribution TatpActionGraphs::Mix uses.
+TxnRequest DrawTatpMix(Rng& rng, uint64_t subscribers);
+
+/// Translates a decoded request into the executable graph (the server's
+/// decode → ActionGraph step). InvalidArgument for an unknown txn_class.
+Result<engine::ActionGraph> BuildGraph(const workload::TatpActionGraphs& g,
+                                       const TxnRequest& req);
+
+// ---- little-endian primitives ----------------------------------------------
+
+inline void PutU8(std::vector<uint8_t>* b, uint8_t v) { b->push_back(v); }
+inline void PutU16(std::vector<uint8_t>* b, uint16_t v) {
+  b->push_back(static_cast<uint8_t>(v));
+  b->push_back(static_cast<uint8_t>(v >> 8));
+}
+inline void PutU32(std::vector<uint8_t>* b, uint32_t v) {
+  for (int i = 0; i < 4; ++i) b->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline void PutU64(std::vector<uint8_t>* b, uint64_t v) {
+  for (int i = 0; i < 8; ++i) b->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline void PutI64(std::vector<uint8_t>* b, int64_t v) {
+  PutU64(b, static_cast<uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over one frame payload. Every getter
+/// returns false once the payload is exhausted; Done() is the
+/// trailing-garbage check decoders run after the last field.
+class WireReader {
+ public:
+  WireReader(const uint8_t* p, size_t n) : p_(p), n_(n) {}
+
+  bool U8(uint8_t* v) { return Fixed(v, 1); }
+  bool U16(uint16_t* v) { return Fixed(v, 2); }
+  bool U32(uint32_t* v) { return Fixed(v, 4); }
+  bool U64(uint64_t* v) { return Fixed(v, 8); }
+  bool I64(int64_t* v) { return Fixed(v, 8); }
+  bool Bytes(size_t n, std::string* out) {
+    if (n_ - off_ < n) return false;
+    out->assign(reinterpret_cast<const char*>(p_ + off_), n);
+    off_ += n;
+    return true;
+  }
+  bool Done() const { return off_ == n_; }
+  size_t remaining() const { return n_ - off_; }
+
+ private:
+  template <typename T>
+  bool Fixed(T* v, size_t n) {
+    if (n_ - off_ < n) return false;
+    uint64_t acc = 0;
+    for (size_t i = 0; i < n; ++i)
+      acc |= static_cast<uint64_t>(p_[off_ + i]) << (8 * i);
+    std::memcpy(v, &acc, sizeof(T));
+    off_ += n;
+    return true;
+  }
+
+  const uint8_t* p_;
+  size_t n_;
+  size_t off_ = 0;
+};
+
+/// Appends one framed payload to `out`: writes the length prefix + opcode,
+/// lets the caller append the body, then patches the length in End().
+class FrameBuilder {
+ public:
+  FrameBuilder(std::vector<uint8_t>* out, Op op) : out_(out), at_(out->size()) {
+    PutU32(out_, 0);  // patched by End()
+    PutU8(out_, static_cast<uint8_t>(op));
+  }
+  /// Returns the total frame size (header + payload).
+  size_t End() {
+    uint32_t len =
+        static_cast<uint32_t>(out_->size() - at_ - kFrameHeaderBytes);
+    for (int i = 0; i < 4; ++i)
+      (*out_)[at_ + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(len >> (8 * i));
+    return static_cast<size_t>(len) + kFrameHeaderBytes;
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+  size_t at_;
+};
+
+// ---- frame encoders (both sides) -------------------------------------------
+
+void EncodeHello(std::vector<uint8_t>* out, uint32_t requested_window);
+void EncodeHelloAck(std::vector<uint8_t>* out, uint32_t granted_window,
+                    uint16_t num_islands, uint64_t subscribers);
+void EncodeTxnBody(std::vector<uint8_t>* out, const TxnRequest& req);
+void EncodeTxn(std::vector<uint8_t>* out, uint64_t req_id,
+               const TxnRequest& req);
+/// reqs/ids must have equal length; emits one TXN_BATCH frame.
+void EncodeTxnBatch(std::vector<uint8_t>* out,
+                    const std::vector<uint64_t>& ids,
+                    const std::vector<TxnRequest>& reqs);
+void EncodeTxnAck(std::vector<uint8_t>* out, uint64_t req_id, WireStatus s);
+void EncodePkRead(std::vector<uint8_t>* out, uint64_t req_id, uint8_t table,
+                  uint8_t column, const std::vector<uint64_t>& keys);
+void EncodePkReadAck(std::vector<uint8_t>* out, uint64_t req_id,
+                     const std::vector<std::pair<WireStatus, int64_t>>& rows);
+void EncodeStats(std::vector<uint8_t>* out);
+void EncodeStatsAck(std::vector<uint8_t>* out, const std::string& text);
+void EncodeGoodbye(std::vector<uint8_t>* out);
+
+// ---- frame decoding (server side) ------------------------------------------
+
+struct DecodedTxn {
+  uint64_t req_id = 0;
+  TxnRequest req;
+};
+
+struct DecodedPkRead {
+  uint64_t req_id = 0;
+  uint8_t table = 0;
+  uint8_t column = 0;
+  std::vector<uint64_t> keys;
+};
+
+/// One request frame after payload decoding. kBad carries a human-readable
+/// reason; the server closes the connection on it.
+struct DecodedFrame {
+  enum class Kind { kHello, kTxns, kPkRead, kStats, kGoodbye, kBad };
+  Kind kind = Kind::kBad;
+  uint32_t requested_window = 0;       // kHello
+  std::vector<DecodedTxn> txns;        // kTxns (TXN and TXN_BATCH)
+  DecodedPkRead pk;                    // kPkRead
+  std::string error;                   // kBad
+};
+
+/// Decodes one request-frame payload (everything after the length prefix).
+DecodedFrame DecodeRequestFrame(const uint8_t* p, size_t n);
+
+}  // namespace atrapos::server

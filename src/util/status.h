@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,
   kInternal,
   kNotSupported,
+  kUnavailable,     ///< intake sealed / service draining; not retryable here
 };
 
 /// Lightweight status object; cheap to copy in the OK case (no allocation).
@@ -59,6 +60,9 @@ class Status {
   static Status NotSupported(std::string m) {
     return Status(StatusCode::kNotSupported, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -87,6 +91,7 @@ class Status {
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kNotSupported: return "NotSupported";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

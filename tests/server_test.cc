@@ -1,0 +1,478 @@
+// Wire-tier tests: handshake + transaction round trips over real sockets,
+// batched submission, batched pk-reads, deterministic admission-control
+// backpressure (per-connection window and global in-flight cap), protocol
+// hardening (malformed/truncated/oversized frames, unknown opcodes,
+// mid-frame disconnects — fuzzed), the GOODBYE drain, the STATS round
+// trip, and the documented shutdown ordering (engine-level Drain() race
+// regression plus server-stop-under-churn).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "engine/database.h"
+#include "engine/partitioned_executor.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/tatp.h"
+#include "workload/tatp_graphs.h"
+
+namespace atrapos::server {
+namespace {
+
+core::Scheme TatpScheme(uint64_t subscribers, int partitions) {
+  core::Scheme scheme;
+  for (int t = 0; t < 4; ++t) {
+    uint64_t factor = t == 0 ? 1 : (t == 3 ? 32 : 4);
+    core::TableScheme ts;
+    for (int p = 0; p < partitions; ++p) {
+      ts.boundaries.push_back(subscribers * factor *
+                              static_cast<uint64_t>(p) /
+                              static_cast<uint64_t>(partitions));
+      ts.placement.push_back(p);
+    }
+    scheme.tables.push_back(ts);
+  }
+  return scheme;
+}
+
+/// A small TATP database + executor + running server, torn down in the
+/// documented order: server.Stop(), db.Drain(), destroy executor, db.
+struct Service {
+  static constexpr uint64_t kSubscribers = 2000;
+
+  explicit Service(Server::Options sopt = {},
+                   hw::Topology topo = hw::Topology::Cube(1, 1)) {
+    db = std::make_unique<engine::Database>(
+        engine::Database::Options{.topo = topo});
+    std::vector<uint64_t> bounds;
+    for (int p = 0; p < topo.num_cores(); ++p)
+      bounds.push_back(kSubscribers * static_cast<uint64_t>(p) /
+                       static_cast<uint64_t>(topo.num_cores()));
+    for (auto& t : workload::BuildTatpTables(kSubscribers, bounds, 42))
+      db->AddTable(std::move(t));
+    exec = std::make_unique<engine::PartitionedExecutor>(
+        db.get(), topo, TatpScheme(kSubscribers, topo.num_cores()));
+    sopt.bind_listeners = false;  // CI machines are small
+    server = std::make_unique<Server>(db.get(), exec.get(), kSubscribers,
+                                      sopt);
+    EXPECT_TRUE(server->Start().ok());
+  }
+
+  ~Service() {
+    server->Stop();
+    db->Drain();
+    server.reset();
+    exec.reset();
+    db.reset();
+  }
+
+  Client::Options ClientOpts() {
+    Client::Options o;
+    o.port = server->port();
+    return o;
+  }
+
+  std::unique_ptr<engine::Database> db;
+  std::unique_ptr<engine::PartitionedExecutor> exec;
+  std::unique_ptr<Server> server;
+};
+
+TEST(ServerTest, StartStopIdempotent) {
+  Service s;
+  EXPECT_NE(s.server->port(), 0);
+  s.server->Stop();
+  s.server->Stop();  // idempotent
+  EXPECT_EQ(s.server->open_connections(), 0u);
+}
+
+TEST(ServerTest, HandshakeGrantsCappedWindow) {
+  Server::Options sopt;
+  sopt.max_window = 16;
+  Service s(sopt);
+  Client::Options copt = s.ClientOpts();
+  copt.window = 1000;  // ask for more than the server grants
+  Client c(copt);
+  ASSERT_TRUE(c.Connect().ok());
+  EXPECT_EQ(c.granted_window(0), 16u);
+  EXPECT_EQ(c.num_islands(), static_cast<uint16_t>(s.db->num_sockets()));
+  EXPECT_EQ(c.subscribers(), Service::kSubscribers);
+}
+
+TEST(ServerTest, AllTxnClassesRoundTrip) {
+  Service s;
+  Client c(s.ClientOpts());
+  ASSERT_TRUE(c.Connect().ok());
+  Rng rng(7);
+  int per_class[7] = {0};
+  // Draw from the mix until every class executed at least once; each
+  // must come back with a TATP-success status over the wire.
+  for (int i = 0; i < 400; ++i) {
+    TxnRequest req = DrawTatpMix(rng, Service::kSubscribers);
+    auto ws = c.Call(0, req);
+    ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+    EXPECT_TRUE(WireCountsAsSuccess(ws.value()))
+        << "class " << int(req.txn_class) << ": "
+        << WireStatusName(ws.value());
+    per_class[req.txn_class]++;
+  }
+  for (int k = 0; k < 7; ++k) EXPECT_GT(per_class[k], 0) << "class " << k;
+}
+
+TEST(ServerTest, BatchedSubmissionOverManyConnections) {
+  Service s(Server::Options{}, hw::Topology::Cube(1, 2));
+  Client::Options copt = s.ClientOpts();
+  copt.connections = 4;
+  copt.batch = 16;
+  copt.window = 64;
+  Client c(copt);
+  ASSERT_TRUE(c.Connect().ok());
+  Rng rng(11);
+  std::atomic<int> acked{0}, bad{0};
+  constexpr int kPerConn = 200;
+  for (int i = 0; i < kPerConn; ++i) {
+    for (int conn = 0; conn < 4; ++conn) {
+      ASSERT_TRUE(c.Submit(conn, DrawTatpMix(rng, Service::kSubscribers),
+                           [&](WireStatus ws) {
+                             ++acked;
+                             if (!WireCountsAsSuccess(ws)) ++bad;
+                           })
+                      .ok());
+    }
+  }
+  c.FlushAll();
+  while (c.outstanding() > 0) c.Poll(-1);
+  EXPECT_EQ(acked.load(), 4 * kPerConn);
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ServerTest, PkReadBatchHitsMissesAndValidation) {
+  Service s;
+  Client c(s.ClientOpts());
+  ASSERT_TRUE(c.Connect().ok());
+  // Two hits + one definite miss against Subscriber.vlr_location; values
+  // must equal a direct table read.
+  std::vector<uint64_t> keys = {5, 17, Service::kSubscribers + 999};
+  Client::PkRows rows;
+  bool done = false;
+  ASSERT_TRUE(c.PkRead(0, workload::kSubscriber, workload::kVlrLoc, keys,
+                       [&](const Client::PkRows& r) {
+                         rows = r;
+                         done = true;
+                       })
+                  .ok());
+  while (!done) c.Poll(-1);
+  ASSERT_EQ(rows.size(), 3u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(rows[size_t(i)].first, WireStatus::kOk);
+    storage::Tuple row;
+    ASSERT_TRUE(
+        s.db->table(workload::kSubscriber)->Read(keys[size_t(i)], &row).ok());
+    EXPECT_EQ(rows[size_t(i)].second, row.GetInt(workload::kVlrLoc));
+  }
+  EXPECT_EQ(rows[2].first, WireStatus::kNotFound);
+
+  // Unknown table and out-of-range column: every row answers kError, the
+  // connection stays usable.
+  for (auto [table, column] : {std::pair<uint8_t, uint8_t>{200, 0},
+                               std::pair<uint8_t, uint8_t>{0, 99}}) {
+    done = false;
+    ASSERT_TRUE(c.PkRead(0, table, column, {1, 2}, [&](const Client::PkRows& r) {
+                  rows = r;
+                  done = true;
+                }).ok());
+    while (!done) c.Poll(-1);
+    ASSERT_EQ(rows.size(), 2u);
+    for (auto& [st, v] : rows) EXPECT_EQ(st, WireStatus::kError);
+  }
+  Rng rng(3);
+  auto ws = c.Call(0, DrawTatpMix(rng, Service::kSubscribers));
+  ASSERT_TRUE(ws.ok());
+}
+
+TEST(ServerTest, WindowOverrunShedsDeterministically) {
+  Server::Options sopt;
+  sopt.max_window = 8;
+  Service s(sopt);
+  Client::Options copt = s.ClientOpts();
+  copt.window = 8;
+  copt.batch = 20;            // one TXN_BATCH frame of 20
+  copt.enforce_window = false;  // deliberately overrun
+  Client c(copt);
+  ASSERT_TRUE(c.Connect().ok());
+  Rng rng(5);
+  std::atomic<int> ok{0}, shed{0}, other{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(c.Submit(0, DrawTatpMix(rng, Service::kSubscribers),
+                         [&](WireStatus ws) {
+                           if (ws == WireStatus::kOverloaded)
+                             ++shed;
+                           else if (WireCountsAsSuccess(ws))
+                             ++ok;
+                           else
+                             ++other;
+                         })
+                    .ok());
+  }
+  c.FlushAll();
+  while (c.outstanding() > 0) c.Poll(-1);
+  // The whole frame is decoded before the wave is submitted, so nothing
+  // admitted can complete mid-frame: exactly window are admitted, the
+  // rest shed with kOverloaded.
+  EXPECT_EQ(ok.load(), 8);
+  EXPECT_EQ(shed.load(), 12);
+  EXPECT_EQ(other.load(), 0);
+  obs::StatsSnapshot snap = s.db->StatsSnapshot();
+  EXPECT_EQ(snap.counter(obs::CounterId::kNetTxnsShed), 12u);
+}
+
+TEST(ServerTest, GlobalInflightCapShedsInsteadOfQueueing) {
+  Server::Options sopt;
+  sopt.max_window = 256;
+  sopt.max_inflight = 4;
+  Service s(sopt);
+  Client::Options copt = s.ClientOpts();
+  copt.window = 256;
+  copt.batch = 20;
+  copt.enforce_window = false;
+  Client c(copt);
+  ASSERT_TRUE(c.Connect().ok());
+  Rng rng(5);
+  std::atomic<int> ok{0}, shed{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(c.Submit(0, DrawTatpMix(rng, Service::kSubscribers),
+                         [&](WireStatus ws) {
+                           if (ws == WireStatus::kOverloaded)
+                             ++shed;
+                           else if (WireCountsAsSuccess(ws))
+                             ++ok;
+                         })
+                    .ok());
+  }
+  c.FlushAll();
+  while (c.outstanding() > 0) c.Poll(-1);
+  EXPECT_EQ(ok.load(), 4);
+  EXPECT_EQ(shed.load(), 16);
+  // Shed, not queued: once drained nothing is left in flight.
+  EXPECT_EQ(s.server->inflight(), 0u);
+}
+
+TEST(ServerTest, ProtocolHardeningSurvivesMalformedInput) {
+  Service s;
+  auto probe_alive = [&] {
+    Client c(s.ClientOpts());
+    ASSERT_TRUE(c.Connect().ok());
+    Rng rng(1);
+    auto ws = c.Call(0, DrawTatpMix(rng, Service::kSubscribers));
+    ASSERT_TRUE(ws.ok());
+    EXPECT_TRUE(WireCountsAsSuccess(ws.value()));
+  };
+
+  // Handcrafted attacks, each on its own connection: the server must
+  // close that connection only and keep serving everyone else.
+  {
+    // Oversized length prefix.
+    Client c(s.ClientOpts());
+    ASSERT_TRUE(c.Connect().ok());
+    uint8_t huge[4] = {0xff, 0xff, 0xff, 0x7f};
+    ASSERT_TRUE(c.SendRaw(0, huge, sizeof(huge)).ok());
+  }
+  {
+    // Unknown opcode.
+    Client c(s.ClientOpts());
+    ASSERT_TRUE(c.Connect().ok());
+    uint8_t frame[5] = {1, 0, 0, 0, 0xee};
+    ASSERT_TRUE(c.SendRaw(0, frame, sizeof(frame)).ok());
+  }
+  {
+    // Truncated TXN payload (claims a body it doesn't carry).
+    Client c(s.ClientOpts());
+    ASSERT_TRUE(c.Connect().ok());
+    uint8_t frame[7] = {3, 0, 0, 0,
+                        static_cast<uint8_t>(Op::kTxn), 1, 2};
+    ASSERT_TRUE(c.SendRaw(0, frame, sizeof(frame)).ok());
+  }
+  {
+    // Mid-frame disconnect: half a frame header, then an abrupt close.
+    Client c(s.ClientOpts());
+    ASSERT_TRUE(c.Connect().ok());
+    uint8_t partial[2] = {40, 0};
+    ASSERT_TRUE(c.SendRaw(0, partial, sizeof(partial)).ok());
+    c.Kill(0);
+  }
+  {
+    // TXN before HELLO (handshake-order violation).
+    Client::Options raw = s.ClientOpts();
+    Client c(raw);
+    // Bypass Connect's handshake by connecting a socket manually through
+    // Connect and then... simplest: Connect (handshakes), then a second
+    // HELLO — also an order violation the server must reject.
+    ASSERT_TRUE(c.Connect().ok());
+    std::vector<uint8_t> hello;
+    EncodeHello(&hello, 4);
+    ASSERT_TRUE(c.SendRaw(0, hello.data(), hello.size()).ok());
+  }
+  probe_alive();
+
+  // Randomized fuzz: garbage frames with plausible small lengths. The
+  // server must never crash and never leak an outstanding-txn slot.
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    Client c(s.ClientOpts());
+    ASSERT_TRUE(c.Connect().ok());
+    std::vector<uint8_t> junk;
+    uint32_t len = static_cast<uint32_t>(rng.Uniform(64));
+    PutU32(&junk, len);
+    for (uint32_t b = 0; b < len; ++b)
+      PutU8(&junk, static_cast<uint8_t>(rng.Uniform(256)));
+    // Sometimes truncate mid-frame, sometimes send it whole.
+    size_t n = rng.Chance(0.5) ? junk.size() : junk.size() / 2;
+    (void)c.SendRaw(0, junk.data(), n);
+    if (rng.Chance(0.5)) c.Kill(0);
+  }
+  probe_alive();
+  // Every admitted request was answered: nothing left in flight.
+  for (int spin = 0; s.server->inflight() != 0 && spin < 1000; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(s.server->inflight(), 0u);
+  obs::StatsSnapshot snap = s.db->StatsSnapshot();
+  EXPECT_GT(snap.counter(obs::CounterId::kNetProtocolErrors), 0u);
+}
+
+TEST(ServerTest, StatsRoundTripExposesWireMetrics) {
+  Service s;
+  Client c(s.ClientOpts());
+  ASSERT_TRUE(c.Connect().ok());
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(c.Call(0, DrawTatpMix(rng, Service::kSubscribers)).ok());
+  auto stats = c.QueryStats(0);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats.value().find("atrapos_net_frames_in"), std::string::npos);
+  EXPECT_NE(stats.value().find("atrapos_net_accepts"), std::string::npos);
+  EXPECT_NE(stats.value().find("atrapos_net_island_accepts"),
+            std::string::npos);
+}
+
+TEST(ServerTest, GoodbyeDrainsAndClosesConnection) {
+  Service s;
+  {
+    Client::Options copt = s.ClientOpts();
+    copt.batch = 8;
+    Client c(copt);
+    ASSERT_TRUE(c.Connect().ok());
+    Rng rng(3);
+    for (int i = 0; i < 8; ++i)
+      ASSERT_TRUE(
+          c.Submit(0, DrawTatpMix(rng, Service::kSubscribers), nullptr).ok());
+    c.CloseAll();  // flushes the batch, sends GOODBYE, closes
+  }
+  // The server answers everything admitted, then reaps the connection.
+  for (int spin = 0; s.server->open_connections() != 0 && spin < 2000; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(s.server->open_connections(), 0u);
+  EXPECT_EQ(s.server->inflight(), 0u);
+}
+
+// ---- shutdown ordering (satellite 1) ---------------------------------------
+
+// Engine-level regression for the documented Database::Drain() sequence:
+// submitter threads race Drain(); no completion callback may fire after
+// Drain() returned, and post-drain submissions fail with Unavailable.
+TEST(ServerShutdownTest, NoCompletionFiresAfterDatabaseDrain) {
+  constexpr uint64_t kSubs = 2000;
+  hw::Topology topo = hw::Topology::Cube(1, 1);
+  engine::Database db({.topo = topo});
+  std::vector<uint64_t> bounds;
+  for (int p = 0; p < topo.num_cores(); ++p)
+    bounds.push_back(kSubs * static_cast<uint64_t>(p) /
+                     static_cast<uint64_t>(topo.num_cores()));
+  for (auto& t : workload::BuildTatpTables(kSubs, bounds, 42))
+    db.AddTable(std::move(t));
+  engine::PartitionedExecutor exec(&db, topo,
+                                   TatpScheme(kSubs, topo.num_cores()));
+  workload::TatpActionGraphs graphs(kSubs);
+
+  std::atomic<bool> drain_returned{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> late_completions{0};
+  std::atomic<uint64_t> submitted{0}, rejected{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto f = exec.Submit(graphs.Mix(rng));
+        if (!f.ok()) {
+          EXPECT_EQ(f.status().code(), StatusCode::kUnavailable);
+          ++rejected;
+          continue;
+        }
+        ++submitted;
+        f.value().OnComplete([&](const Status&) {
+          if (drain_returned.load(std::memory_order_acquire))
+            ++late_completions;
+        });
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  db.Drain();  // races the submitters
+  drain_returned.store(true, std::memory_order_release);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& c : clients) c.join();
+
+  // Sealed-before-drained: completions for accepted submissions all ran
+  // inside Drain()'s wait; none after.
+  EXPECT_EQ(late_completions.load(), 0u);
+  EXPECT_GT(submitted.load(), 0u);
+  // Post-drain submission deterministically refused.
+  Rng post_rng(1);
+  auto f = exec.Submit(graphs.Mix(post_rng));
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kUnavailable);
+}
+
+// Wire-level: connect/submit churn racing Server::Stop() + Database::
+// Drain() — every client unwinds (ack, kShutdown, or a closed socket),
+// nothing crashes, nothing stays in flight.
+TEST(ServerShutdownTest, StopUnderChurnDrainsCleanly) {
+  auto s = std::make_unique<Service>(Server::Options{},
+                                     hw::Topology::Cube(1, 2));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (int t = 0; t < 4; ++t) {
+    churn.emplace_back([&, t] {
+      Rng rng(200 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        Client::Options copt = s->ClientOpts();
+        copt.batch = 4;
+        copt.window = 16;
+        Client c(copt);
+        if (!c.Connect().ok()) continue;  // draining server refuses
+        for (int i = 0; i < 40 && !stop.load(std::memory_order_relaxed);
+             ++i) {
+          if (!c.Submit(0, DrawTatpMix(rng, Service::kSubscribers), nullptr)
+                   .ok())
+            break;
+          c.Poll(0);
+        }
+        c.FlushAll();
+        for (int spin = 0; c.outstanding() > 0 && spin < 100; ++spin)
+          c.Poll(10);
+        if (rng.Chance(0.3)) c.Kill(0);  // some leave abruptly
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  s->server->Stop();  // graceful drain while clients churn
+  EXPECT_EQ(s->server->inflight(), 0u);
+  s->db->Drain();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& c : churn) c.join();
+  s.reset();  // full teardown repeats Stop()/Drain(): both idempotent
+}
+
+}  // namespace
+}  // namespace atrapos::server
