@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "core/repartitioner.h"
+#include "fault/injector.h"
 #include "hw/binding.h"
 #include "log/shard_writer.h"
 
@@ -192,6 +193,9 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
     log_->SetCommitSink(ack_sink_.get());
   }
   StartWorkers();
+  // The kill sentinel runs evacuations off the worker threads (a worker
+  // cannot join itself); idle when no worker-kill fault ever fires.
+  sentinel_ = std::thread([this] { SentinelLoop(); });
   db_->RegisterDrainable(this);
   // Snapshot-time source: per-partition queue depths and the executor/log
   // totals the registry should not double-count on the hot path. Runs on
@@ -229,6 +233,16 @@ PartitionedExecutor::~PartitionedExecutor() {
   // Source next: a snapshot racing teardown must not walk dying
   // partitions (RemoveSource waits out in-flight source calls).
   if (obs_source_ >= 0) obs_->RemoveSource(obs_source_);
+  // Sentinel before the final drain: a mid-flight evacuation runs to
+  // completion under the join; queued requests are processed, new ones
+  // are no longer accepted. Zombies left unevacuated (e.g. every island
+  // failed) still drain below — they complete everything kUnavailable.
+  {
+    std::lock_guard lk(kill_mu_);
+    sentinel_stop_ = true;
+  }
+  kill_cv_.notify_all();
+  if (sentinel_.joinable()) sentinel_.join();
   // In-flight graphs must finish before workers stop: a worker reaching an
   // RVP enqueues the next stage onto sibling workers, which only drain
   // their inboxes while alive — and deferred commits complete only once
@@ -314,6 +328,12 @@ void PartitionedExecutor::StartWorkers() {
                           ? central_shard_
                           : log_->shard(log_->AddShard(part->pool, arena));
       }
+      // Invariant: a partition placed on a failed island is born
+      // quarantined (reachable when a repartition rollback restores a
+      // pre-failure scheme) — its worker drains as a zombie, so nothing
+      // routed there can hang.
+      if ((failed_islands_.load(std::memory_order_relaxed) >> owner) & 1u)
+        part->failed.store(true, std::memory_order_relaxed);
       Partition* raw = part.get();
       part->worker = std::thread([this, raw] { WorkerLoop(raw); });
       flat_parts_.push_back(raw);
@@ -386,6 +406,17 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
     p->pending.fetch_sub(static_cast<int64_t>(total),
                          std::memory_order_relaxed);
     if (n > 0) executed_.fetch_add(n, std::memory_order_relaxed);
+    // Island death (fault::kWorkerKill), checked once per drained batch:
+    // this worker's island fail-stops. The worker itself turns zombie —
+    // the whole batch below fails kUnavailable — and the sentinel
+    // quarantines the siblings and runs the evacuation (a worker cannot
+    // evacuate itself: Repartition joins its own thread).
+    bool zombie = p->failed.load(std::memory_order_acquire);
+    if (!zombie && fault::Should(fault::SiteId::kWorkerKill)) {
+      p->failed.store(true, std::memory_order_release);
+      zombie = true;
+      RequestKillIsland(static_cast<int>(topo_.socket_of(p->core)));
+    }
     // One timestamp pair and one monitor flush per drained batch: each
     // action is charged the batch-average microseconds (clamped by the
     // monitor so bins never look idle), keeping monitoring cost per-batch
@@ -409,7 +440,7 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
         }
         if (observer) observer->set_txn(task.st);
         tally.Touch(task.act->key);
-        RunAction(task);
+        RunAction(task, zombie);
       }
       p->inbox.ReleaseChunk(c);
     }
@@ -597,15 +628,24 @@ void PartitionedExecutor::EnqueueStage(internal::TxnState* st, size_t idx,
     pub->Add(Route(a.table, a.key), ActionTask{st, &a, db_->table(a.table)});
 }
 
-void PartitionedExecutor::RunAction(const ActionTask& task) {
+void PartitionedExecutor::RunAction(const ActionTask& task, bool zombie) {
   internal::TxnState* st = task.st;
   ActionGraph::Action* act = task.act;
   // Per-action spans only exist under tracing — the metrics path keeps
   // its one-clock-pair-per-batch discipline (WorkerLoop).
   const bool tracing = obs_->trace_enabled();
   const uint64_t a0 = tracing ? obs_->NowNs() : 0;
-  ActionCtx ctx(act->id, &st->payloads);
-  Status s = act->fn ? act->fn(task.table, ctx) : Status::OK();
+  Status s;
+  if (zombie) {
+    // Quarantined partition: the action never runs — fail it so the
+    // graph aborts through the normal RVP machinery, and every stage,
+    // callback, and future settles exactly as on any other abort.
+    s = Status::Unavailable("island failed: partition quarantined");
+    obs_->Count(obs::CounterId::kFaultTxnsUnavailable);
+  } else {
+    ActionCtx ctx(act->id, &st->payloads);
+    s = act->fn ? act->fn(task.table, ctx) : Status::OK();
+  }
   if (tracing)
     obs_->Trace(obs::SpanId::kAction, obs::TracePhase::kComplete, st->txn_id,
                 obs_->NowNs() - a0);
@@ -830,17 +870,59 @@ core::WorkloadStats PartitionedExecutor::HarvestStats(
   return agg.Build(window_seconds);
 }
 
+namespace {
+/// Re-homes every placement on a failed island onto surviving islands'
+/// cores, round-robin. The caller has verified a survivor exists. Returns
+/// the number of placements changed.
+size_t RemapFailedPlacements(core::Scheme* s, const hw::Topology& topo,
+                             uint64_t failed_mask) {
+  std::vector<hw::CoreId> survivors;
+  for (int c = 0; c < topo.num_cores(); ++c) {
+    if (((failed_mask >> topo.socket_of(c)) & 1u) == 0)
+      survivors.push_back(static_cast<hw::CoreId>(c));
+  }
+  if (survivors.empty()) return 0;
+  size_t moved = 0;
+  size_t rr = 0;
+  for (auto& ts : s->tables) {
+    for (auto& core : ts.placement) {
+      if ((failed_mask >> topo.socket_of(core)) & 1u) {
+        core = survivors[rr++ % survivors.size()];
+        ++moved;
+      }
+    }
+  }
+  return moved;
+}
+
+bool AnyIslandAlive(const hw::Topology& topo, uint64_t failed_mask) {
+  for (int s = 0; s < topo.num_sockets(); ++s)
+    if (((failed_mask >> s) & 1u) == 0) return true;
+  return false;
+}
+}  // namespace
+
 Result<size_t> PartitionedExecutor::Repartition(const core::Scheme& target) {
   // Pause intake: regular actions and repartitioning never interleave
   // (paper §V-D). Waiting Submit() calls resume under the new scheme.
   std::unique_lock gate(scheme_mu_);
+  // Sanitize against fail-stopped islands: a caller (the adaptive
+  // manager, a replayed plan) may name cores on a dead island; re-home
+  // those placements onto survivors so no new worker is ever placed —
+  // and silently quarantined — on failed hardware.
+  core::Scheme applied = target;
+  if (uint64_t mask = failed_islands_.load(std::memory_order_acquire)) {
+    if (!AnyIslandAlive(topo_, mask))
+      return Status::Unavailable("every island has failed");
+    RemapFailedPlacements(&applied, topo_, mask);
+  }
   // In-flight graphs advance stages without the scheme gate; wait them out
   // before touching routing state. No new graph can enter: Submit
   // increments the in-flight count under the shared gate we now hold.
   // (Deferred durable commits count as in flight, so shards quiesce too.)
   Drain();
   StopWorkers();  // inboxes are empty: every in-flight graph completed
-  auto plan = core::PlanRepartition(scheme_, target);
+  auto plan = core::PlanRepartition(scheme_, applied);
   for (size_t t = 0; t < scheme_.tables.size(); ++t) {
     // Table-level actions: heap records move (and get re-Rid'd) with their
     // index subtrees, so the new owner island receives *all* the
@@ -853,9 +935,93 @@ Result<size_t> PartitionedExecutor::Repartition(const core::Scheme& target) {
       return s;
     }
   }
-  scheme_ = target;
+  scheme_ = applied;
   StartWorkers();
   return plan.size();
+}
+
+Result<size_t> PartitionedExecutor::KillIsland(int island) {
+  if (island < 0 || island >= topo_.num_sockets())
+    return Status::InvalidArgument("no such island: " + std::to_string(island));
+  std::lock_guard evac_lk(evac_mu_);  // one evacuation at a time
+  const uint64_t bit = uint64_t{1} << island;
+  const uint64_t mask = failed_islands_.load(std::memory_order_relaxed) | bit;
+  const bool first_kill =
+      (failed_islands_.load(std::memory_order_relaxed) & bit) == 0;
+  quarantining_.store(true, std::memory_order_release);
+  // Phase 1 — quarantine, under the *shared* gate so it lands promptly
+  // even while submitters stream in: every partition on the island turns
+  // zombie. Its in-flight actions abort kUnavailable through the normal
+  // RVP machinery, its commit markers still append (already-decided
+  // deferred commits settle), so no future hangs and none completes twice.
+  {
+    std::shared_lock gate(scheme_mu_);
+    for (Partition* p : flat_parts_) {
+      if (topo_.socket_of(p->core) == island) {
+        p->failed.store(true, std::memory_order_release);
+        Wake(p);
+      }
+    }
+  }
+  failed_islands_.store(mask, std::memory_order_release);
+  if (first_kill) obs_->Count(obs::CounterId::kFaultIslandKills);
+  if (!AnyIslandAlive(topo_, mask)) {
+    // Nothing to evacuate onto. Stay up, degraded: every current and
+    // future transaction aborts kUnavailable; the caller decides whether
+    // that is an outage or a restart.
+    quarantining_.store(false, std::memory_order_release);
+    return Status::Unavailable("no surviving island to evacuate onto");
+  }
+  // Phase 2 — evacuate through the regular repartition path: same
+  // boundaries, failed placements re-homed round-robin onto survivors.
+  // Repartition drains in-flight graphs (zombies guarantee progress),
+  // seals the log-shard generation, migrates subtrees/heaps, and places
+  // fresh shards with the re-homed partitions — recovery replays the
+  // sealed generation exactly as after any repartition.
+  const uint64_t t0 = obs_->NowNs();
+  core::Scheme target;
+  size_t moved = 0;
+  {
+    std::shared_lock gate(scheme_mu_);
+    target = scheme_;
+    moved = RemapFailedPlacements(&target, topo_, mask);
+  }
+  Result<size_t> applied = Repartition(target);
+  quarantining_.store(false, std::memory_order_release);
+  if (!applied.ok()) return applied.status();
+  obs_->Count(obs::CounterId::kFaultPartitionsEvacuated, moved);
+  obs_->RecordLatency(obs::HistId::kEvacuationUs, (obs_->NowNs() - t0) / 1000);
+  return moved;
+}
+
+void PartitionedExecutor::RequestKillIsland(int island) {
+  {
+    std::lock_guard lk(kill_mu_);
+    for (int queued : kill_requests_)
+      if (queued == island) return;  // coalesce duplicate worker reports
+    kill_requests_.push_back(island);
+  }
+  kill_cv_.notify_one();
+}
+
+void PartitionedExecutor::SentinelLoop() {
+  for (;;) {
+    int island;
+    {
+      std::unique_lock lk(kill_mu_);
+      kill_cv_.wait(lk, [this] {
+        return sentinel_stop_ || !kill_requests_.empty();
+      });
+      // Stop only once queued requests are processed: a kill reported just
+      // before teardown still gets its partitions quarantined.
+      if (kill_requests_.empty()) return;
+      island = kill_requests_.front();
+      kill_requests_.erase(kill_requests_.begin());
+    }
+    // The outcome (evacuated count, degraded-no-survivor) is recorded in
+    // the registry; there is no caller to return it to.
+    (void)KillIsland(island);
+  }
 }
 
 }  // namespace atrapos::engine

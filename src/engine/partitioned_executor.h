@@ -178,8 +178,38 @@ class PartitionedExecutor : public Database::Drainable {
   /// drains workers, applies split/merge actions to every table's
   /// multi-rooted B-tree, migrates moved subtrees to their new owner
   /// island's arena, and restarts workers under the new routing. Returns
-  /// the number of repartitioning actions applied.
+  /// the number of repartitioning actions applied. Placements naming a
+  /// failed island's cores are silently re-homed onto survivors first
+  /// (the adaptive manager needs no failure awareness); Unavailable when
+  /// every island has failed.
   Result<size_t> Repartition(const core::Scheme& target);
+
+  /// Fail-stops one hardware island (fault::kWorkerKill fires this through
+  /// the sentinel; tests and benches call it directly). Every partition
+  /// placed on the island is quarantined — its worker turns zombie:
+  /// in-flight actions abort with kUnavailable (never hang, never complete
+  /// twice) while commit markers still append, so already-decided deferred
+  /// commits settle instead of stranding their futures. The quarantined
+  /// partitions are then evacuated through the Repartition path onto the
+  /// surviving islands (same boundaries, placements re-homed round-robin),
+  /// which seals the log-shard generation and re-homes the shards —
+  /// log::Recover stays crash-consistent across the failure. Returns the
+  /// number of partitions evacuated; Unavailable when no island survives
+  /// (the engine stays up, degraded: everything aborts kUnavailable).
+  /// Must not be called from a worker thread (evacuation joins workers);
+  /// workers use the sentinel.
+  Result<size_t> KillIsland(int island);
+
+  /// True while KillIsland is quarantining/evacuating. The server sheds
+  /// load (kUnavailable, retryable) instead of queuing behind the scheme
+  /// gate while this is set.
+  bool quarantining() const {
+    return quarantining_.load(std::memory_order_acquire);
+  }
+  /// Bitmask of fail-stopped islands (bit i = island i).
+  uint64_t failed_islands() const {
+    return failed_islands_.load(std::memory_order_acquire);
+  }
 
   /// Actions accepted for execution, counted once per drained batch (a
   /// worker counts a batch *before* running it and always finishes a
@@ -225,6 +255,11 @@ class PartitionedExecutor : public Database::Drainable {
     /// the worker runs performs zero notifies (wake coalescing).
     std::atomic<bool> parked{false};
     std::atomic<bool> stop{false};
+    /// Island quarantine (KillIsland / fault::kWorkerKill): the worker
+    /// keeps draining but fails every action task with kUnavailable while
+    /// still appending commit markers — no future ever hangs on a dead
+    /// island. Set once, never cleared (evacuation replaces the partition).
+    std::atomic<bool> failed{false};
     std::mutex mu;
     std::condition_variable cv;
     std::thread worker;
@@ -239,8 +274,16 @@ class PartitionedExecutor : public Database::Drainable {
   void StopWorkers();
   void WorkerLoop(Partition* p);
   /// Runs one task; the stage's last finisher advances the graph (abort at
-  /// RVP, next-stage fan-out, or completion).
-  void RunAction(const ActionTask& task);
+  /// RVP, next-stage fan-out, or completion). A quarantined partition's
+  /// worker passes `zombie`: the action body is skipped and fails with
+  /// kUnavailable, driving the graph through the normal abort-at-RVP path.
+  void RunAction(const ActionTask& task, bool zombie);
+  /// Worker-side kill handoff: a worker whose kWorkerKill fault fires
+  /// cannot evacuate itself (Repartition joins its own thread), so it
+  /// marks its partition failed and hands the island to the sentinel.
+  void RequestKillIsland(int island);
+  /// Processes queued kill requests (KillIsland) off the worker threads.
+  void SentinelLoop();
   /// Notifies p's worker iff it is parked (producer side of the Dekker
   /// pair documented in mpsc_queue.h).
   void Wake(Partition* p);
@@ -306,6 +349,17 @@ class PartitionedExecutor : public Database::Drainable {
   /// Set (under the exclusive scheme gate) by SealIntake; checked by
   /// Submit/SubmitBatch under the shared gate.
   std::atomic<bool> sealed_{false};
+
+  // ---- island failure (KillIsland / fault::kWorkerKill) -------------------
+  std::atomic<bool> quarantining_{false};
+  std::atomic<uint64_t> failed_islands_{0};
+  std::mutex evac_mu_;  ///< serializes concurrent KillIsland calls
+  /// Kill requests from workers, drained by the sentinel thread.
+  std::mutex kill_mu_;
+  std::condition_variable kill_cv_;
+  std::vector<int> kill_requests_;  // guarded by kill_mu_
+  bool sentinel_stop_ = false;      // guarded by kill_mu_
+  std::thread sentinel_;
 };
 
 }  // namespace atrapos::engine

@@ -1,0 +1,156 @@
+#include "fault/injector.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace atrapos::fault {
+
+namespace internal {
+std::atomic<Injector*> g_injector{nullptr};
+}  // namespace internal
+
+const char* SiteName(SiteId site) {
+  switch (site) {
+    case SiteId::kArenaAlloc: return "arena_alloc";
+    case SiteId::kLogTornTail: return "log_torn_tail";
+    case SiteId::kLogShortFlush: return "log_short_flush";
+    case SiteId::kNetRead: return "net_read";
+    case SiteId::kNetWrite: return "net_write";
+    case SiteId::kNetAccept: return "net_accept";
+    case SiteId::kNetStall: return "net_stall";
+    case SiteId::kWorkerKill: return "worker_kill";
+    case SiteId::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void Injector::Arm(SiteId site, SiteSchedule sched) {
+  Site& s = sites_[static_cast<size_t>(site)];
+  s.sched = sched;
+  s.armed = true;
+}
+
+bool Injector::Evaluate(SiteId site) {
+  Site& s = sites_[static_cast<size_t>(site)];
+  // Count before the armed check: an installed injector records which
+  // sites the run actually reached (coverage in the obs fold), armed or
+  // not. The disarmed process still pays only Should()'s single load.
+  uint64_t idx = s.evals.fetch_add(1, std::memory_order_relaxed);
+  if (!s.armed) return false;
+  bool hit = false;
+  if (s.sched.trigger_at != 0 && idx + 1 == s.sched.trigger_at) {
+    hit = true;
+  } else if (s.sched.probability > 0.0) {
+    // Pure function of (seed, site, evaluation index): the draw replays
+    // exactly under a fixed schedule.
+    uint64_t h = SplitMix64(seed_ ^ (static_cast<uint64_t>(site) << 56) ^
+                            (idx * 0xd1342543de82ef95ULL));
+    double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    hit = u < s.sched.probability;
+  }
+  if (!hit) return false;
+  uint64_t prev = s.fires.fetch_add(1, std::memory_order_relaxed);
+  if (prev >= s.sched.max_fires) {
+    s.fires.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+uint64_t Injector::total_fires() const {
+  uint64_t n = 0;
+  for (size_t i = 0; i < kNumSites; ++i)
+    n += sites_[i].fires.load(std::memory_order_relaxed);
+  return n;
+}
+
+void Install(Injector* inj) {
+  internal::g_injector.store(inj, std::memory_order_release);
+}
+
+Injector* ParseSchedule(const std::string& spec) {
+  if (spec.empty()) return nullptr;
+  uint64_t seed = 1;
+  struct Armed {
+    SiteId site;
+    SiteSchedule sched;
+  };
+  std::vector<Armed> armed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string tok = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (tok.empty()) continue;
+    size_t eq = tok.find('=');
+    if (eq == std::string::npos) return nullptr;
+    std::string key = tok.substr(0, eq);
+    std::string val = tok.substr(eq + 1);
+    if (key == "seed") {
+      seed = std::strtoull(val.c_str(), nullptr, 10);
+      continue;
+    }
+    SiteId site = SiteId::kCount;
+    for (size_t i = 0; i < kNumSites; ++i) {
+      if (key == SiteName(static_cast<SiteId>(i))) {
+        site = static_cast<SiteId>(i);
+        break;
+      }
+    }
+    if (site == SiteId::kCount || val.empty()) return nullptr;
+    SiteSchedule sched;
+    size_t x = val.find('x');
+    if (x != std::string::npos) {
+      sched.max_fires = std::strtoull(val.c_str() + x + 1, nullptr, 10);
+      if (sched.max_fires == 0) sched.max_fires = UINT64_MAX;
+      val = val.substr(0, x);
+    }
+    if (!val.empty() && val[0] == '@') {
+      sched.trigger_at = std::strtoull(val.c_str() + 1, nullptr, 10);
+      if (sched.trigger_at == 0) return nullptr;
+    } else {
+      char* endp = nullptr;
+      sched.probability = std::strtod(val.c_str(), &endp);
+      if (endp == val.c_str() || sched.probability < 0.0 ||
+          sched.probability > 1.0) {
+        return nullptr;
+      }
+    }
+    armed.push_back({site, sched});
+  }
+  if (armed.empty()) return nullptr;
+  auto* inj = new Injector(seed);
+  for (const Armed& a : armed) inj->Arm(a.site, a.sched);
+  return inj;
+}
+
+namespace {
+
+// Installs the env-configured injector before main() so test binaries and
+// benches run under a CI fault schedule with no code changes. The injector
+// leaks by design: Should() may race process teardown.
+struct EnvSchedule {
+  EnvSchedule() {
+    const char* spec = std::getenv("ATRAPOS_FAULT_SCHEDULE");
+    if (spec == nullptr || spec[0] == '\0') return;
+    if (Injector* inj = ParseSchedule(spec)) Install(inj);
+  }
+};
+EnvSchedule g_env_schedule;
+
+}  // namespace
+
+}  // namespace atrapos::fault

@@ -1,0 +1,132 @@
+// Deterministic, seed-driven fault injection (the robustness dual of the
+// obs tracing hooks: always compiled in, one relaxed load when disarmed).
+//
+// Every risky layer declares named *sites* — points where the real world
+// can fail — and asks `fault::Should(site)` before the risky step:
+//
+//   mem    kArenaAlloc     chunk-pool slab carve fails → heap overflow path
+//   log    kLogTornTail    append crosses a torn tail: recovery (and only
+//                          recovery) sees the shard cut mid-record
+//   log    kLogShortFlush  flush advances the durable LSN only part-way
+//   server kNetRead        read() fails with ECONNRESET
+//   server kNetWrite       write() fails with ECONNRESET
+//   server kNetAccept      accept4() fails with ECONNABORTED
+//   server kNetStall       server-side flush sees a spurious EAGAIN
+//                          (stalled peer; exercises the EPOLLOUT path)
+//   engine kWorkerKill     a partition worker's island fail-stops
+//
+// Evaluation is deterministic: fire/no-fire is a pure function of
+// (seed, site, per-site evaluation index), so a failing schedule replays
+// exactly — modulo thread interleaving deciding which evaluation lands
+// where, which is why destructive sites are usually armed with
+// `trigger_at` (fire on the Nth evaluation) rather than a probability.
+//
+// When no injector is installed, `Should()` is a single relaxed atomic
+// load returning false — cheap enough to leave in every hot path, like
+// the obs registry's metrics_enabled() gate.
+//
+// CI arming: the environment variable ATRAPOS_FAULT_SCHEDULE installs a
+// process-global injector before main(), e.g.
+//   ATRAPOS_FAULT_SCHEDULE="seed=42;arena_alloc=0.05;net_read=0.001"
+// Site values are either a probability ("0.05") or a trigger count
+// ("@128" = fire on the 128th evaluation), optionally with a fire cap
+// ("0.05x3" = at most 3 fires).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace atrapos::fault {
+
+enum class SiteId : uint8_t {
+  kArenaAlloc = 0,
+  kLogTornTail,
+  kLogShortFlush,
+  kNetRead,
+  kNetWrite,
+  kNetAccept,
+  kNetStall,
+  kWorkerKill,
+  kCount
+};
+inline constexpr size_t kNumSites = static_cast<size_t>(SiteId::kCount);
+
+/// snake_case site name (the schedule-string and Prometheus-label
+/// vocabulary).
+const char* SiteName(SiteId site);
+
+/// When and how often a site fires. Either mechanism may be used;
+/// `trigger_at` wins on its exact evaluation, `probability` covers the
+/// rest.
+struct SiteSchedule {
+  double probability = 0.0;  ///< per-evaluation Bernoulli draw
+  uint64_t trigger_at = 0;   ///< 1-based evaluation index to fire on (0=off)
+  uint64_t max_fires = UINT64_MAX;  ///< stop firing after this many
+};
+
+class Injector {
+ public:
+  explicit Injector(uint64_t seed) : seed_(seed) {}
+
+  /// Arms one site. Not thread-safe against concurrent Evaluate — arm
+  /// before handing the injector to Install().
+  void Arm(SiteId site, SiteSchedule sched);
+
+  /// One evaluation of `site`: counts it, draws deterministically, counts
+  /// the fire. Thread-safe; each concurrent caller gets a distinct
+  /// evaluation index.
+  bool Evaluate(SiteId site);
+
+  uint64_t evaluations(SiteId site) const {
+    return sites_[static_cast<size_t>(site)].evals.load(
+        std::memory_order_relaxed);
+  }
+  uint64_t fires(SiteId site) const {
+    return sites_[static_cast<size_t>(site)].fires.load(
+        std::memory_order_relaxed);
+  }
+  uint64_t total_fires() const;
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct Site {
+    SiteSchedule sched;
+    bool armed = false;
+    std::atomic<uint64_t> evals{0};
+    std::atomic<uint64_t> fires{0};
+  };
+  uint64_t seed_;
+  Site sites_[kNumSites];
+};
+
+namespace internal {
+extern std::atomic<Injector*> g_injector;
+}  // namespace internal
+
+/// Installs `inj` process-globally (nullptr disarms). The caller keeps
+/// ownership and must keep `inj` alive until it is uninstalled and every
+/// thread that might be mid-Should() has quiesced — in practice: install
+/// before starting the system under test, uninstall after joining it.
+void Install(Injector* inj);
+
+/// The installed injector, or nullptr when disarmed.
+inline Injector* Get() {
+  return internal::g_injector.load(std::memory_order_relaxed);
+}
+
+/// The hot-path gate: false (one relaxed load) when no injector is
+/// installed, otherwise one deterministic evaluation of `site`.
+inline bool Should(SiteId site) {
+  Injector* inj = internal::g_injector.load(std::memory_order_relaxed);
+  if (inj == nullptr) return false;
+  return inj->Evaluate(site);
+}
+
+/// Parses an ATRAPOS_FAULT_SCHEDULE-style string
+/// ("seed=N;site=prob|@trigger[xmax];...") into a fresh heap injector, or
+/// nullptr on empty/malformed input. Exposed for tests; the env hook uses
+/// it at static-init time.
+Injector* ParseSchedule(const std::string& spec);
+
+}  // namespace atrapos::fault

@@ -175,6 +175,12 @@ struct ShardSnapshot {
   int shard_id = 0;
   int generation = 0;  ///< repartition seals a generation; replay merges
   std::vector<RecoveredRecord> records;
+  /// Injected torn tail (fault::kLogTornTail): the shard's parse stopped
+  /// mid-record at `torn_cut_byte`; `torn_lsn` is the first LSN lost to
+  /// the tear. Recovery treats the cut like any crash cut and reports it.
+  bool torn = false;
+  Lsn torn_lsn = 0;
+  uint64_t torn_cut_byte = 0;
 };
 
 /// Distributed durable point: per-shard durable LSNs plus the commit-epoch

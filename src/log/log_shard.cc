@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "fault/injector.h"
 #include "mem/arena.h"
 
 namespace atrapos::log {
@@ -117,6 +118,15 @@ Lsn LogShard::AppendBatch(const PendingRecord* recs, size_t n,
     for (size_t i = 0; i < n; ++i) {
       const PendingRecord& r = recs[i];
       Lsn lsn = next_lsn_++;
+      if (torn_cut_byte_ == 0 &&
+          fault::Should(fault::SiteId::kLogTornTail)) {
+        // Torn tail: the modeled disk write stops mid-record. The live
+        // chunk chain still gets the full record (the engine is not
+        // crashing), but SnapshotDurable — the recovery view — cuts here.
+        torn_cut_byte_ = bytes_logged_.load(std::memory_order_relaxed) +
+                         WireSize(r) / 2;
+        torn_lsn_ = lsn;
+      }
       WriteLocked(r, lsn, images + r.image_offset);
       bytes += WireSize(r);
       if (r.ticket != nullptr) {
@@ -152,11 +162,23 @@ Lsn LogShard::AppendOne(const PendingRecord& rec, const uint8_t* image,
 }
 
 void LogShard::Flush(std::vector<CommitTicket*>* durable_fired) {
+  FlushInternal(durable_fired, /*allow_fault=*/true);
+}
+
+void LogShard::FlushInternal(std::vector<CommitTicket*>* durable_fired,
+                             bool allow_fault) {
   Lsn tail;
   bool advanced = false;
   {
     std::lock_guard lk(mu_);
     tail = next_lsn_ - 1;
+    Lsn cur = durable_lsn_.load(std::memory_order_relaxed);
+    if (allow_fault && tail > cur &&
+        fault::Should(fault::SiteId::kLogShortFlush)) {
+      // Short write: only part of the window reached the disk. The rest
+      // stays buffered for the flusher's next pass.
+      tail = cur + (tail - cur + 1) / 2;
+    }
     if (tail > durable_lsn_.load(std::memory_order_relaxed)) {
       // The "flush": with a memory-mapped log disk this is a memcpy plus
       // fence; the group-commit window batches whatever accumulated.
@@ -189,7 +211,7 @@ Lsn LogShard::WaitDurable(Lsn lsn) {
 }
 
 void LogShard::Seal(std::vector<CommitTicket*>* durable_fired) {
-  Flush(durable_fired);
+  FlushInternal(durable_fired, /*allow_fault=*/false);
   std::lock_guard lk(mu_);
   sealed_ = true;
 }
@@ -220,6 +242,11 @@ bool LogShard::sealed() const {
   return sealed_;
 }
 
+uint64_t LogShard::torn_cut_byte() const {
+  std::lock_guard lk(mu_);
+  return torn_cut_byte_;
+}
+
 Lsn LogShard::tail_lsn() const {
   std::lock_guard lk(mu_);
   return next_lsn_ - 1;
@@ -231,6 +258,12 @@ ShardSnapshot LogShard::SnapshotDurable() const {
   snap.generation = generation_;
   Lsn durable = durable_lsn_.load(std::memory_order_acquire);
   std::lock_guard lk(mu_);
+  // The injected torn tail: cumulative record bytes written before the
+  // modeled disk stopped. A record crossing it is unreadable — its header
+  // fields would be garbage on a real device — so the parse ends there.
+  const uint64_t cut =
+      torn_cut_byte_ == 0 ? UINT64_MAX : torn_cut_byte_;
+  uint64_t pos = 0;
   // v2 LSNs are implicit: records were written in LSN order starting at 1,
   // so the parse position IS the LSN (what a sequential log disk encodes
   // by construction).
@@ -282,6 +315,13 @@ ShardSnapshot LogShard::SnapshotDurable() const {
         image_size = h.image_size;
         header = sizeof(h);
       }
+      if (pos + header + image_size > cut) {
+        snap.torn = true;
+        snap.torn_lsn = torn_lsn_;
+        snap.torn_cut_byte = cut;
+        return snap;
+      }
+      pos += header + image_size;
       ++next;
       if (image_size > 0) {
         const uint8_t* img = b.data + off + header;

@@ -64,7 +64,10 @@ class LogShard {
   /// Group commit: advances the durable LSN to the current tail, wakes
   /// blocking waiters, and appends (never clears) the tickets of commit
   /// markers that just became durable to `durable_fired` for the flusher
-  /// to settle outside the lock.
+  /// to settle outside the lock. Under an armed kLogShortFlush fault the
+  /// durable LSN advances only part-way (a short write); the next flush
+  /// pass completes the window, so group commit degrades to higher
+  /// latency, never to a lost ack.
   void Flush(std::vector<CommitTicket*>* durable_fired);
 
   /// Blocks until `lsn` is durable and returns the durable LSN then —
@@ -85,8 +88,16 @@ class LogShard {
   std::vector<CommitTicket*> TakeUnsettledWaiters();
 
   /// The durable prefix as recovery would see it after a crash: every
-  /// record with LSN <= durable_lsn, parsed out of the chunk chain.
+  /// record with LSN <= durable_lsn, parsed out of the chunk chain. When a
+  /// kLogTornTail fault fired during an append, the shard carries a torn
+  /// cut — a byte offset mid-record where the modeled disk write stopped —
+  /// and the snapshot ends there instead, with `torn`/`torn_lsn`/
+  /// `torn_cut_byte` reporting the cut point. The live engine never sees
+  /// the tear; only recovery does, exactly like a crash mid-write.
   ShardSnapshot SnapshotDurable() const;
+
+  /// The injected torn-tail cut in bytes (0 = none).
+  uint64_t torn_cut_byte() const;
 
   int id() const { return id_; }
   int generation() const { return generation_; }
@@ -117,6 +128,10 @@ class LogShard {
   /// Ensures the chunk chain can take `need` contiguous bytes; caller
   /// holds mu_. Returns the write position.
   uint8_t* ReserveLocked(size_t need);
+  /// Flush body; `allow_fault` gates the kLogShortFlush site (Seal's final
+  /// flush must complete, or sealed shards would strand commit tickets).
+  void FlushInternal(std::vector<CommitTicket*>* durable_fired,
+                     bool allow_fault);
 
   const int id_;
   const int generation_;
@@ -133,6 +148,12 @@ class LogShard {
   /// order under mu_; Flush pops the durable prefix).
   std::vector<std::pair<Lsn, CommitTicket*>> waiters_;
   size_t waiters_head_ = 0;
+
+  /// Injected torn tail: byte offset (in cumulative record-wire bytes)
+  /// where the modeled disk write stopped, and the first LSN it cuts.
+  /// Guarded by mu_; 0 = no tear.
+  uint64_t torn_cut_byte_ = 0;
+  Lsn torn_lsn_ = 0;
 
   std::atomic<Lsn> durable_lsn_{0};
   std::atomic<bool> stopped_{false};

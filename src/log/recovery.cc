@@ -77,6 +77,11 @@ RecoveryReport Recover(const std::vector<ShardSnapshot>& shards,
                        const RecoveryOptions& opt) {
   RecoveryReport report;
 
+  // Report injected torn tails: the cut shard's missing suffix surfaces as
+  // undecided/poisoned transactions below, exactly like a crash cut.
+  for (const ShardSnapshot& s : shards)
+    if (s.torn) report.torn_cuts.emplace_back(s.shard_id, s.torn_lsn);
+
   // Group shards by generation; generations replay in order (a generation
   // seals — fully durable, every transaction decided — before the next
   // one opens, so cross-generation precedence needs no closure).

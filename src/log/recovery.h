@@ -78,6 +78,9 @@ struct RecoveryReport {
   uint64_t txns_poisoned = 0;       ///< excluded by precedence closure
   uint64_t txns_aborted = 0;
   uint64_t max_epoch_applied = 0;
+  /// Torn-tail cut points ((shard_id, first LSN lost), one per shard whose
+  /// snapshot ended mid-record on an injected torn write).
+  std::vector<std::pair<int, Lsn>> torn_cuts;
 };
 
 /// Replays `shards` (from LogManager::SnapshotDurable) into `tables`,

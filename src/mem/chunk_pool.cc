@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/injector.h"
 #include "mem/arena.h"
 
 namespace atrapos::mem {
@@ -73,7 +74,11 @@ void* ChunkPool::Get() {
     // Another grower may have refilled the list while we waited.
     got = PopFree();
     if (got == 0) {
-      if (num_slabs_ >= kMaxSlabs) {
+      // kArenaAlloc models the slab carve failing (arena fragmented or
+      // exhausted): degrade to the same one-off overflow blocks the full
+      // slab table uses — the pool keeps serving, just without recycling.
+      if (num_slabs_ >= kMaxSlabs ||
+          fault::Should(fault::SiteId::kArenaAlloc)) {
         // Slab table full (an unbounded consumer such as a long-running
         // log shard outgrew the pooled working set): serve one-off
         // blocks directly. They bypass the freelist — Put frees them —

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "fault/injector.h"
+
 namespace atrapos::obs {
 
 const char* CounterName(CounterId c) {
@@ -21,6 +23,10 @@ const char* CounterName(CounterId c) {
     case CounterId::kNetBytesOut: return "net_bytes_out";
     case CounterId::kNetTxnsShed: return "net_txns_shed";
     case CounterId::kNetProtocolErrors: return "net_protocol_errors";
+    case CounterId::kFaultIslandKills: return "fault_island_kills";
+    case CounterId::kFaultPartitionsEvacuated:
+      return "fault_partitions_evacuated";
+    case CounterId::kFaultTxnsUnavailable: return "fault_txns_unavailable";
     case CounterId::kCount: break;
   }
   return "?";
@@ -46,6 +52,7 @@ const char* HistName(HistId h) {
     case HistId::kSubmitPublishUs: return "submit_publish_us";
     case HistId::kLogFlushUs: return "log_flush_us";
     case HistId::kWireLatencyUs: return "wire_latency_us";
+    case HistId::kEvacuationUs: return "evacuation_us";
     case HistId::kCount: break;
   }
   return "?";
@@ -169,6 +176,17 @@ StatsSnapshot Registry::Snapshot() {
   // Sources run outside mu_: they take their own subsystem locks (e.g.
   // the executor's scheme gate) and must not nest under the shard mutex.
   for (auto& [id, src] : sources) src(out);
+  // Fault-injection sites record into the process-global injector (the mem
+  // and log layers have no registry handle); fold the fires in here so
+  // they surface as atrapos_fault_* like every other metric.
+  if (fault::Injector* inj = fault::Get()) {
+    for (size_t s = 0; s < fault::kNumSites; ++s) {
+      auto site = static_cast<fault::SiteId>(s);
+      if (inj->evaluations(site) == 0) continue;
+      out.fault_site_fires.emplace_back(fault::SiteName(site),
+                                        inj->fires(site));
+    }
+  }
   {
     std::lock_guard lk(mu_);
     --sources_running_;
@@ -228,6 +246,13 @@ std::string StatsSnapshot::ToPrometheus() const {
     for (size_t i = 0; i < net_island_accepts.size(); ++i) {
       os << "atrapos_net_island_accepts{island=\"" << i << "\"} "
          << net_island_accepts[i] << "\n";
+    }
+  }
+  if (!fault_site_fires.empty()) {
+    os << "# TYPE atrapos_fault_injected_total counter\n";
+    for (const auto& [site, fires] : fault_site_fires) {
+      os << "atrapos_fault_injected_total{site=\"" << site << "\"} " << fires
+         << "\n";
     }
   }
   os << "# TYPE atrapos_executed_actions counter\n";

@@ -63,6 +63,10 @@ enum class CounterId : uint16_t {
   kNetBytesOut,           ///< response bytes written to sockets
   kNetTxnsShed,           ///< requests shed by admission control (OVERLOADED)
   kNetProtocolErrors,     ///< malformed/oversized frames, unknown opcodes
+  // ---- fault tolerance (src/fault/, executor quarantine) ------------------
+  kFaultIslandKills,      ///< islands fail-stopped (injected or KillIsland)
+  kFaultPartitionsEvacuated, ///< partitions re-homed off a failed island
+  kFaultTxnsUnavailable,  ///< actions failed kUnavailable by a quarantined worker
   kCount
 };
 const char* CounterName(CounterId c);
@@ -84,6 +88,7 @@ enum class HistId : uint16_t {
   kSubmitPublishUs,      ///< stage-0 bucket + publish wave, per wave
   kLogFlushUs,           ///< one group-commit pass over all active shards
   kWireLatencyUs,        ///< wire txn: decode/submit → response queued
+  kEvacuationUs,         ///< KillIsland: quarantine → repartitioned onto survivors
   kCount
 };
 const char* HistName(HistId h);
@@ -122,6 +127,11 @@ struct StatsSnapshot {
   double remote_traffic_ratio = 0.0;  ///< AccessRemoteRatio (QPI/IMC analogue)
   double alloc_remote_ratio = 0.0;
   uint64_t migrated_bytes = 0;
+
+  // ---- fault injection (process-global fault::Injector, when armed) -------
+  /// (site name, fires) per armed injection site with at least one
+  /// evaluation; emitted as atrapos_fault_injected_total{site="..."}.
+  std::vector<std::pair<std::string, uint64_t>> fault_site_fires;
 
   // ---- tracing ------------------------------------------------------------
   uint64_t trace_events_recorded = 0;

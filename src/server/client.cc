@@ -7,8 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "server/net_io.h"
+#include "util/backoff.h"
 
 namespace atrapos::server {
 
@@ -18,6 +24,35 @@ uint32_t ReadLE32(const uint8_t* p) {
   return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
          static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
 }
+
+/// One blocking wait's budget. Disabled (deadline_ms <= 0) reproduces the
+/// old block-forever behavior; enabled, every Poll gets the remaining
+/// time so a server that dies mid-request can never wedge the client.
+struct Deadline {
+  explicit Deadline(int64_t deadline_ms) : enabled(deadline_ms > 0) {
+    if (enabled)
+      at = std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(deadline_ms);
+  }
+  bool expired() const {
+    return enabled && std::chrono::steady_clock::now() >= at;
+  }
+  /// poll(2) timeout: -1 (forever) when disabled, else remaining ms
+  /// rounded UP — truncation would turn the final sub-millisecond of
+  /// budget into Poll(0) busy-spinning until the clock crosses `at`.
+  int poll_timeout() const {
+    if (!enabled) return -1;
+    auto left_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       at - std::chrono::steady_clock::now())
+                       .count();
+    if (left_us <= 0) return 0;
+    return static_cast<int>(std::min<int64_t>((left_us + 999) / 1000,
+                                              1'000'000));
+  }
+
+  bool enabled;
+  std::chrono::steady_clock::time_point at;
+};
 
 }  // namespace
 
@@ -74,10 +109,13 @@ Status Client::Connect() {
     EncodeHello(&hello, opt_.window);
     ATRAPOS_RETURN_NOT_OK(WriteAll(c.get(), hello.data(), hello.size()));
   }
+  Deadline dl(opt_.deadline_ms);
   for (auto& c : conns_) {
     for (int spin = 0; !c->dead && c->window == 0; ++spin) {
+      if (dl.expired())
+        return Status::DeadlineExceeded("HELLO_ACK not received in time");
       if (spin > 100) return Status::Internal("handshake timed out");
-      Poll(100);
+      Poll(dl.enabled ? std::min(100, dl.poll_timeout()) : 100);
     }
     if (c->dead || c->window == 0)
       return Status::Internal("handshake failed (connection closed)");
@@ -88,9 +126,8 @@ Status Client::Connect() {
 Status Client::WriteAll(Conn* c, const uint8_t* p, size_t n) {
   size_t off = 0;
   while (off < n) {
-    ssize_t w = ::write(c->fd, p + off, n - off);
+    ssize_t w = net::WriteSome(c->fd, p + off, n - off);
     if (w < 0) {
-      if (errno == EINTR) continue;
       c->dead = true;
       FailPending(c);
       return Status::Internal("write: " + std::string(std::strerror(errno)));
@@ -114,9 +151,15 @@ Status Client::FlushBatch(Conn* c) {
 }
 
 Status Client::Submit(int i, const TxnRequest& req, TxnCallback cb) {
+  return SubmitWithId(i, req, std::move(cb), nullptr);
+}
+
+Status Client::SubmitWithId(int i, const TxnRequest& req, TxnCallback cb,
+                            uint64_t* id_out) {
   Conn* c = conn(i);
   if (!c || c->dead) return Status::InvalidArgument("connection not open");
   uint64_t id = next_req_id_++;
+  if (id_out) *id_out = id;
   c->txn_cbs.emplace(id, std::move(cb));
   ++outstanding_;
   c->pending_ids.push_back(id);
@@ -138,8 +181,12 @@ Status Client::GatedFlush(Conn* c) {
     auto sent_unacked = [&] {
       return c->txn_cbs.size() + c->pk_cbs.size() - c->pending_ids.size();
     };
-    while (!c->dead && sent_unacked() + c->pending_ids.size() > c->window)
-      Poll(-1);
+    Deadline dl(opt_.deadline_ms);
+    while (!c->dead && sent_unacked() + c->pending_ids.size() > c->window) {
+      if (dl.expired())
+        return Status::DeadlineExceeded("window gate: no ack in time");
+      Poll(dl.poll_timeout());
+    }
     if (c->dead) return Status::Unavailable("connection closed");
   }
   return FlushBatch(c);
@@ -187,10 +234,10 @@ size_t Client::DrainConn(Conn* c) {
   constexpr size_t kChunk = 64 * 1024;
   size_t old = c->in.size();
   c->in.resize(old + kChunk);
-  ssize_t n = ::read(c->fd, c->in.data() + old, kChunk);
+  ssize_t n = net::ReadSome(c->fd, c->in.data() + old, kChunk);
   if (n <= 0) {
     c->in.resize(old);
-    if (n < 0 && (errno == EINTR || errno == EAGAIN)) return 0;
+    if (n < 0 && errno == EAGAIN) return 0;
     c->dead = true;
     size_t fired = DispatchFrames(c);  // acks that landed before the close
     FailPending(c);
@@ -289,20 +336,63 @@ void Client::FailPending(Conn* c) {
   }
 }
 
+void Client::AbandonTxn(Conn* c, uint64_t id) {
+  auto it = c->txn_cbs.find(id);
+  if (it == c->txn_cbs.end()) return;  // ack already fired (or FailPending)
+  c->txn_cbs.erase(it);
+  --outstanding_;
+  for (size_t k = 0; k < c->pending_ids.size(); ++k) {
+    if (c->pending_ids[k] != id) continue;
+    c->pending_ids.erase(c->pending_ids.begin() + static_cast<ptrdiff_t>(k));
+    c->pending_reqs.erase(c->pending_reqs.begin() + static_cast<ptrdiff_t>(k));
+    break;
+  }
+}
+
 Result<WireStatus> Client::Call(int i, const TxnRequest& req) {
   Conn* c = conn(i);
   if (!c || c->dead) return Status::InvalidArgument("connection not open");
-  WireStatus out = WireStatus::kError;
-  bool done = false;
-  Status s = Submit(i, req, [&](WireStatus ws) {
-    out = ws;
-    done = true;
-  });
-  if (!s.ok()) return s;
-  ATRAPOS_RETURN_NOT_OK(FlushBatch(c));
-  while (!done && !c->dead) Poll(-1);
-  if (!done) return Status::Unavailable("connection closed mid-call");
-  return out;
+  util::Backoff backoff(opt_.backoff_base_us, opt_.backoff_cap_us,
+                        opt_.backoff_seed);
+  for (int attempt = 0;; ++attempt) {
+    Deadline dl(opt_.deadline_ms);
+    WireStatus out = WireStatus::kError;
+    bool done = false;
+    uint64_t id = 0;
+    // The stack-capturing callback must never outlive this iteration:
+    // every early return below first unregisters it via AbandonTxn.
+    Status s = SubmitWithId(i, req,
+                            [&](WireStatus ws) {
+                              out = ws;
+                              done = true;
+                            },
+                            &id);
+    if (!s.ok()) {
+      AbandonTxn(c, id);
+      return s;
+    }
+    s = FlushBatch(c);
+    if (!s.ok()) {
+      AbandonTxn(c, id);
+      return s;
+    }
+    while (!done && !c->dead) {
+      if (dl.expired()) {
+        AbandonTxn(c, id);
+        return Status::DeadlineExceeded("no TXN_ACK in time");
+      }
+      Poll(dl.poll_timeout());
+    }
+    if (!done) return Status::Unavailable("connection closed mid-call");
+    // kOverloaded (admission shed) and kUnavailable (island evacuation in
+    // flight) are transient: back off and retry within the budget.
+    // kShutdown means the server is draining for good — never retried.
+    const bool retryable =
+        out == WireStatus::kOverloaded || out == WireStatus::kUnavailable;
+    if (!retryable || attempt >= opt_.retries) return out;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(backoff.NextDelayUs()));
+  }
 }
 
 Result<std::string> Client::QueryStats(int i) {
@@ -312,7 +402,12 @@ Result<std::string> Client::QueryStats(int i) {
   std::vector<uint8_t> buf;
   EncodeStats(&buf);
   ATRAPOS_RETURN_NOT_OK(WriteAll(c, buf.data(), buf.size()));
-  while (!c->stats_ready && !c->dead) Poll(-1);
+  Deadline dl(opt_.deadline_ms);
+  while (!c->stats_ready && !c->dead) {
+    if (dl.expired())
+      return Status::DeadlineExceeded("no STATS_ACK in time");
+    Poll(dl.poll_timeout());
+  }
   if (!c->stats_ready) return Status::Unavailable("connection closed");
   return c->stats;
 }

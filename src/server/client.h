@@ -39,6 +39,20 @@ class Client {
     /// Block in Submit() until a window slot frees. Off = requests go out
     /// regardless, so the server's admission control does the shedding.
     bool enforce_window = true;
+    /// Per-request deadline for every blocking wait (handshake, window
+    /// gate, Call, QueryStats). 0 = no deadline (block forever, the
+    /// pre-fault-tolerance behavior). On expiry the wait returns
+    /// kDeadlineExceeded and the abandoned request's callback is
+    /// unregistered — a late ack is silently dropped, never double-fired.
+    int64_t deadline_ms = 0;
+    /// Call() retry budget for kOverloaded/kUnavailable answers (transient
+    /// shed / island evacuation in flight). kShutdown is never retried —
+    /// the server is going away for good. Each retry is a fresh request id
+    /// separated by util::Backoff's jittered exponential delay.
+    int retries = 0;
+    uint64_t backoff_base_us = 200;
+    uint64_t backoff_cap_us = 50'000;
+    uint64_t backoff_seed = 1;
   };
 
   /// Fired by Poll() when the TXN_ACK for a submitted request arrives.
@@ -80,6 +94,9 @@ class Client {
 
   /// Synchronous convenience: Submit + flush + Poll until this request's
   /// ack arrived (callbacks of other in-flight requests fire meanwhile).
+  /// Honors Options::deadline_ms (kDeadlineExceeded on expiry) and retries
+  /// kOverloaded/kUnavailable answers up to Options::retries times with
+  /// jittered exponential backoff.
   Result<WireStatus> Call(int conn, const TxnRequest& req);
 
   /// STATS round trip: the server's Prometheus text exposition.
@@ -112,6 +129,14 @@ class Client {
 
   Status WriteAll(Conn* c, const uint8_t* p, size_t n);
   Status FlushBatch(Conn* c);
+  /// Submit + report the request id allocated (Call's retry/abandon path
+  /// needs it; Submit passes nullptr). May fire other callbacks if the
+  /// batch boundary triggers the window gate's internal Poll.
+  Status SubmitWithId(int conn, const TxnRequest& req, TxnCallback cb,
+                      uint64_t* id_out);
+  /// Drops an abandoned request: unregisters the callback and unbuffers
+  /// the request if still unsent. No-op if the ack already fired.
+  void AbandonTxn(Conn* c, uint64_t id);
   /// FlushBatch behind the window gate: with enforce_window, parks in
   /// Poll until the buffered batch fits under the granted window.
   Status GatedFlush(Conn* c);

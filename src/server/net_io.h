@@ -1,0 +1,90 @@
+// Thin syscall wrappers for the wire tier: every read/write/accept the
+// server or client issues goes through here so (a) EINTR is retried in
+// exactly one place instead of ad hoc at each call site, and (b) the
+// fault-injection sites kNetRead/kNetWrite/kNetAccept can surface
+// realistic transient socket errors (ECONNRESET / ECONNABORTED) on any
+// code path without touching the kernel.
+//
+// The wrappers preserve the raw syscall contract — return value and errno
+// — so call sites keep their existing EAGAIN/short-count handling.
+#pragma once
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+#include "fault/injector.h"
+
+namespace atrapos::server::net {
+
+/// ::read with EINTR retried and kNetRead injection (-1/ECONNRESET).
+inline ssize_t ReadSome(int fd, void* buf, size_t n) {
+  if (fault::Should(fault::SiteId::kNetRead)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  for (;;) {
+    ssize_t r = ::read(fd, buf, n);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+/// ::write with EINTR retried and kNetWrite injection (-1/ECONNRESET).
+/// Short writes are NOT completed here — non-blocking callers need the
+/// partial count to re-arm EPOLLOUT; blocking callers loop themselves.
+inline ssize_t WriteSome(int fd, const void* buf, size_t n) {
+  if (fault::Should(fault::SiteId::kNetWrite)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  for (;;) {
+    ssize_t r = ::write(fd, buf, n);
+    if (r < 0 && errno == EINTR) continue;
+    return r;
+  }
+}
+
+/// ::accept4 with EINTR retried and kNetAccept injection (-1/ECONNABORTED
+/// — the error a real listener sees when the peer resets mid-handshake;
+/// accept loops must treat it as "skip this one", not close the listener).
+inline ssize_t Accept4(int listen_fd, int flags) {
+  if (fault::Should(fault::SiteId::kNetAccept)) {
+    errno = ECONNABORTED;
+    return -1;
+  }
+  for (;;) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, flags);
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
+}
+
+/// Full-buffer blocking write: loops over WriteSome until every byte is
+/// out or a real error (not EINTR) surfaces. For blocking sockets only.
+inline bool WriteAll(int fd, const uint8_t* p, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    ssize_t w = WriteSome(fd, p + off, n - off);
+    if (w <= 0) return false;
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+/// eventfd wake: an 8-byte counter write, EINTR retried. Never injected —
+/// the wake channel is process-internal plumbing, not a network surface,
+/// and a lost wake turns into a missed-deadline hang rather than a
+/// recoverable socket error.
+inline void EventfdSignal(int fd) {
+  uint64_t one = 1;
+  for (;;) {
+    ssize_t r = ::write(fd, &one, sizeof(one));
+    if (r < 0 && errno == EINTR) continue;
+    return;
+  }
+}
+
+}  // namespace atrapos::server::net

@@ -13,7 +13,9 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "fault/injector.h"
 #include "hw/binding.h"
+#include "server/net_io.h"
 
 namespace atrapos::server {
 
@@ -201,10 +203,7 @@ void Server::Stop() {
     // every admitted transaction's response gets queued (engine callbacks
     // release inflight_ only after QueueResponse).
     draining_.store(true, std::memory_order_release);
-    for (auto& t : io_threads_) {
-      uint64_t one = 1;
-      [[maybe_unused]] ssize_t r = ::write(t->wake_fd, &one, sizeof(one));
-    }
+    for (auto& t : io_threads_) net::EventfdSignal(t->wake_fd);
     {
       std::unique_lock lk(inflight_mu_);
       inflight_cv_.wait(lk, [this] {
@@ -213,10 +212,7 @@ void Server::Stop() {
     }
     // Phase 2: stop. I/O threads flush what is queued, close, exit.
     stop_.store(true, std::memory_order_release);
-    for (auto& t : io_threads_) {
-      uint64_t one = 1;
-      [[maybe_unused]] ssize_t r = ::write(t->wake_fd, &one, sizeof(one));
-    }
+    for (auto& t : io_threads_) net::EventfdSignal(t->wake_fd);
   }
   for (auto& t : io_threads_) {
     if (t->thread.joinable()) t->thread.join();
@@ -253,7 +249,8 @@ void Server::IoLoop(IoThread* t) {
       int fd = evs[i].data.fd;
       if (fd == t->wake_fd) {
         uint64_t drain = 0;
-        while (::read(t->wake_fd, &drain, sizeof(drain)) > 0) {
+        while (::read(t->wake_fd, &drain, sizeof(drain)) > 0 ||
+               errno == EINTR) {
         }
         continue;
       }
@@ -293,8 +290,9 @@ void Server::IoLoop(IoThread* t) {
 
 void Server::AcceptReady(IoThread* t) {
   for (;;) {
-    int fd = ::accept4(t->listen_fd, nullptr, nullptr,
-                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    int fd = static_cast<int>(
+        net::Accept4(t->listen_fd, SOCK_NONBLOCK | SOCK_CLOEXEC));
+    if (fd < 0 && errno == ECONNABORTED) continue;  // peer reset mid-handshake
     if (fd < 0) return;  // EAGAIN or a transient error; epoll re-arms
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -315,19 +313,26 @@ void Server::AcceptReady(IoThread* t) {
 
 bool Server::ReadConn(IoThread* t, const std::shared_ptr<Conn>& c) {
   constexpr size_t kReadChunk = 64 * 1024;
+  // Peer closed: still parse the complete frames that arrived before the
+  // close below — a protocol error from a hit-and-run client must be
+  // counted (and a valid last request processed) whether or not the close
+  // raced our read — then drop the connection.
+  bool eof = false;
   for (;;) {
     size_t old = c->in.size();
     c->in.resize(old + kReadChunk);
-    ssize_t n = ::read(c->fd, c->in.data() + old, kReadChunk);
+    ssize_t n = net::ReadSome(c->fd, c->in.data() + old, kReadChunk);
     if (n > 0) {
       c->in.resize(old + static_cast<size_t>(n));
       obs_->Count(obs::CounterId::kNetBytesIn, static_cast<uint64_t>(n));
       continue;
     }
     c->in.resize(old);
-    if (n == 0) return false;  // peer closed (possibly mid-frame: fine)
+    if (n == 0) {  // possibly mid-frame: the partial tail stays unparsed
+      eof = true;
+      break;
+    }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
     return false;
   }
   size_t off = 0;
@@ -344,7 +349,7 @@ bool Server::ReadConn(IoThread* t, const std::shared_ptr<Conn>& c) {
     if (c->proto_error) return false;
   }
   c->in.erase(c->in.begin(), c->in.begin() + static_cast<ptrdiff_t>(off));
-  return true;
+  return !eof;
 }
 
 void Server::HandleFrame(IoThread* t, const std::shared_ptr<Conn>& c,
@@ -378,6 +383,17 @@ void Server::HandleFrame(IoThread* t, const std::shared_ptr<Conn>& c,
         if (draining) {
           std::vector<uint8_t> ack;
           EncodeTxnAck(&ack, txn.req_id, WireStatus::kShutdown);
+          QueueResponse(c, std::move(ack));
+          continue;
+        }
+        // Island quarantine in flight: shed, don't queue. Admitting now
+        // would park this I/O thread on the executor's scheme gate behind
+        // the evacuation — every connection on this island would stall.
+        // kUnavailable tells the client to back off and retry.
+        if (exec_->quarantining()) {
+          obs_->Count(obs::CounterId::kNetTxnsShed);
+          std::vector<uint8_t> ack;
+          EncodeTxnAck(&ack, txn.req_id, WireStatus::kUnavailable);
           QueueResponse(c, std::move(ack));
           continue;
         }
@@ -445,6 +461,11 @@ void Server::HandlePkRead(const std::shared_ptr<Conn>& c, DecodedPkRead pk) {
     answer_all(WireStatus::kShutdown);
     return;
   }
+  if (exec_->quarantining()) {  // shed during evacuation, as for TXN
+    obs_->Count(obs::CounterId::kNetTxnsShed);
+    answer_all(WireStatus::kUnavailable);
+    return;
+  }
   // One window slot and one global in-flight slot per PK_READ frame, no
   // matter how many keys it batches — the batch is the amortization unit.
   if (c->outstanding.load(std::memory_order_acquire) >= c->window) {
@@ -496,10 +517,23 @@ void Server::HandlePkRead(const std::shared_ptr<Conn>& c, DecodedPkRead pk) {
 
 void Server::SubmitWave(IoThread* t) {
   if (t->wave_graphs.empty()) return;
-  auto futures = exec_->SubmitBatch(t->wave_graphs);
+  // A quarantine that started after this wave's requests were admitted:
+  // answer locally instead of submitting. SubmitBatch would block on the
+  // scheme gate until the evacuation's Repartition finishes, freezing this
+  // I/O thread (and every connection it owns) for the whole outage.
+  bool unavailable = exec_->quarantining();
+  if (unavailable) {
+    obs_->Count(obs::CounterId::kNetTxnsShed,
+                static_cast<uint64_t>(t->wave_items.size()));
+  }
+  Result<std::vector<engine::TxnFuture>> futures =
+      unavailable
+          ? Result<std::vector<engine::TxnFuture>>(
+                Status::Unavailable("island quarantine in progress"))
+          : exec_->SubmitBatch(t->wave_graphs);
   if (!futures.ok()) {
-    // Sealed executor (or a validation surprise): answer every admitted
-    // request and release its slots — nothing leaks.
+    // Sealed executor, quarantine, or a validation surprise: answer every
+    // admitted request and release its slots — nothing leaks.
     WireStatus ws = ToWireStatus(futures.status());
     for (IoThread::WaveItem& item : t->wave_items) {
       std::vector<uint8_t> ack;
@@ -557,8 +591,7 @@ void Server::QueueResponse(const std::shared_ptr<Conn>& c,
       std::lock_guard lk(t->dirty_mu);
       t->dirty.push_back(c);
     }
-    uint64_t one = 1;
-    [[maybe_unused]] ssize_t r = ::write(t->wake_fd, &one, sizeof(one));
+    net::EventfdSignal(t->wake_fd);
   }
 }
 
@@ -575,8 +608,18 @@ bool Server::FlushConn(IoThread* t, const std::shared_ptr<Conn>& c) {
       }
       c->writing.swap(c->out);
     }
-    ssize_t w = ::write(c->fd, c->writing.data() + c->writing_off,
-                        c->writing.size() - c->writing_off);
+    // Injected stall: pretend the socket would block. The connection is
+    // actually writable and EPOLLOUT is level-triggered, so the next epoll
+    // pass completes the flush — a delay, never a loss. Exercises the
+    // re-arm path that only congested peers hit organically.
+    ssize_t w;
+    if (fault::Should(fault::SiteId::kNetStall)) {
+      w = -1;
+      errno = EAGAIN;
+    } else {
+      w = net::WriteSome(c->fd, c->writing.data() + c->writing_off,
+                         c->writing.size() - c->writing_off);
+    }
     if (w > 0) {
       c->writing_off += static_cast<size_t>(w);
       obs_->Count(obs::CounterId::kNetBytesOut, static_cast<uint64_t>(w));
@@ -592,7 +635,6 @@ bool Server::FlushConn(IoThread* t, const std::shared_ptr<Conn>& c) {
       }
       return true;
     }
-    if (w < 0 && errno == EINTR) continue;
     return false;  // EPIPE / reset: the close path releases nothing extra
   }
   if (c->want_write) {

@@ -12,6 +12,7 @@ const char* WireStatusName(WireStatus s) {
     case WireStatus::kOverloaded: return "Overloaded";
     case WireStatus::kShutdown: return "Shutdown";
     case WireStatus::kError: return "Error";
+    case WireStatus::kUnavailable: return "Unavailable";
   }
   return "?";
 }
@@ -21,7 +22,10 @@ WireStatus ToWireStatus(const Status& s) {
     case StatusCode::kOk: return WireStatus::kOk;
     case StatusCode::kNotFound: return WireStatus::kNotFound;
     case StatusCode::kAlreadyExists: return WireStatus::kAlreadyExists;
-    case StatusCode::kUnavailable: return WireStatus::kShutdown;
+    // Retryable transient outage: island quarantine aborts and the sealed
+    // intake racing a shutdown. Clients back off and retry; a genuinely
+    // draining server answers kShutdown at admission instead.
+    case StatusCode::kUnavailable: return WireStatus::kUnavailable;
     case StatusCode::kResourceExhausted: return WireStatus::kOverloaded;
     default: return WireStatus::kError;
   }

@@ -70,7 +70,9 @@ enum class Op : uint8_t {
 };
 
 /// Per-request status on the wire. kOverloaded is admission control's shed
-/// verdict (retry with backoff); kShutdown means the server is draining.
+/// verdict and kUnavailable a transient engine-side outage (island
+/// quarantine/evacuation in flight) — both retryable with backoff;
+/// kShutdown means the server is draining for good (do not retry).
 enum class WireStatus : uint8_t {
   kOk = 0,
   kNotFound = 1,       ///< spec-conformant TATP miss
@@ -78,6 +80,7 @@ enum class WireStatus : uint8_t {
   kOverloaded = 3,
   kShutdown = 4,
   kError = 5,
+  kUnavailable = 6,
 };
 const char* WireStatusName(WireStatus s);
 WireStatus ToWireStatus(const Status& s);

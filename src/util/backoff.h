@@ -1,0 +1,59 @@
+// Retry backoff with decorrelated jitter (the AWS architecture-blog
+// variant): each delay is drawn uniformly from [base, 3 * previous] and
+// capped, so concurrent retriers spread out instead of thundering in
+// exponential lockstep. Deterministic given a seed — the server::Client
+// retry tests and the fault-injection suites replay exact schedules.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace atrapos::util {
+
+class Backoff {
+ public:
+  /// Delays are in microseconds; `base_us` is the first delay and the
+  /// lower bound of every draw, `cap_us` the upper bound.
+  Backoff(uint64_t base_us, uint64_t cap_us, uint64_t seed)
+      : base_us_(base_us == 0 ? 1 : base_us),
+        cap_us_(std::max(cap_us, base_us_)),
+        rng_(seed),
+        prev_us_(base_us_) {}
+
+  /// The next delay: first call returns exactly base, then
+  /// min(cap, uniform[base, 3 * previous]).
+  uint64_t NextDelayUs() {
+    uint64_t delay;
+    if (attempts_ == 0) {
+      delay = base_us_;
+    } else {
+      uint64_t hi = std::min(cap_us_, prev_us_ * 3);
+      delay = hi <= base_us_ ? base_us_
+                             : base_us_ + rng_.Next() % (hi - base_us_ + 1);
+    }
+    ++attempts_;
+    prev_us_ = delay;
+    return delay;
+  }
+
+  /// Forgets history (after a success) so the next delay is base again.
+  void Reset() {
+    attempts_ = 0;
+    prev_us_ = base_us_;
+  }
+
+  uint64_t attempts() const { return attempts_; }
+  uint64_t base_us() const { return base_us_; }
+  uint64_t cap_us() const { return cap_us_; }
+
+ private:
+  uint64_t base_us_;
+  uint64_t cap_us_;
+  Rng rng_;
+  uint64_t prev_us_;
+  uint64_t attempts_ = 0;
+};
+
+}  // namespace atrapos::util

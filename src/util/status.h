@@ -23,7 +23,8 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,
   kInternal,
   kNotSupported,
-  kUnavailable,     ///< intake sealed / service draining; not retryable here
+  kUnavailable,     ///< intake sealed / island quarantined; retry elsewhere
+  kDeadlineExceeded,  ///< blocking call ran past its caller-supplied deadline
 };
 
 /// Lightweight status object; cheap to copy in the OK case (no allocation).
@@ -63,6 +64,9 @@ class Status {
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
   }
+  static Status DeadlineExceeded(std::string m = "deadline exceeded") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -92,6 +96,7 @@ class Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kNotSupported: return "NotSupported";
       case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -1,0 +1,463 @@
+// Fault-injection framework + island-failure graceful degradation tests
+// (ISSUE 8): injector determinism and schedule parsing, the arena
+// allocation-failure fallback, log short-flush convergence, the
+// torn-tail crash-consistency property (a fault-injected short append
+// never surfaces uncommitted data after Recover and reports its cut
+// point), and the KillIsland quarantine/evacuation semantics — futures
+// settle (kUnavailable, never hang, never complete twice), partitions
+// evacuate onto survivors, committed transactions survive recovery, and
+// a worker-side kWorkerKill fire drives the same path via the sentinel.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "engine/partitioned_executor.h"
+#include "fault/injector.h"
+#include "log/recovery.h"
+#include "mem/chunk_pool.h"
+#include "util/rng.h"
+#include "workload/micro.h"
+
+namespace atrapos {
+namespace {
+
+using engine::ActionCtx;
+using engine::ActionGraph;
+using engine::Database;
+using engine::DurabilityMode;
+using engine::PartitionedExecutor;
+using storage::Table;
+using storage::Tuple;
+
+/// Installs an injector for the test body and restores whatever was
+/// installed before (the CI env schedule, usually nothing) on exit.
+struct ScopedInjector {
+  explicit ScopedInjector(fault::Injector* inj) : prev(fault::Get()) {
+    fault::Install(inj);
+  }
+  ~ScopedInjector() { fault::Install(prev); }
+  fault::Injector* prev;
+};
+
+// ---- injector unit tests ---------------------------------------------------
+
+TEST(InjectorTest, DisarmedShouldIsOneLoad) {
+  ScopedInjector off(nullptr);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(fault::Should(fault::SiteId::kNetRead));
+}
+
+TEST(InjectorTest, UnarmedSiteCountsButNeverFires) {
+  fault::Injector inj(1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(inj.Evaluate(fault::SiteId::kArenaAlloc));
+  EXPECT_EQ(inj.evaluations(fault::SiteId::kArenaAlloc), 10u);
+  EXPECT_EQ(inj.fires(fault::SiteId::kArenaAlloc), 0u);
+}
+
+TEST(InjectorTest, TriggerFiresOnExactEvaluation) {
+  fault::Injector inj(7);
+  inj.Arm(fault::SiteId::kWorkerKill, {.trigger_at = 5});
+  for (int i = 1; i <= 10; ++i)
+    EXPECT_EQ(inj.Evaluate(fault::SiteId::kWorkerKill), i == 5) << "eval " << i;
+  EXPECT_EQ(inj.fires(fault::SiteId::kWorkerKill), 1u);
+}
+
+TEST(InjectorTest, ProbabilityIsDeterministicPerSeed) {
+  auto draw = [](uint64_t seed) {
+    fault::Injector inj(seed);
+    inj.Arm(fault::SiteId::kNetRead, {.probability = 0.3});
+    std::vector<bool> fires;
+    for (int i = 0; i < 1000; ++i)
+      fires.push_back(inj.Evaluate(fault::SiteId::kNetRead));
+    return fires;
+  };
+  auto a = draw(42), b = draw(42), c = draw(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  size_t n = 0;
+  for (bool f : a) n += f;
+  EXPECT_GT(n, 200u);  // ~300 expected
+  EXPECT_LT(n, 400u);
+}
+
+TEST(InjectorTest, MaxFiresCapsTotal) {
+  fault::Injector inj(1);
+  inj.Arm(fault::SiteId::kNetWrite, {.probability = 1.0, .max_fires = 3});
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) fired += inj.Evaluate(fault::SiteId::kNetWrite);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(inj.fires(fault::SiteId::kNetWrite), 3u);
+  EXPECT_EQ(inj.total_fires(), 3u);
+}
+
+TEST(InjectorTest, ParseScheduleGrammar) {
+  fault::Injector* inj =
+      fault::ParseSchedule("seed=42;arena_alloc=0.05;worker_kill=@3x1");
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->seed(), 42u);
+  // worker_kill: fires exactly on the 3rd evaluation, capped at one fire.
+  EXPECT_FALSE(inj->Evaluate(fault::SiteId::kWorkerKill));
+  EXPECT_FALSE(inj->Evaluate(fault::SiteId::kWorkerKill));
+  EXPECT_TRUE(inj->Evaluate(fault::SiteId::kWorkerKill));
+  EXPECT_FALSE(inj->Evaluate(fault::SiteId::kWorkerKill));
+  delete inj;
+
+  EXPECT_EQ(fault::ParseSchedule(""), nullptr);
+  EXPECT_EQ(fault::ParseSchedule("seed=1;no_such_site=0.5"), nullptr);
+  EXPECT_EQ(fault::ParseSchedule("seed=1;net_read=1.5"), nullptr);  // p > 1
+}
+
+// ---- mem: arena allocation failure (kArenaAlloc) ---------------------------
+
+TEST(FaultMemTest, ArenaAllocFaultDegradesToOverflowBlocks) {
+  fault::Injector inj(3);
+  // First slab carve "fails": the pool must hand out a one-off overflow
+  // block instead of crashing, and recover on the next (unfaulted) carve.
+  inj.Arm(fault::SiteId::kArenaAlloc, {.trigger_at = 1, .max_fires = 1});
+  ScopedInjector scope(&inj);
+  mem::ChunkPool pool(256);
+  void* a = pool.Get();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.overflow_allocs(), 1u);
+  void* b = pool.Get();  // freelist grows normally now
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.overflow_allocs(), 1u);
+  EXPECT_GE(pool.slab_allocs(), 1u);
+  pool.Put(a);
+  pool.Put(b);
+  EXPECT_EQ(pool.blocks_out(), 0);
+  EXPECT_EQ(inj.fires(fault::SiteId::kArenaAlloc), 1u);
+}
+
+// ---- engine/log shared fixtures --------------------------------------------
+
+constexpr uint64_t kKeys = 64;
+constexpr int kParts = 4;
+constexpr int64_t kInitial = 100;
+
+std::vector<uint64_t> Bounds(uint64_t rows, int partitions) {
+  std::vector<uint64_t> b;
+  for (int p = 0; p < partitions; ++p)
+    b.push_back(rows * static_cast<uint64_t>(p) /
+                static_cast<uint64_t>(partitions));
+  return b;
+}
+
+std::unique_ptr<Table> FreshTable() {
+  auto t = std::make_unique<Table>(0, "T", workload::MicroTableSchema(),
+                                   Bounds(kKeys, kParts));
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    Tuple row(&t->schema());
+    row.SetInt(0, static_cast<int64_t>(k));
+    row.SetInt(1, kInitial);
+    (void)t->Insert(k, row);
+  }
+  return t;
+}
+
+core::Scheme OneTableScheme(const std::vector<int>& placement) {
+  core::Scheme scheme;
+  core::TableScheme ts;
+  ts.boundaries = Bounds(kKeys, static_cast<int>(placement.size()));
+  for (int core : placement) ts.placement.push_back(core);
+  scheme.tables.push_back(ts);
+  return scheme;
+}
+
+ActionGraph WriteVal(uint64_t k, int64_t v) {
+  ActionGraph g(0);
+  g.Add(0, k, [k, v](Table* t, ActionCtx&) {
+    Tuple row;
+    ATRAPOS_RETURN_NOT_OK(t->Read(k, &row));
+    row.SetInt(1, v);
+    return t->Update(k, row);
+  });
+  return g;
+}
+
+ActionGraph Incr(uint64_t k) {
+  ActionGraph g(0);
+  g.Add(0, k, [k](Table* t, ActionCtx&) {
+    Tuple row;
+    ATRAPOS_RETURN_NOT_OK(t->Read(k, &row));
+    row.SetInt(1, row.GetInt(1) + 1);
+    return t->Update(k, row);
+  });
+  return g;
+}
+
+// ---- log: short flush (kLogShortFlush) -------------------------------------
+
+// A faulted flush advances the durable LSN only part-way; repeated
+// flusher passes must still converge, so every group commit eventually
+// acks — degraded latency, never a stranded future.
+TEST(FaultLogTest, ShortFlushesStillConvergeToDurable) {
+  fault::Injector inj(9);
+  inj.Arm(fault::SiteId::kLogShortFlush, {.probability = 1.0});
+  ScopedInjector scope(&inj);
+
+  hw::Topology topo = hw::Topology::SingleSocket(kParts);
+  Database db({.topo = topo});
+  db.AddTable(FreshTable());
+  PartitionedExecutor::Options opt;
+  opt.durability = DurabilityMode::kGroup;
+  opt.log_manual_flush = true;  // we drive every (faulted) flush pass
+  PartitionedExecutor exec(&db, topo, OneTableScheme({0, 1, 2, 3}), opt);
+
+  std::vector<engine::TxnFuture> futures;
+  for (uint64_t k = 0; k < 16; ++k) {
+    auto f = exec.Submit(Incr(k));
+    ASSERT_TRUE(f.ok());
+    futures.push_back(f.take());
+  }
+  bool all_done = false;
+  for (int pass = 0; pass < 200 && !all_done; ++pass) {
+    exec.log_manager()->FlushAll();
+    all_done = true;
+    for (auto& f : futures) all_done &= f.Done();
+    if (!all_done) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(all_done) << "short flushes must converge, not strand acks";
+  for (auto& f : futures) EXPECT_TRUE(f.Wait().ok());
+  EXPECT_GT(inj.fires(fault::SiteId::kLogShortFlush), 0u);
+}
+
+// ---- log: torn tail property (satellite: recovery after faulted append) ----
+
+// Property: with a fault-injected torn append (the shard's tail cut
+// mid-record), Recover (a) reports the cut shard and the first lost LSN,
+// (b) never surfaces data of uncommitted transactions, and (c) yields
+// only initial-or-committed values for every row. Committing writers set
+// key k to 10000+k (idempotent across the committed subset); aborting
+// writers set 77777 and then fail on another partition — that value must
+// never be seen after recovery, torn tail or not.
+TEST(FaultLogTornTailTest, RecoverNeverSurfacesUncommittedAndReportsCut) {
+  constexpr int64_t kAborted = 77777;
+  for (uint64_t trigger : {3u, 10u, 40u}) {
+    fault::Injector inj(100 + trigger);
+    inj.Arm(fault::SiteId::kLogTornTail, {.trigger_at = trigger});
+    ScopedInjector scope(&inj);
+
+    hw::Topology topo = hw::Topology::SingleSocket(kParts);
+    Database db({.topo = topo});
+    db.AddTable(FreshTable());
+    PartitionedExecutor::Options opt;
+    opt.durability = DurabilityMode::kGroup;
+    opt.log_flush_interval_us = 20;
+    PartitionedExecutor exec(&db, topo, OneTableScheme({0, 1, 2, 3}), opt);
+
+    Rng rng(trigger);
+    for (int i = 0; i < 300; ++i) {
+      uint64_t k = rng.Uniform(kKeys);
+      if (i % 5 == 4) {
+        // Aborting writer: the write may execute before the companion
+        // action fails at the RVP, but no commit marker ever follows.
+        uint64_t other = (k + kKeys / kParts) % kKeys;
+        ActionGraph g(0);
+        g.Add(0, k, [k](Table* t, ActionCtx&) {
+          Tuple row;
+          ATRAPOS_RETURN_NOT_OK(t->Read(k, &row));
+          row.SetInt(1, kAborted);
+          return t->Update(k, row);
+        });
+        g.Add(0, other, [](Table*, ActionCtx&) {
+          return Status::Internal("injected abort");
+        });
+        (void)exec.SubmitAndWait(std::move(g));
+      } else {
+        ASSERT_TRUE(
+            exec.SubmitAndWait(WriteVal(k, 10000 + static_cast<int64_t>(k)))
+                .ok());
+      }
+    }
+    exec.Drain();
+    exec.log_manager()->FlushAll();
+    auto cut = exec.log_manager()->SnapshotDurable();
+
+    size_t torn_shards = 0;
+    for (const auto& s : cut) torn_shards += s.torn;
+    ASSERT_EQ(torn_shards, 1u) << "trigger " << trigger;
+
+    auto fresh = FreshTable();
+    log::RecoveryReport report = log::Recover(cut, {fresh.get()});
+    ASSERT_EQ(report.torn_cuts.size(), 1u);
+    EXPECT_GT(report.torn_cuts[0].second, 0u) << "cut point must be reported";
+    for (uint64_t k = 0; k < kKeys; ++k) {
+      Tuple row;
+      ASSERT_TRUE(fresh->Read(k, &row).ok());
+      int64_t v = row.GetInt(1);
+      EXPECT_TRUE(v == kInitial || v == 10000 + static_cast<int64_t>(k))
+          << "key " << k << " recovered uncommitted/garbage value " << v;
+    }
+    // The torn fire surfaces in observability like every other metric.
+    obs::StatsSnapshot snap = db.StatsSnapshot();
+    bool seen = false;
+    for (const auto& [site, fires] : snap.fault_site_fires)
+      seen |= site == std::string("log_torn_tail") && fires == 1;
+    EXPECT_TRUE(seen);
+  }
+}
+
+// ---- engine: island kill, quarantine, evacuation ---------------------------
+
+// KillIsland mid-load: every in-flight future settles (commit or
+// kUnavailable — none hangs, none completes twice), the island's
+// partitions evacuate onto the survivor, post-evacuation transactions
+// commit, and recovery replays exactly the committed increments (zero
+// lost committed transactions).
+TEST(FaultKillIslandTest, EvacuatesAndSettlesAllFutures) {
+  hw::Topology topo = hw::Topology::Cube(1, 2);  // 2 islands x 2 cores
+  Database db({.topo = topo});
+  db.AddTable(FreshTable());
+  PartitionedExecutor::Options opt;
+  opt.durability = DurabilityMode::kGroup;
+  opt.log_flush_interval_us = 20;  // background flusher: kills need it
+  PartitionedExecutor exec(&db, topo, OneTableScheme({0, 1, 2, 3}), opt);
+
+  constexpr int kTxns = 2000;
+  std::atomic<int> completions{0};
+  std::atomic<int> ok{0}, unavailable{0}, other{0};
+  auto account = [&](const Status& s) {
+    ++completions;
+    if (s.ok())
+      ++ok;
+    else if (s.code() == StatusCode::kUnavailable)
+      ++unavailable;
+    else
+      ++other;
+  };
+  std::deque<engine::TxnFuture> window;
+  Rng rng(21);
+  auto pump = [&](size_t limit) {
+    while (window.size() > limit) {
+      (void)window.front().Wait();
+      window.pop_front();
+    }
+  };
+  for (int i = 0; i < kTxns; ++i) {
+    auto f = exec.Submit(Incr(rng.Uniform(kKeys)));
+    ASSERT_TRUE(f.ok());
+    f.value().OnComplete(account);
+    window.push_back(f.take());
+    pump(32);
+    if (i == 800) {
+      auto moved = exec.KillIsland(1);
+      ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+      EXPECT_EQ(moved.value(), 2u);  // both island-1 partitions re-homed
+      EXPECT_FALSE(exec.quarantining());
+      EXPECT_EQ(exec.failed_islands(), 0b10u);
+    }
+  }
+  pump(0);
+  EXPECT_EQ(completions.load(), kTxns) << "every future settles exactly once";
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);
+  // After evacuation everything commits again, on any key.
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    Status s = exec.SubmitAndWait(Incr(k));
+    EXPECT_TRUE(s.ok()) << "key " << k << ": " << s.ToString();
+    ++ok;
+  }
+  // Every partition now lives on the surviving island 0.
+  core::Scheme scheme = exec.scheme();
+  for (int core : scheme.tables[0].placement)
+    EXPECT_EQ(topo.socket_of(core), 0);
+
+  // Zero lost committed transactions: recovery replays exactly the
+  // committed increments — live state equals recovered state (aborted
+  // actions never executed), and the total matches the commit count.
+  exec.Drain();
+  exec.log_manager()->FlushAll();
+  auto cut = exec.log_manager()->SnapshotDurable();
+  auto fresh = FreshTable();
+  log::RecoveryReport report = log::Recover(cut, {fresh.get()});
+  EXPECT_EQ(report.torn_cuts.size(), 0u);
+  int64_t total = 0;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    Tuple live, rec;
+    ASSERT_TRUE(db.table(0)->Read(k, &live).ok());
+    ASSERT_TRUE(fresh->Read(k, &rec).ok());
+    EXPECT_EQ(live.GetInt(1), rec.GetInt(1)) << "key " << k;
+    total += rec.GetInt(1) - kInitial;
+  }
+  EXPECT_EQ(total, ok.load());
+
+  obs::StatsSnapshot snap = db.StatsSnapshot();
+  EXPECT_EQ(snap.counter(obs::CounterId::kFaultIslandKills), 1u);
+  EXPECT_EQ(snap.counter(obs::CounterId::kFaultPartitionsEvacuated), 2u);
+  EXPECT_EQ(snap.hist(obs::HistId::kEvacuationUs).count(), 1u);
+}
+
+// Killing the only island: no survivor to evacuate onto — the engine
+// stays up, degraded, and everything aborts kUnavailable (never hangs).
+TEST(FaultKillIslandTest, LastIslandDegradesToUnavailable) {
+  hw::Topology topo = hw::Topology::SingleSocket(kParts);
+  Database db({.topo = topo});
+  db.AddTable(FreshTable());
+  PartitionedExecutor exec(&db, topo, OneTableScheme({0, 1, 2, 3}));
+
+  ASSERT_TRUE(exec.SubmitAndWait(Incr(1)).ok());
+  auto r = exec.KillIsland(0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(exec.quarantining());
+  EXPECT_EQ(exec.failed_islands(), 0b1u);
+  for (int i = 0; i < 8; ++i) {
+    Status s = exec.SubmitAndWait(Incr(static_cast<uint64_t>(i * 8)));
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(FaultKillIslandTest, KillingUnknownIslandIsInvalid) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database db({.topo = topo});
+  db.AddTable(FreshTable());
+  PartitionedExecutor exec(&db, topo, OneTableScheme({0, 1}));
+  EXPECT_EQ(exec.KillIsland(5).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(exec.KillIsland(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+// The full fault path: a kWorkerKill fire inside a worker marks its own
+// partition failed, hands the island to the sentinel, and the sentinel
+// evacuates — no caller ever invokes KillIsland.
+TEST(FaultKillIslandTest, WorkerKillFaultEvacuatesThroughSentinel) {
+  fault::Injector inj(5);
+  inj.Arm(fault::SiteId::kWorkerKill, {.trigger_at = 5, .max_fires = 1});
+  ScopedInjector scope(&inj);
+
+  hw::Topology topo = hw::Topology::Cube(1, 2);
+  Database db({.topo = topo});
+  db.AddTable(FreshTable());
+  PartitionedExecutor exec(&db, topo, OneTableScheme({0, 1, 2, 3}));
+
+  // Drive batches until a worker's fault fires and the sentinel finishes
+  // the evacuation (failed mask set, quarantine over).
+  Rng rng(31);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while ((exec.failed_islands() == 0 || exec.quarantining()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    Status s = exec.SubmitAndWait(Incr(rng.Uniform(kKeys)));
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kUnavailable)
+        << s.ToString();
+  }
+  ASSERT_EQ(inj.fires(fault::SiteId::kWorkerKill), 1u);
+  ASSERT_NE(exec.failed_islands(), 0u);
+  ASSERT_FALSE(exec.quarantining());
+
+  // The failed island holds no partitions any more; everything commits.
+  const uint64_t mask = exec.failed_islands();
+  core::Scheme scheme = exec.scheme();
+  for (int core : scheme.tables[0].placement)
+    EXPECT_EQ((mask >> topo.socket_of(core)) & 1u, 0u);
+  for (uint64_t k = 0; k < kKeys; k += 7)
+    EXPECT_TRUE(exec.SubmitAndWait(Incr(k)).ok());
+}
+
+}  // namespace
+}  // namespace atrapos

@@ -7,7 +7,13 @@
 // regression plus server-stop-under-churn).
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 
@@ -368,8 +374,14 @@ TEST(ServerTest, GoodbyeDrainsAndClosesConnection) {
           c.Submit(0, DrawTatpMix(rng, Service::kSubscribers), nullptr).ok());
     c.CloseAll();  // flushes the batch, sends GOODBYE, closes
   }
-  // The server answers everything admitted, then reaps the connection.
-  for (int spin = 0; s.server->open_connections() != 0 && spin < 2000; ++spin)
+  // The server reaps the connection (the peer closed right after GOODBYE)
+  // and every admitted transaction still releases its slot through its
+  // completion callback — connection teardown and engine completion are
+  // independently asynchronous, so wait out both.
+  for (int spin = 0; (s.server->open_connections() != 0 ||
+                      s.server->inflight() != 0) &&
+                     spin < 2000;
+       ++spin)
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   EXPECT_EQ(s.server->open_connections(), 0u);
   EXPECT_EQ(s.server->inflight(), 0u);
@@ -402,6 +414,7 @@ TEST(ServerShutdownTest, NoCompletionFiresAfterDatabaseDrain) {
   for (int t = 0; t < 4; ++t) {
     clients.emplace_back([&, t] {
       Rng rng(100 + static_cast<uint64_t>(t));
+      const auto self = std::this_thread::get_id();
       while (!stop.load(std::memory_order_relaxed)) {
         auto f = exec.Submit(graphs.Mix(rng));
         if (!f.ok()) {
@@ -410,8 +423,14 @@ TEST(ServerShutdownTest, NoCompletionFiresAfterDatabaseDrain) {
           continue;
         }
         ++submitted;
-        f.value().OnComplete([&](const Status&) {
-          if (drain_returned.load(std::memory_order_acquire))
+        f.value().OnComplete([&, self](const Status&) {
+          // OnComplete on an already-complete future fires inline on the
+          // registering (client) thread — documented, and legal after
+          // Drain() when this thread was preempted between Submit() and
+          // here. Late means the *engine* (a worker or the log flusher)
+          // ran a completion after Drain() returned.
+          if (drain_returned.load(std::memory_order_acquire) &&
+              std::this_thread::get_id() != self)
             ++late_completions;
         });
       }
@@ -423,8 +442,8 @@ TEST(ServerShutdownTest, NoCompletionFiresAfterDatabaseDrain) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& c : clients) c.join();
 
-  // Sealed-before-drained: completions for accepted submissions all ran
-  // inside Drain()'s wait; none after.
+  // Sealed-before-drained: every engine-side completion for an accepted
+  // submission ran inside Drain()'s wait; none after.
   EXPECT_EQ(late_completions.load(), 0u);
   EXPECT_GT(submitted.load(), 0u);
   // Post-drain submission deterministically refused.
@@ -472,6 +491,230 @@ TEST(ServerShutdownTest, StopUnderChurnDrainsCleanly) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& c : churn) c.join();
   s.reset();  // full teardown repeats Stop()/Drain(): both idempotent
+}
+
+// ---- client fault tolerance: deadlines, retries, island failure ------------
+
+/// A scripted wire peer for the deadline/retry tests: accepts one
+/// connection, optionally answers HELLO, then answers successive TXN
+/// requests from a fixed status script (kOk once exhausted) — or stays
+/// silent, for the deadline tests. Blocking I/O on its own thread.
+class FakeServer {
+ public:
+  struct Options {
+    bool answer_hello = true;
+    bool answer_txns = true;
+    std::vector<WireStatus> script;
+  };
+
+  explicit FakeServer(Options opt) : opt_(std::move(opt)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    ::listen(listen_fd_, 1);
+    th_ = std::thread([this] { Run(); });
+  }
+
+  ~FakeServer() {
+    stop_.store(true, std::memory_order_relaxed);
+    th_.join();
+    ::close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+  size_t txns_seen() const { return txns_seen_.load(); }
+
+ private:
+  bool WaitReadable(int fd) {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      pollfd p{fd, POLLIN, 0};
+      if (::poll(&p, 1, 20) > 0) return true;
+    }
+    return false;
+  }
+
+  void Run() {
+    if (!WaitReadable(listen_fd_)) return;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    std::vector<uint8_t> buf;
+    uint8_t tmp[4096];
+    size_t next = 0;
+    while (WaitReadable(fd)) {
+      ssize_t n = ::read(fd, tmp, sizeof(tmp));
+      if (n <= 0) break;
+      buf.insert(buf.end(), tmp, tmp + n);
+      while (buf.size() >= kFrameHeaderBytes) {
+        uint32_t flen = static_cast<uint32_t>(buf[0]) |
+                        static_cast<uint32_t>(buf[1]) << 8 |
+                        static_cast<uint32_t>(buf[2]) << 16 |
+                        static_cast<uint32_t>(buf[3]) << 24;
+        if (buf.size() < kFrameHeaderBytes + flen) break;
+        DecodedFrame f =
+            DecodeRequestFrame(buf.data() + kFrameHeaderBytes, flen);
+        buf.erase(buf.begin(),
+                  buf.begin() + static_cast<ptrdiff_t>(kFrameHeaderBytes + flen));
+        std::vector<uint8_t> out;
+        if (f.kind == DecodedFrame::Kind::kHello && opt_.answer_hello) {
+          EncodeHelloAck(&out, f.requested_window, 1, 100);
+        } else if (f.kind == DecodedFrame::Kind::kTxns) {
+          txns_seen_.fetch_add(f.txns.size());
+          if (opt_.answer_txns) {
+            for (const auto& t : f.txns) {
+              WireStatus ws = next < opt_.script.size() ? opt_.script[next]
+                                                        : WireStatus::kOk;
+              ++next;
+              EncodeTxnAck(&out, t.req_id, ws);
+            }
+          }
+        } else if (f.kind == DecodedFrame::Kind::kGoodbye) {
+          ::close(fd);
+          return;
+        }
+        if (!out.empty()) {
+          ssize_t w = ::write(fd, out.data(), out.size());
+          (void)w;
+        }
+      }
+    }
+    ::close(fd);
+  }
+
+  Options opt_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> txns_seen_{0};
+  std::thread th_;
+};
+
+TxnRequest AnyTxn() {
+  TxnRequest req;
+  req.txn_class = 0;  // kGetSubData
+  req.s_id = 1;
+  return req;
+}
+
+TEST(ClientFaultTest, CallDeadlineAgainstSilentServer) {
+  FakeServer fs({.answer_txns = false});
+  Client::Options o;
+  o.port = fs.port();
+  o.deadline_ms = 200;
+  Client c(o);
+  ASSERT_TRUE(c.Connect().ok());
+  auto t0 = std::chrono::steady_clock::now();
+  Result<WireStatus> r = c.Call(0, AnyTxn());
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(ms, 150);
+  EXPECT_LT(ms, 5'000) << "deadline must bound the wait";
+  // The abandoned request's callback is unregistered — the client is not
+  // waiting on anything any more and a late ack would be dropped.
+  EXPECT_EQ(c.outstanding(), 0u);
+  c.CloseAll();
+}
+
+TEST(ClientFaultTest, ConnectDeadlineWhenHandshakeUnanswered) {
+  FakeServer fs({.answer_hello = false});
+  Client::Options o;
+  o.port = fs.port();
+  o.deadline_ms = 150;
+  Client c(o);
+  Status s = c.Connect();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+}
+
+TEST(ClientFaultTest, CallRetriesTransientStatuses) {
+  FakeServer fs({.script = {WireStatus::kOverloaded, WireStatus::kUnavailable,
+                            WireStatus::kOk}});
+  Client::Options o;
+  o.port = fs.port();
+  o.deadline_ms = 2'000;
+  o.retries = 3;
+  o.backoff_base_us = 100;
+  o.backoff_cap_us = 2'000;
+  Client c(o);
+  ASSERT_TRUE(c.Connect().ok());
+  Result<WireStatus> r = c.Call(0, AnyTxn());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), WireStatus::kOk);
+  EXPECT_EQ(fs.txns_seen(), 3u);  // two shed answers retried, third landed
+  c.CloseAll();
+}
+
+TEST(ClientFaultTest, ShutdownIsNeverRetried) {
+  FakeServer fs({.script = {WireStatus::kShutdown, WireStatus::kOk}});
+  Client::Options o;
+  o.port = fs.port();
+  o.retries = 5;
+  o.backoff_base_us = 100;
+  Client c(o);
+  ASSERT_TRUE(c.Connect().ok());
+  Result<WireStatus> r = c.Call(0, AnyTxn());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), WireStatus::kShutdown);
+  EXPECT_EQ(fs.txns_seen(), 1u) << "the server is going away: do not retry";
+  c.CloseAll();
+}
+
+TEST(ClientFaultTest, ExhaustedRetriesReturnLastAnswer) {
+  FakeServer fs({.script = {WireStatus::kUnavailable, WireStatus::kUnavailable,
+                            WireStatus::kUnavailable}});
+  Client::Options o;
+  o.port = fs.port();
+  o.retries = 2;
+  o.backoff_base_us = 100;
+  o.backoff_cap_us = 1'000;
+  Client c(o);
+  ASSERT_TRUE(c.Connect().ok());
+  Result<WireStatus> r = c.Call(0, AnyTxn());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), WireStatus::kUnavailable);
+  EXPECT_EQ(fs.txns_seen(), 3u);  // initial attempt + 2 retries
+  c.CloseAll();
+}
+
+// End-to-end graceful degradation: an island fail-stops under a live
+// client mid-call stream; the server sheds kUnavailable during the
+// quarantine/evacuation window and the client's retry budget carries
+// every request through — no call fails, no call hangs.
+TEST(ServerFaultTest, IslandKillShedsAndClientRetriesThrough) {
+  Service s({}, hw::Topology::Cube(1, 2));
+  Client::Options copt = s.ClientOpts();
+  copt.deadline_ms = 10'000;
+  copt.retries = 100;
+  copt.backoff_base_us = 200;
+  copt.backoff_cap_us = 10'000;
+  Client c(copt);
+  ASSERT_TRUE(c.Connect().ok());
+  Rng rng(9);
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    auto moved = s.exec->KillIsland(1);
+    EXPECT_TRUE(moved.ok()) << moved.status().ToString();
+  });
+  for (int i = 0; i < 300; ++i) {
+    Result<WireStatus> r =
+        c.Call(0, DrawTatpMix(rng, Service::kSubscribers));
+    ASSERT_TRUE(r.ok()) << "call " << i << ": " << r.status().ToString();
+    EXPECT_TRUE(WireCountsAsSuccess(r.value()))
+        << "call " << i << ": " << WireStatusName(r.value());
+  }
+  killer.join();
+  EXPECT_EQ(s.exec->failed_islands(), 0b10u);
+  EXPECT_FALSE(s.exec->quarantining());
+  c.CloseAll();
 }
 
 }  // namespace

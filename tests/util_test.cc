@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "util/backoff.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -163,6 +164,52 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_NE(s.find("alpha"), std::string::npos);
   EXPECT_NE(s.find("1.50"), std::string::npos);
   EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(StatusTest, DeadlineExceededCode) {
+  Status s = Status::DeadlineExceeded("no ack in time");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.ToString().find("DeadlineExceeded"), std::string::npos);
+}
+
+TEST(BackoffTest, FirstDelayIsBase) {
+  util::Backoff b(200, 50'000, 7);
+  EXPECT_EQ(b.NextDelayUs(), 200u);
+}
+
+TEST(BackoffTest, DelaysStayWithinBaseAndCap) {
+  util::Backoff b(100, 2'000, 11);
+  uint64_t prev = b.NextDelayUs();
+  for (int i = 0; i < 50; ++i) {
+    uint64_t d = b.NextDelayUs();
+    EXPECT_GE(d, 100u);
+    EXPECT_LE(d, 2'000u);
+    // Decorrelated jitter: each delay is bounded by 3x the previous one.
+    EXPECT_LE(d, std::max<uint64_t>(prev * 3, 100));
+    prev = d;
+  }
+  EXPECT_EQ(b.attempts(), 51u);
+}
+
+TEST(BackoffTest, DeterministicForSameSeed) {
+  util::Backoff a(50, 10'000, 42), b(50, 10'000, 42), c(50, 10'000, 43);
+  bool diverged = false;
+  for (int i = 0; i < 20; ++i) {
+    uint64_t da = a.NextDelayUs();
+    EXPECT_EQ(da, b.NextDelayUs());
+    diverged |= da != c.NextDelayUs();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, ResetRestartsFromBase) {
+  util::Backoff b(100, 5'000, 3);
+  for (int i = 0; i < 5; ++i) (void)b.NextDelayUs();
+  EXPECT_EQ(b.attempts(), 5u);
+  b.Reset();
+  EXPECT_EQ(b.attempts(), 0u);
+  EXPECT_EQ(b.NextDelayUs(), 100u);  // history forgotten: base again
 }
 
 }  // namespace
