@@ -61,7 +61,9 @@ core::Scheme TatpScheme(uint64_t subscribers, int partitions) {
 constexpr int kBucketMs = 25;
 
 struct FigResult {
-  std::vector<uint64_t> buckets;  ///< completions per 25ms bucket
+  /// The sampler's view of the run: cumulative client_ok per 25ms tick
+  /// (the timeline source) plus the island_kill annotation.
+  obs::Sampler::Collected series;
   uint64_t submitted = 0;
   uint64_t ok = 0;
   uint64_t unavailable = 0;  ///< aborted by the quarantine (expected)
@@ -77,8 +79,27 @@ struct FigResult {
 
 FigResult RunOnce(const hw::Topology& topo, uint64_t subscribers, int clients,
                   double duration, double kill_at, uint64_t seed,
-                  engine::PartitionedExecutor::Options exec_opt) {
-  engine::Database db({.topo = topo});
+                  engine::PartitionedExecutor::Options exec_opt,
+                  const std::string& series_out) {
+  // Declared before the database: the sampler thread reads `ok` through
+  // its registered series until the database (declared below, destroyed
+  // first) shuts it down.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> submitted{0}, ok{0}, unavailable{0}, other{0},
+      hung{0}, sheds{0};
+
+  engine::Database::Options dopt;
+  dopt.topo = topo;
+  dopt.sampler.enabled = true;
+  dopt.sampler.interval_ms = kBucketMs;
+  dopt.sampler.capacity =
+      static_cast<uint32_t>(duration * 1000.0 / kBucketMs) + 256;
+  engine::Database db(std::move(dopt));
+  // Client-observed successful completions, cumulative — the sampler
+  // differences adjacent ticks into the TPS timeline.
+  db.sampler()->AddSeries("client_ok", [&ok] {
+    return static_cast<double>(ok.load(std::memory_order_relaxed));
+  });
   std::vector<uint64_t> bounds;
   for (int p = 0; p < topo.num_cores(); ++p)
     bounds.push_back(subscribers * static_cast<uint64_t>(p) /
@@ -89,23 +110,9 @@ FigResult RunOnce(const hw::Topology& topo, uint64_t subscribers, int clients,
                                    TatpScheme(subscribers, topo.num_cores()),
                                    exec_opt);
 
-  const size_t n_buckets =
-      static_cast<size_t>(duration * 1000.0 / kBucketMs) + 2;
-  std::vector<std::atomic<uint64_t>> buckets(n_buckets);
-  std::atomic<bool> stop{false};
-  std::atomic<uint64_t> submitted{0}, ok{0}, unavailable{0}, other{0},
-      hung{0}, sheds{0};
   workload::TatpActionGraphs graphs(subscribers);
 
   auto start = std::chrono::steady_clock::now();
-  auto bucket_of = [&] {
-    size_t b = static_cast<size_t>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(
-            std::chrono::steady_clock::now() - start)
-            .count() /
-        kBucketMs);
-    return std::min(b, n_buckets - 1);
-  };
 
   std::vector<std::thread> threads;
   for (int c = 0; c < clients; ++c) {
@@ -134,7 +141,6 @@ FigResult RunOnce(const hw::Topology& topo, uint64_t subscribers, int clients,
         // are outages.
         if (workload::TatpActionGraphs::CountsAsSuccess(s)) {
           ok.fetch_add(1, std::memory_order_relaxed);
-          buckets[bucket_of()].fetch_add(1, std::memory_order_relaxed);
         } else if (s.code() == StatusCode::kUnavailable) {
           unavailable.fetch_add(1, std::memory_order_relaxed);
         } else {
@@ -166,6 +172,7 @@ FigResult RunOnce(const hw::Topology& topo, uint64_t subscribers, int clients,
   out.kill_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              start)
                    .count();
+  db.sampler()->Annotate("island_kill");
   auto t0 = std::chrono::steady_clock::now();
   auto moved = exec.KillIsland(1);
   out.evacuation_ms =
@@ -184,8 +191,6 @@ FigResult RunOnce(const hw::Topology& topo, uint64_t subscribers, int clients,
   out.other = other.load();
   out.hung = hung.load();
   out.sheds = sheds.load();
-  out.buckets.reserve(n_buckets);
-  for (auto& b : buckets) out.buckets.push_back(b.load());
 
   // Zero lost committed transactions: recover the post-run crash cut into
   // a fresh load and compare the TATP invariants against the live tables.
@@ -220,6 +225,9 @@ FigResult RunOnce(const hw::Topology& topo, uint64_t subscribers, int clients,
   obs::StatsSnapshot snap = db.StatsSnapshot();
   out.evacuation_us_obs =
       snap.hist(obs::HistId::kEvacuationUs).Quantile(0.5);
+  out.series = db.sampler()->Collect();
+  if (!series_out.empty() && db.DumpTimeSeries(series_out))
+    std::printf("wrote %s\n", series_out.c_str());
   return out;
 }
 
@@ -237,6 +245,7 @@ int main(int argc, char** argv) {
   double max_recover_s = flags.GetDouble("max_recover_s", 2.0);
   double min_recovery_frac = flags.GetDouble("min_recovery_frac", 0.7);
   std::string json_path = flags.GetString("json", "");
+  std::string series_out = flags.GetString("series_out", "");
 
   engine::PartitionedExecutor::Options exec_opt;
   exec_opt.durability = engine::DurabilityMode::kGroup;
@@ -253,50 +262,62 @@ int main(int argc, char** argv) {
               clients, duration, kill_at * 100.0);
 
   FigResult r = RunOnce(topo, subscribers, clients, duration, kill_at, seed,
-                        exec_opt);
+                        exec_opt, series_out);
 
-  // Pre-kill steady TPS: the buckets of the window [kill/2, kill).
-  const size_t kill_bucket =
-      static_cast<size_t>(r.kill_s * 1000.0 / kBucketMs);
-  auto bucket_tps = [&](size_t b) {
-    return static_cast<double>(r.buckets[b]) * 1000.0 / kBucketMs;
-  };
+  // The TPS timeline: adjacent-tick deltas of the sampler's cumulative
+  // client_ok series. The island_kill annotation pins the kill instant on
+  // the same clock as the tick timestamps.
+  const std::vector<double>* ok_series = nullptr;
+  for (const auto& s : r.series.series)
+    if (s.name == "client_ok") ok_series = &s.v;
+  std::vector<double> t_s, tps;
+  if (ok_series != nullptr) {
+    for (size_t i = 1; i < r.series.t_ms.size() && i < ok_series->size();
+         ++i) {
+      double dt_ms =
+          static_cast<double>(r.series.t_ms[i] - r.series.t_ms[i - 1]);
+      if (dt_ms <= 0) continue;
+      t_s.push_back(static_cast<double>(r.series.t_ms[i]) / 1000.0);
+      tps.push_back(((*ok_series)[i] - (*ok_series)[i - 1]) * 1000.0 / dt_ms);
+    }
+  }
+  double kill_t_s = r.kill_s;
+  for (const auto& [a_ms, label] : r.series.annotations)
+    if (label == "island_kill") kill_t_s = static_cast<double>(a_ms) / 1000.0;
+
+  // Pre-kill steady TPS: the ticks of the window [kill/2, kill).
   double pre = 0;
-  size_t pre_lo = kill_bucket / 2, pre_n = 0;
-  for (size_t b = pre_lo; b < kill_bucket && b < r.buckets.size(); ++b) {
-    pre += bucket_tps(b);
-    ++pre_n;
+  size_t pre_n = 0;
+  for (size_t i = 0; i < t_s.size(); ++i) {
+    if (t_s[i] >= kill_t_s / 2 && t_s[i] < kill_t_s) {
+      pre += tps[i];
+      ++pre_n;
+    }
   }
   if (pre_n > 0) pre /= static_cast<double>(pre_n);
 
-  // Dip + recovery: the first post-kill instant where a 4-bucket (100ms)
+  // Dip + recovery: the first post-kill instant where a 4-tick (100ms)
   // sliding window sustains min_recovery_frac of the pre-kill rate.
   double dip = pre;
   double recover_s = -1;
   const double target = pre * min_recovery_frac;
-  const size_t last =
-      std::min(r.buckets.size(),
-               static_cast<size_t>(duration * 1000.0 / kBucketMs));
-  for (size_t b = kill_bucket; b + 4 <= last; ++b) {
-    dip = std::min(dip, bucket_tps(b));
+  for (size_t i = 0; i + 4 <= t_s.size(); ++i) {
+    if (t_s[i] < kill_t_s) continue;
+    dip = std::min(dip, tps[i]);
     double win = 0;
-    for (size_t i = 0; i < 4; ++i) win += bucket_tps(b + i);
+    for (size_t k = 0; k < 4; ++k) win += tps[i + k];
     win /= 4.0;
     if (win >= target) {
-      recover_s = static_cast<double>(b) * kBucketMs / 1000.0 - r.kill_s;
-      if (recover_s < 0) recover_s = 0;
+      recover_s = std::max(0.0, t_s[i] - kill_t_s);
       break;
     }
   }
 
   TablePrinter tp({"t (s)", "TPS"});
-  for (size_t b = 0; b + 4 <= last; b += 4)  // print at 100ms granularity
-    tp.AddRow({TablePrinter::Num(static_cast<double>(b) * kBucketMs / 1000.0,
-                                 2),
+  for (size_t i = 0; i + 4 <= t_s.size(); i += 4)  // 100ms granularity
+    tp.AddRow({TablePrinter::Num(t_s[i], 2),
                TablePrinter::Int(static_cast<long long>(
-                   (bucket_tps(b) + bucket_tps(b + 1) + bucket_tps(b + 2) +
-                    bucket_tps(b + 3)) /
-                   4.0))});
+                   (tps[i] + tps[i + 1] + tps[i + 2] + tps[i + 3]) / 4.0))});
   tp.Print();
 
   std::printf(
@@ -315,11 +336,14 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     JsonValue timeline = JsonValue::Array();
-    for (size_t b = 0; b < last; ++b)
-      timeline.Push(JsonValue::Object()
-                        .Add("t_s", static_cast<double>(b) * kBucketMs /
-                                        1000.0)
-                        .Add("tps", bucket_tps(b)));
+    for (size_t i = 0; i < t_s.size(); ++i)
+      timeline.Push(
+          JsonValue::Object().Add("t_s", t_s[i]).Add("tps", tps[i]));
+    JsonValue annotations = JsonValue::Array();
+    for (const auto& [a_ms, label] : r.series.annotations)
+      annotations.Push(JsonValue::Object()
+                           .Add("t_s", static_cast<double>(a_ms) / 1000.0)
+                           .Add("label", label));
     JsonValue doc = JsonValue::Object();
     doc.Add("bench", std::string("fig12_real_engine"))
         .Add("schema", std::string("BENCH_fig12"))
@@ -346,6 +370,11 @@ int main(int argc, char** argv) {
         .Add("other_failures", static_cast<long long>(r.other))
         .Add("hung_futures", static_cast<long long>(r.hung))
         .Add("lost_commits", static_cast<long long>(r.lost_commits ? 1 : 0))
+        .Add("sampler_interval_ms",
+             static_cast<long long>(r.series.interval_ms))
+        .Add("sampler_ticks_missed",
+             static_cast<long long>(r.series.ticks_missed))
+        .Add("annotations", annotations)
         .Add("timeline", timeline);
     if (!doc.WriteTo(json_path)) return 1;
     std::printf("wrote %s\n", json_path.c_str());

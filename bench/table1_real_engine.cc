@@ -148,6 +148,30 @@ int main(int argc, char** argv) {
                       .count();
 
     const mem::AllocStats& stats = db.memory().stats();
+    // Hardware ground truth next to the software ratio: the per-island
+    // node-local/node-remote DRAM split from the workers' perf groups,
+    // when the host lets us open them (paper Table I's IMC counters).
+    obs::StatsSnapshot snap = db.StatsSnapshot();
+    JsonValue hw_islands = JsonValue::Array();
+    if (snap.hw_available) {
+      for (size_t i = 0; i < snap.hw_islands.size(); ++i) {
+        const obs::HwCounterValues& v = snap.hw_islands[i];
+        JsonValue o = JsonValue::Object();
+        o.Add("island", static_cast<long long>(i));
+        if (v.has(obs::HwCounterId::kNodeLocal))
+          o.Add("dram_local",
+                static_cast<long long>(v[obs::HwCounterId::kNodeLocal]));
+        if (v.has(obs::HwCounterId::kNodeRemote))
+          o.Add("dram_remote",
+                static_cast<long long>(v[obs::HwCounterId::kNodeRemote]));
+        double ratio = snap.hw_remote_dram_ratio(i);
+        if (ratio >= 0) o.Add("hw_remote_dram_ratio", ratio);
+        hw_islands.Push(std::move(o));
+        if (ratio >= 0)
+          std::printf("  %s island %zu: hw remote-DRAM ratio %.3f\n",
+                      mem::ToString(pol), i, ratio);
+      }
+    }
     std::vector<std::string> row = {mem::ToString(pol)};
     JsonValue socket_tps = JsonValue::Array();
     uint64_t total = 0;
@@ -166,6 +190,9 @@ int main(int argc, char** argv) {
                        .Add("policy", std::string(mem::ToString(pol)))
                        .Add("tps", total_tps)
                        .Add("remote_ratio", stats.AccessRemoteRatio())
+                       .Add("hw_available",
+                            static_cast<long long>(snap.hw_available ? 1 : 0))
+                       .Add("hw_islands", hw_islands)
                        .Add("per_socket", socket_tps));
   }
   tp.Print();

@@ -119,6 +119,13 @@ class ActionGraph {
   bool empty() const { return num_actions_ == 0; }
   int txn_class() const { return txn_class_; }
 
+  /// Caller-supplied trace correlation id. When nonzero, every trace
+  /// event of this transaction carries it instead of the engine txn id —
+  /// the wire tier stamps server::WireTraceId(req_id) here so one chrome
+  /// dump links client send → decode → engine spans → durable ack.
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+  uint64_t trace_id() const { return trace_id_; }
+
   /// Flow-graph conformance check against the static class description
   /// (core::flow_graph): the graph must touch exactly the set of tables
   /// the class declares, so one workload description can drive both the
@@ -134,6 +141,7 @@ class ActionGraph {
   std::vector<std::vector<Action>> stages_;  ///< never empty; last may be open
   Finalizer finalizer_;
   int txn_class_;
+  uint64_t trace_id_ = 0;
   size_t num_actions_ = 0;
 };
 

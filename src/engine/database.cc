@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include <cstdio>
 #include <thread>
 
 #include "hw/binding.h"
@@ -23,6 +24,26 @@ Database::Database(Options opt)
   } else {
     txn_list_ = std::make_unique<txn::CentralizedTxnList>();
   }
+  if (opt_.sampler.enabled) {
+    sampler_ = std::make_unique<obs::Sampler>(
+        [this] { return StatsSnapshot(); }, opt_.sampler);
+    sampler_->Start();
+  }
+}
+
+bool Database::DumpTimeSeries(const std::string& path) const {
+  if (sampler_ == nullptr) return false;
+  bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  std::string body = csv ? sampler_->ToCsv() : sampler_->ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write time series to %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
 }
 
 obs::StatsSnapshot Database::StatsSnapshot() {

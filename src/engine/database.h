@@ -21,6 +21,7 @@
 #include "log/log_manager.h"
 #include "mem/island_allocator.h"
 #include "obs/registry.h"
+#include "obs/sampler.h"
 #include "storage/table.h"
 #include "sync/partitioned_rwlock.h"
 #include "txn/lock_manager.h"
@@ -49,6 +50,10 @@ class Database {
     /// transaction lifecycle tracing (off by default; near-zero cost when
     /// off). See obs/registry.h.
     obs::Registry::Options obs;
+    /// Continuous time-series telemetry (off by default): when
+    /// sampler.enabled, a background thread scrapes StatsSnapshot() every
+    /// sampler.interval_ms into ring-buffered series. See obs/sampler.h.
+    obs::Sampler::Options sampler;
   };
 
   explicit Database(Options opt);
@@ -129,6 +134,16 @@ class Database {
   bool DumpTrace(const std::string& path) const {
     return obs_->DumpChromeTrace(path);
   }
+
+  /// The continuous sampler, or nullptr when Options::sampler.enabled was
+  /// false. Benches hang custom series and annotations off this.
+  obs::Sampler* sampler() { return sampler_.get(); }
+  const obs::Sampler* sampler() const { return sampler_.get(); }
+
+  /// Writes the sampler's collected time series to `path` — JSON by
+  /// default, CSV when the path ends in ".csv". False when the sampler is
+  /// off or the file cannot be written.
+  bool DumpTimeSeries(const std::string& path) const;
   const hw::Topology& topology() const { return opt_.topo; }
   int num_sockets() const { return opt_.topo.num_sockets(); }
 
@@ -183,6 +198,9 @@ class Database {
   std::atomic<txn::TxnId> next_txn_{1};
   std::mutex drain_mu_;
   std::vector<Drainable*> drainables_;  // guarded by drain_mu_
+  /// Last member: the sampler's scrape thread calls StatsSnapshot(), so it
+  /// must stop before any subsystem it reads is torn down.
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 }  // namespace atrapos::engine

@@ -103,7 +103,7 @@ class PartitionedExecutor::CommitAckSink : public log::LogManager::CommitSink {
     auto* st = static_cast<internal::TxnState*>(cookie);
     ex_->obs_->Count(obs::CounterId::kDurableAcks);
     ex_->obs_->Trace(obs::SpanId::kDurableAck, obs::TracePhase::kInstant,
-                     st->txn_id, epoch);
+                     st->trace_id, epoch);
     ex_->CompleteTxn(st, st->pending_status);
   }
 
@@ -222,6 +222,26 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
       s.durable_lag_epochs = s.last_epoch > s.durable_epoch
                                  ? s.last_epoch - s.durable_epoch
                                  : 0;
+    }
+    // Hardware counters, aggregated per island: live workers' groups
+    // plus the totals retired by StopWorkers (hw_retired_ is written
+    // under the exclusive gate, so the shared gate above suffices).
+    if (opt_.hw_counters && obs::PerfCounters::Available()) {
+      size_t islands = static_cast<size_t>(topo_.num_sockets());
+      s.hw_islands.assign(islands, obs::HwCounterValues{});
+      bool any = false;
+      for (size_t i = 0; i < hw_retired_.size() && i < islands; ++i) {
+        s.hw_islands[i].Accumulate(hw_retired_[i]);
+        for (bool v : hw_retired_[i].valid) any |= v;
+      }
+      for (Partition* p : flat_parts_) {
+        if (!p->perf.open()) continue;
+        size_t island = static_cast<size_t>(topo_.socket_of(p->core));
+        if (island < islands) s.hw_islands[island].Accumulate(p->perf.Read());
+        any = true;
+      }
+      s.hw_available = any;
+      if (!any) s.hw_islands.clear();
     }
   });
 }
@@ -344,6 +364,11 @@ void PartitionedExecutor::StartWorkers() {
 
 void PartitionedExecutor::WorkerLoop(Partition* p) {
   hw::BindCurrentThread(topo_, p->core);
+  // Hardware counters must be opened by the measured thread itself
+  // (perf_event_open with pid=0); the capability probe inside makes this
+  // a no-op where perf is unavailable. Read cross-thread by the
+  // snapshot source once perf.open() flips.
+  if (opt_.hw_counters) p->perf.OpenForCurrentThread();
   core::PartitionMonitor::BatchTally tally(*p->monitor);
   uint64_t drain_tick = 0;  // 1-in-8 sampling stride for the drain hists
   // Durability: this worker stages its drained batch's records (and the
@@ -435,7 +460,7 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
                                   task.st->marker_expected, task.st->ticket);
           obs_->Count(obs::CounterId::kCommitMarkersAppended);
           obs_->Trace(obs::SpanId::kCommitMarker, obs::TracePhase::kInstant,
-                      task.st->txn_id, p->seq);
+                      task.st->trace_id, p->seq);
           continue;
         }
         if (observer) observer->set_txn(task.st);
@@ -501,6 +526,18 @@ void PartitionedExecutor::StopWorkers() {
   for (auto& tp : parts_)
     for (auto& p : tp)
       if (p->worker.joinable()) p->worker.join();
+  // Retire the joined workers' counter totals per island so Repartition
+  // (which destroys these Partition objects) doesn't lose hardware history.
+  // Callers hold the exclusive scheme gate (or run after RemoveSource), so
+  // no snapshot source reads hw_retired_ concurrently.
+  for (auto& tp : parts_) {
+    for (auto& p : tp) {
+      if (!p->perf.open()) continue;
+      size_t island = static_cast<size_t>(topo_.socket_of(p->core));
+      if (hw_retired_.size() <= island) hw_retired_.resize(island + 1);
+      hw_retired_[island].Accumulate(p->perf.Read());
+    }
+  }
 }
 
 PartitionedExecutor::Partition* PartitionedExecutor::Route(int table,
@@ -545,11 +582,15 @@ Result<TxnFuture> PartitionedExecutor::Submit(ActionGraph graph) {
   st->self = st;
   if (log_ != nullptr || tracing)
     st->txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Trace correlation: a caller-stamped graph id (the wire tier's
+  // req-id-derived WireTraceId) wins over the engine txn id, so one
+  // chrome dump links the whole client-send → durable-ack chain.
+  st->trace_id = st->graph.trace_id() != 0 ? st->graph.trace_id() : st->txn_id;
   st->submit_ts_ns = t0;
   inflight_.fetch_add(1, std::memory_order_relaxed);
   if (metrics) obs_->Count(obs::CounterId::kTxnSubmitted);
   if (tracing)
-    obs_->Trace(obs::SpanId::kTxn, obs::TracePhase::kBegin, st->txn_id);
+    obs_->Trace(obs::SpanId::kTxn, obs::TracePhase::kBegin, st->trace_id);
   Publisher pub;
   EnqueueStage(st.get(), 0, &pub);
   pub.PublishAll(this);
@@ -559,7 +600,7 @@ Result<TxnFuture> PartitionedExecutor::Submit(ActionGraph graph) {
       obs_->RecordLatency(obs::HistId::kSubmitPublishUs, dt / 1000);
     if (tracing)
       obs_->Trace(obs::SpanId::kSubmitPublish, obs::TracePhase::kComplete,
-                  st->txn_id, dt);
+                  st->trace_id, dt);
   }
   return TxnFuture(st);
 }
@@ -585,10 +626,12 @@ Result<std::vector<TxnFuture>> PartitionedExecutor::SubmitBatch(
     st->self = st;
     if (log_ != nullptr || tracing)
       st->txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    st->trace_id =
+        st->graph.trace_id() != 0 ? st->graph.trace_id() : st->txn_id;
     st->submit_ts_ns = t0;
     inflight_.fetch_add(1, std::memory_order_relaxed);
     if (tracing)
-      obs_->Trace(obs::SpanId::kTxn, obs::TracePhase::kBegin, st->txn_id);
+      obs_->Trace(obs::SpanId::kTxn, obs::TracePhase::kBegin, st->trace_id);
     EnqueueStage(st.get(), 0, &pub);
     futures.emplace_back(TxnFuture(st));
   }
@@ -647,7 +690,7 @@ void PartitionedExecutor::RunAction(const ActionTask& task, bool zombie) {
     s = act->fn ? act->fn(task.table, ctx) : Status::OK();
   }
   if (tracing)
-    obs_->Trace(obs::SpanId::kAction, obs::TracePhase::kComplete, st->txn_id,
+    obs_->Trace(obs::SpanId::kAction, obs::TracePhase::kComplete, st->trace_id,
                 obs_->NowNs() - a0);
   if (!s.ok()) {
     std::lock_guard lk(st->mu);
@@ -661,7 +704,7 @@ void PartitionedExecutor::RunAction(const ActionTask& task, bool zombie) {
     return;
   if (tracing)
     obs_->Trace(obs::SpanId::kRvpResolve, obs::TracePhase::kInstant,
-                st->txn_id, st->next_stage - 1);
+                st->trace_id, st->next_stage - 1);
   if (st->failed.load(std::memory_order_acquire)) {
     Status err;
     {
@@ -787,8 +830,8 @@ void PartitionedExecutor::CompleteTxn(internal::TxnState* st, Status s) {
     obs_->Count(s.ok() ? obs::CounterId::kTxnCommitted
                        : obs::CounterId::kTxnAborted);
   }
-  if (st->txn_id != 0)
-    obs_->Trace(obs::SpanId::kTxn, obs::TracePhase::kEnd, st->txn_id);
+  if (st->trace_id != 0)
+    obs_->Trace(obs::SpanId::kTxn, obs::TracePhase::kEnd, st->trace_id);
   // Listener first: once Wait() returns, the workload class has been
   // reported (AdaptiveManager's counts are populated from here). The
   // active-call count must be raised *before* loading the pointer so

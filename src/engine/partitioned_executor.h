@@ -105,6 +105,13 @@ class PartitionedExecutor : public Database::Drainable {
     /// log_manager()->FlushAll() for deterministic durable points. kGroup
     /// commits only ack on an explicit flush then.
     bool log_manual_flush = false;
+    /// Hardware-counter profiling (obs::PerfCounters): each worker opens
+    /// a perf_event_open group on itself and the snapshot source
+    /// aggregates per island (atrapos_hw_*). Gated by the capability
+    /// probe — where perf is unavailable (containers, paranoid kernels)
+    /// this silently degrades to hw_available=false. Off disables even
+    /// the probe, for overhead A/B runs (bench/table2).
+    bool hw_counters = true;
   };
 
   /// Observes every transaction completion (success or abort) on the
@@ -260,6 +267,10 @@ class PartitionedExecutor : public Database::Drainable {
     /// still appending commit markers — no future ever hangs on a dead
     /// island. Set once, never cleared (evacuation replaces the partition).
     std::atomic<bool> failed{false};
+    /// Hardware counter group, opened by the worker on itself (perf
+    /// requires the measured thread to be the opener); read cross-thread
+    /// by the snapshot source once perf.open() is true.
+    obs::PerfCounters perf;
     std::mutex mu;
     std::condition_variable cv;
     std::thread worker;
@@ -336,6 +347,12 @@ class PartitionedExecutor : public Database::Drainable {
   core::Scheme scheme_;
   std::vector<std::vector<std::unique_ptr<Partition>>> parts_;
   std::atomic<uint64_t> executed_{0};
+  /// Hardware-counter totals of partitions already destroyed (StopWorkers
+  /// folds each dying partition's final reading into its island's slot
+  /// here), so the per-island aggregation stays monotone across
+  /// Repartition/KillIsland. Indexed by island; guarded by scheme_mu_
+  /// (written under the exclusive gate, read under the shared one).
+  std::vector<obs::HwCounterValues> hw_retired_;
   // Hot-path counters are lock-free; the mutex/cv pairs exist only for
   // the (rare) waiters: Drain/Repartition on inflight_, listener
   // unregistration on listener_active_.

@@ -61,6 +61,9 @@ struct TxnState {
   /// Engine-assigned transaction id for log records and trace events
   /// (0 when both logging and tracing are off).
   uint64_t txn_id = 0;
+  /// Id stamped on this transaction's trace events: the graph's
+  /// caller-supplied trace id when set (wire requests), else txn_id.
+  uint64_t trace_id = 0;
   /// Submit timestamp (registry clock) for the commit-latency histogram
   /// and the transaction's async trace span; 0 when metrics and tracing
   /// are both off at submit time.

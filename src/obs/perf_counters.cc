@@ -1,0 +1,186 @@
+#include "obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define ATRAPOS_HAVE_PERF 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define ATRAPOS_HAVE_PERF 0
+#endif
+
+namespace atrapos::obs {
+
+namespace {
+
+// -1 = unprobed, 0 = unavailable, 1 = available.
+std::atomic<int> g_probe{-1};
+std::atomic<bool> g_forced_unavailable{false};
+
+#if ATRAPOS_HAVE_PERF
+
+int PerfOpen(perf_event_attr* attr, int group_fd) {
+  // pid=0, cpu=-1: count this thread wherever it runs. Monitoring one's
+  // own thread is the least privileged perf mode (allowed up to
+  // perf_event_paranoid=2, the common default).
+  return static_cast<int>(::syscall(SYS_perf_event_open, attr, /*pid=*/0,
+                                    /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+perf_event_attr MakeAttr(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 0;
+  // Kernel/hypervisor exclusion keeps the paranoid requirement low and
+  // matches what the island study measures (user-space OLTP work).
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return attr;
+}
+
+constexpr uint64_t CacheConfig(uint64_t cache, uint64_t op, uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+/// attr for each HwCounterId slot.
+perf_event_attr AttrFor(HwCounterId id) {
+  switch (id) {
+    case HwCounterId::kCycles:
+      return MakeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    case HwCounterId::kStalledBackend:
+      return MakeAttr(PERF_TYPE_HARDWARE,
+                      PERF_COUNT_HW_STALLED_CYCLES_BACKEND);
+    case HwCounterId::kLlcMisses:
+      return MakeAttr(PERF_TYPE_HW_CACHE,
+                      CacheConfig(PERF_COUNT_HW_CACHE_LL,
+                                  PERF_COUNT_HW_CACHE_OP_READ,
+                                  PERF_COUNT_HW_CACHE_RESULT_MISS));
+    case HwCounterId::kNodeLocal:
+      // NODE read *accesses*: requests satisfied by the local memory node.
+      return MakeAttr(PERF_TYPE_HW_CACHE,
+                      CacheConfig(PERF_COUNT_HW_CACHE_NODE,
+                                  PERF_COUNT_HW_CACHE_OP_READ,
+                                  PERF_COUNT_HW_CACHE_RESULT_ACCESS));
+    case HwCounterId::kNodeRemote:
+      // NODE read *misses*: requests that went to a remote node.
+      return MakeAttr(PERF_TYPE_HW_CACHE,
+                      CacheConfig(PERF_COUNT_HW_CACHE_NODE,
+                                  PERF_COUNT_HW_CACHE_OP_READ,
+                                  PERF_COUNT_HW_CACHE_RESULT_MISS));
+    case HwCounterId::kCount:
+      break;
+  }
+  return MakeAttr(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+}
+
+bool ProbeOnce() {
+  perf_event_attr attr = AttrFor(HwCounterId::kCycles);
+  int fd = PerfOpen(&attr, -1);
+  if (fd >= 0) {
+    ::close(fd);
+    return true;
+  }
+  // EACCES/EPERM: perf_event_paranoid or seccomp. ENOENT/ENODEV/EOPNOTSUPP:
+  // no PMU (VMs). ENOSYS: kernel without perf. All mean "run the fallback";
+  // so does anything else — a failed probe never degrades correctness.
+  return false;
+}
+
+#endif  // ATRAPOS_HAVE_PERF
+
+}  // namespace
+
+const char* HwCounterName(HwCounterId id) {
+  switch (id) {
+    case HwCounterId::kCycles:
+      return "cycles";
+    case HwCounterId::kStalledBackend:
+      return "stalled_cycles_backend";
+    case HwCounterId::kLlcMisses:
+      return "llc_misses";
+    case HwCounterId::kNodeLocal:
+      return "node_local_dram";
+    case HwCounterId::kNodeRemote:
+      return "node_remote_dram";
+    case HwCounterId::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void HwCounterValues::Accumulate(const HwCounterValues& o) {
+  for (size_t i = 0; i < kNumHwCounters; ++i) {
+    if (!o.valid[i]) continue;
+    v[i] += o.v[i];
+    valid[i] = true;
+  }
+}
+
+bool PerfCounters::Available() {
+  if (g_forced_unavailable.load(std::memory_order_acquire)) return false;
+#if ATRAPOS_HAVE_PERF
+  int p = g_probe.load(std::memory_order_acquire);
+  if (p < 0) {
+    p = ProbeOnce() ? 1 : 0;
+    g_probe.store(p, std::memory_order_release);
+  }
+  return p == 1;
+#else
+  return false;
+#endif
+}
+
+void PerfCounters::ForceUnavailableForTest(bool forced) {
+  g_forced_unavailable.store(forced, std::memory_order_release);
+}
+
+PerfCounters::~PerfCounters() {
+#if ATRAPOS_HAVE_PERF
+  for (int fd : fd_)
+    if (fd >= 0) ::close(fd);
+#endif
+}
+
+bool PerfCounters::OpenForCurrentThread() {
+  if (!Available()) return false;
+#if ATRAPOS_HAVE_PERF
+  perf_event_attr leader = AttrFor(HwCounterId::kCycles);
+  int lead_fd = PerfOpen(&leader, -1);
+  if (lead_fd < 0) return false;  // probe raced a policy change: fall back
+  fd_[static_cast<size_t>(HwCounterId::kCycles)] = lead_fd;
+  // Siblings join the leader's group so the PMU schedules them together;
+  // each keeps its own fd (a plain 8-byte read returns that counter).
+  for (size_t i = 1; i < kNumHwCounters; ++i) {
+    perf_event_attr attr = AttrFor(static_cast<HwCounterId>(i));
+    fd_[i] = PerfOpen(&attr, lead_fd);  // < 0 (e.g. no NODE events): skip
+  }
+  open_.store(true, std::memory_order_release);
+  return true;
+#else
+  return false;
+#endif
+}
+
+HwCounterValues PerfCounters::Read() const {
+  HwCounterValues out;
+  if (!open()) return out;
+#if ATRAPOS_HAVE_PERF
+  for (size_t i = 0; i < kNumHwCounters; ++i) {
+    if (fd_[i] < 0) continue;
+    uint64_t value = 0;
+    if (::read(fd_[i], &value, sizeof(value)) == sizeof(value)) {
+      out.v[i] = value;
+      out.valid[i] = true;
+    }
+  }
+#endif
+  return out;
+}
+
+}  // namespace atrapos::obs

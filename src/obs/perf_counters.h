@@ -1,0 +1,95 @@
+// obs::PerfCounters — hardware-counter profiling via perf_event_open(2).
+//
+// ATraPos's island argument is a *hardware* argument: the paper's Table 1
+// numbers (and the whole "OLTP on Hardware Islands" study it builds on)
+// come from cycles, stalled cycles, LLC misses, and local-vs-remote DRAM
+// access counters — not from software accounting. mem::AllocStats charges
+// logical touches; this class supplies the ground truth to check it
+// against.
+//
+// Each engine worker opens one counter *group* on itself (pid=0, cpu=-1:
+// this thread, any CPU — perf requires the measured thread to be the
+// opener, which is why PartitionedExecutor opens inside WorkerLoop).
+// A group schedules all its events on and off the PMU together, so
+// ratios between siblings (stalls/cycles, remote/local DRAM) stay
+// meaningful. Siblings that the PMU cannot host (e.g. the NODE cache
+// events on many VMs) are skipped individually; the rest keep counting.
+//
+// Reads go through the fds, which is cross-thread safe: the snapshot
+// source reads every worker's group from the snapshotting thread.
+//
+// Fallback: perf may be entirely unavailable (perf_event_paranoid,
+// seccomp, containers, non-Linux). Available() probes once per process
+// (EACCES/EPERM/ENOENT/ENOSYS/ENODEV → unavailable) and everything
+// degrades to hw_available=false in StatsSnapshot — this is the CI path.
+// ForceUnavailableForTest() pins the probe for the fallback tests.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace atrapos::obs {
+
+/// The counter set of the hardware-island study, in fixed order.
+enum class HwCounterId : uint8_t {
+  kCycles = 0,          ///< PERF_COUNT_HW_CPU_CYCLES (group leader)
+  kStalledBackend = 1,  ///< PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+  kLlcMisses = 2,       ///< LL cache read misses
+  kNodeLocal = 3,       ///< NODE read accesses ≈ local-DRAM accesses
+  kNodeRemote = 4,      ///< NODE read misses ≈ remote-DRAM accesses
+  kCount = 5,
+};
+
+inline constexpr size_t kNumHwCounters =
+    static_cast<size_t>(HwCounterId::kCount);
+
+/// Metric-suffix name ("cycles", "node_local_dram", ...).
+const char* HwCounterName(HwCounterId id);
+
+/// Per-island (or per-thread) totals. valid[i] is false when that sibling
+/// never opened anywhere it was aggregated from.
+struct HwCounterValues {
+  std::array<uint64_t, kNumHwCounters> v{};
+  std::array<bool, kNumHwCounters> valid{};
+
+  uint64_t operator[](HwCounterId id) const {
+    return v[static_cast<size_t>(id)];
+  }
+  bool has(HwCounterId id) const { return valid[static_cast<size_t>(id)]; }
+  void Accumulate(const HwCounterValues& o);
+};
+
+class PerfCounters {
+ public:
+  PerfCounters() = default;
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// One-shot process-wide capability probe, cached. False when the
+  /// kernel/container refuses perf (or ForceUnavailableForTest is set).
+  static bool Available();
+  /// Test hook: true forces Available() to report false (and OpenForCurrentThread
+  /// to refuse); false restores the real probe.
+  static void ForceUnavailableForTest(bool forced);
+
+  /// Opens the counter group on the *calling* thread. Returns true when
+  /// at least the cycles leader opened; unopenable siblings are skipped.
+  /// Call at most once, from the thread to be measured.
+  bool OpenForCurrentThread();
+
+  /// True once OpenForCurrentThread succeeded (acquire: values readable
+  /// from any thread afterwards).
+  bool open() const { return open_.load(std::memory_order_acquire); }
+
+  /// Cross-thread read of the current totals. All-invalid when not open.
+  HwCounterValues Read() const;
+
+ private:
+  std::array<int, kNumHwCounters> fd_{-1, -1, -1, -1, -1};
+  std::atomic<bool> open_{false};
+};
+
+}  // namespace atrapos::obs

@@ -32,12 +32,63 @@ const char* CounterName(CounterId c) {
   return "?";
 }
 
+const char* CounterHelp(CounterId c) {
+  switch (c) {
+    case CounterId::kTxnSubmitted:
+      return "Action graphs accepted by Submit/SubmitBatch.";
+    case CounterId::kTxnCommitted: return "Futures completed OK.";
+    case CounterId::kTxnAborted:
+      return "Futures completed with an error status.";
+    case CounterId::kBatchesDrained: return "Worker inbox drains.";
+    case CounterId::kCommitMarkersAppended:
+      return "Per-partition commit markers staged by workers.";
+    case CounterId::kDurableAcks:
+      return "Commit acks delivered (group or async durability).";
+    case CounterId::kLogFlushes: return "Group-commit passes over the shards.";
+    case CounterId::kRepartitions:
+      return "Schemes applied by the adaptive manager.";
+    case CounterId::kNetAccepts:
+      return "Connections accepted across all listeners.";
+    case CounterId::kNetFramesIn: return "Request frames decoded off sockets.";
+    case CounterId::kNetFramesOut: return "Response frames queued for write.";
+    case CounterId::kNetBytesIn: return "Request bytes read off sockets.";
+    case CounterId::kNetBytesOut: return "Response bytes written to sockets.";
+    case CounterId::kNetTxnsShed:
+      return "Requests shed by admission control (OVERLOADED).";
+    case CounterId::kNetProtocolErrors:
+      return "Malformed or oversized frames and unknown opcodes.";
+    case CounterId::kFaultIslandKills:
+      return "Islands fail-stopped (injected or KillIsland).";
+    case CounterId::kFaultPartitionsEvacuated:
+      return "Partitions re-homed off a failed island.";
+    case CounterId::kFaultTxnsUnavailable:
+      return "Actions failed kUnavailable by a quarantined worker.";
+    case CounterId::kCount: break;
+  }
+  return "?";
+}
+
 const char* GaugeName(GaugeId g) {
   switch (g) {
     case GaugeId::kQueueDepthTotal: return "queue_depth_total";
     case GaugeId::kDurableLagEpochs: return "durable_lag_epochs";
     case GaugeId::kNetOpenConnections: return "net_open_connections";
     case GaugeId::kNetInflightTxns: return "net_inflight_txns";
+    case GaugeId::kCount: break;
+  }
+  return "?";
+}
+
+const char* GaugeHelp(GaugeId g) {
+  switch (g) {
+    case GaugeId::kQueueDepthTotal:
+      return "Tasks published but not yet drained, summed over all inboxes.";
+    case GaugeId::kDurableLagEpochs:
+      return "Last commit epoch minus the durable epoch watermark.";
+    case GaugeId::kNetOpenConnections:
+      return "Wire-tier connections currently open.";
+    case GaugeId::kNetInflightTxns:
+      return "Wire-tier requests submitted whose response is not yet queued.";
     case GaugeId::kCount: break;
   }
   return "?";
@@ -53,6 +104,27 @@ const char* HistName(HistId h) {
     case HistId::kLogFlushUs: return "log_flush_us";
     case HistId::kWireLatencyUs: return "wire_latency_us";
     case HistId::kEvacuationUs: return "evacuation_us";
+    case HistId::kCount: break;
+  }
+  return "?";
+}
+
+const char* HistHelp(HistId h) {
+  switch (h) {
+    case HistId::kCommitLatencyUs:
+      return "Submit to completion ack, per transaction.";
+    case HistId::kDrainBatchUs: return "One drained inbox batch.";
+    case HistId::kDrainBatchSize: return "Tasks per drained batch.";
+    case HistId::kActionAvgUs:
+      return "Batch-average per-action cost, per batch.";
+    case HistId::kSubmitPublishUs:
+      return "Stage-0 bucket plus publish wave, per wave.";
+    case HistId::kLogFlushUs:
+      return "One group-commit pass over all active shards.";
+    case HistId::kWireLatencyUs:
+      return "Wire transaction: decode/submit to response queued.";
+    case HistId::kEvacuationUs:
+      return "KillIsland: quarantine to repartitioned onto survivors.";
     case HistId::kCount: break;
   }
   return "?";
@@ -158,16 +230,22 @@ StatsSnapshot Registry::Snapshot() {
   std::vector<std::pair<int, Source>> sources;
   {
     std::lock_guard lk(mu_);
+    bool any_ring = false;
     for (const auto& s : shards_) {
       for (size_t c = 0; c < kNumCounters; ++c)
         out.counters[c] += s->counters[c].load(std::memory_order_acquire);
       for (size_t h = 0; h < kNumHists; ++h)
         s->hists[h].MergeInto(&out.hists[h]);
+      uint64_t shard_dropped = 0;
       if (TraceRing* r = s->ring.load(std::memory_order_acquire)) {
         out.trace_events_recorded += r->recorded();
         out.trace_events_dropped += r->dropped();
+        shard_dropped = r->dropped();
+        any_ring = true;
       }
+      out.trace_dropped_per_shard.push_back(shard_dropped);
     }
+    if (!any_ring) out.trace_dropped_per_shard.clear();
     sources = sources_;
     ++sources_running_;
   }
@@ -211,68 +289,133 @@ bool Registry::DumpChromeTrace(const std::string& path) const {
   return WriteChromeTrace(path, CollectTrace());
 }
 
+namespace {
+
+bool MetricNameCharOk(char ch, bool first) {
+  if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch == '_' ||
+      ch == ':')
+    return true;
+  return !first && ch >= '0' && ch <= '9';
+}
+
+/// Emits one metric's # HELP / # TYPE header with the name forced into
+/// grammar, and returns the sanitized name for the sample lines.
+std::string EmitHeader(std::ostringstream& os, const std::string& name,
+                       const char* type, const char* help) {
+  std::string n = SanitizeMetricName(name);
+  os << "# HELP " << n << " " << help << "\n";
+  os << "# TYPE " << n << " " << type << "\n";
+  return n;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (size_t i = 0; i < out.size(); ++i)
+    if (!MetricNameCharOk(out[i], i == 0)) out[i] = '_';
+  return out;
+}
+
 std::string StatsSnapshot::ToPrometheus() const {
   std::ostringstream os;
   for (size_t c = 0; c < kNumCounters; ++c) {
-    const char* n = CounterName(static_cast<CounterId>(c));
-    os << "# TYPE atrapos_" << n << " counter\n";
-    os << "atrapos_" << n << " " << counters[c] << "\n";
+    auto id = static_cast<CounterId>(c);
+    std::string n = EmitHeader(os, std::string("atrapos_") + CounterName(id),
+                               "counter", CounterHelp(id));
+    os << n << " " << counters[c] << "\n";
   }
   for (size_t g = 0; g < kNumGauges; ++g) {
-    const char* n = GaugeName(static_cast<GaugeId>(g));
-    os << "# TYPE atrapos_" << n << " gauge\n";
-    os << "atrapos_" << n << " " << gauges[g] << "\n";
+    auto id = static_cast<GaugeId>(g);
+    std::string n = EmitHeader(os, std::string("atrapos_") + GaugeName(id),
+                               "gauge", GaugeHelp(id));
+    os << n << " " << gauges[g] << "\n";
   }
   for (size_t h = 0; h < kNumHists; ++h) {
-    const char* n = HistName(static_cast<HistId>(h));
+    auto id = static_cast<HistId>(h);
     const Histogram& hist = hists[h];
-    os << "# TYPE atrapos_" << n << " summary\n";
+    std::string n = EmitHeader(os, std::string("atrapos_") + HistName(id),
+                               "summary", HistHelp(id));
     for (double q : {0.5, 0.95, 0.99}) {
-      os << "atrapos_" << n << "{quantile=\"" << q << "\"} "
-         << hist.Quantile(q) << "\n";
+      os << n << "{quantile=\"" << q << "\"} " << hist.Quantile(q) << "\n";
     }
-    os << "atrapos_" << n << "_sum "
+    os << n << "_sum "
        << static_cast<uint64_t>(hist.mean() * static_cast<double>(hist.count()))
        << "\n";
-    os << "atrapos_" << n << "_count " << hist.count() << "\n";
+    os << n << "_count " << hist.count() << "\n";
   }
-  os << "# TYPE atrapos_queue_depth gauge\n";
-  for (size_t p = 0; p < queue_depths.size(); ++p) {
-    os << "atrapos_queue_depth{partition=\"" << p << "\"} "
-       << queue_depths[p] << "\n";
+  {
+    std::string n = EmitHeader(os, "atrapos_queue_depth", "gauge",
+                               "Published-but-undrained tasks per partition.");
+    for (size_t p = 0; p < queue_depths.size(); ++p)
+      os << n << "{partition=\"" << p << "\"} " << queue_depths[p] << "\n";
   }
   if (!net_island_accepts.empty()) {
-    os << "# TYPE atrapos_net_island_accepts counter\n";
-    for (size_t i = 0; i < net_island_accepts.size(); ++i) {
-      os << "atrapos_net_island_accepts{island=\"" << i << "\"} "
-         << net_island_accepts[i] << "\n";
-    }
+    std::string n = EmitHeader(os, "atrapos_net_island_accepts", "counter",
+                               "Connections accepted per island listener.");
+    for (size_t i = 0; i < net_island_accepts.size(); ++i)
+      os << n << "{island=\"" << i << "\"} " << net_island_accepts[i] << "\n";
   }
   if (!fault_site_fires.empty()) {
-    os << "# TYPE atrapos_fault_injected_total counter\n";
-    for (const auto& [site, fires] : fault_site_fires) {
-      os << "atrapos_fault_injected_total{site=\"" << site << "\"} " << fires
-         << "\n";
+    std::string n = EmitHeader(os, "atrapos_fault_injected_total", "counter",
+                               "Fault-injection fires per armed site.");
+    for (const auto& [site, fires] : fault_site_fires)
+      os << n << "{site=\"" << site << "\"} " << fires << "\n";
+  }
+  if (hw_available) {
+    for (size_t c = 0; c < kNumHwCounters; ++c) {
+      auto id = static_cast<HwCounterId>(c);
+      std::string n =
+          EmitHeader(os, std::string("atrapos_hw_") + HwCounterName(id),
+                     "counter",
+                     "perf_event_open hardware counter, summed per island.");
+      for (size_t i = 0; i < hw_islands.size(); ++i) {
+        if (!hw_islands[i].valid[c]) continue;
+        os << n << "{island=\"" << i << "\"} " << hw_islands[i].v[c] << "\n";
+      }
+    }
+    std::string n = EmitHeader(
+        os, "atrapos_hw_remote_dram_ratio", "gauge",
+        "Remote fraction of measured DRAM accesses per island (NODE "
+        "events; hardware ground truth for atrapos_remote_traffic_ratio).");
+    for (size_t i = 0; i < hw_islands.size(); ++i) {
+      double r = hw_remote_dram_ratio(i);
+      if (r >= 0.0) os << n << "{island=\"" << i << "\"} " << r << "\n";
     }
   }
-  os << "# TYPE atrapos_executed_actions counter\n";
-  os << "atrapos_executed_actions " << executed_actions << "\n";
-  os << "# TYPE atrapos_log_records counter\natrapos_log_records "
-     << log_records << "\n";
-  os << "# TYPE atrapos_log_bytes counter\natrapos_log_bytes " << log_bytes
-     << "\n";
-  os << "# TYPE atrapos_durable_epoch gauge\natrapos_durable_epoch "
-     << durable_epoch << "\n";
-  os << "# TYPE atrapos_remote_traffic_ratio gauge\n"
-     << "atrapos_remote_traffic_ratio " << remote_traffic_ratio << "\n";
-  os << "# TYPE atrapos_alloc_remote_ratio gauge\n"
-     << "atrapos_alloc_remote_ratio " << alloc_remote_ratio << "\n";
-  os << "# TYPE atrapos_migrated_bytes counter\natrapos_migrated_bytes "
-     << migrated_bytes << "\n";
-  os << "# TYPE atrapos_trace_events_recorded counter\n"
-     << "atrapos_trace_events_recorded " << trace_events_recorded << "\n";
-  os << "# TYPE atrapos_trace_events_dropped counter\n"
-     << "atrapos_trace_events_dropped " << trace_events_dropped << "\n";
+  os << EmitHeader(os, "atrapos_executed_actions", "counter",
+                   "Actions executed by partition workers.")
+     << " " << executed_actions << "\n";
+  os << EmitHeader(os, "atrapos_log_records", "counter",
+                   "Records appended across all log shards.")
+     << " " << log_records << "\n";
+  os << EmitHeader(os, "atrapos_log_bytes", "counter",
+                   "Bytes appended across all log shards.")
+     << " " << log_bytes << "\n";
+  os << EmitHeader(os, "atrapos_durable_epoch", "gauge",
+                   "Distributed durable-point epoch watermark.")
+     << " " << durable_epoch << "\n";
+  os << EmitHeader(os, "atrapos_remote_traffic_ratio", "gauge",
+                   "Software-accounted remote fraction of memory accesses.")
+     << " " << remote_traffic_ratio << "\n";
+  os << EmitHeader(os, "atrapos_alloc_remote_ratio", "gauge",
+                   "Software-accounted remote fraction of allocations.")
+     << " " << alloc_remote_ratio << "\n";
+  os << EmitHeader(os, "atrapos_migrated_bytes", "counter",
+                   "Bytes moved between islands by repartitioning.")
+     << " " << migrated_bytes << "\n";
+  os << EmitHeader(os, "atrapos_trace_events_recorded", "counter",
+                   "Trace events recorded across all shard rings.")
+     << " " << trace_events_recorded << "\n";
+  {
+    std::string n = EmitHeader(
+        os, "atrapos_trace_dropped_total", "counter",
+        "Trace events lost to keep-newest ring overwrite, per writer shard.");
+    os << n << " " << trace_events_dropped << "\n";
+    for (size_t sh = 0; sh < trace_dropped_per_shard.size(); ++sh)
+      os << n << "{shard=\"" << sh << "\"} " << trace_dropped_per_shard[sh]
+         << "\n";
+  }
   return os.str();
 }
 

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "obs/histogram.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 
 namespace atrapos::obs {
@@ -93,6 +94,13 @@ enum class HistId : uint16_t {
 };
 const char* HistName(HistId h);
 
+/// Rewrites `name` to satisfy the Prometheus metric-name grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing every offending character with
+/// '_' ("" becomes "_"). ToPrometheus routes every emitted name through
+/// this, so the exposition can never go out of grammar even if a future
+/// metric name slips in something illegal.
+std::string SanitizeMetricName(const std::string& name);
+
 inline constexpr size_t kNumCounters = static_cast<size_t>(CounterId::kCount);
 inline constexpr size_t kNumGauges = static_cast<size_t>(GaugeId::kCount);
 inline constexpr size_t kNumHists = static_cast<size_t>(HistId::kCount);
@@ -133,9 +141,36 @@ struct StatsSnapshot {
   /// evaluation; emitted as atrapos_fault_injected_total{site="..."}.
   std::vector<std::pair<std::string, uint64_t>> fault_site_fires;
 
+  // ---- hardware counters (executor source; perf_event_open groups) --------
+  /// True when perf was available and at least one worker opened its
+  /// group. False is the clean fallback (containers, paranoid kernels,
+  /// CI) — hw_islands stays empty and no atrapos_hw_* line is emitted.
+  bool hw_available = false;
+  /// Per-island totals (live workers + totals retired across
+  /// Repartition/KillIsland, so values are monotone), indexed by island.
+  std::vector<HwCounterValues> hw_islands;
+  /// Remote fraction of measured DRAM accesses on one island: the
+  /// hardware ground truth for remote_traffic_ratio. -1 when the NODE
+  /// events were unavailable or nothing was measured.
+  double hw_remote_dram_ratio(size_t island) const {
+    if (island >= hw_islands.size()) return -1.0;
+    const HwCounterValues& hv = hw_islands[island];
+    if (!hv.has(HwCounterId::kNodeLocal) || !hv.has(HwCounterId::kNodeRemote))
+      return -1.0;
+    uint64_t total =
+        hv[HwCounterId::kNodeLocal] + hv[HwCounterId::kNodeRemote];
+    if (total == 0) return -1.0;
+    return static_cast<double>(hv[HwCounterId::kNodeRemote]) /
+           static_cast<double>(total);
+  }
+
   // ---- tracing ------------------------------------------------------------
   uint64_t trace_events_recorded = 0;
   uint64_t trace_events_dropped = 0;
+  /// Ring-overwrite loss per writer shard (keep-newest eviction), so span
+  /// loss is attributable instead of silent. Empty until tracing was
+  /// enabled at least once.
+  std::vector<uint64_t> trace_dropped_per_shard;
 
   uint64_t counter(CounterId c) const {
     return counters[static_cast<size_t>(c)];

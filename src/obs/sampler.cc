@@ -1,0 +1,261 @@
+#include "obs/sampler.h"
+
+#include <iterator>
+#include <sstream>
+#include <utility>
+
+namespace atrapos::obs {
+
+namespace {
+
+/// The snapshot-derived series, in emission order. Kept cumulative where
+/// the underlying metric is cumulative (consumers difference adjacent
+/// points for rates — that way a ring that wraps still yields correct
+/// rates everywhere it has data).
+struct Builtin {
+  const char* name;
+  double (*get)(const StatsSnapshot&);
+};
+
+double Counter(const StatsSnapshot& s, CounterId c) {
+  return static_cast<double>(s.counter(c));
+}
+
+constexpr Builtin kBuiltins[] = {
+    {"txn_submitted",
+     [](const StatsSnapshot& s) { return Counter(s, CounterId::kTxnSubmitted); }},
+    {"txn_committed",
+     [](const StatsSnapshot& s) { return Counter(s, CounterId::kTxnCommitted); }},
+    {"txn_aborted",
+     [](const StatsSnapshot& s) { return Counter(s, CounterId::kTxnAborted); }},
+    {"durable_acks",
+     [](const StatsSnapshot& s) { return Counter(s, CounterId::kDurableAcks); }},
+    {"commit_p50_us",
+     [](const StatsSnapshot& s) {
+       return static_cast<double>(s.hist(HistId::kCommitLatencyUs).Quantile(0.5));
+     }},
+    {"commit_p99_us",
+     [](const StatsSnapshot& s) {
+       return static_cast<double>(
+           s.hist(HistId::kCommitLatencyUs).Quantile(0.99));
+     }},
+    {"queue_depth_total",
+     [](const StatsSnapshot& s) {
+       return static_cast<double>(s.gauge(GaugeId::kQueueDepthTotal));
+     }},
+    {"net_inflight_txns",
+     [](const StatsSnapshot& s) {
+       return static_cast<double>(s.gauge(GaugeId::kNetInflightTxns));
+     }},
+    {"log_bytes",
+     [](const StatsSnapshot& s) { return static_cast<double>(s.log_bytes); }},
+    {"remote_traffic_ratio",
+     [](const StatsSnapshot& s) { return s.remote_traffic_ratio; }},
+    {"trace_dropped",
+     [](const StatsSnapshot& s) {
+       return static_cast<double>(s.trace_events_dropped);
+     }},
+};
+
+void JsonEscapeTo(std::ostringstream& os, const std::string& s) {
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    if (static_cast<unsigned char>(ch) < 0x20) continue;  // our strings: skip
+    os << ch;
+  }
+}
+
+}  // namespace
+
+Sampler::Sampler(SnapshotFn snapshot, Options opt)
+    : snapshot_(std::move(snapshot)),
+      opt_(opt),
+      epoch_(std::chrono::steady_clock::now()),
+      ts_(opt.capacity == 0 ? 1 : opt.capacity) {
+  if (opt_.capacity == 0) opt_.capacity = 1;
+  for (const Builtin& b : kBuiltins) {
+    names_.emplace_back(b.name);
+    values_.emplace_back(opt_.capacity);
+  }
+}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::AddSeries(std::string name, SeriesFn fn) {
+  std::lock_guard lk(mu_);
+  // Column order is builtins, customs, hw — always, so insert before any
+  // hw columns created meanwhile. Zero-backfilled (count matches) so
+  // every ring keeps the same length and columns stay aligned.
+  size_t pos = std::size(kBuiltins) + custom_.size();
+  names_.insert(names_.begin() + static_cast<ptrdiff_t>(pos), name);
+  Ring r(opt_.capacity);
+  r.count = ts_.count;
+  values_.insert(values_.begin() + static_cast<ptrdiff_t>(pos), std::move(r));
+  custom_.emplace_back(std::move(name), std::move(fn));
+}
+
+void Sampler::Annotate(std::string label) {
+  uint64_t t_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  std::lock_guard lk(mu_);
+  if (annotations_.size() >= kMaxAnnotations) return;
+  annotations_.emplace_back(t_ms, std::move(label));
+}
+
+void Sampler::Start() {
+  if (!opt_.start_thread) return;
+  std::lock_guard lk(run_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Sampler::Stop() {
+  {
+    std::lock_guard lk(run_mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  run_cv_.notify_all();
+  thread_.join();
+  std::lock_guard lk(run_mu_);
+  running_ = false;
+}
+
+void Sampler::Tick() {
+  TickAt(samples_.load(std::memory_order_relaxed) * opt_.interval_ms);
+}
+
+void Sampler::TickAt(uint64_t t_ms) {
+  StatsSnapshot s = snapshot_();
+  std::lock_guard lk(mu_);
+  if (s.hw_available && !hw_series_added_) {
+    // First sight of hardware counters: one ring per (island, counter)
+    // with data, zero-backfilled. One-time allocation, then steady state.
+    for (size_t i = 0; i < s.hw_islands.size(); ++i) {
+      for (size_t c = 0; c < kNumHwCounters; ++c) {
+        if (!s.hw_islands[i].valid[c]) continue;
+        names_.push_back("hw_" +
+                         std::string(HwCounterName(static_cast<HwCounterId>(c))) +
+                         "_island" + std::to_string(i));
+        values_.emplace_back(opt_.capacity);
+        values_.back().count = ts_.count;
+      }
+    }
+    hw_series_added_ = true;
+  }
+  ts_.Push(static_cast<double>(t_ms));
+  size_t col = 0;
+  for (const Builtin& b : kBuiltins) values_[col++].Push(b.get(s));
+  for (auto& [name, fn] : custom_) values_[col++].Push(fn());
+  // Hardware columns sit after the customs, in names_ order.
+  if (hw_series_added_) {
+    size_t hw_col = col;
+    for (size_t i = 0; i < s.hw_islands.size() && hw_col < values_.size(); ++i) {
+      for (size_t c = 0; c < kNumHwCounters; ++c) {
+        if (!s.hw_islands[i].valid[c]) continue;
+        if (hw_col >= values_.size()) break;
+        values_[hw_col++].Push(static_cast<double>(s.hw_islands[i].v[c]));
+      }
+    }
+    while (hw_col < values_.size()) values_[hw_col++].Push(0.0);
+  }
+  samples_.fetch_add(1, std::memory_order_release);
+}
+
+void Sampler::Run() {
+  const auto interval = std::chrono::milliseconds(
+      opt_.interval_ms == 0 ? 1 : opt_.interval_ms);
+  const uint64_t interval_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(interval).count());
+  uint64_t k = 0;
+  std::unique_lock lk(run_mu_);
+  while (!stop_) {
+    auto deadline = epoch_ + (k + 1) * interval;
+    if (run_cv_.wait_until(lk, deadline, [this] { return stop_; })) break;
+    auto now = std::chrono::steady_clock::now();
+    uint64_t now_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
+            .count());
+    // Absolute-deadline schedule: a stalled scrape resumes at the next
+    // future deadline instead of firing a burst of stale ticks.
+    uint64_t next_k = NextTickIndex(0, now_ns, interval_ns);
+    if (next_k > k + 1)
+      ticks_missed_.fetch_add(next_k - (k + 1), std::memory_order_release);
+    k = next_k;
+    lk.unlock();
+    TickAt(now_ns / 1'000'000);
+    lk.lock();
+  }
+}
+
+std::vector<double> Sampler::Unwrap(const Ring& r) {
+  std::vector<double> out;
+  size_t cap = r.buf.size();
+  size_t n = r.count < cap ? static_cast<size_t>(r.count) : cap;
+  out.reserve(n);
+  size_t start = r.count < cap ? 0 : static_cast<size_t>(r.count % cap);
+  for (size_t i = 0; i < n; ++i) out.push_back(r.buf[(start + i) % cap]);
+  return out;
+}
+
+Sampler::Collected Sampler::Collect() const {
+  Collected out;
+  out.interval_ms = opt_.interval_ms;
+  out.samples = samples();
+  out.ticks_missed = ticks_missed();
+  std::lock_guard lk(mu_);
+  for (double t : Unwrap(ts_)) out.t_ms.push_back(static_cast<uint64_t>(t));
+  for (size_t i = 0; i < names_.size(); ++i)
+    out.series.push_back({names_[i], Unwrap(values_[i])});
+  out.annotations = annotations_;
+  return out;
+}
+
+std::string Sampler::ToJson() const {
+  Collected c = Collect();
+  std::ostringstream os;
+  os << "{\"interval_ms\":" << c.interval_ms << ",\"samples\":" << c.samples
+     << ",\"ticks_missed\":" << c.ticks_missed << ",\"t_ms\":[";
+  for (size_t i = 0; i < c.t_ms.size(); ++i)
+    os << (i ? "," : "") << c.t_ms[i];
+  os << "],\"series\":{";
+  for (size_t s = 0; s < c.series.size(); ++s) {
+    if (s) os << ",";
+    os << "\"";
+    JsonEscapeTo(os, c.series[s].name);
+    os << "\":[";
+    for (size_t i = 0; i < c.series[s].v.size(); ++i)
+      os << (i ? "," : "") << c.series[s].v[i];
+    os << "]";
+  }
+  os << "},\"annotations\":[";
+  for (size_t a = 0; a < c.annotations.size(); ++a) {
+    if (a) os << ",";
+    os << "{\"t_ms\":" << c.annotations[a].first << ",\"label\":\"";
+    JsonEscapeTo(os, c.annotations[a].second);
+    os << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Sampler::ToCsv() const {
+  Collected c = Collect();
+  std::ostringstream os;
+  os << "t_ms";
+  for (const Series& s : c.series) os << "," << s.name;
+  os << "\n";
+  for (size_t i = 0; i < c.t_ms.size(); ++i) {
+    os << c.t_ms[i];
+    for (const Series& s : c.series)
+      os << "," << (i < s.v.size() ? s.v[i] : 0.0);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace atrapos::obs

@@ -1,0 +1,160 @@
+// obs::Sampler — continuous time-series telemetry over the registry.
+//
+// A StatsSnapshot answers "what are the totals now"; every bench and
+// fault drill instead wants "what happened over time" (the TPS dip and
+// recovery of fig12, the stall/remote-miss timeline of a placement
+// sweep). The sampler closes that gap: a background thread scrapes a
+// snapshot provider at a fixed interval and appends one point per series
+// into preallocated ring buffers — fixed capacity, keep-newest, zero
+// steady-state allocation in the rings themselves (the scrape builds one
+// bounded StatsSnapshot per tick).
+//
+// Built-in series are derived from the snapshot (txn counters, commit
+// quantiles, queue depth, log bytes, remote-traffic ratio, trace drops,
+// and — when perf is available — the per-island hardware counters).
+// Benches add their own series with AddSeries (e.g. fig12's
+// client-observed success count) and mark instants with Annotate (e.g.
+// the island-kill moment); both surface in ToJson/ToCsv and over the
+// wire via the STATS_SERIES opcode.
+//
+// Scheduling is by absolute deadline (epoch + k·interval): ticks never
+// drift, and a stalled scrape skips the missed ticks (counted in
+// ticks_missed) instead of bunching late samples. NextTickIndex exposes
+// the schedule arithmetic pure, for the determinism tests; manual-tick
+// mode (Options::start_thread=false + Tick()) makes tests fully
+// deterministic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace atrapos::obs {
+
+class Sampler {
+ public:
+  struct Options {
+    /// Used by Database::Options to decide whether to build a sampler at
+    /// all; the sampler itself ignores it.
+    bool enabled = false;
+    /// Scrape period.
+    uint64_t interval_ms = 100;
+    /// Points per series ring (keep-newest past this).
+    uint32_t capacity = 1024;
+    /// False = no background thread; the owner drives Tick() manually
+    /// (tests, single-shot scrapes). Start()/Stop() are then no-ops.
+    bool start_thread = true;
+  };
+
+  using SnapshotFn = std::function<StatsSnapshot()>;
+  /// One custom series' per-tick value (called on the sampler thread).
+  using SeriesFn = std::function<double()>;
+
+  /// Everything a consumer needs, copied out under the lock: one shared
+  /// timestamp ring plus per-series value rings, all the same length and
+  /// aligned index-by-index.
+  struct Series {
+    std::string name;
+    std::vector<double> v;
+  };
+  struct Collected {
+    uint64_t interval_ms = 0;
+    uint64_t samples = 0;       ///< total ticks taken (>= t_ms.size())
+    uint64_t ticks_missed = 0;  ///< deadlines skipped by stalled scrapes
+    std::vector<uint64_t> t_ms;  ///< ms since sampler start, oldest first
+    std::vector<Series> series;
+    std::vector<std::pair<uint64_t, std::string>> annotations;
+  };
+
+  Sampler(SnapshotFn snapshot, Options opt);
+  ~Sampler();
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Registers a caller-owned series (call before Start; a series added
+  /// after ticks were taken is zero-backfilled so all rings stay aligned).
+  void AddSeries(std::string name, SeriesFn fn);
+
+  /// Marks an instant (e.g. "island_kill") at the current elapsed time.
+  /// Bounded: past kMaxAnnotations the oldest annotations win.
+  void Annotate(std::string label);
+
+  void Start();
+  void Stop();
+
+  /// Manual-tick mode: takes one sample stamped samples()·interval_ms
+  /// (deterministic). Also usable with the thread stopped.
+  void Tick();
+
+  uint64_t samples() const { return samples_.load(std::memory_order_acquire); }
+  uint64_t ticks_missed() const {
+    return ticks_missed_.load(std::memory_order_acquire);
+  }
+
+  Collected Collect() const;
+  /// {"interval_ms":..,"samples":..,"t_ms":[..],
+  ///  "series":{"name":[..],..},"annotations":[{"t_ms":..,"label":".."}]}
+  std::string ToJson() const;
+  /// Header "t_ms,<series...>", one row per retained tick.
+  std::string ToCsv() const;
+
+  /// Index (1-based) of the next tick strictly after `now_ns` on the
+  /// absolute-deadline schedule epoch + k·interval: a slow tick k
+  /// resumes at this index, skipping — never bunching — missed
+  /// deadlines, and deadline(k) − deadline(0) is exactly k·interval
+  /// (no drift). Pure; exposed for the determinism tests.
+  static uint64_t NextTickIndex(uint64_t epoch_ns, uint64_t now_ns,
+                                uint64_t interval_ns) {
+    if (interval_ns == 0) interval_ns = 1;
+    if (now_ns <= epoch_ns) return 1;
+    return (now_ns - epoch_ns) / interval_ns + 1;
+  }
+
+  static constexpr size_t kMaxAnnotations = 64;
+
+ private:
+  /// Fixed-capacity keep-newest ring; all rings advance together.
+  struct Ring {
+    explicit Ring(uint32_t cap) : buf(cap, 0.0) {}
+    void Push(double x) { buf[count++ % buf.size()] = x; }
+    std::vector<double> buf;
+    uint64_t count = 0;
+  };
+
+  void TickAt(uint64_t t_ms);
+  void Run();
+  /// Oldest-first copy of a ring's retained points.
+  static std::vector<double> Unwrap(const Ring& r);
+
+  SnapshotFn snapshot_;
+  Options opt_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<uint64_t> ticks_missed_{0};
+
+  mutable std::mutex mu_;  // rings, names, custom series, annotations
+  Ring ts_;                // t_ms per tick (stored as double, exact < 2^53)
+  std::vector<std::string> names_;
+  std::vector<Ring> values_;
+  std::vector<std::pair<std::string, SeriesFn>> custom_;
+  std::vector<std::pair<uint64_t, std::string>> annotations_;
+  /// Built-in hw series are created on the first tick that sees
+  /// hw_available (island count is unknown before the executor runs).
+  bool hw_series_added_ = false;
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace atrapos::obs

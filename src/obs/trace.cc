@@ -17,6 +17,9 @@ const char* SpanName(SpanId s) {
     case SpanId::kDurableAck: return "durable_ack";
     case SpanId::kRepartition: return "repartition";
     case SpanId::kLogFlush: return "log_flush";
+    case SpanId::kClientSend: return "client_send";
+    case SpanId::kWireDecode: return "wire_decode";
+    case SpanId::kWireAck: return "wire_ack";
     case SpanId::kCount: break;
   }
   return "?";

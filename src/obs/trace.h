@@ -42,6 +42,12 @@ enum class SpanId : uint8_t {
   kDurableAck,        ///< instant: commit ack (durable or append-fired)
   kRepartition,       ///< instant: AdaptiveManager applied a new scheme
   kLogFlush,          ///< X on the flusher: one group-commit pass
+  // Wire tier: these carry the wire trace id (req id | 1<<62, see
+  // server::WireTraceId) so a remote transaction's client-send →
+  // durable-ack chain links up in one chrome dump.
+  kClientSend,        ///< instant: client wrote the TXN request frame
+  kWireDecode,        ///< instant: server decoded + admitted the request
+  kWireAck,           ///< instant: server queued the response frame
   kCount
 };
 const char* SpanName(SpanId s);

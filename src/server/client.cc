@@ -160,6 +160,11 @@ Status Client::SubmitWithId(int i, const TxnRequest& req, TxnCallback cb,
   if (!c || c->dead) return Status::InvalidArgument("connection not open");
   uint64_t id = next_req_id_++;
   if (id_out) *id_out = id;
+  // The client-side start of the span chain; buffered requests count as
+  // "sent" here — the batch flush follows within the same call tree.
+  if (opt_.trace != nullptr)
+    opt_.trace->Trace(obs::SpanId::kClientSend, obs::TracePhase::kInstant,
+                      WireTraceId(id));
   c->txn_cbs.emplace(id, std::move(cb));
   ++outstanding_;
   c->pending_ids.push_back(id);
@@ -313,6 +318,13 @@ size_t Client::DispatchFrames(Conn* c) {
         if (r.Bytes(len32, &c->stats)) c->stats_ready = true;
         break;
       }
+      case Op::kStatsSeriesAck: {
+        uint32_t len32 = 0;
+        if (!r.U32(&len32)) break;
+        c->series.clear();
+        if (r.Bytes(len32, &c->series)) c->series_ready = true;
+        break;
+      }
       default:
         break;  // unexpected server frame: ignore
     }
@@ -352,9 +364,11 @@ void Client::AbandonTxn(Conn* c, uint64_t id) {
 Result<WireStatus> Client::Call(int i, const TxnRequest& req) {
   Conn* c = conn(i);
   if (!c || c->dead) return Status::InvalidArgument("connection not open");
+  ++call_stats_.calls;
   util::Backoff backoff(opt_.backoff_base_us, opt_.backoff_cap_us,
                         opt_.backoff_seed);
   for (int attempt = 0;; ++attempt) {
+    ++call_stats_.attempts;
     Deadline dl(opt_.deadline_ms);
     WireStatus out = WireStatus::kError;
     bool done = false;
@@ -369,27 +383,39 @@ Result<WireStatus> Client::Call(int i, const TxnRequest& req) {
                             &id);
     if (!s.ok()) {
       AbandonTxn(c, id);
+      ++call_stats_.failures;
+      if (s.code() == StatusCode::kDeadlineExceeded)
+        ++call_stats_.deadline_exceeded;
       return s;
     }
     s = FlushBatch(c);
     if (!s.ok()) {
       AbandonTxn(c, id);
+      ++call_stats_.failures;
       return s;
     }
     while (!done && !c->dead) {
       if (dl.expired()) {
         AbandonTxn(c, id);
+        ++call_stats_.failures;
+        ++call_stats_.deadline_exceeded;
         return Status::DeadlineExceeded("no TXN_ACK in time");
       }
       Poll(dl.poll_timeout());
     }
-    if (!done) return Status::Unavailable("connection closed mid-call");
+    if (!done) {
+      ++call_stats_.failures;
+      return Status::Unavailable("connection closed mid-call");
+    }
     // kOverloaded (admission shed) and kUnavailable (island evacuation in
     // flight) are transient: back off and retry within the budget.
     // kShutdown means the server is draining for good — never retried.
     const bool retryable =
         out == WireStatus::kOverloaded || out == WireStatus::kUnavailable;
     if (!retryable || attempt >= opt_.retries) return out;
+    ++call_stats_.retries;
+    if (out == WireStatus::kOverloaded) ++call_stats_.retries_overloaded;
+    if (out == WireStatus::kUnavailable) ++call_stats_.retries_unavailable;
     std::this_thread::sleep_for(
         std::chrono::microseconds(backoff.NextDelayUs()));
   }
@@ -410,6 +436,23 @@ Result<std::string> Client::QueryStats(int i) {
   }
   if (!c->stats_ready) return Status::Unavailable("connection closed");
   return c->stats;
+}
+
+Result<std::string> Client::QuerySeries(int i) {
+  Conn* c = conn(i);
+  if (!c || c->dead) return Status::InvalidArgument("connection not open");
+  c->series_ready = false;
+  std::vector<uint8_t> buf;
+  EncodeStatsSeries(&buf);
+  ATRAPOS_RETURN_NOT_OK(WriteAll(c, buf.data(), buf.size()));
+  Deadline dl(opt_.deadline_ms);
+  while (!c->series_ready && !c->dead) {
+    if (dl.expired())
+      return Status::DeadlineExceeded("no STATS_SERIES_ACK in time");
+    Poll(dl.poll_timeout());
+  }
+  if (!c->series_ready) return Status::Unavailable("connection closed");
+  return c->series;
 }
 
 Status Client::SendRaw(int i, const void* p, size_t n) {

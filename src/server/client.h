@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.h"
 #include "server/wire_protocol.h"
 #include "util/status.h"
 
@@ -53,6 +54,24 @@ class Client {
     uint64_t backoff_base_us = 200;
     uint64_t backoff_cap_us = 50'000;
     uint64_t backoff_seed = 1;
+    /// When set, every submitted transaction records a kClientSend instant
+    /// tagged WireTraceId(req_id) into this registry — the first link of
+    /// the client→durable-ack span chain. Loopback harnesses pass the
+    /// server database's registry; no-op while its tracing is off.
+    obs::Registry* trace = nullptr;
+  };
+
+  /// Call()'s cumulative outcome counters (single-threaded, like the
+  /// client itself). `attempts` counts wire round trips, so
+  /// attempts - calls = total retries taken.
+  struct CallStats {
+    uint64_t calls = 0;                ///< Call() invocations
+    uint64_t attempts = 0;             ///< round trips (first try + retries)
+    uint64_t retries = 0;              ///< re-submissions after a shed
+    uint64_t retries_overloaded = 0;   ///< ...answered kOverloaded
+    uint64_t retries_unavailable = 0;  ///< ...answered kUnavailable
+    uint64_t deadline_exceeded = 0;    ///< Call() returns kDeadlineExceeded
+    uint64_t failures = 0;             ///< Call() returns any non-OK Status
   };
 
   /// Fired by Poll() when the TXN_ACK for a submitted request arrives.
@@ -102,6 +121,12 @@ class Client {
   /// STATS round trip: the server's Prometheus text exposition.
   Result<std::string> QueryStats(int conn = 0);
 
+  /// STATS_SERIES round trip: the server sampler's time-series JSON
+  /// (obs::Sampler::ToJson; "{}" when the server samples nothing).
+  Result<std::string> QuerySeries(int conn = 0);
+
+  const CallStats& call_stats() const { return call_stats_; }
+
   /// Test hook: writes raw bytes straight to the socket (malformed-frame
   /// and mid-frame-disconnect tests).
   Status SendRaw(int conn, const void* p, size_t n);
@@ -125,6 +150,9 @@ class Client {
     /// Last STATS_ACK payload (QueryStats consumes it).
     std::string stats;
     bool stats_ready = false;
+    /// Last STATS_SERIES_ACK payload (QuerySeries consumes it).
+    std::string series;
+    bool series_ready = false;
   };
 
   Status WriteAll(Conn* c, const uint8_t* p, size_t n);
@@ -154,6 +182,7 @@ class Client {
   uint64_t subscribers_ = 0;
   uint64_t next_req_id_ = 1;
   size_t outstanding_ = 0;
+  CallStats call_stats_;
 };
 
 }  // namespace atrapos::server

@@ -85,6 +85,7 @@ struct Server::IoThread {
     uint64_t req_id = 0;
     uint64_t t0_ns = 0;
     std::shared_ptr<PkState> pk;  ///< null for plain transactions
+    uint64_t trace_id = 0;        ///< WireTraceId(req_id) when tracing
   };
   std::vector<engine::ActionGraph> wave_graphs;
   std::vector<WaveItem> wave_items;
@@ -426,9 +427,20 @@ void Server::HandleFrame(IoThread* t, const std::shared_ptr<Conn>& c,
           continue;
         }
         c->outstanding.fetch_add(1, std::memory_order_acq_rel);
-        t->wave_graphs.push_back(g.take());
+        engine::ActionGraph graph = g.take();
+        uint64_t trace_id = 0;
+        if (obs_->trace_enabled()) {
+          // Stamp the request's wire trace id on the graph so every engine
+          // span of this transaction correlates back to the client req_id,
+          // and mark the decode+admit instant on the server timeline.
+          trace_id = WireTraceId(txn.req_id);
+          graph.set_trace_id(trace_id);
+          obs_->Trace(obs::SpanId::kWireDecode, obs::TracePhase::kInstant,
+                      trace_id);
+        }
+        t->wave_graphs.push_back(std::move(graph));
         t->wave_items.push_back(
-            {c, txn.req_id, obs_->NowNs(), nullptr});
+            {c, txn.req_id, obs_->NowNs(), nullptr, trace_id});
       }
       return;
     }
@@ -438,6 +450,14 @@ void Server::HandleFrame(IoThread* t, const std::shared_ptr<Conn>& c,
     case DecodedFrame::Kind::kStats: {
       std::vector<uint8_t> ack;
       EncodeStatsAck(&ack, db_->StatsSnapshot().ToPrometheus());
+      QueueResponse(c, std::move(ack));
+      return;
+    }
+    case DecodedFrame::Kind::kStatsSeries: {
+      std::vector<uint8_t> ack;
+      const obs::Sampler* sampler = db_->sampler();
+      EncodeStatsSeriesAck(&ack, sampler != nullptr ? sampler->ToJson()
+                                                    : std::string("{}"));
       QueueResponse(c, std::move(ack));
       return;
     }
@@ -562,6 +582,9 @@ void Server::SubmitWave(IoThread* t) {
         }
         obs_->RecordLatency(obs::HistId::kWireLatencyUs,
                             (obs_->NowNs() - item.t0_ns) / 1000);
+        if (item.trace_id != 0)
+          obs_->Trace(obs::SpanId::kWireAck, obs::TracePhase::kInstant,
+                      item.trace_id);
         QueueResponse(item.conn, std::move(ack));
         item.conn->outstanding.fetch_sub(1, std::memory_order_acq_rel);
         ReleaseInflight(1);

@@ -187,6 +187,18 @@ void EncodeStatsAck(std::vector<uint8_t>* out, const std::string& text) {
   f.End();
 }
 
+void EncodeStatsSeries(std::vector<uint8_t>* out) {
+  FrameBuilder f(out, Op::kStatsSeries);
+  f.End();
+}
+
+void EncodeStatsSeriesAck(std::vector<uint8_t>* out, const std::string& json) {
+  FrameBuilder f(out, Op::kStatsSeriesAck);
+  PutU32(out, static_cast<uint32_t>(json.size()));
+  for (char c : json) PutU8(out, static_cast<uint8_t>(c));
+  f.End();
+}
+
 void EncodeGoodbye(std::vector<uint8_t>* out) {
   FrameBuilder f(out, Op::kGoodbye);
   f.End();
@@ -273,6 +285,10 @@ DecodedFrame DecodeRequestFrame(const uint8_t* p, size_t n) {
     case Op::kStats:
       if (!r.Done()) return Bad("trailing bytes in STATS");
       out.kind = DecodedFrame::Kind::kStats;
+      return out;
+    case Op::kStatsSeries:
+      if (!r.Done()) return Bad("trailing bytes in STATS_SERIES");
+      out.kind = DecodedFrame::Kind::kStatsSeries;
       return out;
     case Op::kGoodbye:
       if (!r.Done()) return Bad("trailing bytes in GOODBYE");

@@ -25,6 +25,9 @@
 //   STATS       c→s  (empty)
 //   STATS_ACK   s→c  u32 len, len bytes of Prometheus text
 //   GOODBYE     c→s  (empty; server closes once outstanding drains)
+//   STATS_SERIES     c→s  (empty)
+//   STATS_SERIES_ACK s→c  u32 len, len bytes of time-series JSON
+//                         (obs::Sampler::ToJson; "{}" when sampling is off)
 //
 //   TxnBody: u8 txn_class (workload::TatpTxn), u64 s_id, u8 sf_type,
 //            u32 start_time, u32 end_time, i64 a, i64 b,
@@ -67,7 +70,17 @@ enum class Op : uint8_t {
   kStats = 8,
   kStatsAck = 9,
   kGoodbye = 10,
+  kStatsSeries = 11,
+  kStatsSeriesAck = 12,
 };
+
+/// Trace correlation id for one wire request: the client's req_id moved
+/// into a namespace disjoint from engine-assigned txn ids, so the chrome
+/// dump links client send → server decode → engine spans → durable ack
+/// without ever colliding with an in-process transaction's id.
+inline uint64_t WireTraceId(uint64_t req_id) {
+  return req_id | (1ull << 62);
+}
 
 /// Per-request status on the wire. kOverloaded is admission control's shed
 /// verdict and kUnavailable a transient engine-side outage (island
@@ -218,6 +231,8 @@ void EncodePkReadAck(std::vector<uint8_t>* out, uint64_t req_id,
                      const std::vector<std::pair<WireStatus, int64_t>>& rows);
 void EncodeStats(std::vector<uint8_t>* out);
 void EncodeStatsAck(std::vector<uint8_t>* out, const std::string& text);
+void EncodeStatsSeries(std::vector<uint8_t>* out);
+void EncodeStatsSeriesAck(std::vector<uint8_t>* out, const std::string& json);
 void EncodeGoodbye(std::vector<uint8_t>* out);
 
 // ---- frame decoding (server side) ------------------------------------------
@@ -237,7 +252,15 @@ struct DecodedPkRead {
 /// One request frame after payload decoding. kBad carries a human-readable
 /// reason; the server closes the connection on it.
 struct DecodedFrame {
-  enum class Kind { kHello, kTxns, kPkRead, kStats, kGoodbye, kBad };
+  enum class Kind {
+    kHello,
+    kTxns,
+    kPkRead,
+    kStats,
+    kStatsSeries,
+    kGoodbye,
+    kBad,
+  };
   Kind kind = Kind::kBad;
   uint32_t requested_window = 0;       // kHello
   std::vector<DecodedTxn> txns;        // kTxns (TXN and TXN_BATCH)

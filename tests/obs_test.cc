@@ -8,8 +8,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <new>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -17,7 +19,9 @@
 #include "engine/database.h"
 #include "engine/partitioned_executor.h"
 #include "obs/histogram.h"
+#include "obs/perf_counters.h"
 #include "obs/registry.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "workload/micro.h"
 
@@ -553,6 +557,390 @@ TEST(EngineObsTest, SnapshotsRaceTheRunningEngineSafely) {
   snapshotter.join();
   obs::StatsSnapshot s = db.StatsSnapshot();
   EXPECT_EQ(s.counter(CounterId::kTxnCommitted), 20u * (rows / 4));
+}
+
+// ---- metric-name grammar and exposition conformance -------------------------
+
+bool MetricNameInGrammar(const std::string& n) {
+  if (n.empty()) return false;
+  for (size_t i = 0; i < n.size(); ++i) {
+    char c = n[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TEST(RegistryTest, SanitizeMetricNameEnforcesTheGrammar) {
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+  EXPECT_EQ(SanitizeMetricName("atrapos_ok:name_9"), "atrapos_ok:name_9");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_lives");
+  EXPECT_EQ(SanitizeMetricName("has space-dash.dot"), "has_space_dash_dot");
+  EXPECT_TRUE(MetricNameInGrammar(SanitizeMetricName("日本語")));
+}
+
+TEST(RegistryTest, PrometheusExpositionIsGrammaticalAndDocumented) {
+  // A snapshot with every optional section populated: trace drops, source
+  // fields, fault sites (with an illegal-name site), hardware islands.
+  Registry::Options opt;
+  opt.trace = true;
+  opt.trace_capacity = 8;
+  Registry reg(opt);
+  reg.Count(CounterId::kTxnCommitted, 7);
+  reg.RecordLatency(HistId::kCommitLatencyUs, 42);
+  reg.SetGauge(GaugeId::kQueueDepthTotal, 3);
+  for (uint64_t i = 0; i < 32; ++i)
+    reg.Trace(SpanId::kTxn, TracePhase::kInstant, i);
+  StatsSnapshot s = reg.Snapshot();
+  s.queue_depths = {0, 2};
+  s.executed_actions = 9;
+  s.log_records = 4;
+  s.log_bytes = 128;
+  s.durable_epoch = 2;
+  s.last_epoch = 3;
+  s.net_island_accepts = {1, 0};
+  s.remote_traffic_ratio = 0.25;
+  s.fault_site_fires = {{"log flush fault!", 3}};
+  s.hw_available = true;
+  HwCounterValues hv;
+  for (size_t c = 0; c < kNumHwCounters; ++c) {
+    hv.v[c] = 100 + c;
+    hv.valid[c] = true;
+  }
+  s.hw_islands = {hv};
+
+  std::string text = s.ToPrometheus();
+  std::istringstream in(text);
+  std::string line;
+  std::set<std::string> helped, typed;
+  size_t sample_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      std::string rest = line.substr(7);
+      std::string name = rest.substr(0, rest.find(' '));
+      EXPECT_TRUE(MetricNameInGrammar(name)) << line;
+      (line[2] == 'H' ? helped : typed).insert(name);
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    std::string name = line.substr(0, line.find_first_of("{ "));
+    EXPECT_TRUE(MetricNameInGrammar(name)) << line;
+    // Every sample line's metric was announced before it appeared. A
+    // summary's _sum/_count samples ride under the base metric's header
+    // (the exposition-format convention).
+    for (const char* sfx : {"_sum", "_count"}) {
+      size_t n = name.size(), m = std::strlen(sfx);
+      if (n > m && name.compare(n - m, m, sfx) == 0 &&
+          helped.count(name.substr(0, n - m)))
+        name = name.substr(0, n - m);
+    }
+    EXPECT_TRUE(helped.count(name)) << "no # HELP before: " << line;
+    EXPECT_TRUE(typed.count(name)) << "no # TYPE before: " << line;
+    ++sample_lines;
+  }
+  EXPECT_GT(sample_lines, 20u);
+  // The populated optional sections actually emitted.
+  EXPECT_NE(text.find("atrapos_fault_injected_total{site="), std::string::npos);
+  EXPECT_NE(text.find("atrapos_hw_cycles{island=\"0\"}"), std::string::npos);
+  EXPECT_NE(text.find("atrapos_hw_remote_dram_ratio{island=\"0\"}"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, TraceDroppedTotalIsExposedPerShard) {
+  Registry::Options opt;
+  opt.trace = true;
+  opt.trace_capacity = 8;
+  Registry reg(opt);
+  for (uint64_t i = 0; i < 100; ++i)
+    reg.Trace(SpanId::kTxn, TracePhase::kInstant, i);
+  StatsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.trace_events_recorded, 100u);
+  EXPECT_EQ(s.trace_events_dropped, 100u - 8u);  // keep-newest past capacity
+  ASSERT_FALSE(s.trace_dropped_per_shard.empty());
+  uint64_t sum = 0;
+  for (uint64_t d : s.trace_dropped_per_shard) sum += d;
+  EXPECT_EQ(sum, s.trace_events_dropped);
+  std::string text = s.ToPrometheus();
+  EXPECT_NE(text.find("atrapos_trace_dropped_total 92"), std::string::npos);
+  EXPECT_NE(text.find("atrapos_trace_dropped_total{shard=\"0\"}"),
+            std::string::npos);
+}
+
+// ---- sampler ----------------------------------------------------------------
+
+StatsSnapshot SyntheticSnapshot(uint64_t committed) {
+  StatsSnapshot s;
+  s.counters[static_cast<size_t>(CounterId::kTxnCommitted)] = committed;
+  return s;
+}
+
+TEST(SamplerTest, NextTickIndexNeverDriftsAndSkipsMissedDeadlines) {
+  const uint64_t kI = 100;  // interval_ns
+  // Before or at the epoch the first tick is pending.
+  EXPECT_EQ(Sampler::NextTickIndex(1000, 0, kI), 1u);
+  EXPECT_EQ(Sampler::NextTickIndex(1000, 1000, kI), 1u);
+  // Mid-interval stays on the upcoming deadline.
+  EXPECT_EQ(Sampler::NextTickIndex(1000, 1001, kI), 1u);
+  EXPECT_EQ(Sampler::NextTickIndex(1000, 1099, kI), 1u);
+  // Finishing exactly on deadline k advances to k+1 (strictly after).
+  EXPECT_EQ(Sampler::NextTickIndex(1000, 1100, kI), 2u);
+  EXPECT_EQ(Sampler::NextTickIndex(1000, 1300, kI), 4u);
+  // A stall skips the missed deadlines instead of bunching them: waking
+  // anywhere inside interval k resumes at k+1, regardless of how many
+  // deadlines passed.
+  EXPECT_EQ(Sampler::NextTickIndex(1000, 1000 + 5 * kI + 37, kI), 6u);
+  EXPECT_EQ(Sampler::NextTickIndex(0, 1'000'000, kI), 10'001u);
+  // Zero interval is clamped, not a division fault.
+  EXPECT_EQ(Sampler::NextTickIndex(0, 5, 0), 6u);
+}
+
+TEST(SamplerTest, ManualTicksAreDeterministicAndRingKeepsNewest) {
+  Sampler::Options o;
+  o.interval_ms = 10;
+  o.capacity = 4;
+  o.start_thread = false;
+  uint64_t committed = 0;
+  Sampler s([&] { return SyntheticSnapshot(committed); }, o);
+  for (int i = 0; i < 10; ++i) {
+    committed += 5;
+    s.Tick();
+  }
+  EXPECT_EQ(s.samples(), 10u);
+  EXPECT_EQ(s.ticks_missed(), 0u);
+  Sampler::Collected c = s.Collect();
+  EXPECT_EQ(c.interval_ms, 10u);
+  EXPECT_EQ(c.samples, 10u);
+  // Ring capacity 4 < 10 ticks: the newest 4 survive, stamped at the
+  // deterministic manual-mode times k * interval_ms.
+  ASSERT_EQ(c.t_ms.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(c.t_ms[i], (6 + i) * 10);
+  ASSERT_FALSE(c.series.empty());
+  const Sampler::Series* tc = nullptr;
+  for (const Sampler::Series& ser : c.series) {
+    EXPECT_EQ(ser.v.size(), c.t_ms.size()) << ser.name;  // all rings aligned
+    if (ser.name == "txn_committed") tc = &ser;
+  }
+  ASSERT_NE(tc, nullptr);
+  // Cumulative series: values at ticks 6..9 were 35,40,45,50.
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(tc->v[i], (7.0 + i) * 5.0);
+}
+
+TEST(SamplerTest, AddSeriesAfterTicksIsZeroBackfilledAndAligned) {
+  Sampler::Options o;
+  o.interval_ms = 5;
+  o.capacity = 8;
+  o.start_thread = false;
+  Sampler s([] { return StatsSnapshot(); }, o);
+  s.Tick();
+  s.Tick();
+  s.Tick();
+  double x = 0.0;
+  s.AddSeries("client_ok", [&x] { return ++x; });
+  s.Tick();
+  s.Tick();
+  Sampler::Collected c = s.Collect();
+  ASSERT_EQ(c.t_ms.size(), 5u);
+  const Sampler::Series* cx = nullptr;
+  for (const Sampler::Series& ser : c.series) {
+    EXPECT_EQ(ser.v.size(), 5u) << ser.name;
+    if (ser.name == "client_ok") cx = &ser;
+  }
+  ASSERT_NE(cx, nullptr);
+  // Pre-registration ticks read as zero; live ticks follow.
+  EXPECT_EQ(cx->v[0], 0.0);
+  EXPECT_EQ(cx->v[1], 0.0);
+  EXPECT_EQ(cx->v[2], 0.0);
+  EXPECT_EQ(cx->v[3], 1.0);
+  EXPECT_EQ(cx->v[4], 2.0);
+}
+
+TEST(SamplerTest, AnnotationsAreBoundedOldestWin) {
+  Sampler::Options o;
+  o.start_thread = false;
+  Sampler s([] { return StatsSnapshot(); }, o);
+  for (size_t i = 0; i < 3 * Sampler::kMaxAnnotations; ++i)
+    s.Annotate("a" + std::to_string(i));
+  Sampler::Collected c = s.Collect();
+  ASSERT_EQ(c.annotations.size(), Sampler::kMaxAnnotations);
+  EXPECT_EQ(c.annotations.front().second, "a0");
+  EXPECT_EQ(c.annotations.back().second,
+            "a" + std::to_string(Sampler::kMaxAnnotations - 1));
+}
+
+TEST(SamplerTest, JsonAndCsvCarryEverySeriesAligned) {
+  Sampler::Options o;
+  o.interval_ms = 20;
+  o.capacity = 16;
+  o.start_thread = false;
+  uint64_t committed = 0;
+  Sampler s([&] { return SyntheticSnapshot(committed); }, o);
+  s.AddSeries("client_ok", [] { return 1.0; });
+  for (int i = 0; i < 3; ++i) {
+    committed += 2;
+    s.Tick();
+  }
+  s.Annotate("island_kill");
+
+  std::string j = s.ToJson();
+  ASSERT_FALSE(j.empty());
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"interval_ms\":20"), std::string::npos);
+  EXPECT_NE(j.find("\"samples\":3"), std::string::npos);
+  EXPECT_NE(j.find("\"ticks_missed\":0"), std::string::npos);
+  EXPECT_NE(j.find("\"t_ms\":[0,20,40]"), std::string::npos);
+  EXPECT_NE(j.find("\"txn_committed\":[2,4,6]"), std::string::npos);
+  EXPECT_NE(j.find("\"client_ok\":[1,1,1]"), std::string::npos);
+  EXPECT_NE(j.find("\"label\":\"island_kill\""), std::string::npos);
+
+  std::string csv = s.ToCsv();
+  ASSERT_EQ(csv.rfind("t_ms,", 0), 0u);
+  EXPECT_NE(csv.find(",txn_committed"), std::string::npos);
+  EXPECT_NE(csv.find(",client_ok"), std::string::npos);
+  size_t lines = 0;
+  for (char ch : csv)
+    if (ch == '\n') ++lines;
+  EXPECT_EQ(lines, 1u + 3u);  // header + one row per retained tick
+}
+
+TEST(SamplerTest, BackgroundThreadTicksOnTheAbsoluteSchedule) {
+  Sampler::Options o;
+  o.interval_ms = 1;
+  o.capacity = 4096;
+  Sampler s([] { return StatsSnapshot(); }, o);
+  s.Start();
+  // Bounded wait: 1 ms ticks should accumulate fast; 5 s is the flake guard.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (s.samples() < 5 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  s.Stop();
+  EXPECT_GE(s.samples(), 5u);
+  Sampler::Collected c = s.Collect();
+  ASSERT_EQ(c.t_ms.size(), c.samples <= 4096u ? c.samples : 4096u);
+  // Absolute-deadline stamps: strictly increasing, never bunched.
+  for (size_t i = 1; i < c.t_ms.size(); ++i)
+    EXPECT_GT(c.t_ms[i], c.t_ms[i - 1]) << i;
+}
+
+TEST(EngineObsTest, DatabaseSamplerScrapesTheEngineAndDumps) {
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database::Options dopt;
+  dopt.topo = topo;
+  dopt.sampler.enabled = true;
+  dopt.sampler.interval_ms = 10;
+  dopt.sampler.start_thread = false;  // deterministic: we drive the ticks
+  Database db(dopt);
+  ASSERT_NE(db.sampler(), nullptr);
+  uint64_t rows = 64;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  {
+    PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2));
+    db.sampler()->Tick();  // before any txn: committed reads 0
+    for (uint64_t k = 0; k < rows; ++k)
+      ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, k, 1)).ok());
+    exec.Drain();
+    db.sampler()->Tick();
+  }
+  Sampler::Collected c = db.sampler()->Collect();
+  ASSERT_EQ(c.t_ms.size(), 2u);
+  const Sampler::Series* tc = nullptr;
+  for (const Sampler::Series& ser : c.series)
+    if (ser.name == "txn_committed") tc = &ser;
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->v[0], 0.0);
+  EXPECT_EQ(tc->v[1], static_cast<double>(rows));
+
+  std::string jpath = testing::TempDir() + "obs_series_test.json";
+  std::string cpath = testing::TempDir() + "obs_series_test.csv";
+  ASSERT_TRUE(db.DumpTimeSeries(jpath));
+  ASSERT_TRUE(db.DumpTimeSeries(cpath));
+  std::ifstream jin(jpath);
+  std::stringstream jbuf;
+  jbuf << jin.rdbuf();
+  EXPECT_NE(jbuf.str().find("\"series\""), std::string::npos);
+  EXPECT_NE(jbuf.str().find("\"txn_committed\""), std::string::npos);
+  std::ifstream cin(cpath);
+  std::string header;
+  ASSERT_TRUE(std::getline(cin, header));
+  EXPECT_EQ(header.rfind("t_ms,", 0), 0u);
+}
+
+// ---- hardware counters ------------------------------------------------------
+
+/// Pins the capability probe to "unavailable" for a scope; restores the
+/// real probe even when an assertion fails out of the test body.
+struct ForcedPerfUnavailable {
+  ForcedPerfUnavailable() { PerfCounters::ForceUnavailableForTest(true); }
+  ~ForcedPerfUnavailable() { PerfCounters::ForceUnavailableForTest(false); }
+};
+
+TEST(PerfCountersTest, HwCounterValuesAccumulateRespectingValidity) {
+  HwCounterValues a, b;
+  b.v[static_cast<size_t>(HwCounterId::kCycles)] = 10;
+  b.valid[static_cast<size_t>(HwCounterId::kCycles)] = true;
+  b.v[static_cast<size_t>(HwCounterId::kNodeRemote)] = 3;
+  b.valid[static_cast<size_t>(HwCounterId::kNodeRemote)] = true;
+  a.Accumulate(b);
+  a.Accumulate(b);
+  EXPECT_TRUE(a.has(HwCounterId::kCycles));
+  EXPECT_EQ(a[HwCounterId::kCycles], 20u);
+  EXPECT_TRUE(a.has(HwCounterId::kNodeRemote));
+  EXPECT_EQ(a[HwCounterId::kNodeRemote], 6u);
+  EXPECT_FALSE(a.has(HwCounterId::kNodeLocal));
+  EXPECT_FALSE(a.has(HwCounterId::kLlcMisses));
+}
+
+TEST(PerfCountersTest, ForcedUnavailableRefusesToOpen) {
+  ForcedPerfUnavailable forced;
+  EXPECT_FALSE(PerfCounters::Available());
+  PerfCounters pc;
+  EXPECT_FALSE(pc.OpenForCurrentThread());
+  EXPECT_FALSE(pc.open());
+  HwCounterValues v = pc.Read();
+  for (size_t c = 0; c < kNumHwCounters; ++c) EXPECT_FALSE(v.valid[c]);
+}
+
+TEST(PerfCountersTest, EngineFallsBackCleanlyWithoutPerf) {
+  ForcedPerfUnavailable forced;
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database db({.topo = topo});
+  uint64_t rows = 32;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  {
+    PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2));
+    for (uint64_t k = 0; k < rows; ++k)
+      ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, k, 1)).ok());
+    obs::StatsSnapshot s = db.StatsSnapshot();
+    // The engine keeps running and every software metric is intact...
+    EXPECT_EQ(s.counter(CounterId::kTxnCommitted), rows);
+    // ...while the hardware section degrades to absent, not garbage.
+    EXPECT_FALSE(s.hw_available);
+    EXPECT_TRUE(s.hw_islands.empty());
+    EXPECT_EQ(s.hw_remote_dram_ratio(0), -1.0);
+    EXPECT_EQ(s.ToPrometheus().find("atrapos_hw_"), std::string::npos);
+  }
+}
+
+TEST(PerfCountersTest, SamplerAddsNoHwSeriesWithoutPerf) {
+  ForcedPerfUnavailable forced;
+  hw::Topology topo = hw::Topology::SingleSocket(2);
+  Database::Options dopt;
+  dopt.topo = topo;
+  dopt.sampler.enabled = true;
+  dopt.sampler.start_thread = false;
+  Database db(dopt);
+  uint64_t rows = 16;
+  db.AddTable(MicroTable(rows, {0, rows / 2}));
+  {
+    PartitionedExecutor exec(&db, topo, OneTableScheme(rows, 2));
+    for (uint64_t k = 0; k < rows; ++k)
+      ASSERT_TRUE(exec.SubmitAndWait(AddDelta(0, k, 1)).ok());
+    db.sampler()->Tick();
+  }
+  for (const Sampler::Series& ser : db.sampler()->Collect().series)
+    EXPECT_EQ(ser.name.rfind("hw_", 0), std::string::npos) << ser.name;
 }
 
 }  // namespace

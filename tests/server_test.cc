@@ -14,7 +14,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <thread>
 
 #include "engine/database.h"
@@ -49,9 +51,11 @@ struct Service {
   static constexpr uint64_t kSubscribers = 2000;
 
   explicit Service(Server::Options sopt = {},
-                   hw::Topology topo = hw::Topology::Cube(1, 1)) {
-    db = std::make_unique<engine::Database>(
-        engine::Database::Options{.topo = topo});
+                   hw::Topology topo = hw::Topology::Cube(1, 1),
+                   engine::Database::Options dopt = {},
+                   engine::PartitionedExecutor::Options eopt = {}) {
+    dopt.topo = topo;
+    db = std::make_unique<engine::Database>(dopt);
     std::vector<uint64_t> bounds;
     for (int p = 0; p < topo.num_cores(); ++p)
       bounds.push_back(kSubscribers * static_cast<uint64_t>(p) /
@@ -59,7 +63,7 @@ struct Service {
     for (auto& t : workload::BuildTatpTables(kSubscribers, bounds, 42))
       db->AddTable(std::move(t));
     exec = std::make_unique<engine::PartitionedExecutor>(
-        db.get(), topo, TatpScheme(kSubscribers, topo.num_cores()));
+        db.get(), topo, TatpScheme(kSubscribers, topo.num_cores()), eopt);
     sopt.bind_listeners = false;  // CI machines are small
     server = std::make_unique<Server>(db.get(), exec.get(), kSubscribers,
                                       sopt);
@@ -714,6 +718,224 @@ TEST(ServerFaultTest, IslandKillShedsAndClientRetriesThrough) {
   killer.join();
   EXPECT_EQ(s.exec->failed_islands(), 0b10u);
   EXPECT_FALSE(s.exec->quarantining());
+  c.CloseAll();
+}
+
+// ---- time-series over the wire (STATS_SERIES) -------------------------------
+
+TEST(ServerSeriesTest, StatsSeriesRoundTripExposesSamplerJson) {
+  engine::Database::Options dopt;
+  dopt.sampler.enabled = true;
+  dopt.sampler.interval_ms = 5;
+  Service s({}, hw::Topology::Cube(1, 1), dopt);
+  Client c(s.ClientOpts());
+  ASSERT_TRUE(c.Connect().ok());
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i)
+    ASSERT_TRUE(c.Call(0, DrawTatpMix(rng, Service::kSubscribers)).ok());
+  // Bounded wait for the 5 ms sampler thread to take at least one tick.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (s.db->sampler()->samples() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_GT(s.db->sampler()->samples(), 0u);
+  auto r = c.QuerySeries(0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& j = r.value();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+  EXPECT_NE(j.find("\"t_ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"series\""), std::string::npos);
+  EXPECT_NE(j.find("\"txn_committed\""), std::string::npos);
+  EXPECT_NE(j.find("\"net_inflight_txns\""), std::string::npos);
+  // The wire answer is exactly the sampler's serialization contract.
+  EXPECT_NE(j.find("\"interval_ms\":5"), std::string::npos);
+}
+
+TEST(ServerSeriesTest, StatsSeriesWithoutSamplerAnswersEmptyObject) {
+  Service s;  // no sampler configured
+  ASSERT_EQ(s.db->sampler(), nullptr);
+  Client c(s.ClientOpts());
+  ASSERT_TRUE(c.Connect().ok());
+  auto r = c.QuerySeries(0);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), "{}");
+}
+
+TEST(ServerSeriesTest, StatsSeriesWithTrailingBytesIsAProtocolError) {
+  Service s;
+  {
+    // STATS_SERIES carries an empty body; a trailing byte must close the
+    // connection, not be silently accepted.
+    Client c(s.ClientOpts());
+    ASSERT_TRUE(c.Connect().ok());
+    std::vector<uint8_t> junk;
+    PutU32(&junk, 2);
+    PutU8(&junk, static_cast<uint8_t>(Op::kStatsSeries));
+    PutU8(&junk, 0x5a);
+    ASSERT_TRUE(c.SendRaw(0, junk.data(), junk.size()).ok());
+    auto r = c.QuerySeries(0);
+    EXPECT_FALSE(r.ok()) << "server must drop the connection";
+  }
+  obs::StatsSnapshot snap = s.db->StatsSnapshot();
+  EXPECT_GT(snap.counter(obs::CounterId::kNetProtocolErrors), 0u);
+  // Everyone else keeps being served.
+  Client probe(s.ClientOpts());
+  ASSERT_TRUE(probe.Connect().ok());
+  auto r = probe.QuerySeries(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "{}");
+}
+
+// ---- wire-to-commit trace propagation ---------------------------------------
+
+// The tentpole end-to-end assertion: one transaction submitted through a
+// real socket leaves a single trace-id chain from the client's send
+// instant to the durable ack — every hop in one chrome://tracing dump.
+TEST(ServerTraceTest, WireTxnSpanChainClientSendToDurableAck) {
+  engine::Database::Options dopt;
+  dopt.obs.trace = true;
+  engine::PartitionedExecutor::Options eopt;
+  eopt.durability = engine::DurabilityMode::kGroup;
+  Service s({}, hw::Topology::Cube(1, 1), dopt, eopt);
+  Client::Options copt = s.ClientOpts();
+  copt.trace = &s.db->observability();  // loopback: client taps the same registry
+  Client c(copt);
+  ASSERT_TRUE(c.Connect().ok());
+  // Must be a WRITE: only writers append a commit marker and earn a
+  // durable ack, the tail links of the chain.
+  TxnRequest req;
+  req.txn_class = workload::kUpdLocation;
+  req.s_id = 1;
+  req.a = 12345;  // new vlr_location
+  auto ws = c.Call(0, req);
+  ASSERT_TRUE(ws.ok()) << ws.status().ToString();
+  EXPECT_TRUE(WireCountsAsSuccess(ws.value()));
+  s.exec->Drain();  // flush group commit so the durable-ack span landed
+
+  const uint64_t tid = WireTraceId(1);  // first request id this client allocates
+  std::vector<obs::TraceEvent> events = s.db->observability().CollectTrace();
+  uint64_t t_send = 0, t_decode = 0, t_begin = 0, t_end = 0, t_ack = 0;
+  bool send = false, decode = false, begin = false, end = false;
+  bool marker = false, durable = false, ack = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.txn != tid) continue;
+    switch (e.span) {
+      case obs::SpanId::kClientSend:
+        send = true;
+        t_send = e.ts_ns;
+        break;
+      case obs::SpanId::kWireDecode:
+        decode = true;
+        t_decode = e.ts_ns;
+        break;
+      case obs::SpanId::kTxn:
+        if (e.phase == obs::TracePhase::kBegin) {
+          begin = true;
+          t_begin = e.ts_ns;
+        } else if (e.phase == obs::TracePhase::kEnd) {
+          end = true;
+          t_end = e.ts_ns;
+        }
+        break;
+      case obs::SpanId::kCommitMarker:
+        marker = true;
+        break;
+      case obs::SpanId::kDurableAck:
+        durable = true;
+        break;
+      case obs::SpanId::kWireAck:
+        ack = true;
+        t_ack = e.ts_ns;
+        break;
+      default:
+        break;
+    }
+  }
+  // Every hop present under ONE id...
+  EXPECT_TRUE(send) << "client_send missing";
+  EXPECT_TRUE(decode) << "wire_decode missing";
+  EXPECT_TRUE(begin) << "txn begin missing";
+  EXPECT_TRUE(end) << "txn end missing";
+  EXPECT_TRUE(marker) << "commit_marker missing";
+  EXPECT_TRUE(durable) << "durable_ack missing";
+  EXPECT_TRUE(ack) << "wire_ack missing";
+  // ...in causal order along the wire path.
+  EXPECT_LE(t_send, t_decode);
+  EXPECT_LE(t_decode, t_begin);
+  EXPECT_LE(t_begin, t_end);
+  EXPECT_LE(t_end, t_ack);
+
+  // And the one dump is chrome://tracing-loadable with the chain visible.
+  std::string path = testing::TempDir() + "wire_trace_chain.json";
+  ASSERT_TRUE(s.db->DumpTrace(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string json = buf.str();
+  while (!json.empty() && (json.back() == '\n' || json.back() == ' '))
+    json.pop_back();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("client_send"), std::string::npos);
+  EXPECT_NE(json.find("wire_decode"), std::string::npos);
+  EXPECT_NE(json.find("wire_ack"), std::string::npos);
+  EXPECT_NE(json.find("durable_ack"), std::string::npos);
+}
+
+TEST(ServerTraceTest, TraceOffLeavesWireIdsUnassigned) {
+  Service s;  // tracing off (the default)
+  Client::Options copt = s.ClientOpts();
+  copt.trace = &s.db->observability();  // registered but disabled: no-op
+  Client c(copt);
+  ASSERT_TRUE(c.Connect().ok());
+  ASSERT_TRUE(c.Call(0, AnyTxn()).ok());
+  EXPECT_TRUE(s.db->observability().CollectTrace().empty());
+}
+
+// ---- client call-outcome counters -------------------------------------------
+
+TEST(ClientFaultTest, CallStatsCountRetriesByCause) {
+  FakeServer fs({.script = {WireStatus::kOverloaded, WireStatus::kUnavailable,
+                            WireStatus::kOk}});
+  Client::Options o;
+  o.port = fs.port();
+  o.deadline_ms = 5'000;
+  o.retries = 3;
+  o.backoff_base_us = 100;
+  o.backoff_cap_us = 1'000;
+  Client c(o);
+  ASSERT_TRUE(c.Connect().ok());
+  Result<WireStatus> r = c.Call(0, AnyTxn());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Client::CallStats& cs = c.call_stats();
+  EXPECT_EQ(cs.calls, 1u);
+  EXPECT_EQ(cs.attempts, 3u);  // attempts - calls == retries taken
+  EXPECT_EQ(cs.retries, 2u);
+  EXPECT_EQ(cs.retries_overloaded, 1u);
+  EXPECT_EQ(cs.retries_unavailable, 1u);
+  EXPECT_EQ(cs.deadline_exceeded, 0u);
+  EXPECT_EQ(cs.failures, 0u);
+  c.CloseAll();
+}
+
+TEST(ClientFaultTest, CallStatsCountDeadlineExpiryAsFailure) {
+  FakeServer fs({.answer_txns = false});
+  Client::Options o;
+  o.port = fs.port();
+  o.deadline_ms = 150;
+  Client c(o);
+  ASSERT_TRUE(c.Connect().ok());
+  Result<WireStatus> r = c.Call(0, AnyTxn());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  const Client::CallStats& cs = c.call_stats();
+  EXPECT_EQ(cs.calls, 1u);
+  EXPECT_EQ(cs.attempts, 1u);
+  EXPECT_EQ(cs.retries, 0u);
+  EXPECT_EQ(cs.deadline_exceeded, 1u);
+  EXPECT_EQ(cs.failures, 1u);
   c.CloseAll();
 }
 
