@@ -237,8 +237,10 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
       for (Partition* p : flat_parts_) {
         if (!p->perf.open()) continue;
         size_t island = static_cast<size_t>(topo_.socket_of(p->core));
-        if (island < islands) s.hw_islands[island].Accumulate(p->perf.Read());
-        any = true;
+        if (island < islands) {
+          s.hw_islands[island].Accumulate(p->perf.Read());
+          any = true;  // only data that actually landed in hw_islands
+        }
       }
       s.hw_available = any;
       if (!any) s.hw_islands.clear();

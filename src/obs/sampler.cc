@@ -106,22 +106,25 @@ void Sampler::Annotate(std::string label) {
 
 void Sampler::Start() {
   if (!opt_.start_thread) return;
-  std::lock_guard lk(run_mu_);
+  std::lock_guard life(lifecycle_mu_);
   if (running_) return;
-  stop_ = false;
+  {
+    std::lock_guard lk(run_mu_);
+    stop_ = false;
+  }
   running_ = true;
   thread_ = std::thread([this] { Run(); });
 }
 
 void Sampler::Stop() {
+  std::lock_guard life(lifecycle_mu_);
+  if (!running_) return;
   {
     std::lock_guard lk(run_mu_);
-    if (!running_) return;
     stop_ = true;
   }
   run_cv_.notify_all();
   thread_.join();
-  std::lock_guard lk(run_mu_);
   running_ = false;
 }
 
@@ -134,15 +137,21 @@ void Sampler::TickAt(uint64_t t_ms) {
   std::lock_guard lk(mu_);
   if (s.hw_available && !hw_series_added_) {
     // First sight of hardware counters: one ring per (island, counter)
-    // with data, zero-backfilled. One-time allocation, then steady state.
+    // pair — ALL islands × ALL counters, zero-backfilled, recorded in
+    // hw_cols_. The island count (num_sockets) is final by now, but the
+    // valid set can still grow (workers open perf groups asynchronously,
+    // Repartition/KillIsland change which islands have open groups), so
+    // columns must be preassigned: a pair that turns valid later fills
+    // its own column instead of shifting its neighbors'. One-time
+    // allocation, then steady state; never-valid pairs stay zero.
     for (size_t i = 0; i < s.hw_islands.size(); ++i) {
       for (size_t c = 0; c < kNumHwCounters; ++c) {
-        if (!s.hw_islands[i].valid[c]) continue;
         names_.push_back("hw_" +
                          std::string(HwCounterName(static_cast<HwCounterId>(c))) +
                          "_island" + std::to_string(i));
         values_.emplace_back(opt_.capacity);
         values_.back().count = ts_.count;
+        hw_cols_.emplace_back(i, c);
       }
     }
     hw_series_added_ = true;
@@ -151,17 +160,13 @@ void Sampler::TickAt(uint64_t t_ms) {
   size_t col = 0;
   for (const Builtin& b : kBuiltins) values_[col++].Push(b.get(s));
   for (auto& [name, fn] : custom_) values_[col++].Push(fn());
-  // Hardware columns sit after the customs, in names_ order.
-  if (hw_series_added_) {
-    size_t hw_col = col;
-    for (size_t i = 0; i < s.hw_islands.size() && hw_col < values_.size(); ++i) {
-      for (size_t c = 0; c < kNumHwCounters; ++c) {
-        if (!s.hw_islands[i].valid[c]) continue;
-        if (hw_col >= values_.size()) break;
-        values_[hw_col++].Push(static_cast<double>(s.hw_islands[i].v[c]));
-      }
-    }
-    while (hw_col < values_.size()) values_[hw_col++].Push(0.0);
+  // Hardware columns sit after the customs, exactly the hw_cols_ pairs
+  // in creation order; a currently-invalid (or absent) pair reads 0.
+  for (auto [i, c] : hw_cols_) {
+    double v = (i < s.hw_islands.size() && s.hw_islands[i].valid[c])
+                   ? static_cast<double>(s.hw_islands[i].v[c])
+                   : 0.0;
+    values_[col++].Push(v);
   }
   samples_.fetch_add(1, std::memory_order_release);
 }
@@ -180,12 +185,16 @@ void Sampler::Run() {
     uint64_t now_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(now - epoch_)
             .count());
-    // Absolute-deadline schedule: a stalled scrape resumes at the next
-    // future deadline instead of firing a burst of stale ticks.
-    uint64_t next_k = NextTickIndex(0, now_ns, interval_ns);
-    if (next_k > k + 1)
-      ticks_missed_.fetch_add(next_k - (k + 1), std::memory_order_release);
-    k = next_k;
+    // Absolute-deadline schedule: this wake consumes the last deadline
+    // that has elapsed — deadline k+1 when on time (NextTickIndex points
+    // at the next FUTURE index, so taken is one less), later after a
+    // stalled scrape, whose skipped deadlines are counted instead of
+    // firing a burst of stale ticks.
+    uint64_t taken = NextTickIndex(0, now_ns, interval_ns) - 1;
+    if (taken < k + 1) taken = k + 1;  // spurious-early wake: still tick k+1
+    if (taken > k + 1)
+      ticks_missed_.fetch_add(taken - (k + 1), std::memory_order_release);
+    k = taken;
     lk.unlock();
     TickAt(now_ns / 1'000'000);
     lk.lock();

@@ -148,13 +148,23 @@ class Sampler {
   std::vector<std::pair<uint64_t, std::string>> annotations_;
   /// Built-in hw series are created on the first tick that sees
   /// hw_available (island count is unknown before the executor runs).
+  /// The column set is fixed then — one column per (island, counter)
+  /// pair, all islands × all counters — because workers open their perf
+  /// groups asynchronously: a valid flag that flips on later must land
+  /// in its own preassigned column, never shift its neighbors'.
   bool hw_series_added_ = false;
+  std::vector<std::pair<size_t, size_t>> hw_cols_;  // (island, counter)
 
-  std::mutex run_mu_;
-  std::condition_variable run_cv_;
-  bool stop_ = false;
+  /// Serializes Start/Stop whole-call (so two Stop()s — or Stop racing
+  /// the destructor — can never both join thread_). running_ and
+  /// thread_ are touched only under it.
+  std::mutex lifecycle_mu_;
   bool running_ = false;
   std::thread thread_;
+
+  std::mutex run_mu_;  // guards stop_, the run_cv_ predicate
+  std::condition_variable run_cv_;
+  bool stop_ = false;
 };
 
 }  // namespace atrapos::obs

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -56,9 +57,23 @@ struct Deadline {
 
 }  // namespace
 
+namespace {
+/// Salts each Client instance's request ids (see Client::req_id_base):
+/// req_ids are echoed back by the server and double as trace-id
+/// material, so two clients counting 1, 2, 3... independently would
+/// merge their span chains into one bogus dump.
+std::atomic<uint64_t> g_client_nonce{0};
+}  // namespace
+
 Client::Client(Options opt) : opt_(std::move(opt)) {
   if (opt_.batch == 0) opt_.batch = 1;
   if (opt_.connections < 1) opt_.connections = 1;
+  // 30-bit nonce in bits 32..61: below WireTraceId's bit-62 namespace
+  // tag, above the 32-bit per-client sequence numbers.
+  req_id_base_ = ((g_client_nonce.fetch_add(1, std::memory_order_relaxed) + 1) &
+                  ((1ull << 30) - 1))
+                 << 32;
+  next_req_id_ = req_id_base_ + 1;
 }
 
 Client::~Client() { CloseAll(); }

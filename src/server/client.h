@@ -97,6 +97,13 @@ class Client {
   size_t outstanding() const { return outstanding_; }
   bool alive(int conn) const;
 
+  /// This client's request-id salt: ids are allocated sequentially as
+  /// req_id_base() + 1, + 2, ... The base carries a process-wide
+  /// per-Client nonce in bits 32..61 so concurrent Client instances
+  /// never reuse each other's ids — and WireTraceId chains from
+  /// different clients never merge in a trace dump.
+  uint64_t req_id_base() const { return req_id_base_; }
+
   /// Buffers one transaction on connection `conn`; flushes the batch frame
   /// once Options::batch accumulated. `cb` fires from Poll().
   Status Submit(int conn, const TxnRequest& req, TxnCallback cb);
@@ -180,6 +187,7 @@ class Client {
   std::vector<std::unique_ptr<Conn>> conns_;
   uint16_t num_islands_ = 0;
   uint64_t subscribers_ = 0;
+  uint64_t req_id_base_ = 0;  // per-client nonce << 32 (set in ctor)
   uint64_t next_req_id_ = 1;
   size_t outstanding_ = 0;
   CallStats call_stats_;

@@ -77,7 +77,11 @@ enum class Op : uint8_t {
 /// Trace correlation id for one wire request: the client's req_id moved
 /// into a namespace disjoint from engine-assigned txn ids, so the chrome
 /// dump links client send → server decode → engine spans → durable ack
-/// without ever colliding with an in-process transaction's id.
+/// without ever colliding with an in-process transaction's id. Chains
+/// from different clients stay distinct because req_ids themselves are
+/// salted per Client instance (a process-wide nonce in bits 32..61, the
+/// sequence number in the low 32 — see Client::req_id_base()); bit 62 is
+/// only the wire-vs-engine namespace tag.
 inline uint64_t WireTraceId(uint64_t req_id) {
   return req_id | (1ull << 62);
 }

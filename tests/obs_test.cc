@@ -824,6 +824,85 @@ TEST(SamplerTest, BackgroundThreadTicksOnTheAbsoluteSchedule) {
     EXPECT_GT(c.t_ms[i], c.t_ms[i - 1]) << i;
 }
 
+TEST(SamplerTest, BackgroundThreadConsumesEveryDeadlineWithoutMisses) {
+  // Regression: an off-by-one in Run()'s wake accounting made the thread
+  // treat every on-time wake as having missed deadline k+1, so it ticked
+  // at 2x the configured interval with ticks_missed ~= samples. A healthy
+  // scrape (trivial snapshot fn, generous 50 ms interval) must consume
+  // every deadline: no misses, one sample per elapsed interval.
+  Sampler::Options o;
+  o.interval_ms = 50;
+  o.capacity = 4096;
+  Sampler s([] { return StatsSnapshot(); }, o);
+  auto t0 = std::chrono::steady_clock::now();
+  s.Start();
+  auto deadline = t0 + std::chrono::seconds(5);  // flake guard
+  while (s.samples() < 5 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  s.Stop();
+  auto elapsed_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  EXPECT_GE(s.samples(), 5u);
+  EXPECT_EQ(s.ticks_missed(), 0u);
+  // One tick per interval, not one per 2 intervals: samples can never
+  // exceed elapsed/interval + 1, and with zero misses it tracks it.
+  EXPECT_LE(s.samples(), elapsed_ms / o.interval_ms + 1);
+}
+
+TEST(SamplerTest, HwColumnsStayAlignedAsValidSetGrows) {
+  // Workers open their perf groups asynchronously (and Repartition /
+  // KillIsland change which islands have open groups), so the valid set
+  // seen by later ticks can differ from the first hw_available snapshot.
+  // The column set is fixed at first sighting — all islands x counters —
+  // and a pair that turns valid later must fill its own column, never
+  // shift values into a neighbor's.
+  constexpr size_t kCyc = static_cast<size_t>(HwCounterId::kCycles);
+  constexpr size_t kRem = static_cast<size_t>(HwCounterId::kNodeRemote);
+  Sampler::Options o;
+  o.interval_ms = 10;
+  o.capacity = 8;
+  o.start_thread = false;
+  StatsSnapshot snap;
+  Sampler s([&] { return snap; }, o);
+  // First hw sighting: only island 0's cycles leader is open.
+  snap.hw_available = true;
+  snap.hw_islands.assign(2, HwCounterValues{});
+  snap.hw_islands[0].v[kCyc] = 10;
+  snap.hw_islands[0].valid[kCyc] = true;
+  s.Tick();
+  // Second tick: island 0 grew a remote-DRAM sibling, island 1 opened.
+  snap.hw_islands[0].v[kCyc] = 20;
+  snap.hw_islands[0].v[kRem] = 3;
+  snap.hw_islands[0].valid[kRem] = true;
+  snap.hw_islands[1].v[kCyc] = 7;
+  snap.hw_islands[1].valid[kCyc] = true;
+  s.Tick();
+  Sampler::Collected c = s.Collect();
+  ASSERT_EQ(c.t_ms.size(), 2u);
+  auto find = [&](const std::string& name) -> const Sampler::Series* {
+    for (const Sampler::Series& ser : c.series)
+      if (ser.name == name) return &ser;
+    return nullptr;
+  };
+  for (const Sampler::Series& ser : c.series)
+    EXPECT_EQ(ser.v.size(), 2u) << ser.name;  // all rings stay aligned
+  const Sampler::Series* cyc0 = find("hw_cycles_island0");
+  const Sampler::Series* rem0 = find("hw_node_remote_dram_island0");
+  const Sampler::Series* cyc1 = find("hw_cycles_island1");
+  ASSERT_NE(cyc0, nullptr);
+  ASSERT_NE(rem0, nullptr);
+  ASSERT_NE(cyc1, nullptr);
+  EXPECT_EQ(cyc0->v[0], 10.0);
+  EXPECT_EQ(cyc0->v[1], 20.0);
+  // Invalid-at-the-time pairs read zero, then pick up their own column.
+  EXPECT_EQ(rem0->v[0], 0.0);
+  EXPECT_EQ(rem0->v[1], 3.0);
+  EXPECT_EQ(cyc1->v[0], 0.0);
+  EXPECT_EQ(cyc1->v[1], 7.0);
+}
+
 TEST(EngineObsTest, DatabaseSamplerScrapesTheEngineAndDumps) {
   hw::Topology topo = hw::Topology::SingleSocket(2);
   Database::Options dopt;

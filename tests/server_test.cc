@@ -813,7 +813,9 @@ TEST(ServerTraceTest, WireTxnSpanChainClientSendToDurableAck) {
   EXPECT_TRUE(WireCountsAsSuccess(ws.value()));
   s.exec->Drain();  // flush group commit so the durable-ack span landed
 
-  const uint64_t tid = WireTraceId(1);  // first request id this client allocates
+  // First request id this client allocated (req ids are salted with a
+  // per-Client nonce so concurrent clients' trace chains never merge).
+  const uint64_t tid = WireTraceId(c.req_id_base() + 1);
   std::vector<obs::TraceEvent> events = s.db->observability().CollectTrace();
   uint64_t t_send = 0, t_decode = 0, t_begin = 0, t_end = 0, t_ack = 0;
   bool send = false, decode = false, begin = false, end = false;
