@@ -30,6 +30,7 @@
 // machine-comparable across commits; --min_tps=<n> makes the binary exit
 // nonzero when any point measured below it (the CI bench smoke check);
 // --quick trims the sweep for CI.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -79,6 +80,7 @@ struct RunResult {
   uint64_t commit_p50_us = 0;
   uint64_t commit_p95_us = 0;
   uint64_t commit_p99_us = 0;
+  uint64_t interleave_suspensions = 0;  ///< warm-pipeline suspend count
 
   double log_bytes_per_commit() const {
     return committed > 0
@@ -91,9 +93,11 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
                   int clients, size_t depth, size_t batch, double duration,
                   double hot_pct, uint64_t seed,
                   engine::PartitionedExecutor::Options exec_opt,
+                  mem::IslandAllocator::Options mem_opt = {},
                   const std::string& trace_path = "") {
   engine::Database::Options dopt;
   dopt.topo = topo;
+  dopt.mem = mem_opt;
   dopt.obs.trace = !trace_path.empty();
   engine::Database db(dopt);
   std::vector<uint64_t> bounds;
@@ -182,6 +186,8 @@ RunResult RunOnce(const hw::Topology& topo, uint64_t subscribers,
   out.commit_p50_us = lat.Quantile(0.5);
   out.commit_p95_us = lat.Quantile(0.95);
   out.commit_p99_us = lat.Quantile(0.99);
+  out.interleave_suspensions =
+      snap.counter(obs::CounterId::kInterleaveSuspensions);
   if (!trace_path.empty() && db.DumpTrace(trace_path))
     std::printf("wrote trace %s (%llu events recorded, %llu dropped)\n",
                 trace_path.c_str(),
@@ -347,6 +353,18 @@ int main(int argc, char** argv) {
   // --trace=<path>: re-run the last sweep point with txn lifecycle tracing
   // enabled and dump a chrome://tracing-loadable JSON there.
   std::string trace_path = flags.GetString("trace", "");
+  // --placement={local,central,remote,interleaved,first_touch}: arena
+  // placement policy for every table (remote = every partition's data on
+  // a non-home island — the worst-case Island traffic the interleaved
+  // worker loop is built to hide). --islands>1 picks a Cube topology so
+  // "remote" means something.
+  std::string placement_name = flags.GetString("placement", "local");
+  int islands = static_cast<int>(flags.GetInt("islands", 1));
+  int interleave = static_cast<int>(flags.GetInt("interleave", 1));
+  bool interleave_sweep = flags.GetBool("interleave_sweep", false);
+  int interleave_reps = static_cast<int>(flags.GetInt("interleave_reps", 3));
+  std::string interleave_json = flags.GetString("interleave_json", "");
+  double min_interleave_ratio = flags.GetDouble("min_interleave_ratio", 0);
 
   engine::PartitionedExecutor::Options exec_opt;
   if (!ParseDurability(durability_name, &exec_opt.durability)) {
@@ -368,8 +386,29 @@ int main(int argc, char** argv) {
   }
   exec_opt.log_shards = log_shards;
   exec_opt.log_flush_interval_us = flush_us;
+  exec_opt.interleave_depth = interleave;
+
+  mem::IslandAllocator::Options mem_opt;
+  auto policy = mem::ParsePlacementPolicy(placement_name);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "unknown --placement=%s (local|central|remote|"
+                 "interleaved|first_touch)\n",
+                 placement_name.c_str());
+    return 1;
+  }
+  mem_opt.policy = *policy;
 
   hw::Topology topo = hw::Topology::SingleSocket(cores);
+  if (islands == 2 && cores % 2 == 0)
+    topo = hw::Topology::Cube(1, cores / 2);
+  else if (islands == 4 && cores % 4 == 0)
+    topo = hw::Topology::Cube(2, cores / 4);
+  else if (islands != 1) {
+    std::fprintf(stderr, "--islands=%d needs 2|4 and cores %% islands == 0\n",
+                 islands);
+    return 1;
+  }
   PrintHeader("tatp_real_engine",
               "TATP as routed ActionGraphs on the partitioned executor "
               "(async Submit/SubmitBatch, completion-path class accounting)");
@@ -400,7 +439,7 @@ int main(int argc, char** argv) {
     const std::string tpath =
         i + 1 == points.size() ? trace_path : std::string();
     RunResult r = RunOnce(topo, subscribers, clients, depth, batch, duration,
-                          hot_pct, seed, exec_opt, tpath);
+                          hot_pct, seed, exec_opt, mem_opt, tpath);
     tp.AddRow({TablePrinter::Int(static_cast<long long>(depth)),
                TablePrinter::Int(static_cast<long long>(batch)),
                TablePrinter::Int(static_cast<long long>(r.tps)),
@@ -443,7 +482,7 @@ int main(int argc, char** argv) {
       auto o = exec_opt;
       o.log_wire = w;
       return RunOnce(topo, subscribers, clients, 32, 32, duration, hot_pct,
-                     seed, o);
+                     seed, o, mem_opt);
     };
     RunResult diff = run_wire(log::WireFormat::kCompactDiffV2);
     RunResult ai = run_wire(log::WireFormat::kAfterImageV1);
@@ -470,6 +509,103 @@ int main(int argc, char** argv) {
       "enqueue + wake cost per partition; Repartitions > 0 shows the\n"
       "adaptive manager acting on completion-path class counts under "
       "skew.\n");
+
+  // ---- interleave-depth sweep (depth 32, batch 32) -------------------------
+  // Paired rounds: each rep runs every K back-to-back in the same order,
+  // so machine drift hits all depths equally; per-K TPS is the median
+  // across reps. Run it under --placement=remote --islands=2 to see the
+  // stall-hiding effect the worker pipeline exists for.
+  bool below_interleave_ratio = false;
+  if (interleave_sweep) {
+    std::vector<int> ks = quick ? std::vector<int>{1, 4, 16}
+                                : std::vector<int>{1, 2, 4, 8, 16, 32};
+    std::vector<std::vector<double>> tps(ks.size());
+    std::vector<uint64_t> suspensions(ks.size(), 0);
+    std::vector<uint64_t> txns(ks.size(), 0);
+    for (int rep = 0; rep < std::max(1, interleave_reps); ++rep) {
+      for (size_t i = 0; i < ks.size(); ++i) {
+        auto o = exec_opt;
+        o.interleave_depth = ks[i];
+        RunResult r = RunOnce(topo, subscribers, clients, 32, 32, duration,
+                              hot_pct, seed + static_cast<uint64_t>(rep),
+                              o, mem_opt);
+        tps[i].push_back(r.tps);
+        suspensions[i] += r.interleave_suspensions;
+        txns[i] += r.completed;
+      }
+    }
+    auto median = [](std::vector<double> v) {
+      std::sort(v.begin(), v.end());
+      return v[v.size() / 2];
+    };
+    TablePrinter itp({"K", "TPS(med)", "TPS(min)", "TPS(max)",
+                      "Suspensions/txn", "vs K=1"});
+    JsonValue irows = JsonValue::Array();
+    double base = median(tps[0]);
+    double best = 0, best_k = 1;
+    for (size_t i = 0; i < ks.size(); ++i) {
+      double med = median(tps[i]);
+      double lo = *std::min_element(tps[i].begin(), tps[i].end());
+      double hi = *std::max_element(tps[i].begin(), tps[i].end());
+      double per_txn = txns[i] > 0 ? static_cast<double>(suspensions[i]) /
+                                         static_cast<double>(txns[i])
+                                   : 0.0;
+      if (ks[i] > 1 && med > best) {
+        best = med;
+        best_k = ks[i];
+      }
+      itp.AddRow({TablePrinter::Int(ks[i]),
+                  TablePrinter::Int(static_cast<long long>(med)),
+                  TablePrinter::Int(static_cast<long long>(lo)),
+                  TablePrinter::Int(static_cast<long long>(hi)),
+                  TablePrinter::Num(per_txn, 1),
+                  TablePrinter::Num(base > 0 ? med / base : 0.0, 3)});
+      irows.Push(JsonValue::Object()
+                     .Add("interleave_depth", static_cast<long long>(ks[i]))
+                     .Add("tps_median", med)
+                     .Add("tps_min", lo)
+                     .Add("tps_max", hi)
+                     .Add("suspensions_per_txn", per_txn)
+                     .Add("tps_vs_k1", base > 0 ? med / base : 0.0));
+    }
+    std::printf("\nInterleave sweep (depth 32, batch 32, placement=%s, "
+                "%d island(s), %d rep(s)):\n",
+                mem::ToString(mem_opt.policy), islands,
+                std::max(1, interleave_reps));
+    itp.Print();
+    std::printf("best K>1: K=%d at %.0f TPS (%.3fx of K=1)\n",
+                static_cast<int>(best_k), best,
+                base > 0 ? best / base : 0.0);
+    if (min_interleave_ratio > 0 && best < min_interleave_ratio * base)
+      below_interleave_ratio = true;
+    if (!interleave_json.empty()) {
+      JsonValue idoc = JsonValue::Object();
+      idoc.Add("bench", std::string("tatp_real_engine"))
+          .Add("schema", std::string("BENCH_interleave"))
+          .Add("config",
+               JsonValue::Object()
+                   .Add("subscribers", static_cast<long long>(subscribers))
+                   .Add("cores", static_cast<long long>(topo.num_cores()))
+                   .Add("islands", static_cast<long long>(islands))
+                   .Add("clients", static_cast<long long>(clients))
+                   .Add("placement", std::string(mem::ToString(mem_opt.policy)))
+                   .Add("hot_pct", hot_pct)
+                   .Add("duration_s", duration)
+                   .Add("reps",
+                        static_cast<long long>(std::max(1, interleave_reps)))
+                   .Add("depth", 32LL)
+                   .Add("batch", 32LL)
+                   .Add("durability",
+                        std::string(ToString(exec_opt.durability))))
+          .Add("rows", irows)
+          .Add("base_tps", base)
+          .Add("best_k", static_cast<long long>(best_k))
+          .Add("best_tps", best)
+          .Add("best_vs_k1", base > 0 ? best / base : 0.0);
+      if (!idoc.WriteTo(interleave_json)) return 1;
+      std::printf("wrote %s\n", interleave_json.c_str());
+    }
+  }
 
   if (!json_path.empty()) {
     JsonValue doc = JsonValue::Object();
@@ -506,6 +642,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: at least one point below --min_tps=%g\n",
                  min_tps);
     return 2;
+  }
+  if (below_interleave_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: best interleaved TPS below --min_interleave_ratio=%g "
+                 "of the K=1 baseline\n",
+                 min_interleave_ratio);
+    return 4;
   }
   return recovery_ok ? 0 : 3;
 }

@@ -7,10 +7,13 @@
 #include <cstdlib>
 #include <optional>
 
+#include <vector>
+
 #include "core/repartitioner.h"
 #include "fault/injector.h"
 #include "hw/binding.h"
 #include "log/shard_writer.h"
+#include "storage/interleave.h"
 
 namespace atrapos::engine {
 
@@ -193,6 +196,11 @@ PartitionedExecutor::PartitionedExecutor(Database* db,
     log_->SetCommitSink(ack_sink_.get());
   }
   StartWorkers();
+  // Config gauge: the interleave depth every worker drains with (1 =
+  // serial), so a snapshot names the execution mode next to its effects
+  // (kInterleaveSuspensions, the drain histograms).
+  obs_->SetGauge(obs::GaugeId::kInterleaveDepth,
+                 opt_.interleave_depth <= 1 ? 1 : opt_.interleave_depth);
   // The kill sentinel runs evacuations off the worker threads (a worker
   // cannot join itself); idle when no worker-kill fault ever fires.
   sentinel_ = std::thread([this] { SentinelLoop(); });
@@ -432,7 +440,6 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
     // the publisher credited them too).
     p->pending.fetch_sub(static_cast<int64_t>(total),
                          std::memory_order_relaxed);
-    if (n > 0) executed_.fetch_add(n, std::memory_order_relaxed);
     // Island death (fault::kWorkerKill), checked once per drained batch:
     // this worker's island fail-stops. The worker itself turns zombie —
     // the whole batch below fails kUnavailable — and the sentinel
@@ -444,39 +451,176 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
       zombie = true;
       RequestKillIsland(static_cast<int>(topo_.socket_of(p->core)));
     }
+    // A zombie's actions never execute — they abort kUnavailable — so
+    // they are phantom load: crediting them to executed_ (or Touch-ing
+    // them into the monitor below) made the dead island look busy to
+    // PartitionMonitor/AdaptiveManager during evacuation and could steer
+    // repartitioning back toward it. Zombie batches keep only the
+    // queue-depth debit and the marker appends.
+    if (!zombie && n > 0) executed_.fetch_add(n, std::memory_order_relaxed);
     // One timestamp pair and one monitor flush per drained batch: each
     // action is charged the batch-average microseconds (clamped by the
     // monitor so bins never look idle), keeping monitoring cost per-batch
     // as the paper's Table 2 budget demands.
     auto t0 = std::chrono::steady_clock::now();
-    while (chain != nullptr) {
-      TaskQueue::Chunk* c = chain;
-      chain = chain->next;
-      for (uint32_t i = 0; i < c->count; ++i) {
-        const ActionTask& task = c->items[i];
-        if (task.act == nullptr) {
-          // This partition's commit marker for task.st: staged behind the
-          // transaction's data records in this worker's append order, so
-          // the shard's LSN order encodes write-ahead.
-          writer->AddCommitMarker(task.st->txn_id, task.st->commit_epoch,
-                                  task.st->marker_expected, task.st->ticket);
-          obs_->Count(obs::CounterId::kCommitMarkersAppended);
-          obs_->Trace(obs::SpanId::kCommitMarker, obs::TracePhase::kInstant,
-                      task.st->trace_id, p->seq);
-          continue;
-        }
-        if (observer) observer->set_txn(task.st);
-        tally.Touch(task.act->key);
-        RunAction(task, zombie);
+    uint64_t suspensions = 0;  // warm-pipeline resume hops this batch
+    // One task, serial-path semantics. The interleaved path funnels
+    // through this too (in admission order), so attribution is identical:
+    // the observer is (re)pointed at the task's txn immediately before
+    // its body runs and the body runs to completion on this thread —
+    // a suspended neighbor can never interleave log records mid-action.
+    auto run_task = [&](const ActionTask& task) {
+      if (task.act == nullptr) {
+        // This partition's commit marker for task.st: staged behind the
+        // transaction's data records in this worker's append order, so
+        // the shard's LSN order encodes write-ahead.
+        writer->AddCommitMarker(task.st->txn_id, task.st->commit_epoch,
+                                task.st->marker_expected, task.st->ticket);
+        obs_->Count(obs::CounterId::kCommitMarkersAppended);
+        obs_->Trace(obs::SpanId::kCommitMarker, obs::TracePhase::kInstant,
+                    task.st->trace_id, p->seq);
+        return;
       }
-      p->inbox.ReleaseChunk(c);
+      if (observer) observer->set_txn(task.st);
+      if (!zombie) tally.Touch(task.act->key);
+      RunAction(task, zombie);
+    };
+    const size_t K = opt_.interleave_depth <= 1
+                         ? 1
+                         : static_cast<size_t>(opt_.interleave_depth);
+    if (K == 1 || zombie) {
+      // Serial drain — the exact pre-interleaving path, zero coroutine
+      // overhead. Zombies take it too: prefetching for actions that will
+      // only abort is wasted work.
+      while (chain != nullptr) {
+        TaskQueue::Chunk* c = chain;
+        chain = chain->next;
+        for (uint32_t i = 0; i < c->count; ++i) run_task(c->items[i]);
+        p->inbox.ReleaseChunk(c);
+      }
+    } else {
+      // Interleaved drain (AMAC-style software pipelining): up to K
+      // actions keep their warm pipelines in flight, rotated round-robin
+      // one prefetch hop per turn; each action's *body* still runs via
+      // run_task strictly in admission order (the head of the FIFO ring,
+      // only once its warm completed), so same-key ordering, marker
+      // order, completion and attribution match the serial loop exactly.
+      // The warm pipeline for one action: the index descent, then — when
+      // the descent surfaced a Rid-encoded value — the heap-record walk,
+      // one prefetch-and-suspend hop per turn. The two storage coroutines
+      // are driven directly (no wrapper coroutine: one transition per
+      // hop, one live frame per action). Purely advisory: warms never
+      // mutate, never charge AllocStats, and never hold a latch across a
+      // suspension; the body performs the authoritative access
+      // afterwards, cache-warm. A stale view (a neighbor's body moved
+      // the key between slices) just ends the warm early.
+      struct Slot {
+        storage::PrefetchChain warm;  ///< the current stage's chain
+        const ActionTask* task = nullptr;
+        storage::Table* table = nullptr;
+        uint64_t key = 0;
+        /// Descent result; written by the WarmDescent frame, so it must
+        /// be address-stable — the ring is sized once and never moved.
+        std::optional<uint64_t> val;
+        uint64_t t0_ns = 0;
+        enum : uint8_t { kDescent = 0, kRecord, kWarmed };
+        uint8_t stage = kWarmed;
+      };
+      const bool tracing = obs_->trace_enabled();
+      std::vector<Slot> ring(K);
+      size_t head = 0, live = 0;
+      // Coroutine frames recycle through the partition's chunk pool —
+      // steady-state interleaving allocates nothing, like the inbox
+      // chunks the tasks arrived in.
+      storage::SetThreadFramePool(p->pool.get());
+      TaskQueue::Chunk* c = chain;
+      uint32_t ci = 0;
+      auto next_task = [&]() -> const ActionTask* {
+        while (c != nullptr && ci >= c->count) {
+          c = c->next;
+          ci = 0;
+        }
+        return c == nullptr ? nullptr : &c->items[ci++];
+      };
+      for (;;) {
+        // Admit: fill free slots in arrival order. Markers admit as
+        // already-done warms so they retire at their position in the
+        // order (write-ahead: behind the data records before them).
+        while (live < K) {
+          const ActionTask* t = next_task();
+          if (t == nullptr) break;
+          Slot& s = ring[(head + live) % K];
+          s.task = t;
+          s.t0_ns = tracing ? obs_->NowNs() : 0;
+          if (t->act != nullptr) {
+            s.table = t->table;
+            s.key = t->act->key;
+            s.val.reset();
+            size_t part = s.table->index().PartitionOf(s.key);
+            // Eager start: creation already issues the root prefetch.
+            s.warm = s.table->index().subtree(part).WarmDescent(s.key,
+                                                                &s.val);
+            s.stage = Slot::kDescent;
+          } else {
+            s.warm = storage::PrefetchChain();
+            s.stage = Slot::kWarmed;
+          }
+          ++live;
+        }
+        if (live == 0) break;
+        // Rotate: one prefetch hop per in-flight warm, oldest first. A
+        // finished descent chains into the heap-record warm when it
+        // surfaced a Rid-encoded value (micro tables store raw ints —
+        // no heap hop for those).
+        for (size_t i = 0; i < live; ++i) {
+          Slot& s = ring[(head + i) % K];
+          if (!s.warm.done()) {
+            s.warm.Resume();
+            ++suspensions;
+          } else if (s.stage == Slot::kDescent) {
+            s.stage = Slot::kRecord;
+            std::optional<storage::Rid> rid =
+                s.val.has_value() ? storage::Rid::TryDecode(*s.val)
+                                  : std::nullopt;
+            size_t part = s.table->index().PartitionOf(s.key);
+            if (rid.has_value() && part < s.table->num_partitions())
+              s.warm = s.table->heap(part).WarmRecord(*rid);
+            else
+              s.stage = Slot::kWarmed;
+          } else if (s.stage == Slot::kRecord) {
+            s.stage = Slot::kWarmed;
+          }
+        }
+        // Retire: only the head may run its body, even when younger
+        // slots finished warming first.
+        while (live > 0 && ring[head].stage == Slot::kWarmed) {
+          Slot& s = ring[head];
+          if (tracing && s.task->act != nullptr)
+            obs_->Trace(obs::SpanId::kInterleaveWarm,
+                        obs::TracePhase::kComplete, s.task->st->trace_id,
+                        obs_->NowNs() - s.t0_ns);
+          run_task(*s.task);
+          s.warm = storage::PrefetchChain();
+          head = (head + 1) % K;
+          --live;
+        }
+      }
+      storage::SetThreadFramePool(nullptr);
+      // Slots held pointers into the chunks; release only now.
+      while (chain != nullptr) {
+        TaskQueue::Chunk* done = chain;
+        chain = chain->next;
+        p->inbox.ReleaseChunk(done);
+      }
     }
     if (writer) writer->Flush();  // one shard reservation for the batch
     if (n > 0) {
       double us = std::chrono::duration<double, std::micro>(
                       std::chrono::steady_clock::now() - t0)
                       .count();
-      p->monitor->RecordBatch(&tally, us / static_cast<double>(n));
+      // Zombie batches executed nothing: no monitor load, no drain-shape
+      // samples (they would record near-zero abort costs).
+      if (!zombie) p->monitor->RecordBatch(&tally, us / static_cast<double>(n));
       // Per-batch registry flush, same discipline as the monitor: the
       // observability cost scales with drains, not actions (Table 2).
       // The drain histograms are additionally sampled 1-in-8: when the
@@ -486,10 +630,14 @@ void PartitionedExecutor::WorkerLoop(Partition* p) {
       // batch counter stays exact; the first drain always samples.
       if (obs_->metrics_enabled()) {
         obs_->Count(obs::CounterId::kBatchesDrained);
-        if ((drain_tick++ & 7u) == 0) {
+        if (suspensions > 0)
+          obs_->Count(obs::CounterId::kInterleaveSuspensions, suspensions);
+        if (!zombie && (drain_tick++ & 7u) == 0) {
           obs_->RecordLatency(obs::HistId::kDrainBatchUs,
                               static_cast<uint64_t>(us));
-          obs_->RecordLatency(obs::HistId::kDrainBatchSize, total);
+          // Recorded on the action basis (n, markers excluded) — the
+          // same basis kActionAvgUs divides by; see obs/registry.h.
+          obs_->RecordLatency(obs::HistId::kDrainBatchSize, n);
           obs_->RecordLatency(
               obs::HistId::kActionAvgUs,
               static_cast<uint64_t>(us / static_cast<double>(n)));

@@ -105,6 +105,20 @@ class PartitionedExecutor : public Database::Drainable {
     /// log_manager()->FlushAll() for deterministic durable points. kGroup
     /// commits only ack on an explicit flush then.
     bool log_manual_flush = false;
+    /// Interleaved action execution (storage/interleave.h): a worker keeps
+    /// up to this many drained actions in flight, overlapping their warm
+    /// phases — coroutine B-tree descents and heap-record walks that
+    /// prefetch the next node/page line and suspend — round-robin, so one
+    /// action's remote-island cache misses are hidden behind its
+    /// neighbors' work (AMAC-style software pipelining). Action *bodies*
+    /// still run strictly in admission order, so per-partition same-key
+    /// ordering, TxnFuture completion, write-ahead marker order, and log
+    /// attribution are identical to the serial loop. <= 1 keeps today's
+    /// serial drain with zero coroutine overhead (the default until a
+    /// deployment benches its own sweet spot — see bench/tatp_real_engine
+    /// --interleave_sweep). K > 1 helps remote-heavy/cache-cold
+    /// placements and hurts small cache-resident working sets.
+    int interleave_depth = 1;
     /// Hardware-counter profiling (obs::PerfCounters): each worker opens
     /// a perf_event_open group on itself and the snapshot source
     /// aggregates per island (atrapos_hw_*). Gated by the capability
@@ -221,7 +235,10 @@ class PartitionedExecutor : public Database::Drainable {
   /// Actions accepted for execution, counted once per drained batch (a
   /// worker counts a batch *before* running it and always finishes a
   /// drained batch, so after Drain() this equals the actions actually
-  /// executed). Commit-marker tasks are not actions and are not counted.
+  /// executed). Commit-marker tasks are not actions and are not counted;
+  /// neither are a zombie worker's aborted actions — a quarantined
+  /// partition fails everything kUnavailable without executing, and
+  /// counting those made a dead island look loaded (phantom load).
   uint64_t executed_actions() const {
     return executed_.load(std::memory_order_relaxed);
   }

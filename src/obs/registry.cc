@@ -27,6 +27,7 @@ const char* CounterName(CounterId c) {
     case CounterId::kFaultPartitionsEvacuated:
       return "fault_partitions_evacuated";
     case CounterId::kFaultTxnsUnavailable: return "fault_txns_unavailable";
+    case CounterId::kInterleaveSuspensions: return "interleave_suspensions";
     case CounterId::kCount: break;
   }
   return "?";
@@ -63,6 +64,8 @@ const char* CounterHelp(CounterId c) {
       return "Partitions re-homed off a failed island.";
     case CounterId::kFaultTxnsUnavailable:
       return "Actions failed kUnavailable by a quarantined worker.";
+    case CounterId::kInterleaveSuspensions:
+      return "Warm-pipeline suspend/resume hops (interleaved execution).";
     case CounterId::kCount: break;
   }
   return "?";
@@ -74,6 +77,7 @@ const char* GaugeName(GaugeId g) {
     case GaugeId::kDurableLagEpochs: return "durable_lag_epochs";
     case GaugeId::kNetOpenConnections: return "net_open_connections";
     case GaugeId::kNetInflightTxns: return "net_inflight_txns";
+    case GaugeId::kInterleaveDepth: return "interleave_depth";
     case GaugeId::kCount: break;
   }
   return "?";
@@ -89,6 +93,8 @@ const char* GaugeHelp(GaugeId g) {
       return "Wire-tier connections currently open.";
     case GaugeId::kNetInflightTxns:
       return "Wire-tier requests submitted whose response is not yet queued.";
+    case GaugeId::kInterleaveDepth:
+      return "Configured in-flight actions per worker (1 = serial drain).";
     case GaugeId::kCount: break;
   }
   return "?";
@@ -98,7 +104,7 @@ const char* HistName(HistId h) {
   switch (h) {
     case HistId::kCommitLatencyUs: return "commit_latency_us";
     case HistId::kDrainBatchUs: return "drain_batch_us";
-    case HistId::kDrainBatchSize: return "drain_batch_size";
+    case HistId::kDrainBatchSize: return "drain_batch_size";  // actions, not markers
     case HistId::kActionAvgUs: return "action_avg_us";
     case HistId::kSubmitPublishUs: return "submit_publish_us";
     case HistId::kLogFlushUs: return "log_flush_us";
@@ -114,7 +120,9 @@ const char* HistHelp(HistId h) {
     case HistId::kCommitLatencyUs:
       return "Submit to completion ack, per transaction.";
     case HistId::kDrainBatchUs: return "One drained inbox batch.";
-    case HistId::kDrainBatchSize: return "Tasks per drained batch.";
+    case HistId::kDrainBatchSize:
+      return "Actions per drained batch (commit markers excluded, matching "
+             "the action_avg_us basis).";
     case HistId::kActionAvgUs:
       return "Batch-average per-action cost, per batch.";
     case HistId::kSubmitPublishUs:

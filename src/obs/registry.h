@@ -68,6 +68,8 @@ enum class CounterId : uint16_t {
   kFaultIslandKills,      ///< islands fail-stopped (injected or KillIsland)
   kFaultPartitionsEvacuated, ///< partitions re-homed off a failed island
   kFaultTxnsUnavailable,  ///< actions failed kUnavailable by a quarantined worker
+  // ---- interleaved execution (storage/interleave.h) -----------------------
+  kInterleaveSuspensions, ///< warm-pipeline suspend/resume hops (flushed per batch)
   kCount
 };
 const char* CounterName(CounterId c);
@@ -77,14 +79,21 @@ enum class GaugeId : uint16_t {
   kDurableLagEpochs,     ///< last commit epoch minus durable epoch watermark
   kNetOpenConnections,   ///< wire-tier connections currently open
   kNetInflightTxns,      ///< wire-tier requests submitted, response not queued
+  kInterleaveDepth,      ///< configured in-flight actions per worker (1 = serial)
   kCount
 };
 const char* GaugeName(GaugeId g);
 
+// Convention for the drain-shape histograms: kDrainBatchSize and
+// kActionAvgUs are both recorded on the *action* basis — commit-marker
+// tasks (durability fan-out, ActionTask::act == nullptr) are excluded
+// from the size exactly as they are excluded from the per-action divisor,
+// so marker-heavy group-commit batches cannot skew size against average.
+// Marker traffic is visible separately via kCommitMarkersAppended.
 enum class HistId : uint16_t {
   kCommitLatencyUs = 0,  ///< submit → completion ack, per transaction
   kDrainBatchUs,         ///< one drained inbox batch, per batch
-  kDrainBatchSize,       ///< tasks per drained batch
+  kDrainBatchSize,       ///< actions per drained batch (markers excluded)
   kActionAvgUs,          ///< batch-average per-action cost, per batch
   kSubmitPublishUs,      ///< stage-0 bucket + publish wave, per wave
   kLogFlushUs,           ///< one group-commit pass over all active shards

@@ -1,0 +1,52 @@
+#include "storage/interleave.h"
+
+#include <cstdint>
+#include <new>
+
+#include "mem/chunk_pool.h"
+
+namespace atrapos::storage {
+
+namespace {
+
+thread_local mem::ChunkPool* t_frame_pool = nullptr;
+
+/// Prefix stamped in front of every coroutine frame: the pool the block
+/// came from (nullptr = global heap). 16 bytes keeps the frame at the
+/// pool block's 16-byte alignment, which covers the default coroutine
+/// frame alignment (__STDCPP_DEFAULT_NEW_ALIGNMENT__).
+struct FrameHeader {
+  mem::ChunkPool* pool;
+};
+constexpr std::size_t kFrameHeaderBytes = 16;
+static_assert(sizeof(FrameHeader) <= kFrameHeaderBytes);
+static_assert(kFrameHeaderBytes % 16 == 0);
+
+}  // namespace
+
+void SetThreadFramePool(mem::ChunkPool* pool) { t_frame_pool = pool; }
+mem::ChunkPool* ThreadFramePool() { return t_frame_pool; }
+
+void* PrefetchChain::promise_type::operator new(std::size_t n) {
+  mem::ChunkPool* pool = t_frame_pool;
+  void* raw;
+  if (pool != nullptr && n + kFrameHeaderBytes <= pool->payload_bytes()) {
+    raw = pool->Get();
+  } else {
+    pool = nullptr;  // oversized frame (or no pool): heap fallback
+    raw = ::operator new(n + kFrameHeaderBytes);
+  }
+  static_cast<FrameHeader*>(raw)->pool = pool;
+  return static_cast<uint8_t*>(raw) + kFrameHeaderBytes;
+}
+
+void PrefetchChain::promise_type::operator delete(void* p,
+                                                  std::size_t) noexcept {
+  void* raw = static_cast<uint8_t*>(p) - kFrameHeaderBytes;
+  if (mem::ChunkPool* pool = static_cast<FrameHeader*>(raw)->pool)
+    pool->Put(raw);
+  else
+    ::operator delete(raw);
+}
+
+}  // namespace atrapos::storage

@@ -1,0 +1,129 @@
+// Coroutine substrate for interleaved (AMAC-style) storage accesses.
+//
+// ATraPos pays a cache-miss-shaped penalty on every remote-island node and
+// page touch (paper §II, Table I). A worker that executes each action to
+// completion eats those misses serially; a worker that keeps K actions in
+// flight can overlap them: each action *warms* its key path — issuing a
+// `__builtin_prefetch` for the next B-tree node or heap record line, then
+// suspending — while the lines of its K-1 neighbors travel. This header
+// provides the pieces shared by storage and engine:
+//
+//  - PrefetchChain: a minimal resumable coroutine. Runs eagerly to its
+//    first suspension on creation (so construction already issues the
+//    first prefetch), then advances one hop per Resume(). Storage exposes
+//    its warm accessors (BPlusTree::WarmDescent, HeapFile::WarmRecord) as
+//    PrefetchChains; the engine's per-worker round-robin scheduler drives
+//    one chain per in-flight action.
+//  - StallPoint: the awaitable marking a memory-latency-bound point. The
+//    coroutine has just prefetched what it needs next and parks; control
+//    returns to the resumer (the worker's scheduler), which rotates to the
+//    next in-flight action.
+//  - SetThreadFramePool: coroutine frames allocate from the installed
+//    mem::ChunkPool (the worker's partition pool) instead of the global
+//    heap, so steady-state interleaving allocates nothing — the same
+//    discipline as inbox chunks and log buffers. Frames larger than a
+//    pool block (or allocated with no pool installed) fall back to the
+//    heap; each frame remembers its origin, so creation and destruction
+//    need not see the same installation.
+//
+// Warm chains are advisory: they only prefetch and never charge
+// mem::AllocStats or take latches across a suspension, so a stale path
+// (a neighbor's insert split a node mid-warm) costs at worst a useless
+// prefetch. The authoritative access still happens in the action body.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <exception>
+#include <utility>
+
+namespace atrapos::mem {
+class ChunkPool;
+}  // namespace atrapos::mem
+
+namespace atrapos::storage {
+
+/// Installs `pool` as the calling thread's coroutine-frame pool (nullptr
+/// uninstalls). Engine workers install their partition's pool for the
+/// lifetime of an interleaved drain.
+void SetThreadFramePool(mem::ChunkPool* pool);
+mem::ChunkPool* ThreadFramePool();
+
+/// Awaitable marking a memory-latency-bound point: the issuing coroutine
+/// has prefetched the line(s) it needs next and parks until its scheduler
+/// resumes it. Suspension transfers control back to the resumer — there
+/// is no queue and no handoff, which is exactly right for the worker's
+/// cooperative single-threaded round-robin.
+struct StallPoint {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) const noexcept {}
+  void await_resume() const noexcept {}
+};
+
+/// Prefetches the cache lines of [p, p+bytes), capped at 8 lines (a full
+/// kOrder=64 B-tree key array is 512 B = 8 lines; records are smaller).
+/// nullptr/empty spans are no-ops — prefetch never faults.
+inline void PrefetchSpan(const void* p, std::size_t bytes) {
+  const char* addr = static_cast<const char*>(p);
+  std::size_t lines = (bytes + 63) / 64;
+  if (lines > 8) lines = 8;
+  for (std::size_t i = 0; i < lines; ++i)
+    __builtin_prefetch(addr + i * 64, /*rw=*/0, /*locality=*/3);
+}
+
+/// Owning handle for one resumable prefetch pipeline. Move-only; destroys
+/// the frame on destruction (whether or not the chain ran to completion,
+/// so an abandoned warm — e.g. a zombie batch — leaks nothing).
+class PrefetchChain {
+ public:
+  struct promise_type {
+    /// Frames come from the thread's installed ChunkPool when they fit;
+    /// the block's origin is stashed in a 16-byte header so delete works
+    /// regardless of what is installed by then.
+    static void* operator new(std::size_t n);
+    static void operator delete(void* p, std::size_t n) noexcept;
+
+    PrefetchChain get_return_object() {
+      return PrefetchChain(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    /// Eager start: creation runs to the first StallPoint, issuing the
+    /// first prefetch before the scheduler ever touches the chain.
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    /// Suspend at the end so done() is observable; the owner destroys.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    /// Warm bodies only prefetch and compare — they cannot meaningfully
+    /// throw, and an exception escaping a worker loop would kill the
+    /// process anyway.
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  PrefetchChain() = default;
+  ~PrefetchChain() {
+    if (h_) h_.destroy();
+  }
+  PrefetchChain(PrefetchChain&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  PrefetchChain& operator=(PrefetchChain&& o) noexcept {
+    if (this != &o) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  PrefetchChain(const PrefetchChain&) = delete;
+  PrefetchChain& operator=(const PrefetchChain&) = delete;
+
+  /// True when the chain finished (or was default-constructed empty).
+  bool done() const { return !h_ || h_.done(); }
+  /// Advances to the next StallPoint (no-op when done).
+  void Resume() {
+    if (h_ && !h_.done()) h_.resume();
+  }
+
+ private:
+  explicit PrefetchChain(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace atrapos::storage
